@@ -1,0 +1,197 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation prints a small before/after table (what the system does
+//! with the mechanism on vs off) and times the "on" configuration:
+//!
+//! * **commute move** — the documented extension to the paper's move set:
+//!   without it, the optimizer cannot flip the build side of a 2-way join;
+//! * **controller-cache segments** — a single segment is what makes
+//!   interleaved streams interfere (the engine's emergent contention);
+//! * **elevator vs arrival order** — SCAN scheduling reduces head travel;
+//! * **hybrid restart seeding** — pure-policy II starts are what
+//!   guarantee hybrid-shipping never trails a pure policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_catalog::{SiteId, SystemConfig};
+use csqp_core::Policy;
+use csqp_cost::{CostModel, Objective};
+use csqp_disk::{Disk, DiskAddr, DiskParams, DiskRequest, IoKind};
+use csqp_optimizer::{OptConfig, Optimizer};
+use csqp_simkernel::rng::SimRng;
+use csqp_simkernel::SimTime;
+use csqp_workload::{single_server_placement, two_way};
+
+/// Serve one request synchronously; returns the completion time.
+fn serve(d: &mut Disk<()>, now: SimTime, addr: u64, kind: IoKind) -> SimTime {
+    let fin = d
+        .submit(now, DiskRequest { addr: DiskAddr(addr), kind, token: () })
+        .expect("idle");
+    let (_, next) = d.finish_current(fin);
+    assert!(next.is_none());
+    fin
+}
+
+fn ablation_cache_segments(c: &mut Criterion) {
+    // Two interleaved sequential read streams, 1 vs 4 cache segments.
+    let run = |segments: usize| -> f64 {
+        let mut p = DiskParams::default();
+        p.cache_segments = segments;
+        let mut d: Disk<()> = Disk::new(p);
+        let mut now = SimTime::ZERO;
+        for i in 0..200u64 {
+            now = serve(&mut d, now, i, IoKind::Read);
+            now = serve(&mut d, now, 24_000 + i, IoKind::Read);
+        }
+        now.as_secs_f64() * 1e3 / 400.0
+    };
+    println!("== ablation: controller cache segments (ms/page, 2 interleaved streams)");
+    println!("   1 segment: {:.2} ms   4 segments: {:.2} ms", run(1), run(4));
+    c.bench_function("ablation_cache_segments", |b| {
+        b.iter(|| std::hint::black_box(run(1)))
+    });
+}
+
+fn ablation_commute_move(c: &mut Criterion) {
+    // A 2-way join whose only way to flip the (asymmetric) build side is
+    // the commute extension.
+    let query = two_way();
+    let catalog = single_server_placement(&query);
+    let sys = SystemConfig::default();
+    let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
+    let run = |paper_moves_only: bool| -> f64 {
+        let mut cfg = OptConfig::fast();
+        cfg.paper_moves_only = paper_moves_only;
+        let opt = Optimizer::new(&model, Policy::QueryShipping, Objective::ResponseTime, cfg);
+        let mut rng = SimRng::seed_from_u64(13);
+        opt.optimize(&query, &mut rng).cost
+    };
+    println!("== ablation: commute move (estimated QS response time)");
+    println!(
+        "   with commute: {:.4} s   paper moves only: {:.4} s",
+        run(false),
+        run(true)
+    );
+    c.bench_function("ablation_commute_move", |b| {
+        b.iter(|| std::hint::black_box(run(false)))
+    });
+}
+
+fn ablation_hybrid_seeding(c: &mut Criterion) {
+    // Hybrid optimization quality: the headline "HY <= min(DS, QS)"
+    // hinges on pure-policy seeding (see search.rs); this prints all
+    // three policies' converged costs on one scenario.
+    let query = two_way();
+    let mut catalog = single_server_placement(&query);
+    csqp_workload::cache_all(&mut catalog, &query, 0.75);
+    let sys = SystemConfig::default();
+    let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
+    println!("== ablation: hybrid search quality (pages sent at 75% cached)");
+    for policy in Policy::ALL {
+        let opt = Optimizer::new(
+            &model,
+            policy,
+            Objective::Communication,
+            OptConfig::fast(),
+        );
+        let mut rng = SimRng::seed_from_u64(21);
+        let cost = opt.optimize(&query, &mut rng).cost;
+        println!("   {}: {:.0}", policy.short(), cost);
+    }
+    let opt = Optimizer::new(
+        &model,
+        Policy::HybridShipping,
+        Objective::Communication,
+        OptConfig::fast(),
+    );
+    c.bench_function("ablation_hybrid_optimize", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(21);
+            std::hint::black_box(opt.optimize(&query, &mut rng).cost)
+        })
+    });
+}
+
+fn ablation_min_vs_max_alloc(c: &mut Criterion) {
+    // Shapiro's allocation policy is the lever behind Figures 3 vs 5.
+    use csqp_catalog::BufAlloc;
+    use csqp_experiments::common::Scenario;
+    let query = two_way();
+    let catalog = single_server_placement(&query);
+    let run = |alloc: BufAlloc| -> f64 {
+        let mut sys = SystemConfig::default();
+        sys.buf_alloc = alloc;
+        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        scenario
+            .optimize_and_run(
+                Policy::QueryShipping,
+                Objective::ResponseTime,
+                &OptConfig::fast(),
+                5,
+            )
+            .response_secs()
+    };
+    println!("== ablation: join memory allocation (QS simulated response time)");
+    println!("   min: {:.2} s   max: {:.2} s", run(BufAlloc::Min), run(BufAlloc::Max));
+    c.bench_function("ablation_min_vs_max_alloc", |b| {
+        b.iter(|| std::hint::black_box(run(BufAlloc::Max)))
+    });
+}
+
+fn ablation_dp_vs_randomized_compile(c: &mut Criterion) {
+    // Compile-time join ordering for 2-step: System-R-style DP vs the
+    // randomized 2PO, judged by the surrogate (total intermediate pages).
+    use csqp_optimizer::dp::{dp_join_order, intermediate_pages};
+    use csqp_optimizer::twostep::{CompileTimeAssumption, TwoStepPlanner};
+    use csqp_workload::ten_way_hisel;
+
+    let query = ten_way_hisel();
+    let sys = SystemConfig::default();
+    let dp_tree = dp_join_order(&query, &sys);
+    let dp_cost = intermediate_pages(&dp_tree, &query, &sys);
+    let planner = TwoStepPlanner {
+        policy: Policy::HybridShipping,
+        objective: Objective::ResponseTime,
+        config: OptConfig::fast(),
+    };
+    let mut rng = SimRng::seed_from_u64(77);
+    let rnd_plan = planner.compile(&query, &sys, CompileTimeAssumption::FullyDistributed, &mut rng);
+    // Extract the randomized plan's join tree shape cost via its rel sets.
+    fn tree_of(plan: &csqp_core::Plan, id: csqp_core::NodeId) -> Option<csqp_core::JoinTree> {
+        use csqp_core::{JoinTree, LogicalOp};
+        let n = plan.node(id);
+        match n.op {
+            LogicalOp::Scan { rel } => Some(JoinTree::leaf(rel)),
+            LogicalOp::Select { rel } => {
+                let _ = rel;
+                tree_of(plan, n.children[0]?)
+            }
+            LogicalOp::Aggregate { .. } | LogicalOp::Display => tree_of(plan, n.children[0]?),
+            LogicalOp::Join => Some(JoinTree::join(
+                tree_of(plan, n.children[0]?)?,
+                tree_of(plan, n.children[1]?)?,
+            )),
+        }
+    }
+    let rnd_tree = tree_of(&rnd_plan, rnd_plan.root()).expect("full tree");
+    let rnd_cost = intermediate_pages(&rnd_tree, &query, &sys);
+    println!("== ablation: compile-time ordering, HiSel 10-way (intermediate pages)");
+    println!("   System-R DP: {dp_cost:.0}   randomized 2PO: {rnd_cost:.0}");
+    c.bench_function("ablation_dp_join_order", |b| {
+        b.iter(|| std::hint::black_box(dp_join_order(&query, &sys)))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = configured();
+    targets = ablation_cache_segments, ablation_commute_move, ablation_hybrid_seeding,
+              ablation_min_vs_max_alloc, ablation_dp_vs_randomized_compile
+}
+criterion_main!(ablations);

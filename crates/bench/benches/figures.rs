@@ -1,0 +1,153 @@
+//! One criterion bench target per table/figure of the paper.
+//!
+//! Each target first *regenerates the artifact* — prints the same series
+//! the paper reports (at a reduced repetition count; run the
+//! `csqp-experiments` binary for the full-quality numbers) — and then
+//! times a representative unit of the work behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_bench::{bench_context, two_way_unit};
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_experiments::run_by_id;
+
+/// Regenerate `id` once, printing its table; benches then time `unit`.
+fn figure_bench<F: FnMut()>(c: &mut Criterion, id: &str, mut unit: F) {
+    let ctx = bench_context();
+    let fig = run_by_id(id, &ctx).expect("known experiment id");
+    println!("{}", fig.render_table());
+    c.bench_function(id, |b| b.iter(&mut unit));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    figure_bench(c, "table1", || {
+        for p in Policy::ALL {
+            std::hint::black_box(p.allowed(csqp_core::LogicalOp::Join));
+        }
+    });
+    figure_bench(c, "table2", || {
+        std::hint::black_box(csqp_catalog::SystemConfig::default());
+    });
+    figure_bench(c, "calibration", || {
+        std::hint::black_box(csqp_disk::calibrate::measure(
+            &csqp_disk::DiskParams::default(),
+            500,
+            7,
+        ));
+    });
+}
+
+fn bench_two_way_figures(c: &mut Criterion) {
+    // Figures 2-5 are all 2-way-join scenarios; each bench times the
+    // policy/objective combination that distinguishes the figure.
+    figure_bench(c, "fig2", || {
+        std::hint::black_box(two_way_unit(
+            Policy::HybridShipping,
+            Objective::Communication,
+            2,
+        ));
+    });
+    figure_bench(c, "fig3", || {
+        std::hint::black_box(two_way_unit(
+            Policy::QueryShipping,
+            Objective::ResponseTime,
+            3,
+        ));
+    });
+    figure_bench(c, "fig4", || {
+        std::hint::black_box(two_way_unit(
+            Policy::DataShipping,
+            Objective::ResponseTime,
+            4,
+        ));
+    });
+    figure_bench(c, "fig5", || {
+        std::hint::black_box(two_way_unit(
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            5,
+        ));
+    });
+}
+
+fn bench_ten_way_figures(c: &mut Criterion) {
+    use csqp_catalog::SystemConfig;
+    use csqp_experiments::common::Scenario;
+    use csqp_simkernel::rng::SimRng;
+    use csqp_workload::{random_placement, ten_way};
+
+    let ctx = bench_context();
+    let query = ten_way();
+    let sys = SystemConfig::default();
+
+    for (id, policy, objective) in [
+        ("fig6", Policy::QueryShipping, Objective::Communication),
+        ("fig7", Policy::HybridShipping, Objective::Communication),
+        ("fig8", Policy::HybridShipping, Objective::ResponseTime),
+    ] {
+        let fig = run_by_id(id, &ctx).expect("known experiment id");
+        println!("{}", fig.render_table());
+        let mut rng = SimRng::seed_from_u64(42);
+        let catalog = random_placement(&query, 3, &mut rng);
+        let opt = ctx.opt.clone();
+        c.bench_function(id, |b| {
+            b.iter(|| {
+                let scenario =
+                    Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+                std::hint::black_box(scenario.optimize_and_run(policy, objective, &opt, 9))
+            })
+        });
+    }
+}
+
+fn bench_twostep_figures(c: &mut Criterion) {
+    use csqp_catalog::SystemConfig;
+    use csqp_experiments::fig09::{cycle_query, paper_static_plan};
+    use csqp_optimizer::{explicit_placement, TwoStepPlanner};
+    use csqp_simkernel::rng::SimRng;
+
+    for id in ["fig9", "fig10", "fig11"] {
+        let ctx = bench_context();
+        let fig = run_by_id(id, &ctx).expect("known experiment id");
+        println!("{}", fig.render_table());
+    }
+    // Timed unit: one runtime site-selection pass (the operation 2-step
+    // optimization adds to every query execution).
+    let query = cycle_query();
+    let sys = SystemConfig::default();
+    let runtime = explicit_placement(
+        2,
+        &[
+            (csqp_catalog::RelId(1), 1),
+            (csqp_catalog::RelId(2), 1),
+            (csqp_catalog::RelId(0), 2),
+            (csqp_catalog::RelId(3), 2),
+        ],
+    );
+    let planner = TwoStepPlanner {
+        policy: Policy::HybridShipping,
+        objective: Objective::Communication,
+        config: bench_context().opt,
+    };
+    let compiled = paper_static_plan(&query);
+    c.bench_function("two_step_site_selection", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(3);
+            std::hint::black_box(planner.site_select(&compiled, &query, &sys, &runtime, &mut rng))
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = configured();
+    targets = bench_tables, bench_two_way_figures, bench_ten_way_figures, bench_twostep_figures
+}
+criterion_main!(figures);

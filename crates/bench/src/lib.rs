@@ -1,0 +1,44 @@
+//! Benchmark support: shared scenario builders for the criterion bench
+//! targets in `benches/`. The bench targets regenerate each paper
+//! table/figure (printing its series once) and then time a representative
+//! unit of work so regressions in optimizer or engine performance are
+//! visible.
+
+#![warn(missing_docs)]
+
+use csqp_catalog::{Catalog, SystemConfig};
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_engine::ExecutionMetrics;
+use csqp_experiments::common::Scenario;
+use csqp_experiments::ExpContext;
+use csqp_workload::{single_server_placement, two_way};
+
+/// The context used by bench targets: fast optimizer preset, one
+/// repetition (criterion supplies the repetitions).
+pub fn bench_context() -> ExpContext {
+    let mut ctx = ExpContext::fast();
+    ctx.reps = 1;
+    ctx
+}
+
+/// One cheap end-to-end unit: optimize + simulate the 2-way benchmark
+/// query under a policy.
+pub fn two_way_unit(policy: Policy, objective: Objective, seed: u64) -> ExecutionMetrics {
+    let query = two_way();
+    let catalog: Catalog = single_server_placement(&query);
+    let sys = SystemConfig::default();
+    let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+    scenario.optimize_and_run(policy, objective, &bench_context().opt, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_runs() {
+        let m = two_way_unit(Policy::QueryShipping, Objective::Communication, 1);
+        assert_eq!(m.pages_sent, 250);
+    }
+}

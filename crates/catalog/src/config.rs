@@ -1,0 +1,190 @@
+//! The simulator parameters of the paper's Table 2, plus the calibrated
+//! disk constants used by the optimizer's cost model.
+//!
+//! | Parameter  | Value | Description                                 |
+//! |------------|-------|---------------------------------------------|
+//! | Mips       | 50    | CPU speed (10^6 instructions per second)    |
+//! | NumDisks   | 1     | number of disks on a site                   |
+//! | DiskInst   | 5000  | instructions to read a page from disk       |
+//! | PageSize   | 4096  | size of one data page (bytes)               |
+//! | NetBw      | 100   | network bandwidth (Mbit/sec)                |
+//! | MsgInst    | 20000 | instructions to send/receive a message      |
+//! | PerSizeMI  | 12000 | instructions to send/receive 4096 bytes     |
+//! | Display    | 0     | instructions to display a tuple             |
+//! | Compare    | 2     | instructions to apply a predicate           |
+//! | HashInst   | 9     | instructions to hash a tuple                |
+//! | MoveInst   | 1     | instructions to copy 4 bytes                |
+//! | BufAlloc   | min/max | buffer allocated to a join (Shapiro)      |
+
+use serde::{Deserialize, Serialize};
+
+/// Join buffer allocation policy, after Shapiro [Sha86] (§3.2.2, §4.1).
+///
+/// * `Max` lets the hash table for the inner relation be built entirely in
+///   main memory (`⌈F·N⌉` frames for an `N`-page inner, fudge `F = 1.2`).
+/// * `Min` reserves `⌈F·√N⌉` frames and forces the inner and outer to be
+///   split into partitions spilled to temporary storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufAlloc {
+    /// Minimum allocation: `⌈F·√N⌉` frames, partitions spill to disk.
+    Min,
+    /// Maximum allocation: inner hash table fully in memory.
+    Max,
+}
+
+/// The complete system configuration (Table 2) plus the two calibrated
+/// per-page disk costs the optimizer's cost model uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// CPU speed in millions of instructions per second (`Mips`).
+    pub mips: u64,
+    /// Number of disks on each site (`NumDisks`).
+    pub num_disks: u32,
+    /// CPU instructions charged per disk I/O request (`DiskInst`).
+    pub disk_inst: u64,
+    /// Size of one data page in bytes (`PageSize`).
+    pub page_size: u32,
+    /// Network bandwidth in Mbit/sec (`NetBw`).
+    pub net_bw_mbit: u64,
+    /// Fixed CPU instructions to send or receive one message (`MsgInst`).
+    pub msg_inst: u64,
+    /// CPU instructions to send or receive `page_size` bytes (`PerSizeMI`).
+    pub per_size_mi: u64,
+    /// CPU instructions to display one result tuple (`Display`).
+    pub display_inst: u64,
+    /// CPU instructions to apply a predicate to one tuple (`Compare`).
+    pub compare_inst: u64,
+    /// CPU instructions to hash one tuple (`HashInst`).
+    pub hash_inst: u64,
+    /// CPU instructions to copy 4 bytes in memory (`MoveInst`).
+    pub move_inst: u64,
+    /// Buffer allocation given to each join (`BufAlloc`).
+    pub buf_alloc: BufAlloc,
+    /// Hybrid-hash fudge factor `F` (Shapiro uses 1.2, §3.2.2).
+    pub fudge: f64,
+    /// Calibrated average sequential disk cost per page, in milliseconds.
+    ///
+    /// "The average performance of the disk model with these settings is
+    /// roughly 3.5 msec per page for sequential I/O … these values were
+    /// obtained by separate simulation runs to calibrate the cost model of
+    /// the optimizer." (§4.1)
+    pub disk_seq_page_ms: f64,
+    /// Calibrated average random disk cost per page, in milliseconds (11.8
+    /// in the paper).
+    pub disk_rand_page_ms: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            mips: 50,
+            num_disks: 1,
+            disk_inst: 5_000,
+            page_size: 4_096,
+            net_bw_mbit: 100,
+            msg_inst: 20_000,
+            per_size_mi: 12_000,
+            display_inst: 0,
+            compare_inst: 2,
+            hash_inst: 9,
+            move_inst: 1,
+            buf_alloc: BufAlloc::Min,
+            fudge: 1.2,
+            disk_seq_page_ms: 3.5,
+            disk_rand_page_ms: 11.8,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Seconds of CPU time for `instructions` at this site speed.
+    #[inline]
+    pub fn cpu_secs(&self, instructions: u64) -> f64 {
+        instructions as f64 / (self.mips as f64 * 1e6)
+    }
+
+    /// Seconds of wire time for `bytes` at the configured bandwidth.
+    #[inline]
+    pub fn wire_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / (self.net_bw_mbit as f64 * 1e6)
+    }
+
+    /// CPU instructions to send *or* receive a message of `bytes` bytes:
+    /// the fixed `MsgInst` plus the size-dependent `PerSizeMI` prorated by
+    /// page size.
+    #[inline]
+    pub fn msg_cpu_instr(&self, bytes: u64) -> u64 {
+        self.msg_inst + (self.per_size_mi as f64 * bytes as f64 / self.page_size as f64) as u64
+    }
+
+    /// CPU instructions to copy one tuple of `tuple_bytes` bytes
+    /// (`MoveInst` per 4 bytes).
+    #[inline]
+    pub fn move_tuple_instr(&self, tuple_bytes: u32) -> u64 {
+        self.move_inst * (tuple_bytes as u64).div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2, asserted value by value — this is experiment T2.
+    #[test]
+    fn table2_defaults() {
+        let c = SystemConfig::default();
+        assert_eq!(c.mips, 50);
+        assert_eq!(c.num_disks, 1);
+        assert_eq!(c.disk_inst, 5000);
+        assert_eq!(c.page_size, 4096);
+        assert_eq!(c.net_bw_mbit, 100);
+        assert_eq!(c.msg_inst, 20000);
+        assert_eq!(c.per_size_mi, 12000);
+        assert_eq!(c.display_inst, 0);
+        assert_eq!(c.compare_inst, 2);
+        assert_eq!(c.hash_inst, 9);
+        assert_eq!(c.move_inst, 1);
+        assert_eq!(c.buf_alloc, BufAlloc::Min);
+        assert!((c.fudge - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_time_at_50_mips() {
+        let c = SystemConfig::default();
+        // 50 MIPS -> 20 ns per instruction.
+        assert!((c.cpu_secs(1) - 20e-9).abs() < 1e-18);
+        assert!((c.cpu_secs(5000) - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_time_for_one_page() {
+        let c = SystemConfig::default();
+        // 4096 B at 100 Mbit/s = 327.68 microseconds.
+        assert!((c.wire_secs(4096) - 327.68e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_cpu_scales_with_size() {
+        let c = SystemConfig::default();
+        assert_eq!(c.msg_cpu_instr(4096), 32_000);
+        assert_eq!(c.msg_cpu_instr(0), 20_000);
+        assert_eq!(c.msg_cpu_instr(2048), 26_000);
+    }
+
+    #[test]
+    fn tuple_move_cost() {
+        let c = SystemConfig::default();
+        // 100-byte tuple -> 25 word copies.
+        assert_eq!(c.move_tuple_instr(100), 25);
+        // Rounds up for non-multiples of 4.
+        assert_eq!(c.move_tuple_instr(5), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SystemConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,112 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a base relation within a catalog.
+///
+/// Relation ids are dense (0..n) so they can index bitsets ([`crate::RelSet`])
+/// and vectors directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifies a machine in the client-server topology.
+///
+/// By convention site 0 is the client at which queries are submitted and
+/// displayed; sites `1..=num_servers` are servers holding primary copies.
+/// (The study models a single client, §3.2.1.)
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The client site.
+    pub const CLIENT: SiteId = SiteId(0);
+
+    /// The n-th server (1-based).
+    #[inline]
+    pub fn server(n: u32) -> SiteId {
+        assert!(n >= 1, "servers are numbered from 1");
+        SiteId(n)
+    }
+
+    /// True for the client site.
+    #[inline]
+    pub fn is_client(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for any server site.
+    #[inline]
+    pub fn is_server(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The id as a vector index (client = 0, server k = k).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_client() {
+            write!(f, "client")
+        } else {
+            write!(f, "server{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_server_distinction() {
+        assert!(SiteId::CLIENT.is_client());
+        assert!(!SiteId::CLIENT.is_server());
+        assert!(SiteId::server(3).is_server());
+        assert_eq!(SiteId::server(3).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn server_zero_rejected() {
+        let _ = SiteId::server(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SiteId::CLIENT.to_string(), "client");
+        assert_eq!(SiteId::server(2).to_string(), "server2");
+        assert_eq!(RelId(5).to_string(), "R5");
+    }
+}

@@ -1,0 +1,25 @@
+//! Logical metadata for the client-server query processing study: relations
+//! and their statistics, the join graph of a query, placement of primary
+//! copies on servers, the client disk-cache state, the simulator parameters
+//! of the paper's Table 2, and Shapiro-style join memory allocation.
+//!
+//! This crate is purely logical — it knows nothing about events, disks or
+//! plans. Everything else (plans, cost model, engine) builds on it.
+
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod config;
+pub mod ids;
+pub mod memory;
+pub mod placement;
+pub mod query;
+pub mod schema;
+
+pub use cardinality::Estimator;
+pub use config::{BufAlloc, SystemConfig};
+pub use ids::{RelId, SiteId};
+pub use memory::{hybrid_hash_plan, join_memory, HashPlan};
+pub use placement::Catalog;
+pub use query::{JoinEdge, QuerySpec, RelSet};
+pub use schema::Relation;

@@ -1,0 +1,90 @@
+//! Base relations and their statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::RelId;
+
+/// A base relation with the statistics the cost model and engine need.
+///
+/// The paper's benchmark relations have 10,000 tuples of 100 bytes each
+/// (§3.3); with 4096-byte pages that is 40 tuples per page and exactly 250
+/// pages per relation — the page counts quoted throughout §4 (500 pages for
+/// two relations, 2500 for ten) follow from this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Dense relation id.
+    pub id: RelId,
+    /// Human-readable name (used in plan printouts).
+    pub name: String,
+    /// Number of tuples.
+    pub tuples: u64,
+    /// Width of one tuple in bytes.
+    pub tuple_bytes: u32,
+}
+
+impl Relation {
+    /// Create a relation with the paper's benchmark statistics
+    /// (10,000 tuples × 100 bytes).
+    pub fn benchmark(id: RelId, name: impl Into<String>) -> Relation {
+        Relation {
+            id,
+            name: name.into(),
+            tuples: 10_000,
+            tuple_bytes: 100,
+        }
+    }
+
+    /// Whole tuples fitting in one page of `page_size` bytes.
+    ///
+    /// Tuples never span pages (the paper's page counts imply this).
+    #[inline]
+    pub fn tuples_per_page(&self, page_size: u32) -> u64 {
+        let per = (page_size / self.tuple_bytes) as u64;
+        assert!(per > 0, "tuple wider than a page");
+        per
+    }
+
+    /// Number of pages occupied by this relation.
+    #[inline]
+    pub fn pages(&self, page_size: u32) -> u64 {
+        pages_for(self.tuples, self.tuple_bytes, page_size)
+    }
+}
+
+/// Pages needed for `tuples` tuples of `tuple_bytes` bytes in `page_size`
+/// pages, tuples not spanning pages. Zero tuples occupy zero pages.
+#[inline]
+pub fn pages_for(tuples: u64, tuple_bytes: u32, page_size: u32) -> u64 {
+    if tuples == 0 {
+        return 0;
+    }
+    let per = (page_size / tuple_bytes) as u64;
+    assert!(per > 0, "tuple wider than a page");
+    tuples.div_ceil(per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_relation_is_250_pages() {
+        let r = Relation::benchmark(RelId(0), "A");
+        assert_eq!(r.tuples_per_page(4096), 40);
+        assert_eq!(r.pages(4096), 250);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        assert_eq!(pages_for(41, 100, 4096), 2);
+        assert_eq!(pages_for(40, 100, 4096), 1);
+        assert_eq!(pages_for(1, 100, 4096), 1);
+        assert_eq!(pages_for(0, 100, 4096), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than a page")]
+    fn oversized_tuple_rejected() {
+        pages_for(1, 8192, 4096);
+    }
+}

@@ -1,0 +1,100 @@
+//! Logical site annotations (§2.1).
+//!
+//! "Site selection for operators is specified by annotating each operator
+//! with the location at which the operator is to run. These annotations
+//! refer to logical sites, such as 'client', 'primary copy', 'consumer',
+//! 'producer', etc., and are not bound to physical machines until query
+//! execution time."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical site annotation on a plan operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Annotation {
+    /// Run at the site where the query was submitted.
+    Client,
+    /// Run at the site of the operator consuming this operator's output.
+    Consumer,
+    /// Run at the site of this (unary) operator's producer, i.e. its child.
+    Producer,
+    /// Run at the site producing the left-hand (build) input of a join.
+    InnerRel,
+    /// Run at the site producing the right-hand (probe) input of a join.
+    OuterRel,
+    /// Run at the server holding the primary copy of the scanned relation.
+    PrimaryCopy,
+}
+
+impl Annotation {
+    /// True when the annotation's referent is the operator's parent.
+    #[inline]
+    pub fn points_up(self) -> bool {
+        self == Annotation::Consumer
+    }
+
+    /// The child index this annotation points at, if any: `Producer` and
+    /// `InnerRel` point at child 0, `OuterRel` at child 1.
+    #[inline]
+    pub fn points_down_at(self) -> Option<usize> {
+        match self {
+            Annotation::Producer | Annotation::InnerRel => Some(0),
+            Annotation::OuterRel => Some(1),
+            _ => None,
+        }
+    }
+
+    /// The paper's name for this annotation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Annotation::Client => "client",
+            Annotation::Consumer => "consumer",
+            Annotation::Producer => "producer",
+            Annotation::InnerRel => "inner relation",
+            Annotation::OuterRel => "outer relation",
+            Annotation::PrimaryCopy => "primary copy",
+        }
+    }
+
+    /// A compact tag used in one-line plan renderings.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Annotation::Client => "cl",
+            Annotation::Consumer => "cons",
+            Annotation::Producer => "prod",
+            Annotation::InnerRel => "inner",
+            Annotation::OuterRel => "outer",
+            Annotation::PrimaryCopy => "pc",
+        }
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointing_directions() {
+        assert!(Annotation::Consumer.points_up());
+        assert!(!Annotation::Producer.points_up());
+        assert_eq!(Annotation::Producer.points_down_at(), Some(0));
+        assert_eq!(Annotation::InnerRel.points_down_at(), Some(0));
+        assert_eq!(Annotation::OuterRel.points_down_at(), Some(1));
+        assert_eq!(Annotation::Client.points_down_at(), None);
+        assert_eq!(Annotation::PrimaryCopy.points_down_at(), None);
+        assert_eq!(Annotation::Consumer.points_down_at(), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Annotation::InnerRel.to_string(), "inner relation");
+        assert_eq!(Annotation::PrimaryCopy.to_string(), "primary copy");
+    }
+}

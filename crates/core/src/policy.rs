@@ -1,0 +1,225 @@
+//! Table 1: the three execution policies as annotation restrictions.
+//!
+//! | operator | data shipping        | query shipping           | hybrid shipping                  |
+//! |----------|----------------------|--------------------------|----------------------------------|
+//! | display  | client               | client                   | client                           |
+//! | join     | consumer (= client)  | inner or outer relation  | consumer, inner or outer relation|
+//! | select   | consumer (= client)  | producer                 | consumer or producer             |
+//! | scan     | client               | primary copy             | client or primary copy           |
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::plan::{LogicalOp, Plan};
+
+/// A query execution policy (§2.2).
+///
+/// ```
+/// use csqp_core::{Annotation, JoinTree, Policy};
+/// use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation};
+///
+/// let query = QuerySpec::new(
+///     vec![Relation::benchmark(RelId(0), "A"), Relation::benchmark(RelId(1), "B")],
+///     vec![JoinEdge { a: RelId(0), b: RelId(1), selectivity: 1e-4 }],
+/// );
+/// // A canonical data-shipping plan: everything at the client.
+/// let plan = JoinTree::left_deep(&[RelId(0), RelId(1)])
+///     .into_plan(&query, Annotation::Consumer, Annotation::Client);
+/// assert!(Policy::DataShipping.validate(&plan).is_ok());
+/// assert!(Policy::QueryShipping.validate(&plan).is_err());
+/// // Every pure plan is a hybrid plan (§2.2.3).
+/// assert!(Policy::HybridShipping.validate(&plan).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// All operators at the client; scans use client-cached data (§2.2.1).
+    DataShipping,
+    /// Scans at primary copies; every other operator at one of its
+    /// producers; nothing at the client except display (§2.2.2).
+    QueryShipping,
+    /// Any annotation allowed by either pure policy (§2.2.3).
+    HybridShipping,
+}
+
+impl Policy {
+    /// All three policies, in the paper's order.
+    pub const ALL: [Policy; 3] = [
+        Policy::DataShipping,
+        Policy::QueryShipping,
+        Policy::HybridShipping,
+    ];
+
+    /// The annotations this policy permits for `op` — Table 1, row by row.
+    pub fn allowed(self, op: LogicalOp) -> &'static [Annotation] {
+        use Annotation::*;
+        match (self, op) {
+            (_, LogicalOp::Display) => &[Client],
+            (Policy::DataShipping, LogicalOp::Join) => &[Consumer],
+            (Policy::DataShipping, LogicalOp::Select { .. }) => &[Consumer],
+            (Policy::DataShipping, LogicalOp::Aggregate { .. }) => &[Consumer],
+            (Policy::DataShipping, LogicalOp::Scan { .. }) => &[Client],
+            (Policy::QueryShipping, LogicalOp::Join) => &[InnerRel, OuterRel],
+            (Policy::QueryShipping, LogicalOp::Select { .. }) => &[Producer],
+            (Policy::QueryShipping, LogicalOp::Aggregate { .. }) => &[Producer],
+            (Policy::QueryShipping, LogicalOp::Scan { .. }) => &[PrimaryCopy],
+            (Policy::HybridShipping, LogicalOp::Join) => &[Consumer, InnerRel, OuterRel],
+            (Policy::HybridShipping, LogicalOp::Select { .. }) => &[Consumer, Producer],
+            (Policy::HybridShipping, LogicalOp::Aggregate { .. }) => &[Consumer, Producer],
+            (Policy::HybridShipping, LogicalOp::Scan { .. }) => &[Client, PrimaryCopy],
+        }
+    }
+
+    /// True when `ann` is permitted for `op` under this policy.
+    pub fn permits(self, op: LogicalOp, ann: Annotation) -> bool {
+        self.allowed(op).contains(&ann)
+    }
+
+    /// Check that every node of `plan` carries a permitted annotation.
+    pub fn validate(self, plan: &Plan) -> Result<(), String> {
+        for id in plan.postorder() {
+            let n = plan.node(id);
+            if !self.permits(n.op, n.ann) {
+                return Err(format!(
+                    "{self} forbids annotation '{}' on {:?} (node {id:?})",
+                    n.ann, n.op
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Short name for tables and CLI flags.
+    pub fn short(self) -> &'static str {
+        match self {
+            Policy::DataShipping => "DS",
+            Policy::QueryShipping => "QS",
+            Policy::HybridShipping => "HY",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Policy::DataShipping => "data-shipping",
+            Policy::QueryShipping => "query-shipping",
+            Policy::HybridShipping => "hybrid-shipping",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::JoinTree;
+    use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation};
+    use proptest::prelude::*;
+
+    fn chain(n: u32) -> QuerySpec {
+        let rels = (0..n)
+            .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
+            .collect();
+        let edges = (0..n - 1)
+            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .collect();
+        QuerySpec::new(rels, edges)
+    }
+
+    /// Table 1, cell by cell — this is experiment T1.
+    #[test]
+    fn table1_exact_cells() {
+        use Annotation::*;
+        use LogicalOp::*;
+        let scan = Scan { rel: RelId(0) };
+        let select = Select { rel: RelId(0) };
+        for p in Policy::ALL {
+            assert_eq!(p.allowed(Display), &[Client]);
+        }
+        assert_eq!(Policy::DataShipping.allowed(Join), &[Consumer]);
+        assert_eq!(Policy::DataShipping.allowed(select), &[Consumer]);
+        assert_eq!(Policy::DataShipping.allowed(scan), &[Client]);
+        assert_eq!(Policy::QueryShipping.allowed(Join), &[InnerRel, OuterRel]);
+        assert_eq!(Policy::QueryShipping.allowed(select), &[Producer]);
+        assert_eq!(Policy::QueryShipping.allowed(scan), &[PrimaryCopy]);
+        assert_eq!(
+            Policy::HybridShipping.allowed(Join),
+            &[Consumer, InnerRel, OuterRel]
+        );
+        assert_eq!(
+            Policy::HybridShipping.allowed(select),
+            &[Consumer, Producer]
+        );
+        assert_eq!(
+            Policy::HybridShipping.allowed(scan),
+            &[Client, PrimaryCopy]
+        );
+    }
+
+    /// Hybrid is exactly the union of the two pure policies (§2.2.3:
+    /// "allows each operator to be annotated in any way allowed by
+    /// data-shipping or by query-shipping").
+    #[test]
+    fn hybrid_is_union_of_pure_policies() {
+        let ops = [
+            LogicalOp::Display,
+            LogicalOp::Join,
+            LogicalOp::Select { rel: RelId(0) },
+            LogicalOp::Scan { rel: RelId(0) },
+        ];
+        for op in ops {
+            for ann in op.legal_annotations() {
+                let hybrid = Policy::HybridShipping.permits(op, *ann);
+                let union = Policy::DataShipping.permits(op, *ann)
+                    || Policy::QueryShipping.permits(op, *ann);
+                assert_eq!(hybrid, union, "{op:?} / {ann}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_canonical_ds_and_qs_plans() {
+        let q = chain(3);
+        let order: Vec<RelId> = (0..3).map(RelId).collect();
+        let ds = JoinTree::left_deep(&order).into_plan(
+            &q,
+            Annotation::Consumer,
+            Annotation::Client,
+        );
+        Policy::DataShipping.validate(&ds).unwrap();
+        Policy::HybridShipping.validate(&ds).unwrap();
+        assert!(Policy::QueryShipping.validate(&ds).is_err());
+
+        let qs = JoinTree::left_deep(&order).into_plan(
+            &q,
+            Annotation::InnerRel,
+            Annotation::PrimaryCopy,
+        );
+        Policy::QueryShipping.validate(&qs).unwrap();
+        Policy::HybridShipping.validate(&qs).unwrap();
+        assert!(Policy::DataShipping.validate(&qs).is_err());
+    }
+
+    proptest! {
+        /// Any plan valid under a pure policy is valid under hybrid.
+        #[test]
+        fn pure_plans_are_hybrid_plans(join_inner in proptest::bool::ANY, qs in proptest::bool::ANY) {
+            let q = chain(4);
+            let order: Vec<RelId> = (0..4).map(RelId).collect();
+            let (jann, sann) = if qs {
+                (
+                    if join_inner { Annotation::InnerRel } else { Annotation::OuterRel },
+                    Annotation::PrimaryCopy,
+                )
+            } else {
+                (Annotation::Consumer, Annotation::Client)
+            };
+            let plan = JoinTree::left_deep(&order).into_plan(&q, jann, sann);
+            let pure = if qs { Policy::QueryShipping } else { Policy::DataShipping };
+            prop_assert!(pure.validate(&plan).is_ok());
+            prop_assert!(Policy::HybridShipping.validate(&plan).is_ok());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Optimization objectives.
+
+use std::fmt;
+
+/// What the optimizer minimizes — "For all experiments the query optimizer
+/// was configured to generate plans that minimized the metric being
+/// studied." (§4.1)
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Pages sent over the network.
+    Communication,
+    /// Estimated elapsed seconds until the last tuple is displayed.
+    ResponseTime,
+    /// Total resource seconds consumed (work).
+    TotalCost,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Objective::Communication => "communication",
+            Objective::ResponseTime => "response time",
+            Objective::TotalCost => "total cost",
+        };
+        f.write_str(s)
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-resource usage vectors.
+//!
+//! Usage is tracked in seconds per (site, resource), where the resources
+//! of a site are its CPU and its disk, and the network wire is one shared
+//! resource (the paper models it as a single FIFO queue). Pages sent are
+//! tracked separately for the communication metric.
+
+use csqp_catalog::SiteId;
+
+/// Resource seconds accumulated by (a subtree of) a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUsage {
+    /// CPU seconds per site.
+    pub cpu: Vec<f64>,
+    /// Disk seconds per site.
+    pub disk: Vec<f64>,
+    /// Seconds of network wire occupancy.
+    pub net_wire: f64,
+    /// Data pages shipped over the wire.
+    pub pages_sent: f64,
+}
+
+impl ResourceUsage {
+    /// Zero usage for a topology of `num_sites` sites (client + servers).
+    pub fn zero(num_sites: usize) -> ResourceUsage {
+        ResourceUsage {
+            cpu: vec![0.0; num_sites],
+            disk: vec![0.0; num_sites],
+            net_wire: 0.0,
+            pages_sent: 0.0,
+        }
+    }
+
+    /// Add CPU seconds at a site.
+    #[inline]
+    pub fn add_cpu(&mut self, site: SiteId, secs: f64) {
+        self.cpu[site.index()] += secs;
+    }
+
+    /// Add disk seconds at a site.
+    #[inline]
+    pub fn add_disk(&mut self, site: SiteId, secs: f64) {
+        self.disk[site.index()] += secs;
+    }
+
+    /// Merge another usage vector into this one.
+    pub fn merge(&mut self, other: &ResourceUsage) {
+        debug_assert_eq!(self.cpu.len(), other.cpu.len());
+        for (a, b) in self.cpu.iter_mut().zip(&other.cpu) {
+            *a += b;
+        }
+        for (a, b) in self.disk.iter_mut().zip(&other.disk) {
+            *a += b;
+        }
+        self.net_wire += other.net_wire;
+        self.pages_sent += other.pages_sent;
+    }
+
+    /// Sum of all resource seconds (the total-cost metric).
+    pub fn total_seconds(&self) -> f64 {
+        self.cpu.iter().sum::<f64>() + self.disk.iter().sum::<f64>() + self.net_wire
+    }
+
+    /// The largest single-resource usage — the full-overlap lower bound on
+    /// elapsed time.
+    pub fn bottleneck_seconds(&self) -> f64 {
+        self.cpu
+            .iter()
+            .chain(self.disk.iter())
+            .copied()
+            .fold(self.net_wire, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_totals() {
+        let mut a = ResourceUsage::zero(3);
+        a.add_cpu(SiteId::CLIENT, 1.0);
+        a.add_disk(SiteId::server(1), 2.0);
+        a.net_wire = 0.5;
+        a.pages_sent = 10.0;
+        let mut b = ResourceUsage::zero(3);
+        b.add_cpu(SiteId::CLIENT, 0.25);
+        b.add_disk(SiteId::server(2), 4.0);
+        b.pages_sent = 5.0;
+        a.merge(&b);
+        assert!((a.total_seconds() - 7.75).abs() < 1e-12);
+        assert!((a.bottleneck_seconds() - 4.0).abs() < 1e-12);
+        assert!((a.pages_sent - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_can_be_the_wire() {
+        let mut a = ResourceUsage::zero(2);
+        a.net_wire = 9.0;
+        a.add_cpu(SiteId::CLIENT, 1.0);
+        assert!((a.bottleneck_seconds() - 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Contiguous extent allocation on a disk.
+//!
+//! Relations, cached relation copies and join temp partitions each get a
+//! contiguous run of pages, so sequential logical access is sequential
+//! physical access. The allocator is a simple bump allocator — the study
+//! never frees extents mid-query, and each simulation run starts from a
+//! fresh disk image.
+
+use crate::geometry::DiskAddr;
+
+/// A contiguous run of pages on one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First page of the extent.
+    pub start: DiskAddr,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Extent {
+    /// Address of the `i`-th page of the extent.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn page(&self, i: u64) -> DiskAddr {
+        assert!(i < self.pages, "page {i} out of extent of {} pages", self.pages);
+        DiskAddr(self.start.0 + i)
+    }
+
+    /// One past the last address.
+    #[inline]
+    pub fn end(&self) -> DiskAddr {
+        DiskAddr(self.start.0 + self.pages)
+    }
+}
+
+/// Bump allocator over one disk's linear address space.
+#[derive(Debug)]
+pub struct ExtentAllocator {
+    next: u64,
+    capacity: u64,
+}
+
+impl ExtentAllocator {
+    /// An allocator over a disk of `capacity` pages.
+    pub fn new(capacity: u64) -> ExtentAllocator {
+        ExtentAllocator { next: 0, capacity }
+    }
+
+    /// Allocate a contiguous extent of `pages` pages.
+    ///
+    /// # Panics
+    /// Panics when the disk is full — the study's workloads are sized well
+    /// under capacity, so exhaustion is a configuration bug worth failing
+    /// loudly on.
+    pub fn alloc(&mut self, pages: u64) -> Extent {
+        assert!(
+            self.next + pages <= self.capacity,
+            "disk full: cannot allocate {pages} pages at {} of {}",
+            self.next,
+            self.capacity
+        );
+        let e = Extent {
+            start: DiskAddr(self.next),
+            pages,
+        };
+        self.next += pages;
+        e
+    }
+
+    /// Pages still unallocated.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_are_disjoint_and_contiguous() {
+        let mut a = ExtentAllocator::new(100);
+        let e1 = a.alloc(30);
+        let e2 = a.alloc(20);
+        assert_eq!(e1.start, DiskAddr(0));
+        assert_eq!(e1.end(), DiskAddr(30));
+        assert_eq!(e2.start, DiskAddr(30));
+        assert_eq!(e2.page(0), DiskAddr(30));
+        assert_eq!(e2.page(19), DiskAddr(49));
+        assert_eq!(a.free_pages(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk full")]
+    fn exhaustion_panics() {
+        let mut a = ExtentAllocator::new(10);
+        a.alloc(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn page_out_of_range() {
+        let e = Extent { start: DiskAddr(0), pages: 5 };
+        e.page(5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Platter geometry and page addressing.
+//!
+//! Pages are addressed linearly ([`DiskAddr`]) and mapped to
+//! (cylinder, track, offset) triples: consecutive addresses fill a track,
+//! then the next track of the same cylinder, then the next cylinder — so a
+//! contiguous extent is physically sequential, which is what makes scans
+//! cheap and interleaved streams expensive.
+
+use std::fmt;
+
+/// Linear page address on one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskAddr(pub u64);
+
+/// Platter geometry: cylinders × tracks × pages-per-track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Tracks (surfaces) per cylinder.
+    pub tracks_per_cyl: u32,
+    /// Pages per track.
+    pub pages_per_track: u32,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        // 2000 × 6 × 4 pages ≈ 48k pages ≈ 196 MB at 4 KB pages — roughly
+        // an early-90s server disk, and comfortably larger than any
+        // workload in the study (10 relations + cache copies + temp).
+        Geometry {
+            cylinders: 2_000,
+            tracks_per_cyl: 6,
+            pages_per_track: 4,
+        }
+    }
+}
+
+/// Physical position of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Cylinder number.
+    pub cylinder: u64,
+    /// Track within the cylinder.
+    pub track: u64,
+    /// Page offset within the track.
+    pub offset: u64,
+}
+
+impl Geometry {
+    /// Total pages on the disk.
+    #[inline]
+    pub fn capacity_pages(&self) -> u64 {
+        self.cylinders as u64 * self.tracks_per_cyl as u64 * self.pages_per_track as u64
+    }
+
+    /// Map a linear address to its physical position.
+    ///
+    /// # Panics
+    /// Panics if the address is beyond the end of the disk (an extent
+    /// allocator bug).
+    #[inline]
+    pub fn position(&self, addr: DiskAddr) -> Position {
+        assert!(
+            addr.0 < self.capacity_pages(),
+            "disk address {addr} beyond capacity {}",
+            self.capacity_pages()
+        );
+        let per_track = self.pages_per_track as u64;
+        let per_cyl = per_track * self.tracks_per_cyl as u64;
+        Position {
+            cylinder: addr.0 / per_cyl,
+            track: (addr.0 % per_cyl) / per_track,
+            offset: addr.0 % per_track,
+        }
+    }
+
+    /// The global track index of an address (cylinder and track combined) —
+    /// the unit of read-ahead caching.
+    #[inline]
+    pub fn track_index(&self, addr: DiskAddr) -> u64 {
+        addr.0 / self.pages_per_track as u64
+    }
+
+    /// First address of the given global track.
+    #[inline]
+    pub fn track_start(&self, track_index: u64) -> DiskAddr {
+        DiskAddr(track_index * self.pages_per_track as u64)
+    }
+}
+
+impl fmt::Display for DiskAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_capacity() {
+        assert_eq!(Geometry::default().capacity_pages(), 48_000);
+    }
+
+    #[test]
+    fn position_mapping() {
+        let g = Geometry {
+            cylinders: 10,
+            tracks_per_cyl: 2,
+            pages_per_track: 4,
+        };
+        let p = g.position(DiskAddr(0));
+        assert_eq!((p.cylinder, p.track, p.offset), (0, 0, 0));
+        let p = g.position(DiskAddr(5));
+        assert_eq!((p.cylinder, p.track, p.offset), (0, 1, 1));
+        let p = g.position(DiskAddr(8));
+        assert_eq!((p.cylinder, p.track, p.offset), (1, 0, 0));
+        assert_eq!(g.track_index(DiskAddr(5)), 1);
+        assert_eq!(g.track_start(1), DiskAddr(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_address() {
+        let g = Geometry {
+            cylinders: 1,
+            tracks_per_cyl: 1,
+            pages_per_track: 4,
+        };
+        g.position(DiskAddr(4));
+    }
+
+    proptest! {
+        /// Consecutive addresses are physically adjacent: same track, or
+        /// track/cylinder increments at boundaries.
+        #[test]
+        fn addresses_fill_tracks_sequentially(a in 0u64..47_999) {
+            let g = Geometry::default();
+            let p1 = g.position(DiskAddr(a));
+            let p2 = g.position(DiskAddr(a + 1));
+            if p1.offset + 1 < g.pages_per_track as u64 {
+                prop_assert_eq!(p2.offset, p1.offset + 1);
+                prop_assert_eq!(p2.track, p1.track);
+                prop_assert_eq!(p2.cylinder, p1.cylinder);
+            } else {
+                prop_assert_eq!(p2.offset, 0);
+                prop_assert!(
+                    (p2.cylinder == p1.cylinder && p2.track == p1.track + 1)
+                        || (p2.cylinder == p1.cylinder + 1 && p2.track == 0)
+                );
+            }
+        }
+
+        /// track_index is consistent with position.
+        #[test]
+        fn track_index_consistent(a in 0u64..48_000) {
+            let g = Geometry::default();
+            let p = g.position(DiskAddr(a));
+            let ti = g.track_index(DiskAddr(a));
+            prop_assert_eq!(
+                ti,
+                p.cylinder * g.tracks_per_cyl as u64 + p.track
+            );
+        }
+    }
+}

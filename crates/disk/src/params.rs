@@ -1,0 +1,99 @@
+//! Disk model parameters.
+//!
+//! "There are many parameters to the disk model (not shown), including:
+//! rotational speed, seek factor, settle time, track and cylinder sizes,
+//! controller cache size, etc." (§3.2.2). The defaults below are tuned so
+//! that the calibration runs of [`crate::calibrate`] land on the paper's
+//! measured averages for the Fujitsu-M2266-like configuration of [PCV94]:
+//! ≈3.5 ms per page sequential, ≈11.8 ms per page random (§4.1).
+
+use crate::geometry::Geometry;
+
+/// Parameters of the disk model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskParams {
+    /// Platter geometry.
+    pub geometry: Geometry,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: f64,
+    /// Head settle time in milliseconds (also charged for a pure
+    /// track/head switch, i.e. a zero-distance seek).
+    pub settle_ms: f64,
+    /// Seek time factor: seek(d) = settle + factor · √d milliseconds for a
+    /// d-cylinder move.
+    pub seek_factor_ms: f64,
+    /// Fixed controller/command overhead per media-touching request, ms.
+    pub request_overhead_ms: f64,
+    /// Fixed overhead for a controller-cache hit, ms.
+    pub cache_hit_overhead_ms: f64,
+    /// Number of independent read-ahead segments in the controller cache.
+    /// Era-appropriate controllers had one (or very few); a single segment
+    /// is what makes interleaved sequential streams interfere.
+    pub cache_segments: usize,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            geometry: Geometry::default(),
+            rpm: 5_400.0,
+            settle_ms: 0.8,
+            seek_factor_ms: 0.07,
+            request_overhead_ms: 1.0,
+            cache_hit_overhead_ms: 0.7,
+            cache_segments: 1,
+        }
+    }
+}
+
+impl DiskParams {
+    /// One full revolution, in milliseconds.
+    #[inline]
+    pub fn revolution_ms(&self) -> f64 {
+        60_000.0 / self.rpm
+    }
+
+    /// Media transfer time for one page, in milliseconds (a track holds
+    /// `pages_per_track` pages and passes under the head once per
+    /// revolution).
+    #[inline]
+    pub fn transfer_ms(&self) -> f64 {
+        self.revolution_ms() / self.geometry.pages_per_track as f64
+    }
+
+    /// Average rotational latency (half a revolution), in milliseconds.
+    #[inline]
+    pub fn avg_rotational_ms(&self) -> f64 {
+        self.revolution_ms() / 2.0
+    }
+
+    /// Seek time for a move of `cylinders` cylinders, in milliseconds.
+    /// A zero-distance "seek" still pays the settle time (head/track
+    /// switch); this is only charged on cache misses.
+    #[inline]
+    pub fn seek_ms(&self, cylinders: u64) -> f64 {
+        self.settle_ms + self.seek_factor_ms * (cylinders as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_times_at_default_settings() {
+        let p = DiskParams::default();
+        assert!((p.revolution_ms() - 11.111).abs() < 0.01);
+        // 4 pages per track.
+        assert!((p.transfer_ms() - 2.778).abs() < 0.01);
+        assert!((p.avg_rotational_ms() - 5.556).abs() < 0.01);
+    }
+
+    #[test]
+    fn seek_grows_with_distance() {
+        let p = DiskParams::default();
+        assert!((p.seek_ms(0) - 0.8).abs() < 1e-12);
+        assert!(p.seek_ms(100) > p.seek_ms(1));
+        assert!((p.seek_ms(400) - (0.8 + 0.07 * 20.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Inter-operator channels with bounded buffering.
+//!
+//! A *local* channel is the demand-driven iterator edge of the Volcano
+//! model: capacity one page, so the producer runs at most one page ahead.
+//! A *remote* channel stands for the paper's pair of network operators:
+//! its capacity covers one page in the send pipeline plus one buffered at
+//! the receiver ("each producer has a process that tries to stay one page
+//! ahead of its consumer so that requests can be satisfied immediately").
+
+use std::collections::VecDeque;
+
+use csqp_catalog::SiteId;
+
+use crate::process::{Page, ProcId};
+
+/// Buffer capacity of a local (same-site) channel, in pages.
+pub const LOCAL_CAP: usize = 1;
+/// Window of a remote channel: pages buffered plus in flight.
+pub const REMOTE_CAP: usize = 2;
+
+/// A channel between a producer and a consumer process.
+#[derive(Debug)]
+pub struct Channel {
+    /// Pages ready at the consumer side.
+    pub queue: VecDeque<Page>,
+    /// Buffered + in-flight limit.
+    pub capacity: usize,
+    /// Producer has closed the stream.
+    pub closed: bool,
+    /// Pages currently in the remote send pipeline.
+    pub in_flight: usize,
+    /// `Some((from, to))` for a remote channel.
+    pub remote: Option<(SiteId, SiteId)>,
+    /// Consumer process parked on `AwaitInput`.
+    pub waiting_consumer: Option<ProcId>,
+    /// Producer process parked on a full `Emit`, with its pending page.
+    pub blocked_producer: Option<(ProcId, Page)>,
+}
+
+impl Channel {
+    /// A channel between `from` and `to`; remote when the sites differ.
+    pub fn new(from: SiteId, to: SiteId) -> Channel {
+        let remote = (from != to).then_some((from, to));
+        Channel {
+            queue: VecDeque::new(),
+            capacity: if remote.is_some() { REMOTE_CAP } else { LOCAL_CAP },
+            closed: false,
+            in_flight: 0,
+            remote,
+            waiting_consumer: None,
+            blocked_producer: None,
+        }
+    }
+
+    /// Room for another emit?
+    pub fn has_space(&self) -> bool {
+        self.queue.len() + self.in_flight < self.capacity
+    }
+
+    /// End-of-stream is visible to the consumer only once everything in
+    /// the pipeline has drained.
+    pub fn at_eos(&self) -> bool {
+        self.closed && self.queue.is_empty() && self.in_flight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_vs_remote_capacity() {
+        let l = Channel::new(SiteId::CLIENT, SiteId::CLIENT);
+        assert_eq!(l.capacity, LOCAL_CAP);
+        assert!(l.remote.is_none());
+        let r = Channel::new(SiteId::server(1), SiteId::CLIENT);
+        assert_eq!(r.capacity, REMOTE_CAP);
+        assert_eq!(r.remote, Some((SiteId::server(1), SiteId::CLIENT)));
+    }
+
+    #[test]
+    fn eos_waits_for_in_flight() {
+        let mut c = Channel::new(SiteId::server(1), SiteId::CLIENT);
+        c.closed = true;
+        c.in_flight = 1;
+        assert!(!c.at_eos());
+        c.in_flight = 0;
+        assert!(c.at_eos());
+        c.queue.push_back(Page { tuples: 1 });
+        assert!(!c.at_eos());
+    }
+
+    #[test]
+    fn space_accounting_includes_in_flight() {
+        let mut c = Channel::new(SiteId::server(1), SiteId::CLIENT);
+        assert!(c.has_space());
+        c.in_flight = 1;
+        assert!(c.has_space());
+        c.queue.push_back(Page { tuples: 1 });
+        assert!(!c.has_space());
+    }
+}

@@ -1,0 +1,82 @@
+//! Metrics collected from one simulated query execution.
+
+use csqp_catalog::SiteId;
+use csqp_disk::disk::DiskStats;
+use csqp_simkernel::SimDuration;
+
+use crate::kernel::ProcReport;
+
+/// Everything measured during one run.
+#[derive(Debug, Clone)]
+pub struct ExecutionMetrics {
+    /// Elapsed time from query initiation until the last tuple is
+    /// displayed at the client (§3.1.2).
+    pub response_time: SimDuration,
+    /// Data pages sent over the network — the paper's communication
+    /// metric (§4.1).
+    pub pages_sent: u64,
+    /// Small control messages (fault requests).
+    pub control_msgs: u64,
+    /// Total bytes on the wire.
+    pub bytes_sent: u64,
+    /// Wire utilization over the run.
+    pub link_utilization: f64,
+    /// Per-site disk statistics (index 0 = client).
+    pub disk: Vec<DiskStats>,
+    /// Per-site CPU busy time (index 0 = client).
+    pub cpu_busy: Vec<SimDuration>,
+    /// Tuples displayed at the client.
+    pub result_tuples: u64,
+    /// Per-operator wait breakdowns (where each operator's time went).
+    pub operators: Vec<ProcReport>,
+}
+
+impl ExecutionMetrics {
+    /// Response time in seconds.
+    pub fn response_secs(&self) -> f64 {
+        self.response_time.as_secs_f64()
+    }
+
+    /// Disk utilization of a site over the run.
+    pub fn disk_utilization(&self, site: SiteId) -> f64 {
+        let busy = self.disk[site.index()].busy.as_secs_f64();
+        let total = self.response_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            busy / total
+        }
+    }
+}
+
+/// Outcome of one query in a multi-query run.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    /// Initiation to last displayed tuple (queries start together).
+    pub response_time: SimDuration,
+    /// Tuples displayed.
+    pub result_tuples: u64,
+}
+
+/// Metrics of a concurrent multi-query execution.
+#[derive(Debug, Clone)]
+pub struct MultiQueryMetrics {
+    /// Per-query outcomes, in submission order.
+    pub per_query: Vec<QueryOutcome>,
+    /// Time until the last query finished.
+    pub makespan: SimDuration,
+    /// Data pages on the wire, all queries combined.
+    pub pages_sent: u64,
+    /// Control messages, all queries combined.
+    pub control_msgs: u64,
+    /// Bytes on the wire.
+    pub bytes_sent: u64,
+    /// Wire utilization over the makespan.
+    pub link_utilization: f64,
+    /// Per-site disk statistics.
+    pub disk: Vec<DiskStats>,
+    /// Per-site CPU busy time.
+    pub cpu_busy: Vec<SimDuration>,
+    /// Per-operator wait breakdowns, all queries combined.
+    pub operators: Vec<ProcReport>,
+}

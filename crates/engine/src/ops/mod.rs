@@ -1,0 +1,37 @@
+//! Physical operator processes.
+//!
+//! Each operator is a state machine implementing
+//! [`crate::process::OperatorProc`]; the kernel resumes it with its last
+//! awaited input and executes the action batch it returns.
+
+pub mod aggregate;
+pub mod display;
+pub mod join;
+pub mod loadgen;
+pub mod navigate;
+pub mod scan;
+pub mod select;
+
+use csqp_catalog::SiteId;
+use csqp_disk::DiskAddr;
+
+use crate::process::Action;
+
+/// A synchronous one-page disk read with its `DiskInst` CPU charge
+/// ("a CPU overhead of DiskInst instructions is charged for every disk
+/// I/O request", §3.2.2).
+pub(crate) fn disk_read(site: SiteId, addr: DiskAddr, disk_inst: u64, out: &mut Vec<Action>) {
+    out.push(Action::Cpu { site, instr: disk_inst });
+    out.push(Action::DiskRead { site, addr });
+}
+
+/// A write-behind one-page disk write with its `DiskInst` CPU charge.
+pub(crate) fn disk_write_async(
+    site: SiteId,
+    addr: DiskAddr,
+    disk_inst: u64,
+    out: &mut Vec<Action>,
+) {
+    out.push(Action::Cpu { site, instr: disk_inst });
+    out.push(Action::DiskWriteAsync { site, addr });
+}

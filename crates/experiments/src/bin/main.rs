@@ -1,0 +1,83 @@
+//! Experiment CLI: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! csqp-experiments [--fast] [--reps N] [--out DIR] [all | <ids>...]
+//! ```
+//!
+//! Prints each experiment as an aligned table and, with `--out`, writes
+//! `<id>.csv` and `<id>.json` files.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use csqp_experiments::{run_by_id, ExpContext, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ctx = ExpContext::standard();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => ctx = ExpContext::fast(),
+            "--reps" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a number"));
+                ctx.reps = n;
+            }
+            "--seed" => {
+                let s = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+                ctx.base_seed = s;
+            }
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| die("--out needs a directory"));
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csqp-experiments [--fast] [--reps N] [--seed S] [--out DIR] \
+                     [all | {}]",
+                    ALL_EXPERIMENTS.join(" | ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in &ids {
+        let start = Instant::now();
+        let Some(fig) = run_by_id(id, &ctx) else {
+            eprintln!("unknown experiment '{id}' (try --help)");
+            std::process::exit(2);
+        };
+        println!("{}", fig.render_table());
+        println!("   [{} finished in {:.1?}]\n", fig.id, start.elapsed());
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join(format!("{}.csv", fig.id)), fig.to_csv())
+                .expect("write csv");
+            std::fs::write(
+                dir.join(format!("{}.json", fig.id)),
+                serde_json::to_string_pretty(&fig).expect("serialize"),
+            )
+            .expect("write json");
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

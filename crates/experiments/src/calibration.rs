@@ -1,0 +1,50 @@
+//! Disk-model calibration (§4.1): "The average performance of the disk
+//! model with these settings is roughly 3.5 msec per page for sequential
+//! I/O, and 11.8 msec per page for random I/O; these values were obtained
+//! by separate simulation runs to calibrate the cost model of the
+//! optimizer."
+
+use csqp_disk::calibrate::measure;
+use csqp_disk::DiskParams;
+
+use crate::common::{aggregate, ExpContext, FigResult, Series};
+
+/// Measure the sequential and random per-page averages of the default
+/// disk model, over `ctx.reps` seeds for the random workload.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let params = DiskParams::default();
+    let mut seq = Vec::new();
+    let mut rnd = Vec::new();
+    for rep in 0..ctx.reps.max(2) {
+        let cal = measure(&params, 6_000, ctx.seed(0, rep as u64));
+        seq.push(cal.sequential_ms);
+        rnd.push(cal.random_ms);
+    }
+    FigResult {
+        id: "calibration".into(),
+        title: "Disk model calibration (paper: 3.5 ms seq / 11.8 ms random)".into(),
+        x_label: "-".into(),
+        y_label: "ms per page".into(),
+        series: vec![
+            Series { label: "sequential".into(), points: vec![aggregate(0.0, &seq)] },
+            Series { label: "random".into(), points: vec![aggregate(0.0, &rnd)] },
+        ],
+        notes: vec![
+            "sequential runs are deterministic; random runs vary by seed".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_constants() {
+        let fig = run(&ExpContext::fast());
+        let seq = fig.value("sequential", 0.0);
+        let rnd = fig.value("random", 0.0);
+        assert!((seq - 3.5).abs() < 0.6, "sequential {seq}");
+        assert!((rnd - 11.8).abs() < 1.5, "random {rnd}");
+    }
+}

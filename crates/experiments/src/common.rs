@@ -1,0 +1,299 @@
+//! Shared experiment plumbing.
+
+use csqp_catalog::{Catalog, QuerySpec, SiteId, SystemConfig};
+use csqp_core::{bind, BindContext, Plan, Policy};
+use csqp_cost::{CostModel, Objective};
+use csqp_engine::{ExecutionBuilder, ExecutionMetrics, ServerLoad};
+use csqp_optimizer::{OptConfig, Optimizer};
+use csqp_simkernel::rng::SimRng;
+use csqp_simkernel::stats::Sample;
+use csqp_workload::load_utilization;
+use serde::Serialize;
+
+/// Experiment-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Optimizer search parameters.
+    pub opt: OptConfig,
+    /// Repetitions per data point (seeds for placement / optimizer /
+    /// load).
+    pub reps: usize,
+    /// Base seed; repetition `i` of point `p` derives its own stream.
+    pub base_seed: u64,
+}
+
+impl ExpContext {
+    /// Full-quality settings (used for the published numbers).
+    pub fn standard() -> ExpContext {
+        ExpContext {
+            opt: OptConfig::default(),
+            reps: 5,
+            base_seed: 0xC59D,
+        }
+    }
+
+    /// Cheap settings for tests and criterion benches.
+    pub fn fast() -> ExpContext {
+        ExpContext {
+            opt: OptConfig::fast(),
+            reps: 2,
+            base_seed: 0xC59D,
+        }
+    }
+
+    /// Derive a deterministic seed for repetition `rep` of point `point`.
+    pub fn seed(&self, point: u64, rep: u64) -> u64 {
+        self.base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(point.wrapping_mul(0x100_0000_01B3))
+            .wrapping_add(rep)
+    }
+}
+
+/// One measured point of a series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// The x coordinate (cached %, number of servers, …).
+    pub x: f64,
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// Half-width of the 90% confidence interval.
+    pub ci90: f64,
+    /// Number of repetitions.
+    pub n: u64,
+}
+
+/// A labelled series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (e.g. "DS", "QS", "HY", "Deep 2-Step").
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<Point>,
+}
+
+/// The result of one experiment: what the paper's figure/table shows.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigResult {
+    /// Experiment id ("fig2", "table1", …).
+    pub id: String,
+    /// Human title (the paper's caption).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (assumption deviations, in-text numbers).
+    pub notes: Vec<String>,
+}
+
+impl FigResult {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> &Series {
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no series '{label}' in {}", self.id))
+    }
+
+    /// Mean value of a series at an x coordinate.
+    pub fn value(&self, label: &str, x: f64) -> f64 {
+        let s = self.series(label);
+        s.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .unwrap_or_else(|| panic!("series '{label}' has no point at x={x}"))
+            .mean
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " | {:>22}", s.label);
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>12.1}");
+            for s in &self.series {
+                let p = &s.points[i];
+                let _ = write!(out, " | {:>13.3} ±{:>6.3}", p.mean, p.ci90);
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        out
+    }
+
+    /// Render as CSV (`series,x,mean,ci90,n`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("series,x,mean,ci90,n\n");
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(out, "{},{},{},{},{}", s.label, p.x, p.mean, p.ci90, p.n);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate repetitions into a [`Point`].
+pub fn aggregate(x: f64, values: &[f64]) -> Point {
+    let mut s = Sample::new();
+    for v in values {
+        s.add(*v);
+    }
+    Point {
+        x,
+        mean: s.mean(),
+        ci90: s.ci90_half_width(),
+        n: s.count(),
+    }
+}
+
+/// A fully specified single-query scenario.
+pub struct Scenario<'a> {
+    /// The query.
+    pub query: &'a QuerySpec,
+    /// Placement + cache state.
+    pub catalog: &'a Catalog,
+    /// Table 2 parameters (with the experiment's BufAlloc).
+    pub sys: &'a SystemConfig,
+    /// External server-disk loads.
+    pub loads: &'a [ServerLoad],
+}
+
+impl<'a> Scenario<'a> {
+    /// Cost model for this scenario, load-aware.
+    pub fn cost_model(&self) -> CostModel<'a> {
+        let mut model = CostModel::new(self.sys, self.catalog, self.query, SiteId::CLIENT);
+        for l in self.loads {
+            model = model.with_disk_load(
+                l.site,
+                load_utilization(l.rate_per_sec, self.sys.disk_rand_page_ms),
+            );
+        }
+        model
+    }
+
+    /// Optimize under `policy` for `objective` and simulate the winning
+    /// plan. This is the paper's measurement pipeline: "the query
+    /// optimizer was configured to generate plans that minimized the
+    /// metric being studied" (§4.1).
+    pub fn optimize_and_run(
+        &self,
+        policy: Policy,
+        objective: Objective,
+        opt: &OptConfig,
+        seed: u64,
+    ) -> ExecutionMetrics {
+        let model = self.cost_model();
+        let optimizer = Optimizer::new(&model, policy, objective, opt.clone());
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = optimizer.optimize(self.query, &mut rng).plan;
+        self.execute(&plan, seed)
+    }
+
+    /// Simulate a given plan in this scenario.
+    pub fn execute(&self, plan: &Plan, seed: u64) -> ExecutionMetrics {
+        let bound = bind(
+            plan,
+            BindContext { catalog: self.catalog, query_site: SiteId::CLIENT },
+        )
+        .expect("optimized plans are well-formed");
+        let mut builder =
+            ExecutionBuilder::new(self.query, self.catalog, self.sys).with_seed(seed);
+        for l in self.loads {
+            builder = builder.with_load(l.site, l.rate_per_sec);
+        }
+        builder.execute(&bound)
+    }
+}
+
+/// Extract the experiment metric from a run.
+pub fn metric_of(objective: Objective, m: &ExecutionMetrics) -> f64 {
+    match objective {
+        Objective::Communication => m.pages_sent as f64,
+        Objective::ResponseTime | Objective::TotalCost => m.response_secs(),
+    }
+}
+
+/// The three policies with the paper's series labels.
+pub const POLICIES: [(Policy, &str); 3] = [
+    (Policy::DataShipping, "DS"),
+    (Policy::QueryShipping, "QS"),
+    (Policy::HybridShipping, "HY"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_workload::{single_server_placement, two_way};
+
+    #[test]
+    fn aggregate_computes_ci() {
+        let p = aggregate(5.0, &[10.0, 12.0, 11.0, 9.0]);
+        assert_eq!(p.n, 4);
+        assert!((p.mean - 10.5).abs() < 1e-12);
+        assert!(p.ci90 > 0.0);
+    }
+
+    #[test]
+    fn fig_result_accessors_and_rendering() {
+        let fig = FigResult {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "DS".into(),
+                points: vec![aggregate(0.0, &[1.0, 1.0])],
+            }],
+            notes: vec!["hello".into()],
+        };
+        assert_eq!(fig.value("DS", 0.0), 1.0);
+        let t = fig.render_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("DS"));
+        assert!(t.contains("hello"));
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("series,x,mean,ci90,n"));
+        assert!(csv.contains("DS,0,1,0,2"));
+    }
+
+    #[test]
+    fn scenario_pipeline_runs_end_to_end() {
+        let q = two_way();
+        let cat = single_server_placement(&q);
+        let sys = SystemConfig::default();
+        let scenario = Scenario { query: &q, catalog: &cat, sys: &sys, loads: &[] };
+        let m = scenario.optimize_and_run(
+            Policy::QueryShipping,
+            Objective::Communication,
+            &OptConfig::fast(),
+            1,
+        );
+        assert_eq!(m.pages_sent, 250);
+        assert_eq!(m.result_tuples, 10_000);
+    }
+
+    #[test]
+    fn seeds_differ_across_points_and_reps() {
+        let ctx = ExpContext::fast();
+        assert_ne!(ctx.seed(1, 0), ctx.seed(1, 1));
+        assert_ne!(ctx.seed(1, 0), ctx.seed(2, 0));
+    }
+}

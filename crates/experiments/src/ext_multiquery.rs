@@ -1,0 +1,109 @@
+//! Extension experiment (paper §7 future work): multi-query workloads.
+//!
+//! Runs 1, 2, 4 and 8 concurrent copies of the 2-way benchmark join on a
+//! single server and reports the mean response time for (a) all
+//! query-shipping and (b) an alternating data-/query-shipping mix with a
+//! fully cached client. The mix exploits the *aggregate* resources of
+//! the system — the motivation the paper gives for flexible
+//! architectures in multi-user settings.
+
+use csqp_catalog::{BufAlloc, RelId, SiteId, SystemConfig};
+use csqp_core::{bind, Annotation, BindContext, BoundPlan, JoinTree};
+use csqp_engine::ExecutionBuilder;
+use csqp_workload::{single_server_placement, two_way};
+
+use crate::common::{aggregate, ExpContext, FigResult, Series};
+
+/// Concurrency levels on the x axis.
+pub const COPIES: [usize; 4] = [1, 2, 4, 8];
+
+fn plan(
+    query: &csqp_catalog::QuerySpec,
+    catalog: &csqp_catalog::Catalog,
+    jann: Annotation,
+    sann: Annotation,
+) -> BoundPlan {
+    let p = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(query, jann, sann);
+    bind(&p, BindContext { catalog, query_site: SiteId::CLIENT }).unwrap()
+}
+
+/// Run the extension experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = BufAlloc::Max;
+
+    let mut all_qs = Series { label: "all QS".into(), points: Vec::new() };
+    let mut mixed = Series { label: "DS/QS mix (cached)".into(), points: Vec::new() };
+
+    for (xi, &n) in COPIES.iter().enumerate() {
+        let mut qs_vals = Vec::new();
+        let mut mix_vals = Vec::new();
+        for rep in 0..ctx.reps {
+            let seed = ctx.seed(xi as u64, rep as u64);
+
+            let catalog = single_server_placement(&query);
+            let qs = plan(&query, &catalog, Annotation::InnerRel, Annotation::PrimaryCopy);
+            let res = ExecutionBuilder::new(&query, &catalog, &sys)
+                .with_seed(seed)
+                .execute_many(&vec![qs; n]);
+            qs_vals.push(
+                res.per_query.iter().map(|q| q.response_time.as_secs_f64()).sum::<f64>()
+                    / n as f64,
+            );
+
+            let mut cached = single_server_placement(&query);
+            cached.set_cached_fraction(RelId(0), 1.0);
+            cached.set_cached_fraction(RelId(1), 1.0);
+            let ds = plan(&query, &cached, Annotation::Consumer, Annotation::Client);
+            let qs2 = plan(&query, &cached, Annotation::InnerRel, Annotation::PrimaryCopy);
+            let mix: Vec<BoundPlan> = (0..n)
+                .map(|i| if i % 2 == 0 { ds.clone() } else { qs2.clone() })
+                .collect();
+            let res = ExecutionBuilder::new(&query, &cached, &sys)
+                .with_seed(seed)
+                .execute_many(&mix);
+            mix_vals.push(
+                res.per_query.iter().map(|q| q.response_time.as_secs_f64()).sum::<f64>()
+                    / n as f64,
+            );
+        }
+        all_qs.points.push(aggregate(n as f64, &qs_vals));
+        mixed.points.push(aggregate(n as f64, &mix_vals));
+    }
+
+    FigResult {
+        id: "ext-multiquery".into(),
+        title: "Extension (§7): Concurrent Queries, Mean Response Time".into(),
+        x_label: "concurrent queries".into(),
+        y_label: "mean response time [s]".into(),
+        series: vec![all_qs, mixed],
+        notes: vec![
+            "all QS piles onto one server disk; the cached DS/QS mix uses the \
+             aggregate client+server resources"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_scales_better_than_all_qs() {
+        let fig = run(&ExpContext::fast());
+        let qs8 = fig.value("all QS", 8.0);
+        let mix8 = fig.value("DS/QS mix (cached)", 8.0);
+        assert!(
+            mix8 < 0.7 * qs8,
+            "mix should scale much better at 8 copies: {mix8} vs {qs8}"
+        );
+        // At one copy they are near-identical.
+        let qs1 = fig.value("all QS", 1.0);
+        let mix1 = fig.value("DS/QS mix (cached)", 1.0);
+        assert!((qs1 - mix1).abs() / qs1 < 0.1);
+        // All-QS degrades super-linearly in the copy count.
+        assert!(qs8 > 3.0 * qs1);
+    }
+}

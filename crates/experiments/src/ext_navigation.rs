@@ -1,0 +1,77 @@
+//! Extension experiment (paper §7 future work): navigation-based access.
+//!
+//! An application at the client chases 1,000 object references through a
+//! benchmark relation; the sweep varies the cached fraction for two
+//! locality levels. This quantifies the introduction's claim that
+//! data-shipping's client caching is what makes "light-weight …
+//! navigational data access" viable.
+
+use csqp_catalog::{RelId, SystemConfig};
+use csqp_engine::ExecutionBuilder;
+use csqp_workload::{single_server_placement, two_way};
+
+use crate::common::{aggregate, ExpContext, FigResult, Series};
+
+/// Reference-chain length.
+pub const STEPS: u64 = 1_000;
+
+/// Run the extension experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let sys = SystemConfig::default();
+    let mut series: Vec<Series> = [0.0f64, 0.8]
+        .iter()
+        .map(|l| Series { label: format!("locality {l:.1}"), points: Vec::new() })
+        .collect();
+
+    for (xi, cached_pct) in [0.0f64, 25.0, 50.0, 75.0, 100.0].iter().enumerate() {
+        for (li, locality) in [0.0f64, 0.8].iter().enumerate() {
+            let vals: Vec<f64> = (0..ctx.reps)
+                .map(|rep| {
+                    let mut catalog = single_server_placement(&query);
+                    catalog.set_cached_fraction(RelId(0), cached_pct / 100.0);
+                    ExecutionBuilder::new(&query, &catalog, &sys)
+                        .with_seed(ctx.seed(xi as u64, rep as u64))
+                        .navigate(RelId(0), STEPS, *locality)
+                        .response_secs()
+                })
+                .collect();
+            series[li].points.push(aggregate(*cached_pct, &vals));
+        }
+    }
+
+    FigResult {
+        id: "ext-navigation".into(),
+        title: "Extension (§7): Navigational Access, 1000 Reference Traversal".into(),
+        x_label: "cached %".into(),
+        y_label: "elapsed [s]".into(),
+        series,
+        notes: vec![
+            "uncached steps pay a synchronous fault RPC; cached steps run at \
+             client-disk speed"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_and_locality_both_pay_off() {
+        let fig = run(&ExpContext::fast());
+        for label in ["locality 0.0", "locality 0.8"] {
+            let cold = fig.value(label, 0.0);
+            let warm = fig.value(label, 100.0);
+            assert!(warm < cold, "{label}: caching must help ({cold} -> {warm})");
+        }
+        // Locality helps at every cache level.
+        for pct in [0.0, 50.0, 100.0] {
+            assert!(
+                fig.value("locality 0.8", pct) < fig.value("locality 0.0", pct),
+                "locality should help at {pct}%"
+            );
+        }
+    }
+}

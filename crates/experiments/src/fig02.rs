@@ -1,0 +1,84 @@
+//! Figure 2: Pages Sent, 2-Way Join — 1 server, varying client caching.
+//!
+//! Expected shape (§4.2.1): QS flat at 250 pages (the result); DS starts
+//! at 500 (both relations faulted) and falls linearly to 0; HY matches the
+//! lower envelope with the crossover at 50% cached.
+
+use csqp_catalog::SystemConfig;
+use csqp_cost::Objective;
+use csqp_workload::{cache_all, single_server_placement, two_way};
+
+use crate::common::{aggregate, metric_of, ExpContext, FigResult, Scenario, Series, POLICIES};
+
+/// Cached fractions on the x axis (percent).
+pub const CACHE_STEPS: [f64; 5] = [0.0, 25.0, 50.0, 75.0, 100.0];
+
+/// Run the experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let sys = SystemConfig::default();
+    let mut series: Vec<Series> = POLICIES
+        .iter()
+        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .collect();
+
+    for (xi, pct) in CACHE_STEPS.iter().enumerate() {
+        let mut catalog = single_server_placement(&query);
+        cache_all(&mut catalog, &query, pct / 100.0);
+        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        for (pi, (policy, _)) in POLICIES.iter().enumerate() {
+            let values: Vec<f64> = (0..ctx.reps)
+                .map(|rep| {
+                    let seed = ctx.seed((xi * 3 + pi) as u64, rep as u64);
+                    let m = scenario.optimize_and_run(
+                        *policy,
+                        Objective::Communication,
+                        &ctx.opt,
+                        seed,
+                    );
+                    metric_of(Objective::Communication, &m)
+                })
+                .collect();
+            series[pi].points.push(aggregate(*pct, &values));
+        }
+    }
+
+    FigResult {
+        id: "fig2".into(),
+        title: "Pages Sent, 2-Way Join, 1 Server, Vary Caching".into(),
+        x_label: "cached %".into(),
+        y_label: "pages sent".into(),
+        series,
+        notes: vec![
+            "paper: DS 500→0 linear, QS flat 250, HY = min(DS, QS), crossover at 50%".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let fig = run(&ExpContext::fast());
+        // QS flat at 250 everywhere.
+        for pct in CACHE_STEPS {
+            assert_eq!(fig.value("QS", pct), 250.0, "QS at {pct}%");
+        }
+        // DS endpoints and linearity.
+        assert_eq!(fig.value("DS", 0.0), 500.0);
+        assert_eq!(fig.value("DS", 100.0), 0.0);
+        let mid = fig.value("DS", 50.0);
+        assert!((mid - 250.0).abs() <= 2.0, "DS at 50%: {mid}");
+        // HY matches the best pure policy at every point.
+        for pct in CACHE_STEPS {
+            let hy = fig.value("HY", pct);
+            let best = fig.value("DS", pct).min(fig.value("QS", pct));
+            assert!(hy <= best + 1.0, "HY {hy} vs best {best} at {pct}%");
+        }
+        // Crossover: DS better beyond 50%, QS better before.
+        assert!(fig.value("DS", 75.0) < fig.value("QS", 75.0));
+        assert!(fig.value("DS", 25.0) > fig.value("QS", 25.0));
+    }
+}

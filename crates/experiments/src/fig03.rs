@@ -1,0 +1,87 @@
+//! Figure 3: Response Time, 2-Way Join — 1 server, varying caching, no
+//! external load, *minimum* join memory allocation.
+//!
+//! Expected shape (§4.2.2): QS worst and flat (scan and join spill I/O
+//! contend on the single server disk); DS best with an empty cache
+//! (server disk does the scans, client disk the spills) and degrading as
+//! caching grows (everything lands on the client disk); HY flat at the
+//! best plan regardless of cache contents.
+
+use csqp_catalog::{BufAlloc, SystemConfig};
+use csqp_cost::Objective;
+use csqp_workload::{cache_all, single_server_placement, two_way};
+
+use crate::common::{aggregate, metric_of, ExpContext, FigResult, Scenario, Series, POLICIES};
+use crate::fig02::CACHE_STEPS;
+
+/// Run the experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = BufAlloc::Min;
+    let mut series: Vec<Series> = POLICIES
+        .iter()
+        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .collect();
+
+    for (xi, pct) in CACHE_STEPS.iter().enumerate() {
+        let mut catalog = single_server_placement(&query);
+        cache_all(&mut catalog, &query, pct / 100.0);
+        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        for (pi, (policy, _)) in POLICIES.iter().enumerate() {
+            let values: Vec<f64> = (0..ctx.reps)
+                .map(|rep| {
+                    let seed = ctx.seed((xi * 3 + pi) as u64, rep as u64);
+                    let m = scenario.optimize_and_run(
+                        *policy,
+                        Objective::ResponseTime,
+                        &ctx.opt,
+                        seed,
+                    );
+                    metric_of(Objective::ResponseTime, &m)
+                })
+                .collect();
+            series[pi].points.push(aggregate(*pct, &values));
+        }
+    }
+
+    FigResult {
+        id: "fig3".into(),
+        title: "Response Time, 2-Way Join, 1 Server, Vary Caching, No Load, Min Alloc".into(),
+        x_label: "cached %".into(),
+        y_label: "response time [s]".into(),
+        series,
+        notes: vec![
+            "paper: QS worst & flat; DS best at 0% and degrades with caching; HY best everywhere"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let fig = run(&ExpContext::fast());
+        // QS is (nearly) flat: caching can't help it.
+        let qs0 = fig.value("QS", 0.0);
+        let qs100 = fig.value("QS", 100.0);
+        assert!((qs0 - qs100).abs() / qs0 < 0.05, "QS flat: {qs0} vs {qs100}");
+        // DS beats QS with an empty cache, degrades as caching grows.
+        let ds0 = fig.value("DS", 0.0);
+        let ds100 = fig.value("DS", 100.0);
+        assert!(ds0 < qs0, "DS {ds0} should beat QS {qs0} at 0%");
+        assert!(ds100 > 1.3 * ds0, "DS should degrade: {ds0} -> {ds100}");
+        // At full caching DS is at most slightly better than QS.
+        assert!(ds100 <= qs100 * 1.05, "DS {ds100} ~<= QS {qs100} at 100%");
+        // HY at least matches the best pure policy everywhere (5% slack
+        // for the randomized optimizer).
+        for pct in CACHE_STEPS {
+            let hy = fig.value("HY", pct);
+            let best = fig.value("DS", pct).min(fig.value("QS", pct));
+            assert!(hy <= best * 1.10, "HY {hy} vs best {best} at {pct}%");
+        }
+    }
+}

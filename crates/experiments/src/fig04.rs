@@ -1,0 +1,116 @@
+//! Figure 4: Response Time of *data-shipping*, 2-Way Join — varying
+//! server disk load and client caching, minimum allocation.
+//!
+//! Expected shape (§4.2.2): with an unloaded (or lightly loaded) server
+//! disk, caching *hurts* DS (it moves scan I/O onto the client disk where
+//! the join spills already contend). At high load (≥ 60 req/s) the
+//! benefit of off-loading the saturated server disk wins and caching
+//! *helps*.
+
+use csqp_catalog::{BufAlloc, SiteId, SystemConfig};
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_engine::ServerLoad;
+use csqp_workload::{cache_all, single_server_placement, two_way, FIG4_LOAD_LEVELS};
+
+use crate::common::{aggregate, metric_of, ExpContext, FigResult, Scenario, Series};
+use crate::fig02::CACHE_STEPS;
+
+/// Run the experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = BufAlloc::Min;
+    let mut series = Vec::new();
+
+    for (li, load) in FIG4_LOAD_LEVELS.iter().enumerate() {
+        let loads: Vec<ServerLoad> = if *load > 0.0 {
+            vec![ServerLoad { site: SiteId::server(1), rate_per_sec: *load }]
+        } else {
+            Vec::new()
+        };
+        let mut s = Series { label: format!("{load:.0} req/sec"), points: Vec::new() };
+        for (xi, pct) in CACHE_STEPS.iter().enumerate() {
+            let mut catalog = single_server_placement(&query);
+            cache_all(&mut catalog, &query, pct / 100.0);
+            let scenario =
+                Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &loads };
+            let values: Vec<f64> = (0..ctx.reps)
+                .map(|rep| {
+                    let seed = ctx.seed((li * 5 + xi) as u64, rep as u64);
+                    let m = scenario.optimize_and_run(
+                        Policy::DataShipping,
+                        Objective::ResponseTime,
+                        &ctx.opt,
+                        seed,
+                    );
+                    metric_of(Objective::ResponseTime, &m)
+                })
+                .collect();
+            s.points.push(aggregate(*pct, &values));
+        }
+        series.push(s);
+    }
+
+    // Supplementary in-text numbers (§4.2.2): QS response under load.
+    let mut notes = vec![
+        "paper: caching hurts DS at 0/40 req/s, helps at 60-70 req/s".into(),
+    ];
+    {
+        let catalog = single_server_placement(&query);
+        for rate in [40.0, 60.0] {
+            let loads = vec![ServerLoad { site: SiteId::server(1), rate_per_sec: rate }];
+            let scenario =
+                Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &loads };
+            let m = scenario.optimize_and_run(
+                Policy::QueryShipping,
+                Objective::ResponseTime,
+                &ctx.opt,
+                ctx.seed(99, rate as u64),
+            );
+            notes.push(format!(
+                "QS at {rate:.0} req/s: {:.1} s (paper: 19 s at 40, 36 s at 60)",
+                m.response_secs()
+            ));
+        }
+    }
+
+    FigResult {
+        id: "fig4".into(),
+        title: "Response Time, DS, 2-Way Join, 1 Server, Vary Load & Caching, Min Alloc".into(),
+        x_label: "cached %".into(),
+        y_label: "response time [s]".into(),
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_matches_paper() {
+        let fig = run(&ExpContext::fast());
+        // Unloaded: caching hurts DS.
+        let unloaded_0 = fig.value("0 req/sec", 0.0);
+        let unloaded_100 = fig.value("0 req/sec", 100.0);
+        assert!(
+            unloaded_100 > unloaded_0,
+            "caching should hurt at no load: {unloaded_0} -> {unloaded_100}"
+        );
+        // Heavily loaded: caching helps DS significantly.
+        let hot_0 = fig.value("70 req/sec", 0.0);
+        let hot_100 = fig.value("70 req/sec", 100.0);
+        assert!(
+            hot_100 < 0.8 * hot_0,
+            "caching should help at 70 req/s: {hot_0} -> {hot_100}"
+        );
+        // More load never makes the uncached case faster.
+        assert!(fig.value("70 req/sec", 0.0) > fig.value("0 req/sec", 0.0));
+        // Fully cached, DS doesn't care about server load at all.
+        let a = fig.value("0 req/sec", 100.0);
+        let b = fig.value("70 req/sec", 100.0);
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 5: Response Time, 2-Way Join — *maximum* allocation, varying
+//! caching, no load.
+//!
+//! Expected shape (§4.2.3): QS flat; DS improves linearly with caching;
+//! the crossover sits slightly *past* 50% because DS faults pages in one
+//! at a time while QS overlaps communication with join processing. HY
+//! tracks the lower envelope (the paper notes one optimizer blip at 75%
+//! from its optimistic overlap assumption).
+
+use csqp_catalog::{BufAlloc, SystemConfig};
+use csqp_cost::Objective;
+use csqp_workload::{cache_all, single_server_placement, two_way};
+
+use crate::common::{aggregate, metric_of, ExpContext, FigResult, Scenario, Series, POLICIES};
+use crate::fig02::CACHE_STEPS;
+
+/// Run the experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = two_way();
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = BufAlloc::Max;
+    let mut series: Vec<Series> = POLICIES
+        .iter()
+        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .collect();
+
+    for (xi, pct) in CACHE_STEPS.iter().enumerate() {
+        let mut catalog = single_server_placement(&query);
+        cache_all(&mut catalog, &query, pct / 100.0);
+        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        for (pi, (policy, _)) in POLICIES.iter().enumerate() {
+            let values: Vec<f64> = (0..ctx.reps)
+                .map(|rep| {
+                    let seed = ctx.seed((xi * 3 + pi) as u64, rep as u64);
+                    let m = scenario.optimize_and_run(
+                        *policy,
+                        Objective::ResponseTime,
+                        &ctx.opt,
+                        seed,
+                    );
+                    metric_of(Objective::ResponseTime, &m)
+                })
+                .collect();
+            series[pi].points.push(aggregate(*pct, &values));
+        }
+    }
+
+    FigResult {
+        id: "fig5".into(),
+        title: "Response Time, 2-Way Join, 1 Server, Vary Caching, No Load, Max Alloc".into(),
+        x_label: "cached %".into(),
+        y_label: "response time [s]".into(),
+        series,
+        notes: vec![
+            "paper: QS flat; DS improves linearly; crossover slightly past 50% \
+             (DS page-at-a-time faulting vs QS overlapped pipelining)"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_matches_paper() {
+        let fig = run(&ExpContext::fast());
+        // QS flat.
+        let qs0 = fig.value("QS", 0.0);
+        let qs100 = fig.value("QS", 100.0);
+        assert!((qs0 - qs100).abs() / qs0 < 0.05, "QS flat: {qs0} vs {qs100}");
+        // DS improves monotonically with caching, crossing QS.
+        let ds0 = fig.value("DS", 0.0);
+        let ds100 = fig.value("DS", 100.0);
+        assert!(ds0 > qs0, "DS slower than QS with empty cache");
+        assert!(ds100 < qs100, "DS faster than QS fully cached");
+        assert!(ds100 < ds0);
+        // The crossover is *past* 50%: at exactly 50% cached DS still
+        // loses (the page-at-a-time faulting handicap).
+        assert!(
+            fig.value("DS", 50.0) > fig.value("QS", 50.0),
+            "DS should still lose at 50%: {} vs {}",
+            fig.value("DS", 50.0),
+            fig.value("QS", 50.0)
+        );
+        // HY tracks the lower envelope within optimizer slack.
+        for pct in CACHE_STEPS {
+            let hy = fig.value("HY", pct);
+            let best = fig.value("DS", pct).min(fig.value("QS", pct));
+            assert!(hy <= best * 1.15, "HY {hy} vs best {best} at {pct}%");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 7: Pages Sent, 10-Way Join — five of the ten relations fully
+//! cached at the client, varying servers.
+//!
+//! Expected shape (§4.3.1): DS halves to 1250 pages; QS unchanged from
+//! Figure 6 (it ignores the cache); and HY can beat *both* pure policies
+//! at intermediate server counts by joining co-located relations at
+//! whichever site (client cache or server) avoids shipment.
+
+use crate::common::{ExpContext, FigResult};
+use crate::fig06::run_comm_experiment;
+
+/// Run Figure 7.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let mut fig = run_comm_experiment(
+        ctx,
+        true,
+        "fig7",
+        "Pages Sent, 10-Way Join, Vary Servers, 5 Relations Cached",
+    );
+    fig.notes.push(
+        "paper: DS flat 1250; QS as in Fig 6; HY below both for mid server counts".into(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig06::SERVER_STEPS;
+
+    #[test]
+    fn fig7_shape_matches_paper() {
+        let mut ctx = ExpContext::fast();
+        ctx.reps = 2;
+        let fig = run(&ctx);
+        // DS ships exactly the five uncached relations.
+        for s in [1.0, 5.0, 10.0] {
+            assert_eq!(fig.value("DS", s), 1250.0, "DS at {s} servers");
+        }
+        // QS still ignores the cache: one server = result only.
+        assert_eq!(fig.value("QS", 1.0), 250.0);
+        // Beyond a few servers QS sends more than DS.
+        assert!(fig.value("QS", 8.0) > fig.value("DS", 8.0));
+        // HY at most the lower envelope everywhere…
+        let mut strictly_better = 0;
+        for s in SERVER_STEPS {
+            let hy = fig.value("HY", s as f64);
+            let best = fig.value("DS", s as f64).min(fig.value("QS", s as f64));
+            assert!(hy <= best * 1.10 + 5.0, "HY {hy} vs best {best} at {s}");
+            if hy < best * 0.95 {
+                strictly_better += 1;
+            }
+        }
+        // …and strictly below both for at least one mid server count
+        // (the paper's headline for this figure).
+        assert!(
+            strictly_better >= 1,
+            "HY should beat both pure policies somewhere"
+        );
+    }
+}

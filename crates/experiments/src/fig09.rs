@@ -1,0 +1,134 @@
+//! Figure 9: static vs 2-step plans under data migration — the worked
+//! 4-way join example of §5.1.
+//!
+//! Compile-time placement: A, B on server 1; C, D on server 2.
+//! Runtime placement:      B, C on server 1; A, D on server 2.
+//!
+//! The *static* plan is the paper's Figure 9(a): `(A⋈B)` and `(C⋈D)`
+//! joined locally at their compile-time servers, the two results joined
+//! at the client. After the migration it must ship two base relations
+//! *plus* both intermediates. The *2-step* plan keeps that join order but
+//! re-selects sites; full *re-optimization* also changes the order to
+//! `(B⋈C)`, `(A⋈D)`.
+//!
+//! Deviation (documented in DESIGN.md): the paper stipulates "join
+//! results and base relations are the same size", which no consistent
+//! independence selectivity model satisfies for the 4-way result — ours
+//! is one page. Adding the stipulated 250-page result shipment to the
+//! 2-step and reoptimized plans recovers the paper's 1000 : 750 : 500
+//! exactly; in our units the series is ≈ 1000 : 500 : 250.
+
+use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation, SystemConfig};
+use csqp_core::{Annotation, JoinTree, Plan, Policy};
+use csqp_cost::Objective;
+use csqp_optimizer::{explicit_placement, TwoStepPlanner};
+use csqp_simkernel::rng::SimRng;
+use csqp_workload::MODERATE_SEL;
+
+use crate::common::{aggregate, ExpContext, FigResult, Scenario, Series};
+
+/// The 4-way cycle query A-B-C-D-A ("assuming that all relations are
+/// joinable", §5.1).
+pub fn cycle_query() -> QuerySpec {
+    let rels = (0..4)
+        .map(|i| Relation::benchmark(RelId(i), ["A", "B", "C", "D"][i as usize]))
+        .collect();
+    let edges = vec![
+        JoinEdge { a: RelId(0), b: RelId(1), selectivity: MODERATE_SEL },
+        JoinEdge { a: RelId(1), b: RelId(2), selectivity: MODERATE_SEL },
+        JoinEdge { a: RelId(2), b: RelId(3), selectivity: MODERATE_SEL },
+        JoinEdge { a: RelId(3), b: RelId(0), selectivity: MODERATE_SEL },
+    ];
+    QuerySpec::new(rels, edges)
+}
+
+/// The paper's Figure 9(a) compile-time plan: `(A⋈B) ⋈ (C⋈D)`, the two
+/// lower joins at their producers' (compile-time co-located) servers, the
+/// top join at the client.
+pub fn paper_static_plan(query: &QuerySpec) -> Plan {
+    let tree = JoinTree::join(
+        JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1))),
+        JoinTree::join(JoinTree::leaf(RelId(2)), JoinTree::leaf(RelId(3))),
+    );
+    let mut plan = tree.into_plan(query, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let top = *plan.join_nodes().last().expect("three joins");
+    plan.node_mut(top).ann = Annotation::Consumer;
+    plan
+}
+
+/// Run the migration experiment.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    let query = cycle_query();
+    let sys = SystemConfig::default();
+    // Migration: B,C @ server1; A,D @ server2 at runtime.
+    let runtime_cat = explicit_placement(
+        2,
+        &[(RelId(1), 1), (RelId(2), 1), (RelId(0), 2), (RelId(3), 2)],
+    );
+    let planner = TwoStepPlanner {
+        policy: Policy::HybridShipping,
+        objective: Objective::Communication,
+        config: ctx.opt.clone(),
+    };
+    let scenario =
+        Scenario { query: &query, catalog: &runtime_cat, sys: &sys, loads: &[] };
+    let compiled = paper_static_plan(&query);
+
+    let mut static_pages = Vec::new();
+    let mut twostep_pages = Vec::new();
+    let mut optimal_pages = Vec::new();
+    for rep in 0..ctx.reps {
+        let seed = ctx.seed(9, rep as u64);
+        let mut rng = SimRng::seed_from_u64(seed);
+        // Static: the compiled plan, merely re-bound at runtime.
+        static_pages.push(scenario.execute(&compiled, seed).pages_sent as f64);
+        // 2-step: runtime site selection on the compiled join order.
+        let selected = planner.site_select(&compiled, &query, &sys, &runtime_cat, &mut rng);
+        twostep_pages.push(scenario.execute(&selected, seed).pages_sent as f64);
+        // Optimal: full re-optimization against the runtime state.
+        let fresh = planner.compile_against(&query, &sys, &runtime_cat, &mut rng);
+        optimal_pages.push(scenario.execute(&fresh, seed).pages_sent as f64);
+    }
+
+    FigResult {
+        id: "fig9".into(),
+        title: "Static vs 2-Step Plans under Data Migration (4-Way Join)".into(),
+        x_label: "strategy (0=static, 1=2-step, 2=reoptimized)".into(),
+        y_label: "pages sent".into(),
+        series: vec![
+            Series { label: "Static".into(), points: vec![aggregate(0.0, &static_pages)] },
+            Series { label: "2-Step".into(), points: vec![aggregate(1.0, &twostep_pages)] },
+            Series { label: "Reoptimized".into(), points: vec![aggregate(2.0, &optimal_pages)] },
+        ],
+        notes: vec![
+            "paper (result stipulated = 250 pages): 1000 : 750 : 500".into(),
+            "ours (result = 1 page under independence): ≈ 1000 : 500 : 250".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_matches_paper_accounting() {
+        let fig = run(&ExpContext::fast());
+        let stat = fig.value("Static", 0.0);
+        let two = fig.value("2-Step", 1.0);
+        let opt = fig.value("Reoptimized", 2.0);
+        // Static: ships B, D (500) plus both 250-page intermediates.
+        assert!((stat - 1000.0).abs() < 20.0, "static {stat}");
+        // 2-step: ships A, D (500) plus the one-page result.
+        assert!((two - 500.0).abs() < 20.0, "2-step {two}");
+        // Reoptimized: local joins, one intermediate + result.
+        assert!((opt - 250.0).abs() < 20.0, "optimal {opt}");
+        assert!(stat > two && two > opt);
+        // Paper units: add the stipulated 250-page result to the plans
+        // that do not already ship their result to the client.
+        let paper_two = two + 249.0;
+        let paper_opt = opt + 249.0;
+        assert!((stat / paper_opt - 2.0).abs() < 0.1, "static = 2x optimal");
+        assert!((paper_two / paper_opt - 1.5).abs() < 0.1, "2-step = 1.5x optimal");
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 11: Relative Response Time for the HiSel 10-way join (§5.2).
+//!
+//! "The weakness of bushy plans become apparent if the join selectivity
+//! is high. … with small number of servers, the bushy plans perform
+//! poorly for a HiSel 10-way join in which only 20% of the tuples of
+//! every input relation participate in the output of a join. As servers
+//! are added, however, a bushy 2-step plan performs well for this query,
+//! too, because the extra work that it does is split across many servers
+//! and is largely done in parallel."
+
+use crate::common::{ExpContext, FigResult};
+use crate::fig10::run_hisel;
+
+/// Run Figure 11.
+pub fn run(ctx: &ExpContext) -> FigResult {
+    run_hisel(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_shape_matches_paper() {
+        let mut ctx = ExpContext::fast();
+        ctx.reps = 2;
+        let fig = run(&ctx);
+        // Bushy 2-step recovers with many servers.
+        let few = fig.value("Bushy 2-Step", 1.0);
+        let many = fig.value("Bushy 2-Step", 10.0);
+        assert!(
+            many <= few * 1.05,
+            "bushy 2-step should not get worse with servers: {few} -> {many}"
+        );
+        assert!(many < 1.6, "bushy 2-step near ideal at 10 servers: {many}");
+        // Static strategies degrade relative to 2-step at 10 servers.
+        let ds = fig.value("Deep Static", 10.0);
+        let d2 = fig.value("Deep 2-Step", 10.0);
+        assert!(d2 <= ds * 1.05, "2-step should not lose to static: {d2} vs {ds}");
+    }
+}

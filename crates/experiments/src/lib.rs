@@ -1,0 +1,59 @@
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§4 and §5), plus shared plumbing for repetition control and
+//! 90% confidence intervals.
+//!
+//! Every experiment returns a [`FigResult`] — labelled series of
+//! `(x, mean, ci90)` points — that the CLI prints as an aligned table and
+//! writes as CSV. The paper's qualitative claims for each figure are
+//! asserted by the crate's tests (at reduced repetition counts) and by
+//! the workspace integration suite.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod calibration;
+pub mod ext_multiquery;
+pub mod ext_navigation;
+pub mod tables;
+
+pub use common::{ExpContext, FigResult, Point, Series};
+
+/// Run an experiment by id (`"fig2"`, `"table1"`, `"calibration"`, …).
+/// Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<FigResult> {
+    Some(match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "calibration" => calibration::run(ctx),
+        "fig2" | "fig02" => fig02::run(ctx),
+        "fig3" | "fig03" => fig03::run(ctx),
+        "fig4" | "fig04" => fig04::run(ctx),
+        "fig5" | "fig05" => fig05::run(ctx),
+        "fig6" | "fig06" => fig06::run(ctx),
+        "fig7" | "fig07" => fig07::run(ctx),
+        "fig8" | "fig08" => fig08::run(ctx),
+        "fig9" | "fig09" => fig09::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "ext-multiquery" => ext_multiquery::run(ctx),
+        "ext-navigation" => ext_navigation::run(ctx),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in paper order, followed by the future-work
+/// extensions.
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "table1", "table2", "calibration", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "ext-multiquery", "ext-navigation",
+];

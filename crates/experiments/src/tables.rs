@@ -1,0 +1,116 @@
+//! Tables 1 and 2 of the paper, regenerated from the code that encodes
+//! them (so any drift between paper and implementation shows up here and
+//! in the tests that assert the entries).
+
+use csqp_catalog::{RelId, SystemConfig};
+use csqp_core::{LogicalOp, Policy};
+
+use crate::common::{FigResult, Point, Series};
+
+/// Table 1: site selection for operators, per policy.
+pub fn table1() -> FigResult {
+    let ops: [(&str, LogicalOp); 4] = [
+        ("display", LogicalOp::Display),
+        ("join", LogicalOp::Join),
+        ("select", LogicalOp::Select { rel: RelId(0) }),
+        ("scan", LogicalOp::Scan { rel: RelId(0) }),
+    ];
+    let mut notes = Vec::new();
+    for (name, op) in ops {
+        for policy in Policy::ALL {
+            let anns: Vec<&str> = policy.allowed(op).iter().map(|a| a.as_str()).collect();
+            notes.push(format!("{name} / {policy}: {}", anns.join(", ")));
+        }
+    }
+    FigResult {
+        id: "table1".into(),
+        title: "Site Selection for Operators used in this Study".into(),
+        x_label: "-".into(),
+        y_label: "-".into(),
+        series: Vec::new(),
+        notes,
+    }
+}
+
+/// Table 2: simulator parameters and default settings.
+pub fn table2() -> FigResult {
+    let c = SystemConfig::default();
+    let rows: Vec<(&str, f64, &str)> = vec![
+        ("Mips", c.mips as f64, "CPU speed (10^6 instr/sec)"),
+        ("NumDisks", c.num_disks as f64, "number of disks on a site"),
+        ("DiskInst", c.disk_inst as f64, "instr. to read a page from disk"),
+        ("PageSize", c.page_size as f64, "size of one data page (bytes)"),
+        ("NetBw", c.net_bw_mbit as f64, "network bandwidth (Mbit/sec)"),
+        ("MsgInst", c.msg_inst as f64, "instr. to send/receive a message"),
+        ("PerSizeMI", c.per_size_mi as f64, "instr. to send/receive 4096 bytes"),
+        ("Display", c.display_inst as f64, "instr. to display a tuple"),
+        ("Compare", c.compare_inst as f64, "instr. to apply a predicate"),
+        ("HashInst", c.hash_inst as f64, "instr. to hash a tuple"),
+        ("MoveInst", c.move_inst as f64, "instr. to copy 4 bytes"),
+    ];
+    let series = vec![Series {
+        label: "value".into(),
+        points: rows
+            .iter()
+            .enumerate()
+            .map(|(i, (_, v, _))| Point { x: i as f64, mean: *v, ci90: 0.0, n: 1 })
+            .collect(),
+    }];
+    let notes = rows
+        .iter()
+        .map(|(name, v, desc)| format!("{name} = {v} ({desc})"))
+        .chain(std::iter::once(format!(
+            "BufAlloc = {:?} (buffer allocated to a join; min or max)",
+            c.buf_alloc
+        )))
+        .collect();
+    FigResult {
+        id: "table2".into(),
+        title: "Simulator Parameters and Default Settings".into(),
+        x_label: "row".into(),
+        y_label: "value".into(),
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_twelve_cells() {
+        let t = table1();
+        assert_eq!(t.notes.len(), 12);
+        assert!(t
+            .notes
+            .contains(&"join / query-shipping: inner relation, outer relation".to_string()));
+        assert!(t
+            .notes
+            .contains(&"scan / hybrid-shipping: client, primary copy".to_string()));
+        assert!(t.notes.iter().filter(|n| n.contains("display")).count() == 3);
+    }
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let t = table2();
+        let get = |name: &str| -> f64 {
+            let row = t
+                .notes
+                .iter()
+                .find(|n| n.starts_with(&format!("{name} = ")))
+                .unwrap();
+            row.split('=').nth(1).unwrap().trim().split(' ').next().unwrap().parse().unwrap()
+        };
+        assert_eq!(get("Mips"), 50.0);
+        assert_eq!(get("DiskInst"), 5000.0);
+        assert_eq!(get("PageSize"), 4096.0);
+        assert_eq!(get("NetBw"), 100.0);
+        assert_eq!(get("MsgInst"), 20000.0);
+        assert_eq!(get("PerSizeMI"), 12000.0);
+        assert_eq!(get("Display"), 0.0);
+        assert_eq!(get("Compare"), 2.0);
+        assert_eq!(get("HashInst"), 9.0);
+        assert_eq!(get("MoveInst"), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Network model for the csqp simulator.
+//!
+//! "The network is modeled simply as a FIFO queue with a specified
+//! bandwidth (NetBw); the details of a particular technology (i.e.,
+//! Ethernet, ATM, etc.) are not modeled. The cost of a message involves
+//! the time-on-the-wire which is based on the size of the message, and
+//! both fixed and size-dependent CPU costs to send and receive which are
+//! computed from MsgInst and PerSizeMI." (§3.2.2)
+//!
+//! The [`Link`] resource implements the wire: a single FIFO server whose
+//! service time is `bytes × 8 / bandwidth`. The CPU costs of sending and
+//! receiving are charged by the engine on the sender's and receiver's CPU
+//! queues (they are site costs, not wire costs); [`MsgCost`] computes them.
+
+#![warn(missing_docs)]
+
+use csqp_catalog::SystemConfig;
+use csqp_simkernel::{FifoServer, SimDuration, SimTime};
+
+/// Kinds of messages the engine sends, for accounting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A full data page moving between operators or as a fault reply.
+    DataPage,
+    /// A small control message (e.g. a page-fault request).
+    Control,
+}
+
+/// The shared network link: one FIFO queue for the whole system.
+#[derive(Debug)]
+pub struct Link<T> {
+    server: FifoServer<T>,
+    bandwidth_bits_per_sec: f64,
+    data_pages_sent: u64,
+    control_msgs_sent: u64,
+    bytes_sent: u64,
+}
+
+impl<T> Link<T> {
+    /// Build the link from the system configuration (`NetBw`).
+    pub fn new(config: &SystemConfig) -> Link<T> {
+        Link {
+            server: FifoServer::new(),
+            bandwidth_bits_per_sec: config.net_bw_mbit as f64 * 1e6,
+            data_pages_sent: 0,
+            control_msgs_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Time-on-the-wire for a message of `bytes` bytes.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bits_per_sec)
+    }
+
+    /// Submit a message for transmission. Returns the completion time when
+    /// the wire was idle (caller schedules the completion event), `None`
+    /// when queued behind earlier messages.
+    pub fn submit(&mut self, now: SimTime, token: T, bytes: u64, kind: MsgKind) -> Option<SimTime> {
+        match kind {
+            MsgKind::DataPage => self.data_pages_sent += 1,
+            MsgKind::Control => self.control_msgs_sent += 1,
+        }
+        self.bytes_sent += bytes;
+        let service = self.wire_time(bytes);
+        self.server.submit(now, token, service)
+    }
+
+    /// Complete the message in flight; returns it plus the completion time
+    /// of the next queued message, if any (caller schedules it).
+    pub fn finish_current(&mut self, now: SimTime) -> (T, Option<SimTime>) {
+        self.server.finish_current(now)
+    }
+
+    /// Data pages shipped so far — the paper's "pages sent" metric counts
+    /// exactly these (§4.1: "the number of pages sent … the average amount
+    /// of data sent over the network").
+    pub fn data_pages_sent(&self) -> u64 {
+        self.data_pages_sent
+    }
+
+    /// Small control messages shipped so far (fault requests etc.).
+    pub fn control_msgs_sent(&self) -> u64 {
+        self.control_msgs_sent
+    }
+
+    /// Total bytes shipped.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Wire utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.server.utilization(now)
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.server.is_idle()
+    }
+}
+
+/// CPU costs of messaging, per Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgCost {
+    msg_inst: u64,
+    per_size_mi: u64,
+    page_size: u32,
+}
+
+impl MsgCost {
+    /// Build from the system configuration.
+    pub fn new(config: &SystemConfig) -> MsgCost {
+        MsgCost {
+            msg_inst: config.msg_inst,
+            per_size_mi: config.per_size_mi,
+            page_size: config.page_size,
+        }
+    }
+
+    /// Instructions charged on the sending *or* receiving CPU for a message
+    /// of `bytes` bytes: `MsgInst + PerSizeMI · bytes / PageSize`.
+    pub fn cpu_instr(&self, bytes: u64) -> u64 {
+        self.msg_inst + (self.per_size_mi as f64 * bytes as f64 / self.page_size as f64) as u64
+    }
+}
+
+/// Size in bytes of a small control message (page-fault request). Not a
+/// Table 2 parameter; any small value — the fixed `MsgInst` dominates.
+pub const CONTROL_MSG_BYTES: u64 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link<u32> {
+        Link::new(&SystemConfig::default())
+    }
+
+    #[test]
+    fn page_wire_time_is_327us() {
+        let l = link();
+        let t = l.wire_time(4096);
+        assert!((t.as_secs_f64() - 327.68e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_ordering_and_accounting() {
+        let mut l = link();
+        let t0 = SimTime::ZERO;
+        let fin = l.submit(t0, 1, 4096, MsgKind::DataPage).unwrap();
+        assert!(l.submit(t0, 2, 4096, MsgKind::DataPage).is_none());
+        assert!(l.submit(t0, 3, 256, MsgKind::Control).is_none());
+        let (m, next) = l.finish_current(fin);
+        assert_eq!(m, 1);
+        let fin2 = next.unwrap();
+        let (m, next) = l.finish_current(fin2);
+        assert_eq!(m, 2);
+        let (m, next2) = l.finish_current(next.unwrap());
+        assert_eq!(m, 3);
+        assert!(next2.is_none());
+        assert_eq!(l.data_pages_sent(), 2);
+        assert_eq!(l.control_msgs_sent(), 1);
+        assert_eq!(l.bytes_sent(), 8448);
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn msg_cpu_costs_match_table2() {
+        let c = MsgCost::new(&SystemConfig::default());
+        assert_eq!(c.cpu_instr(4096), 32_000);
+        assert_eq!(c.cpu_instr(CONTROL_MSG_BYTES), 20_750);
+    }
+
+    #[test]
+    fn utilization_grows_under_load() {
+        let mut l = link();
+        let fin = l.submit(SimTime::ZERO, 0, 4096, MsgKind::DataPage).unwrap();
+        l.finish_current(fin);
+        let u = l.utilization(fin);
+        assert!((u - 1.0).abs() < 1e-9, "wire was busy the whole time: {u}");
+    }
+}

@@ -1,0 +1,217 @@
+//! System-R-style dynamic-programming join ordering.
+//!
+//! §5 lists the compile-time half of 2-step optimization as "e.g., using
+//! a randomized [IK90] or System-R-style [S+79] optimizer". This module
+//! provides the Selinger alternative: exact dynamic programming over
+//! connected relation subsets, minimizing the classic surrogate cost —
+//! the total size (in pages) of all intermediate results. Unlike the
+//! original System-R, bushy trees are enumerated (the study's
+//! multi-server setting rewards them, §5.2).
+//!
+//! Cross products are only considered when a subset has no connected
+//! split at all (disconnected join graphs), mirroring the usual
+//! System-R heuristic.
+
+use std::collections::HashMap;
+
+use csqp_catalog::{Estimator, QuerySpec, RelSet, SystemConfig};
+use csqp_core::JoinTree;
+
+/// Best partial plan for a relation subset.
+#[derive(Debug, Clone)]
+struct Entry {
+    tree: JoinTree,
+    /// Total intermediate pages accumulated building this subset.
+    cost: f64,
+}
+
+/// Compute the DP-optimal join tree for `query` (minimum total
+/// intermediate result pages, bushy trees allowed).
+///
+/// # Panics
+/// Panics on queries with zero relations or more than 20 (the DP table
+/// is exponential; the study's queries have at most 10).
+pub fn dp_join_order(query: &QuerySpec, config: &SystemConfig) -> JoinTree {
+    let n = query.num_relations();
+    assert!(n >= 1, "empty query");
+    assert!(n <= 20, "DP join ordering is exponential; {n} relations is too many");
+    let est = Estimator::new(query, config);
+
+    let mut table: HashMap<u64, Entry> = HashMap::new();
+    for r in &query.relations {
+        let s = RelSet::single(r.id);
+        table.insert(s.0, Entry { tree: JoinTree::leaf(r.id), cost: 0.0 });
+    }
+
+    let full = query.all_rels().0;
+    // Enumerate subsets in increasing popcount so both halves of every
+    // split are already solved.
+    let mut subsets: Vec<u64> = (1..=full).filter(|s| s & full == *s).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+
+    for &s in &subsets {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        let mut best: Option<Entry> = None;
+        let mut best_cross: Option<Entry> = None;
+        // Enumerate proper sub-splits: iterate submasks.
+        let mut l = (s - 1) & s;
+        while l > 0 {
+            let r = s & !l;
+            if l < r {
+                // Each unordered split is seen twice; canonicalize by
+                // handling l >= r only (orientation handled below).
+                l = (l - 1) & s;
+                continue;
+            }
+            if let (Some(le), Some(re)) = (table.get(&l), table.get(&r)) {
+                let ls = RelSet(l);
+                let rs = RelSet(r);
+                let joinable = query.joinable(ls, rs);
+                let out_pages = est.pages(RelSet(s));
+                let cost = le.cost + re.cost + out_pages;
+                // Build side: the smaller input (hybrid hash builds on
+                // the inner), deterministic tie-break on the mask.
+                let (inner, outer) = if est.pages(ls) <= est.pages(rs) {
+                    (le.tree.clone(), re.tree.clone())
+                } else {
+                    (re.tree.clone(), le.tree.clone())
+                };
+                let entry = Entry { tree: JoinTree::join(inner, outer), cost };
+                let slot = if joinable { &mut best } else { &mut best_cross };
+                if slot.as_ref().is_none_or(|b| cost < b.cost) {
+                    *slot = Some(entry);
+                }
+            }
+            l = (l - 1) & s;
+        }
+        // Prefer connected plans; fall back to the cheapest cross product
+        // only when the subgraph is disconnected.
+        if let Some(e) = best.or(best_cross) {
+            table.insert(s, e);
+        }
+    }
+
+    table
+        .remove(&full)
+        .expect("full relation set always has a plan")
+        .tree
+}
+
+/// The surrogate cost (total intermediate pages) of a given tree — used
+/// by tests to compare DP against alternatives.
+pub fn intermediate_pages(tree: &JoinTree, query: &QuerySpec, config: &SystemConfig) -> f64 {
+    let est = Estimator::new(query, config);
+    fn rec(t: &JoinTree, est: &Estimator<'_>) -> (RelSet, f64) {
+        match t {
+            JoinTree::Leaf(r) => (RelSet::single(*r), 0.0),
+            JoinTree::Node(l, r) => {
+                let (ls, lc) = rec(l, est);
+                let (rs, rc) = rec(r, est);
+                let s = ls.union(rs);
+                (s, lc + rc + est.pages(s))
+            }
+        }
+    }
+    rec(tree, &est).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_catalog::{JoinEdge, RelId, Relation};
+    use csqp_simkernel::rng::SimRng;
+
+    fn chain(n: u32, sel: f64) -> QuerySpec {
+        let rels = (0..n)
+            .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
+            .collect();
+        let edges = (0..n - 1)
+            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: sel })
+            .collect();
+        QuerySpec::new(rels, edges)
+    }
+
+    #[test]
+    fn dp_produces_valid_trees() {
+        let cfg = SystemConfig::default();
+        for n in [1u32, 2, 3, 5, 8, 10] {
+            let q = chain(n, 1e-4);
+            let t = dp_join_order(&q, &cfg);
+            assert_eq!(t.leaves(), n as usize);
+            let plan = t.into_plan(
+                &q,
+                csqp_core::Annotation::Consumer,
+                csqp_core::Annotation::Client,
+            );
+            plan.validate_structure(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn dp_avoids_cross_products_on_connected_graphs() {
+        let cfg = SystemConfig::default();
+        let q = chain(6, 1e-4);
+        let t = dp_join_order(&q, &cfg);
+        fn check(t: &JoinTree, q: &QuerySpec) -> RelSet {
+            match t {
+                JoinTree::Leaf(r) => RelSet::single(*r),
+                JoinTree::Node(l, r) => {
+                    let ls = check(l, q);
+                    let rs = check(r, q);
+                    assert!(q.joinable(ls, rs), "cross product in DP plan");
+                    ls.union(rs)
+                }
+            }
+        }
+        check(&t, &q);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_random_trees() {
+        let cfg = SystemConfig::default();
+        // HiSel chains make order matter (intermediates shrink).
+        let q = chain(7, 2e-5);
+        let dp = dp_join_order(&q, &cfg);
+        let dp_cost = intermediate_pages(&dp, &q, &cfg);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = crate::random::random_join_tree(&q, &mut rng);
+            let c = intermediate_pages(&t, &q, &cfg);
+            assert!(
+                dp_cost <= c + 1e-9,
+                "random tree beat DP: {c} < {dp_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_handles_disconnected_graphs_via_cross_products() {
+        // Two disjoint joined pairs: the DP must still produce a full
+        // tree (with one unavoidable cross product).
+        let rels = (0..4)
+            .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
+            .collect();
+        let edges = vec![
+            JoinEdge { a: RelId(0), b: RelId(1), selectivity: 1e-4 },
+            JoinEdge { a: RelId(2), b: RelId(3), selectivity: 1e-4 },
+        ];
+        let q = QuerySpec::new(rels, edges);
+        let cfg = SystemConfig::default();
+        let t = dp_join_order(&q, &cfg);
+        assert_eq!(t.leaves(), 4);
+    }
+
+    #[test]
+    fn hisel_dp_prefers_small_intermediates() {
+        // On a HiSel chain the balanced tree has smaller intermediates
+        // than the worst deep tree; DP must be at least as good as the
+        // canonical left-deep order.
+        let cfg = SystemConfig::default();
+        let q = chain(8, 2e-5);
+        let dp_cost = intermediate_pages(&dp_join_order(&q, &cfg), &q, &cfg);
+        let deep = JoinTree::left_deep(&(0..8).map(RelId).collect::<Vec<_>>());
+        assert!(dp_cost <= intermediate_pages(&deep, &q, &cfg));
+    }
+}

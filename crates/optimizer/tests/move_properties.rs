@@ -1,0 +1,97 @@
+//! Property tests over the optimizer's transformation rules: arbitrary
+//! move sequences must preserve structural validity, policy membership,
+//! and the relation set — the invariants that make the randomized walk
+//! sound.
+
+use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation};
+use csqp_core::{is_well_formed, Policy};
+use csqp_optimizer::moves::MoveSet;
+use csqp_optimizer::{applicable_moves, apply_move, random_plan};
+use csqp_simkernel::rng::SimRng;
+use proptest::prelude::*;
+
+fn chain(n: u32) -> QuerySpec {
+    let rels = (0..n)
+        .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
+        .collect();
+    let edges = (0..n - 1)
+        .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+        .collect();
+    QuerySpec::new(rels, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A long random walk of accepted moves never leaves the policy's
+    /// valid, well-formed space, and never changes which relations are
+    /// scanned.
+    #[test]
+    fn move_sequences_preserve_invariants(
+        n in 2u32..7,
+        policy_idx in 0usize..3,
+        seed in 0u64..10_000,
+        walk in 5usize..60,
+    ) {
+        let q = chain(n);
+        let policy = Policy::ALL[policy_idx];
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut plan = random_plan(&q, policy, &mut rng);
+        let rels_before = plan.rel_set(plan.root());
+        let set = MoveSet::for_policy(policy);
+        for _ in 0..walk {
+            let moves = applicable_moves(&plan, policy, set);
+            if moves.is_empty() {
+                break;
+            }
+            let mv = *rng.pick(&moves);
+            let Some(cand) = apply_move(&plan, mv) else { continue };
+            if !is_well_formed(&cand) {
+                continue; // the search rejects these too
+            }
+            cand.validate_structure(&q).unwrap();
+            policy.validate(&cand).unwrap();
+            prop_assert_eq!(cand.rel_set(cand.root()), rels_before);
+            plan = cand;
+        }
+    }
+
+    /// Every applicable move either applies cleanly or is rejected as a
+    /// whole — `apply_move` never panics and never yields a structurally
+    /// broken plan.
+    #[test]
+    fn applicable_moves_apply(
+        n in 2u32..7,
+        seed in 0u64..10_000,
+    ) {
+        let q = chain(n);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&q, Policy::HybridShipping, &mut rng);
+        let set = MoveSet::for_policy(Policy::HybridShipping);
+        for mv in applicable_moves(&plan, Policy::HybridShipping, set) {
+            let applied = apply_move(&plan, mv)
+                .unwrap_or_else(|| panic!("listed move must apply: {mv:?} on {plan}"));
+            applied.validate_structure(&q).unwrap();
+        }
+    }
+
+    /// The arena never leaks: after any single move the plan has the
+    /// same number of reachable nodes.
+    #[test]
+    fn moves_do_not_leak_nodes(
+        n in 2u32..7,
+        seed in 0u64..10_000,
+    ) {
+        let q = chain(n);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&q, Policy::HybridShipping, &mut rng);
+        let reachable_before = plan.postorder().len();
+        let set = MoveSet::for_policy(Policy::HybridShipping);
+        for mv in applicable_moves(&plan, Policy::HybridShipping, set) {
+            if let Some(applied) = apply_move(&plan, mv) {
+                prop_assert_eq!(applied.postorder().len(), reachable_before);
+                prop_assert_eq!(applied.arena_len(), plan.arena_len());
+            }
+        }
+    }
+}

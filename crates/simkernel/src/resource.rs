@@ -1,0 +1,232 @@
+//! Single-server FIFO queueing resources.
+//!
+//! The paper models both the CPU of every site and the network as FIFO
+//! queues (§3.2.2). [`FifoServer`] implements that: requests are served one
+//! at a time in arrival order; the caller is told when each request
+//! completes and schedules the completion on its event queue.
+//!
+//! The resource does not own the event queue — the driving simulation does.
+//! The protocol is:
+//!
+//! 1. `submit(now, token, service)` — returns `Some((finish, token))` when
+//!    the request enters service immediately; the caller schedules a
+//!    completion event at `finish`. Returns `None` when the request queued
+//!    behind others.
+//! 2. On each completion event, call `finish_current(now)` to retire the
+//!    request in service, then repeatedly the returned next request (if
+//!    any) has already been moved into service and its completion time is
+//!    returned for scheduling.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A queued request: an opaque token plus its service demand.
+#[derive(Debug, Clone)]
+struct Request<T> {
+    token: T,
+    service: SimDuration,
+}
+
+/// A single-server FIFO queue with utilization accounting.
+#[derive(Debug)]
+pub struct FifoServer<T> {
+    /// Request currently in service, if any.
+    in_service: Option<Request<T>>,
+    queue: VecDeque<Request<T>>,
+    busy: SimDuration,
+    served: u64,
+    /// Sum of (completion - submission) over all served requests.
+    total_latency: SimDuration,
+    /// Submission times ride along so latency can be accounted.
+    submit_times: VecDeque<SimTime>,
+    in_service_submitted: Option<SimTime>,
+    in_service_started: Option<SimTime>,
+}
+
+impl<T> Default for FifoServer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FifoServer<T> {
+    /// Create an idle server.
+    pub fn new() -> Self {
+        FifoServer {
+            in_service: None,
+            queue: VecDeque::new(),
+            busy: SimDuration::ZERO,
+            served: 0,
+            total_latency: SimDuration::ZERO,
+            submit_times: VecDeque::new(),
+            in_service_submitted: None,
+            in_service_started: None,
+        }
+    }
+
+    /// Submit a request with the given service demand.
+    ///
+    /// Returns `Some((finish_time, &token))` if the request entered service
+    /// immediately (the caller must schedule a completion event at
+    /// `finish_time`); `None` if it queued.
+    pub fn submit(&mut self, now: SimTime, token: T, service: SimDuration) -> Option<SimTime> {
+        let req = Request { token, service };
+        if self.in_service.is_none() {
+            let finish = now + service;
+            self.in_service = Some(req);
+            self.in_service_submitted = Some(now);
+            self.in_service_started = Some(now);
+            Some(finish)
+        } else {
+            self.queue.push_back(req);
+            self.submit_times.push_back(now);
+            None
+        }
+    }
+
+    /// Retire the request in service (called on its completion event).
+    ///
+    /// Returns `(completed_token, next)` where `next` is
+    /// `Some((finish_time, token_ref))` when a queued request has now
+    /// entered service. The caller schedules its completion.
+    pub fn finish_current(&mut self, now: SimTime) -> (T, Option<SimTime>) {
+        let done = self
+            .in_service
+            .take()
+            .expect("FifoServer::finish_current called while idle");
+        let started = self
+            .in_service_started
+            .take()
+            .expect("in-service bookkeeping out of sync");
+        let submitted = self
+            .in_service_submitted
+            .take()
+            .expect("in-service bookkeeping out of sync");
+        debug_assert_eq!(now, started + done.service, "completion at wrong time");
+        self.busy += done.service;
+        self.served += 1;
+        self.total_latency += now.since(submitted);
+
+        let next_finish = if let Some(next) = self.queue.pop_front() {
+            let sub = self
+                .submit_times
+                .pop_front()
+                .expect("queue bookkeeping out of sync");
+            let finish = now + next.service;
+            self.in_service = Some(next);
+            self.in_service_submitted = Some(sub);
+            self.in_service_started = Some(now);
+            Some(finish)
+        } else {
+            None
+        };
+        (done.token, next_finish)
+    }
+
+    /// Token of the request currently in service.
+    pub fn current(&self) -> Option<&T> {
+        self.in_service.as_ref().map(|r| &r.token)
+    }
+
+    /// Number of requests waiting (excluding the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is in service or queued.
+    pub fn is_idle(&self) -> bool {
+        self.in_service.is_none() && self.queue.is_empty()
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of requests fully served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean latency (queueing + service) of served requests.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        if self.served == 0 {
+            None
+        } else {
+            Some(self.total_latency / self.served)
+        }
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / now.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_fifo() {
+        let mut s: FifoServer<&str> = FifoServer::new();
+        let t0 = SimTime::ZERO;
+        let fin_a = s.submit(t0, "a", SimDuration::from_millis(10));
+        assert_eq!(fin_a, Some(SimTime(10_000_000)));
+        assert!(s.submit(t0, "b", SimDuration::from_millis(5)).is_none());
+        assert!(s.submit(t0, "c", SimDuration::from_millis(1)).is_none());
+        assert_eq!(s.queue_len(), 2);
+
+        let (tok, next) = s.finish_current(SimTime(10_000_000));
+        assert_eq!(tok, "a");
+        assert_eq!(next, Some(SimTime(15_000_000)));
+        let (tok, next) = s.finish_current(SimTime(15_000_000));
+        assert_eq!(tok, "b");
+        assert_eq!(next, Some(SimTime(16_000_000)));
+        let (tok, next) = s.finish_current(SimTime(16_000_000));
+        assert_eq!(tok, "c");
+        assert_eq!(next, None);
+        assert!(s.is_idle());
+        assert_eq!(s.served(), 3);
+        assert_eq!(s.busy_time(), SimDuration::from_millis(16));
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut s: FifoServer<u8> = FifoServer::new();
+        s.submit(SimTime::ZERO, 1, SimDuration::from_millis(10));
+        s.submit(SimTime::ZERO, 2, SimDuration::from_millis(10));
+        s.finish_current(SimTime(10_000_000));
+        s.finish_current(SimTime(20_000_000));
+        // Latencies: 10 ms and 20 ms -> mean 15 ms.
+        assert_eq!(s.mean_latency(), Some(SimDuration::from_millis(15)));
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut s: FifoServer<u8> = FifoServer::new();
+        s.submit(SimTime::ZERO, 1, SimDuration::from_millis(5));
+        s.finish_current(SimTime(5_000_000));
+        assert!((s.utilization(SimTime(10_000_000)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "while idle")]
+    fn finish_when_idle_panics() {
+        let mut s: FifoServer<u8> = FifoServer::new();
+        s.finish_current(SimTime::ZERO);
+    }
+
+    #[test]
+    fn idle_server_reports_idle() {
+        let s: FifoServer<u8> = FifoServer::new();
+        assert!(s.is_idle());
+        assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+}

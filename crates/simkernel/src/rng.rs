@@ -1,0 +1,147 @@
+//! Seeded random-number helpers.
+//!
+//! All stochastic elements of the study (random plan generation, random data
+//! placement, the external-load arrival process) draw from explicitly
+//! seeded generators so that every experiment is reproducible. This module
+//! wraps `rand::rngs::SmallRng` and adds the distributions the simulator
+//! needs (exponential inter-arrivals for the load process, uniform picks).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic RNG handle used throughout the simulator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator; `stream` distinguishes
+    /// subsystems so their draws do not interleave.
+    pub fn derive(&mut self, stream: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(s)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SimRng::below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "SimRng::range: empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Used for the external server-disk load process (random read requests
+    /// at a configurable rate, §3.2.2).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        // Inverse-transform sampling; clamp u away from 0 to avoid ln(0).
+        let u: f64 = self.inner.gen::<f64>().max(1e-12);
+        SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "SimRng::pick on empty slice");
+        &xs[self.below(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        assert!(same < 4, "seeds 1 and 2 produced {same}/64 collisions");
+    }
+
+    #[test]
+    fn exp_duration_has_roughly_right_mean() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let mean = SimDuration::from_millis(25);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exp_duration(mean).as_secs_f64())
+            .sum();
+        let sample_mean = total / n as f64;
+        assert!(
+            (sample_mean - 0.025).abs() < 0.001,
+            "sample mean {sample_mean} too far from 0.025"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_produces_independent_streams() {
+        let mut root = SimRng::seed_from_u64(9);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        let same = (0..64).filter(|_| c1.below(1 << 30) == c2.below(1 << 30)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

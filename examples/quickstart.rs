@@ -1,0 +1,59 @@
+//! Quickstart: optimize and simulate one query under all three shipping
+//! policies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's 2-way benchmark join (two 10,000-tuple relations on
+//! one server, half of each cached at the client), runs the randomized
+//! two-phase optimizer for data-, query- and hybrid-shipping, simulates
+//! each winning plan on the detailed engine, and prints the plans with
+//! their measured metrics.
+
+use csqp::catalog::{SiteId, SystemConfig};
+use csqp::core::{bind, BindContext, Policy};
+use csqp::cost::{CostModel, Objective};
+use csqp::engine::ExecutionBuilder;
+use csqp::optimizer::{OptConfig, Optimizer};
+use csqp::simkernel::rng::SimRng;
+use csqp::workload::{cache_all, single_server_placement, two_way};
+
+fn main() {
+    // The benchmark query and environment (§3.3, Table 2 defaults).
+    let query = two_way();
+    let mut catalog = single_server_placement(&query);
+    cache_all(&mut catalog, &query, 0.5);
+    let sys = SystemConfig::default();
+
+    println!("2-way join, 1 server, 50% of each relation cached at the client\n");
+
+    let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
+    for policy in Policy::ALL {
+        let optimizer =
+            Optimizer::new(&model, policy, Objective::ResponseTime, OptConfig::default());
+        let mut rng = SimRng::seed_from_u64(42);
+        let result = optimizer.optimize(&query, &mut rng);
+
+        let bound = bind(
+            &result.plan,
+            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        )
+        .expect("optimized plans are well-formed");
+
+        let metrics = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
+
+        println!("== {policy} ==");
+        println!("{}", bound.plan.render_tree());
+        println!("  bound: {}", bound.render());
+        println!(
+            "  estimated response {:.3} s | simulated response {:.3} s",
+            result.cost,
+            metrics.response_secs()
+        );
+        println!(
+            "  pages sent {} | result tuples {} | server disk reads {}\n",
+            metrics.pages_sent, metrics.result_tuples, metrics.disk[1].reads
+        );
+    }
+}

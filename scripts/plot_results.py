@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Plot the CSV series produced by `csqp-experiments --out results`.
+
+Usage:
+    python3 scripts/plot_results.py results/            # all figures
+    python3 scripts/plot_results.py results/fig8.csv    # one figure
+
+With matplotlib installed, writes <id>.png next to each CSV; without it,
+falls back to an ASCII rendering on stdout so the shapes are still
+inspectable on a headless box.
+"""
+
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    series = defaultdict(list)
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            series[row["series"]].append(
+                (float(row["x"]), float(row["mean"]), float(row["ci90"]))
+            )
+    for pts in series.values():
+        pts.sort()
+    return dict(series)
+
+
+def ascii_plot(name, series, width=64, height=16):
+    pts = [(x, y) for s in series.values() for (x, y, _) in s]
+    if not pts:
+        return
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "o+x*sd^v"
+    print(f"\n== {name}  (y: {y0:.3g} .. {y1:.3g})")
+    for i, (label, s) in enumerate(sorted(series.items())):
+        m = marks[i % len(marks)]
+        for x, y, _ in s:
+            cx = round((x - x0) / (x1 - x0) * (width - 1))
+            cy = round((y - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - cy][cx] = m
+        print(f"   {m} = {label}")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width)
+    print(f"   x: {x0:g} .. {x1:g}")
+
+
+def plot(path):
+    series = load(path)
+    name = pathlib.Path(path).stem
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for label, pts in sorted(series.items()):
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            es = [p[2] for p in pts]
+            ax.errorbar(xs, ys, yerr=es, marker="o", capsize=3, label=label)
+        ax.set_title(name)
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+        out = pathlib.Path(path).with_suffix(".png")
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    except ImportError:
+        ascii_plot(name, series)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    target = pathlib.Path(sys.argv[1])
+    files = sorted(target.glob("fig*.csv")) + sorted(target.glob("ext-*.csv")) \
+        if target.is_dir() else [target]
+    if not files:
+        sys.exit(f"no CSV files under {target}")
+    for f in files:
+        plot(f)
+
+
+if __name__ == "__main__":
+    main()

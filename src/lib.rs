@@ -1,0 +1,57 @@
+//! # csqp — client-server query processing tradeoffs
+//!
+//! A from-scratch Rust reproduction of Franklin, Jónsson and Kossmann,
+//! *Performance Tradeoffs for Client-Server Query Processing* (SIGMOD
+//! 1996): the data-/query-/hybrid-shipping policy framework, the
+//! randomized two-phase query optimizer, the cost model, a detailed
+//! discrete-event simulator (CPU, disk with elevator scheduling and
+//! controller cache, network), a Volcano-style execution engine with
+//! hybrid-hash joins, and the benchmark harness that regenerates every
+//! table and figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! stable module names and hosts the repository's examples and
+//! cross-crate integration tests. Start with [`prelude`], the
+//! `quickstart` example, or the README.
+//!
+//! ```
+//! use csqp::prelude::*;
+//!
+//! // The paper's 2-way benchmark join on one server (Table 2 settings).
+//! let query = csqp::workload::two_way();
+//! let catalog = csqp::workload::single_server_placement(&query);
+//! let sys = SystemConfig::default();
+//!
+//! // Optimize for communication under pure query-shipping…
+//! let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
+//! let optimizer = Optimizer::new(
+//!     &model, Policy::QueryShipping, Objective::Communication, OptConfig::fast());
+//! let plan = optimizer.optimize(&query, &mut SimRng::seed_from_u64(7)).plan;
+//!
+//! // …bind it to physical sites and simulate it.
+//! let bound = bind(&plan, BindContext { catalog: &catalog, query_site: SiteId::CLIENT })?;
+//! let metrics = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
+//! assert_eq!(metrics.pages_sent, 250); // ships exactly the result
+//! # Ok::<(), csqp::core::BindError>(())
+//! ```
+
+pub use csqp_catalog as catalog;
+pub use csqp_core as core;
+pub use csqp_cost as cost;
+pub use csqp_disk as disk;
+pub use csqp_engine as engine;
+pub use csqp_experiments as experiments;
+pub use csqp_net as net;
+pub use csqp_optimizer as optimizer;
+pub use csqp_simkernel as simkernel;
+pub use csqp_workload as workload;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use csqp_catalog::{BufAlloc, Catalog, QuerySpec, RelId, SiteId, SystemConfig};
+    pub use csqp_core::{bind, BindContext, BoundPlan, JoinTree, Plan, Policy};
+    pub use csqp_cost::{CostModel, Objective};
+    pub use csqp_engine::{ExecutionBuilder, ExecutionMetrics};
+    pub use csqp_optimizer::{OptConfig, Optimizer, TwoStepPlanner};
+    pub use csqp_simkernel::rng::SimRng;
+}

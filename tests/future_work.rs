@@ -1,0 +1,137 @@
+//! Tests for the paper's §7 future-work extensions implemented here:
+//! concurrent multi-query execution and navigation-based access.
+
+use csqp::catalog::{RelId, SiteId, SystemConfig};
+use csqp::core::{bind, Annotation, BindContext, JoinTree};
+use csqp::engine::ExecutionBuilder;
+use csqp::workload::{single_server_placement, two_way};
+
+fn bound(
+    q: &csqp::catalog::QuerySpec,
+    cat: &csqp::catalog::Catalog,
+    jann: Annotation,
+    sann: Annotation,
+) -> csqp::core::BoundPlan {
+    let plan = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(q, jann, sann);
+    bind(&plan, BindContext { catalog: cat, query_site: SiteId::CLIENT }).unwrap()
+}
+
+#[test]
+fn concurrent_queries_share_resources_and_slow_down() {
+    let q = two_way();
+    let cat = single_server_placement(&q);
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = csqp::catalog::BufAlloc::Max;
+    let qs = bound(&q, &cat, Annotation::InnerRel, Annotation::PrimaryCopy);
+
+    let solo = ExecutionBuilder::new(&q, &cat, &sys).execute(&qs);
+    let duo = ExecutionBuilder::new(&q, &cat, &sys)
+        .execute_many(&[qs.clone(), qs.clone()]);
+
+    assert_eq!(duo.per_query.len(), 2);
+    for out in &duo.per_query {
+        assert_eq!(out.result_tuples, 10_000);
+        // Two identical queries on one server disk: each must take
+        // noticeably longer than running alone…
+        assert!(
+            out.response_time.as_secs_f64() > 1.3 * solo.response_secs(),
+            "shared disk must slow both: {} vs solo {}",
+            out.response_time,
+            solo.response_time
+        );
+        // …but far less than a fully serial schedule would imply for the
+        // *makespan* only; individual queries can't beat solo.
+        assert!(out.response_time.as_secs_f64() >= solo.response_secs());
+    }
+    // Combined traffic doubles.
+    assert_eq!(duo.pages_sent, 2 * solo.pages_sent);
+    // Makespan is at most the serial sum (concurrency must not be worse
+    // than running one after the other, modulo interference effects).
+    assert!(
+        duo.makespan.as_secs_f64() < 2.4 * solo.response_secs(),
+        "makespan {} vs serial {}",
+        duo.makespan,
+        2.0 * solo.response_secs()
+    );
+}
+
+#[test]
+fn mixed_policies_can_run_concurrently() {
+    let q = two_way();
+    let mut cat = single_server_placement(&q);
+    cat.set_cached_fraction(RelId(0), 1.0);
+    cat.set_cached_fraction(RelId(1), 1.0);
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = csqp::catalog::BufAlloc::Max;
+    // One DS query (all client, fully cached) + one QS query (all
+    // server): they barely share resources, so each should run close to
+    // its solo time.
+    let ds = bound(&q, &cat, Annotation::Consumer, Annotation::Client);
+    let qs = bound(&q, &cat, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let solo_ds = ExecutionBuilder::new(&q, &cat, &sys).execute(&ds);
+    let solo_qs = ExecutionBuilder::new(&q, &cat, &sys).execute(&qs);
+    let duo = ExecutionBuilder::new(&q, &cat, &sys).execute_many(&[ds, qs]);
+    assert!(
+        duo.per_query[0].response_time.as_secs_f64() < 1.25 * solo_ds.response_secs(),
+        "DS mostly undisturbed: {} vs {}",
+        duo.per_query[0].response_time,
+        solo_ds.response_time
+    );
+    assert!(
+        duo.per_query[1].response_time.as_secs_f64() < 1.25 * solo_qs.response_secs(),
+        "QS mostly undisturbed: {} vs {}",
+        duo.per_query[1].response_time,
+        solo_qs.response_time
+    );
+}
+
+#[test]
+fn navigation_benefits_from_caching() {
+    let q = two_way();
+    let sys = SystemConfig::default();
+    let steps = 500;
+
+    let cat0 = single_server_placement(&q);
+    let cold = ExecutionBuilder::new(&q, &cat0, &sys)
+        .with_seed(5)
+        .navigate(RelId(0), steps, 0.8);
+
+    let mut cat1 = single_server_placement(&q);
+    cat1.set_cached_fraction(RelId(0), 1.0);
+    let warm = ExecutionBuilder::new(&q, &cat1, &sys)
+        .with_seed(5)
+        .navigate(RelId(0), steps, 0.8);
+
+    // Cold navigation faults every step over the wire.
+    assert_eq!(cold.pages_sent, steps);
+    assert_eq!(cold.control_msgs, steps);
+    // Warm navigation never touches the network or the server.
+    assert_eq!(warm.pages_sent, 0);
+    assert_eq!(warm.disk[1].reads, 0);
+    assert!(
+        warm.response_secs() < 0.7 * cold.response_secs(),
+        "cache must pay off: warm {} vs cold {}",
+        warm.response_secs(),
+        cold.response_secs()
+    );
+}
+
+#[test]
+fn navigation_locality_reduces_cost() {
+    let q = two_way();
+    let mut cat = single_server_placement(&q);
+    cat.set_cached_fraction(RelId(0), 1.0);
+    let sys = SystemConfig::default();
+    let clustered = ExecutionBuilder::new(&q, &cat, &sys)
+        .with_seed(9)
+        .navigate(RelId(0), 800, 1.0);
+    let chasing = ExecutionBuilder::new(&q, &cat, &sys)
+        .with_seed(9)
+        .navigate(RelId(0), 800, 0.0);
+    assert!(
+        clustered.response_secs() < 0.6 * chasing.response_secs(),
+        "sequential references should be much cheaper: {} vs {}",
+        clustered.response_secs(),
+        chasing.response_secs()
+    );
+}

@@ -1,0 +1,87 @@
+//! The per-operator wait breakdown must tell the paper's §4 story about
+//! *where* time goes under each policy.
+
+use csqp::catalog::{BufAlloc, RelId, SiteId, SystemConfig};
+use csqp::core::{bind, Annotation, BindContext, JoinTree};
+use csqp::engine::{ExecutionBuilder, ProcReport};
+use csqp::workload::{single_server_placement, two_way};
+
+fn run(alloc: BufAlloc, jann: Annotation, sann: Annotation) -> Vec<ProcReport> {
+    let q = two_way();
+    let cat = single_server_placement(&q);
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = alloc;
+    let plan = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(&q, jann, sann);
+    let bound = bind(
+        &plan,
+        BindContext { catalog: &cat, query_site: SiteId::CLIENT },
+    )
+    .unwrap();
+    ExecutionBuilder::new(&q, &cat, &sys).execute(&bound).operators
+}
+
+fn find<'a>(ops: &'a [ProcReport], needle: &str) -> &'a ProcReport {
+    ops.iter()
+        .find(|o| o.label.contains(needle))
+        .unwrap_or_else(|| panic!("no operator matching '{needle}'"))
+}
+
+/// §4.2.2: "With minimum allocation, the cost of executing the
+/// hybrid-hash joins is the largest contributing factor to the response
+/// time" — the QS join's dominant wait must be the disk.
+#[test]
+fn min_alloc_qs_join_is_disk_bound() {
+    let ops = run(BufAlloc::Min, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let join = find(&ops, "join@");
+    let w = join.waits;
+    let disk = w.disk + w.drain;
+    assert!(
+        disk > w.cpu && disk > w.wire,
+        "join should wait on disk, not {w:?}"
+    );
+    assert!(disk.as_secs_f64() > 1.0, "substantial spill I/O wait: {w:?}");
+}
+
+/// With maximum allocation the join touches no disk at all; its time is
+/// spent waiting for input pages from the scans.
+#[test]
+fn max_alloc_qs_join_waits_for_input() {
+    let ops = run(BufAlloc::Max, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let join = find(&ops, "join@");
+    let w = join.waits;
+    assert_eq!(w.disk.as_nanos(), 0);
+    assert_eq!(w.drain.as_nanos(), 0);
+    assert!(
+        w.input > w.cpu && w.input > w.wire,
+        "max-alloc join is input-bound: {w:?}"
+    );
+}
+
+/// A data-shipping scan of uncached data spends its life in the fault
+/// RPC: disk (server read) + wire legs dominate.
+#[test]
+fn ds_scan_waits_on_fault_round_trips() {
+    let ops = run(BufAlloc::Max, Annotation::Consumer, Annotation::Client);
+    let scan = find(&ops, "scan R0");
+    let w = scan.waits;
+    let rpc = w.disk + w.wire + w.cpu;
+    assert!(
+        rpc.as_secs_f64() > 0.5,
+        "faulting scan must spend real time in the RPC: {w:?}"
+    );
+    // The scan is never starved for input (it has none) and barely
+    // back-pressured (the client join keeps up).
+    assert_eq!(w.input.as_nanos(), 0);
+}
+
+/// The display of a query-shipping plan waits for input (the result
+/// stream), nothing else.
+#[test]
+fn display_waits_for_results() {
+    let ops = run(BufAlloc::Max, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let display = find(&ops, "display@");
+    let w = display.waits;
+    assert!(w.input.as_secs_f64() > 1.0, "{w:?}");
+    assert_eq!(w.disk.as_nanos(), 0);
+    assert_eq!(w.emit.as_nanos(), 0);
+}

@@ -1,0 +1,121 @@
+//! Property-based integration tests: random plans and random scenarios
+//! through the whole stack (plan → policy check → bind → cost → engine).
+
+use csqp::catalog::{Catalog, Estimator, SiteId, SystemConfig};
+use csqp::core::{bind, is_well_formed, BindContext, Policy};
+use csqp::engine::ExecutionBuilder;
+use csqp::optimizer::random_plan;
+use csqp::simkernel::rng::SimRng;
+use csqp::workload::{chain_query, star_query, MODERATE_SEL};
+use proptest::prelude::*;
+
+fn placement(query: &csqp::catalog::QuerySpec, servers: u32, seed: u64) -> Catalog {
+    let mut rng = SimRng::seed_from_u64(seed);
+    csqp::workload::random_placement(query, servers, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random hybrid plan over a chain query binds, executes, ships a
+    /// non-negative page count, and displays exactly the estimated result
+    /// cardinality.
+    #[test]
+    fn random_hybrid_plans_execute_correctly(
+        n in 2u32..6,
+        servers in 1u32..3,
+        seed in 0u64..1000,
+        cached in 0u8..3,
+    ) {
+        let query = chain_query(n, MODERATE_SEL);
+        let servers = servers.min(n);
+        let mut catalog = placement(&query, servers, seed);
+        csqp::workload::cache_all(&mut catalog, &query, cached as f64 * 0.5);
+        let sys = SystemConfig::default();
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&query, Policy::HybridShipping, &mut rng);
+        prop_assert!(is_well_formed(&plan));
+        prop_assert_eq!(plan.validate_structure(&query), Ok(()));
+        prop_assert_eq!(Policy::HybridShipping.validate(&plan), Ok(()));
+
+        let bound = bind(
+            &plan,
+            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        ).unwrap();
+        let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
+
+        let est = Estimator::new(&query, &sys);
+        let expect = est.tuples_int(query.all_rels());
+        let diff = (m.result_tuples as i64 - expect as i64).abs();
+        prop_assert!(diff <= 2, "result {} vs estimate {expect}", m.result_tuples);
+        prop_assert!(m.response_time.as_nanos() > 0);
+    }
+
+    /// Data-shipping plans never use server CPU or disks beyond the scans
+    /// they fault from, regardless of the query shape.
+    #[test]
+    fn ds_plans_only_fault_from_servers(
+        n in 2u32..6,
+        seed in 0u64..500,
+    ) {
+        let query = star_query(n, MODERATE_SEL);
+        let catalog = placement(&query, 1, seed);
+        let sys = SystemConfig::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&query, Policy::DataShipping, &mut rng);
+        let bound = bind(
+            &plan,
+            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        ).unwrap();
+        let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
+        // Server disk only reads base pages — never writes (no join temp).
+        prop_assert_eq!(m.disk[1].writes, 0);
+        prop_assert_eq!(m.disk[1].reads, 250 * n as u64);
+        // Everything was faulted: pages sent = all base pages.
+        prop_assert_eq!(m.pages_sent, 250 * n as u64);
+    }
+
+    /// Query-shipping never touches the client disk and ships exactly the
+    /// result (single server, no inter-server transfers possible).
+    #[test]
+    fn qs_single_server_ships_result_only(
+        n in 2u32..6,
+        seed in 0u64..500,
+    ) {
+        let query = chain_query(n, MODERATE_SEL);
+        let catalog = placement(&query, 1, seed);
+        let sys = SystemConfig::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&query, Policy::QueryShipping, &mut rng);
+        let bound = bind(
+            &plan,
+            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        ).unwrap();
+        let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
+        prop_assert_eq!(m.disk[0].reads + m.disk[0].writes, 0);
+        prop_assert_eq!(m.pages_sent, 250);
+    }
+
+    /// Binding commutes with migration: rebinding the same annotated plan
+    /// under a different placement moves primary-copy scans with their
+    /// relations.
+    #[test]
+    fn rebinding_follows_migration(
+        n in 2u32..6,
+        seed in 0u64..500,
+    ) {
+        let query = chain_query(n, MODERATE_SEL);
+        let before = placement(&query, 2.min(n), seed);
+        let after = placement(&query, 2.min(n), seed + 17);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&query, Policy::QueryShipping, &mut rng);
+        let b1 = bind(&plan, BindContext { catalog: &before, query_site: SiteId::CLIENT }).unwrap();
+        let b2 = bind(&plan, BindContext { catalog: &after, query_site: SiteId::CLIENT }).unwrap();
+        for scan in plan.scan_nodes() {
+            let csqp::core::LogicalOp::Scan { rel } = plan.node(scan).op else { unreachable!() };
+            prop_assert_eq!(b1.site(scan), before.primary_site(rel));
+            prop_assert_eq!(b2.site(scan), after.primary_site(rel));
+        }
+    }
+}
