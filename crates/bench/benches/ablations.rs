@@ -11,7 +11,11 @@
 //! * **hybrid restart seeding** — pure-policy II starts are what
 //!   guarantee hybrid-shipping never trails a pure policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// Bench targets get the same panic-on-broken-setup latitude as tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_bench::harness::Criterion;
+use csqp_bench::{criterion_group, criterion_main};
 use csqp_catalog::{SiteId, SystemConfig};
 use csqp_core::Policy;
 use csqp_cost::{CostModel, Objective};
@@ -24,7 +28,14 @@ use csqp_workload::{single_server_placement, two_way};
 /// Serve one request synchronously; returns the completion time.
 fn serve(d: &mut Disk<()>, now: SimTime, addr: u64, kind: IoKind) -> SimTime {
     let fin = d
-        .submit(now, DiskRequest { addr: DiskAddr(addr), kind, token: () })
+        .submit(
+            now,
+            DiskRequest {
+                addr: DiskAddr(addr),
+                kind,
+                token: (),
+            },
+        )
         .expect("idle");
     let (_, next) = d.finish_current(fin);
     assert!(next.is_none());
@@ -45,7 +56,11 @@ fn ablation_cache_segments(c: &mut Criterion) {
         now.as_secs_f64() * 1e3 / 400.0
     };
     println!("== ablation: controller cache segments (ms/page, 2 interleaved streams)");
-    println!("   1 segment: {:.2} ms   4 segments: {:.2} ms", run(1), run(4));
+    println!(
+        "   1 segment: {:.2} ms   4 segments: {:.2} ms",
+        run(1),
+        run(4)
+    );
     c.bench_function("ablation_cache_segments", |b| {
         b.iter(|| std::hint::black_box(run(1)))
     });
@@ -87,12 +102,7 @@ fn ablation_hybrid_seeding(c: &mut Criterion) {
     let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
     println!("== ablation: hybrid search quality (pages sent at 75% cached)");
     for policy in Policy::ALL {
-        let opt = Optimizer::new(
-            &model,
-            policy,
-            Objective::Communication,
-            OptConfig::fast(),
-        );
+        let opt = Optimizer::new(&model, policy, Objective::Communication, OptConfig::fast());
         let mut rng = SimRng::seed_from_u64(21);
         let cost = opt.optimize(&query, &mut rng).cost;
         println!("   {}: {:.0}", policy.short(), cost);
@@ -120,7 +130,12 @@ fn ablation_min_vs_max_alloc(c: &mut Criterion) {
     let run = |alloc: BufAlloc| -> f64 {
         let mut sys = SystemConfig::default();
         sys.buf_alloc = alloc;
-        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        let scenario = Scenario {
+            query: &query,
+            catalog: &catalog,
+            sys: &sys,
+            loads: &[],
+        };
         scenario
             .optimize_and_run(
                 Policy::QueryShipping,
@@ -131,7 +146,11 @@ fn ablation_min_vs_max_alloc(c: &mut Criterion) {
             .response_secs()
     };
     println!("== ablation: join memory allocation (QS simulated response time)");
-    println!("   min: {:.2} s   max: {:.2} s", run(BufAlloc::Min), run(BufAlloc::Max));
+    println!(
+        "   min: {:.2} s   max: {:.2} s",
+        run(BufAlloc::Min),
+        run(BufAlloc::Max)
+    );
     c.bench_function("ablation_min_vs_max_alloc", |b| {
         b.iter(|| std::hint::black_box(run(BufAlloc::Max)))
     });
@@ -154,7 +173,12 @@ fn ablation_dp_vs_randomized_compile(c: &mut Criterion) {
         config: OptConfig::fast(),
     };
     let mut rng = SimRng::seed_from_u64(77);
-    let rnd_plan = planner.compile(&query, &sys, CompileTimeAssumption::FullyDistributed, &mut rng);
+    let rnd_plan = planner.compile(
+        &query,
+        &sys,
+        CompileTimeAssumption::FullyDistributed,
+        &mut rng,
+    );
     // Extract the randomized plan's join tree shape cost via its rel sets.
     fn tree_of(plan: &csqp_core::Plan, id: csqp_core::NodeId) -> Option<csqp_core::JoinTree> {
         use csqp_core::{JoinTree, LogicalOp};

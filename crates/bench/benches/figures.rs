@@ -5,8 +5,12 @@
 //! `csqp-experiments` binary for the full-quality numbers) — and then
 //! times a representative unit of the work behind it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// Bench targets get the same panic-on-broken-setup latitude as tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_bench::harness::Criterion;
 use csqp_bench::{bench_context, two_way_unit};
+use csqp_bench::{criterion_group, criterion_main};
 use csqp_core::Policy;
 use csqp_cost::Objective;
 use csqp_experiments::run_by_id;
@@ -92,8 +96,12 @@ fn bench_ten_way_figures(c: &mut Criterion) {
         let opt = ctx.opt.clone();
         c.bench_function(id, |b| {
             b.iter(|| {
-                let scenario =
-                    Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+                let scenario = Scenario {
+                    query: &query,
+                    catalog: &catalog,
+                    sys: &sys,
+                    loads: &[],
+                };
                 std::hint::black_box(scenario.optimize_and_run(policy, objective, &opt, 9))
             })
         });

@@ -5,6 +5,9 @@
 //! visible.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod harness;
 
 use csqp_catalog::{Catalog, SystemConfig};
 use csqp_core::Policy;
@@ -28,7 +31,12 @@ pub fn two_way_unit(policy: Policy, objective: Objective, seed: u64) -> Executio
     let query = two_way();
     let catalog: Catalog = single_server_placement(&query);
     let sys = SystemConfig::default();
-    let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+    let scenario = Scenario {
+        query: &query,
+        catalog: &catalog,
+        sys: &sys,
+        loads: &[],
+    };
     scenario.optimize_and_run(policy, objective, &bench_context().opt, seed)
 }
 

@@ -16,7 +16,7 @@
 //! | MoveInst   | 1     | instructions to copy 4 bytes                |
 //! | BufAlloc   | min/max | buffer allocated to a join (Shapiro)      |
 
-use serde::{Deserialize, Serialize};
+use csqp_json::{obj, Json, JsonError};
 
 /// Join buffer allocation policy, after Shapiro [Sha86] (§3.2.2, §4.1).
 ///
@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 ///   main memory (`⌈F·N⌉` frames for an `N`-page inner, fudge `F = 1.2`).
 /// * `Min` reserves `⌈F·√N⌉` frames and forces the inner and outer to be
 ///   split into partitions spilled to temporary storage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufAlloc {
     /// Minimum allocation: `⌈F·√N⌉` frames, partitions spill to disk.
     Min,
@@ -34,7 +34,7 @@ pub enum BufAlloc {
 
 /// The complete system configuration (Table 2) plus the two calibrated
 /// per-page disk costs the optimizer's cost model uses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// CPU speed in millions of instructions per second (`Mips`).
     pub mips: u64,
@@ -123,6 +123,80 @@ impl SystemConfig {
     pub fn move_tuple_instr(&self, tuple_bytes: u32) -> u64 {
         self.move_inst * (tuple_bytes as u64).div_ceil(4)
     }
+
+    /// Serialize to a flat JSON object (the persistence format for
+    /// experiment configurations).
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("mips", Json::from(self.mips)),
+            ("num_disks", Json::from(self.num_disks)),
+            ("disk_inst", Json::from(self.disk_inst)),
+            ("page_size", Json::from(self.page_size)),
+            ("net_bw_mbit", Json::from(self.net_bw_mbit)),
+            ("msg_inst", Json::from(self.msg_inst)),
+            ("per_size_mi", Json::from(self.per_size_mi)),
+            ("display_inst", Json::from(self.display_inst)),
+            ("compare_inst", Json::from(self.compare_inst)),
+            ("hash_inst", Json::from(self.hash_inst)),
+            ("move_inst", Json::from(self.move_inst)),
+            (
+                "buf_alloc",
+                Json::from(match self.buf_alloc {
+                    BufAlloc::Min => "min",
+                    BufAlloc::Max => "max",
+                }),
+            ),
+            ("fudge", Json::from(self.fudge)),
+            ("disk_seq_page_ms", Json::from(self.disk_seq_page_ms)),
+            ("disk_rand_page_ms", Json::from(self.disk_rand_page_ms)),
+        ])
+        .render()
+    }
+
+    /// Parse a configuration stored with [`SystemConfig::to_json`].
+    pub fn from_json(json: &str) -> Result<SystemConfig, JsonError> {
+        let doc = Json::parse(json)?;
+        let u64_of = |k: &str| -> Result<u64, JsonError> {
+            doc.field(k)?
+                .as_u64()
+                .ok_or_else(|| JsonError::decode(k, "expected a non-negative integer"))
+        };
+        let f64_of = |k: &str| -> Result<f64, JsonError> {
+            doc.field(k)?
+                .as_f64()
+                .ok_or_else(|| JsonError::decode(k, "expected a number"))
+        };
+        let buf_alloc = match doc.field("buf_alloc")?.as_str() {
+            Some("min") => BufAlloc::Min,
+            Some("max") => BufAlloc::Max,
+            _ => {
+                return Err(JsonError::decode(
+                    "buf_alloc",
+                    "expected \"min\" or \"max\"",
+                ))
+            }
+        };
+        let u32_of = |k: &str| -> Result<u32, JsonError> {
+            u32::try_from(u64_of(k)?).map_err(|_| JsonError::decode(k, "value out of u32 range"))
+        };
+        Ok(SystemConfig {
+            mips: u64_of("mips")?,
+            num_disks: u32_of("num_disks")?,
+            disk_inst: u64_of("disk_inst")?,
+            page_size: u32_of("page_size")?,
+            net_bw_mbit: u64_of("net_bw_mbit")?,
+            msg_inst: u64_of("msg_inst")?,
+            per_size_mi: u64_of("per_size_mi")?,
+            display_inst: u64_of("display_inst")?,
+            compare_inst: u64_of("compare_inst")?,
+            hash_inst: u64_of("hash_inst")?,
+            move_inst: u64_of("move_inst")?,
+            buf_alloc,
+            fudge: f64_of("fudge")?,
+            disk_seq_page_ms: f64_of("disk_seq_page_ms")?,
+            disk_rand_page_ms: f64_of("disk_rand_page_ms")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -181,10 +255,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let c = SystemConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+    fn json_round_trip() {
+        let mut c = SystemConfig::default();
+        let back = SystemConfig::from_json(&c.to_json()).unwrap();
         assert_eq!(c, back);
+        // The non-default BufAlloc arm survives too.
+        c.buf_alloc = BufAlloc::Max;
+        let back = SystemConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_rejects_bad_documents() {
+        assert!(SystemConfig::from_json("{").is_err());
+        assert!(SystemConfig::from_json("{}").is_err());
+        let bad = SystemConfig::default()
+            .to_json()
+            .replace("\"min\"", "\"typo\"");
+        assert!(SystemConfig::from_json(&bad).is_err());
     }
 }

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a base relation within a catalog.
 ///
 /// Relation ids are dense (0..n) so they can index bitsets ([`crate::RelSet`])
 /// and vectors directly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelId(pub u32);
 
 impl RelId {
@@ -36,7 +34,7 @@ impl fmt::Display for RelId {
 /// By convention site 0 is the client at which queries are submitted and
 /// displayed; sites `1..=num_servers` are servers holding primary copies.
 /// (The study models a single client, §3.2.1.)
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u32);
 
 impl SiteId {

@@ -7,6 +7,7 @@
 //! plans. Everything else (plans, cost model, engine) builds on it.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cardinality;
 pub mod config;

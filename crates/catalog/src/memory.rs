@@ -72,20 +72,61 @@ pub fn hybrid_hash_plan(inner_pages: u64, mem_frames: u64, f: f64) -> HashPlan {
     // allocation boundary (e.g. 11 pages into 4 frames); one frame of slack
     // is allowed there — a real system would recursively partition, and at
     // our scales the modeling difference is below one page of I/O.
+    //
+    // The scan starts at a sound lower bound rather than at 1: any fit
+    // needs `ceil(spilled/b) * f <= mem_frames`, and spilled volume only
+    // grows with B, so `b >= spilled(B=1) * f / mem_frames` is necessary.
+    // Without the jump-start the scan is linear in `mem_frames`, which for
+    // the Cartesian-product intermediates a random plan walk can produce
+    // (u64-saturated page counts, billions of granted frames) turns one
+    // cost evaluation into seconds of spinning.
+    let spilled_at_min_b = {
+        let resident = ((mem_frames - 1) as f64 / f).floor() as u64;
+        inner_pages - resident.min(inner_pages)
+    };
+    let b_lo = ((spilled_at_min_b as f64 * f / mem_frames as f64).floor() as u64).max(1);
+    if let (Some(fit), _) = scan_partition_counts(inner_pages, mem_frames, f, b_lo) {
+        return fit;
+    }
+    // No exact fit above the bound: by the bound's derivation no B fits at
+    // all, so fall back to the full scan purely to reproduce the original
+    // slack-fallback choice over every split. This only happens at small
+    // frame counts, where the scan is cheap.
+    let (fit, fallback) = scan_partition_counts(inner_pages, mem_frames, f, 1);
+    // Invariant, not an error path: with `b_start == 1` and
+    // `mem_frames >= 3` (asserted above) the scan always produces at least
+    // one candidate split.
+    #[allow(clippy::expect_used)]
+    fit.or(fallback)
+        .expect("mem_frames >= 3 guarantees at least one candidate split")
+}
+
+/// Scan partition counts `b_start..mem_frames` for the smallest exact-fit
+/// split (first return slot); when none fits, the second slot carries the
+/// most even split seen (the documented one-frame-slack fallback).
+fn scan_partition_counts(
+    inner_pages: u64,
+    mem_frames: u64,
+    f: f64,
+    b_start: u64,
+) -> (Option<HashPlan>, Option<HashPlan>) {
     let mut fallback: Option<HashPlan> = None;
-    for b in 1..mem_frames {
+    for b in b_start..mem_frames {
         let resident_frames = mem_frames - b;
         let resident_pages = (resident_frames as f64 / f).floor() as u64;
         let resident_pages = resident_pages.min(inner_pages);
         let spilled = inner_pages - resident_pages;
         if spilled == 0 {
-            return HashPlan {
-                mem_frames,
-                spill_partitions: 0,
-                resident_inner_pages: inner_pages,
-                spilled_inner_pages: 0,
-                partition_pages: 0,
-            };
+            return (
+                Some(HashPlan {
+                    mem_frames,
+                    spill_partitions: 0,
+                    resident_inner_pages: inner_pages,
+                    spilled_inner_pages: 0,
+                    partition_pages: 0,
+                }),
+                None,
+            );
         }
         let part = spilled.div_ceil(b);
         let plan = HashPlan {
@@ -96,7 +137,7 @@ pub fn hybrid_hash_plan(inner_pages: u64, mem_frames: u64, f: f64) -> HashPlan {
             partition_pages: part,
         };
         if (part as f64) * f <= mem_frames as f64 {
-            return plan;
+            return (Some(plan), None);
         }
         // Track the most even split seen as the slack fallback.
         match &fallback {
@@ -104,13 +145,62 @@ pub fn hybrid_hash_plan(inner_pages: u64, mem_frames: u64, f: f64) -> HashPlan {
             _ => fallback = Some(plan),
         }
     }
-    fallback.expect("mem_frames >= 3 guarantees at least one candidate split")
+    (None, fallback)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The pre-jump-start planner: scan every partition count from 1.
+    fn reference_plan(inner: u64, m: u64, f: f64) -> HashPlan {
+        if (inner as f64) * f <= m as f64 {
+            return hybrid_hash_plan(inner, m, f);
+        }
+        let (fit, fallback) = scan_partition_counts(inner, m, f, 1);
+        fit.or(fallback).expect("at least one candidate split")
+    }
+
+    #[test]
+    fn jump_start_matches_full_scan() {
+        // The lower-bound jump-start must be behavior-preserving: sweep a
+        // dense grid of (inner, frames) including the no-exact-fit slack
+        // boundary cases, and compare against the scan-from-1 reference.
+        for inner in 1..200u64 {
+            for m in 3..48u64 {
+                for f in [1.0, 1.2, 1.7] {
+                    assert_eq!(
+                        hybrid_hash_plan(inner, m, f),
+                        reference_plan(inner, m, f),
+                        "inner={inner} m={m} f={f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn astronomical_inputs_plan_quickly() {
+        // A random plan walk can hand the cost model Cartesian-product
+        // intermediates whose page counts saturate u64; planning the join
+        // must stay O(1)-ish, not scan billions of frame counts.
+        let f = 1.2;
+        let inner = u64::MAX / 2;
+        let mut cfg = SystemConfig::default();
+        cfg.buf_alloc = BufAlloc::Min;
+        let m = join_memory(&cfg, inner);
+        let t = std::time::Instant::now();
+        let plan = hybrid_hash_plan(inner, m, f);
+        assert!(
+            t.elapsed() < std::time::Duration::from_millis(200),
+            "planner scanned instead of jumping: {:?}",
+            t.elapsed()
+        );
+        assert_eq!(plan.resident_inner_pages + plan.spilled_inner_pages, inner);
+        assert!(plan.spill_partitions > 0 && plan.spill_partitions < m);
+        assert!(plan.partition_pages * plan.spill_partitions >= plan.spilled_inner_pages);
+    }
 
     #[test]
     fn max_allocation_never_spills() {
@@ -134,10 +224,7 @@ mod tests {
         assert!(plan.spill_partitions > 0);
         // Nearly all of the inner spills: only a few pages stay resident.
         assert!(plan.resident_inner_pages < 10, "{plan:?}");
-        assert_eq!(
-            plan.resident_inner_pages + plan.spilled_inner_pages,
-            250
-        );
+        assert_eq!(plan.resident_inner_pages + plan.spilled_inner_pages, 250);
         // Each spilled partition must fit on re-read.
         assert!((plan.partition_pages as f64) * cfg.fudge <= m as f64);
     }

@@ -7,12 +7,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{RelId, SiteId};
 
 /// Physical placement: primary-copy sites, cached fractions, topology size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     num_servers: u32,
     /// Primary-copy server per relation.

@@ -5,8 +5,6 @@
 //! orders + site annotations) live in `csqp-core`; this crate only provides
 //! the graph and the [`RelSet`] bitset used for cardinality estimation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::RelId;
 use crate::schema::Relation;
 
@@ -14,7 +12,7 @@ use crate::schema::Relation;
 ///
 /// Supports up to 64 relations per query, far beyond the paper's 10-way
 /// joins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RelSet(pub u64);
 
 impl RelSet {
@@ -60,13 +58,15 @@ impl RelSet {
 
     /// Iterate over member relation ids in increasing order.
     pub fn iter(self) -> impl Iterator<Item = RelId> {
-        (0..64u32).filter(move |i| (self.0 >> i) & 1 == 1).map(RelId)
+        (0..64u32)
+            .filter(move |i| (self.0 >> i) & 1 == 1)
+            .map(RelId)
     }
 }
 
 /// One edge of the join graph: an equijoin between two relations with the
 /// given selectivity (result cardinality = sel × |L| × |R|).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinEdge {
     /// One endpoint.
     pub a: RelId,
@@ -91,7 +91,7 @@ impl JoinEdge {
 /// folded into the convention that all intermediate tuples are projected to
 /// the base tuple width (§3.3), and selections are per-relation predicates
 /// with a selectivity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// The relations referenced by the query (dense ids 0..n).
     pub relations: Vec<Relation>,
@@ -103,7 +103,6 @@ pub struct QuerySpec {
     /// Optional grouped aggregation of the query result (number of
     /// groups). The paper's footnote 4 notes that aggregations are
     /// annotated like selections; we support one over the final result.
-    #[serde(default)]
     pub aggregate_groups: Option<u64>,
 }
 
@@ -116,7 +115,10 @@ impl QuerySpec {
             assert_eq!(r.id.index(), i, "relation ids must be dense 0..n");
         }
         for e in &edges {
-            assert!(e.a.index() < n && e.b.index() < n, "edge endpoint out of range");
+            assert!(
+                e.a.index() < n && e.b.index() < n,
+                "edge endpoint out of range"
+            );
             assert!(e.a != e.b, "self-join edges are not supported");
             assert!(
                 e.selectivity > 0.0 && e.selectivity <= 1.0,
@@ -200,8 +202,16 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = vec![
-            JoinEdge { a: RelId(0), b: RelId(1), selectivity: 1e-4 },
-            JoinEdge { a: RelId(1), b: RelId(2), selectivity: 1e-4 },
+            JoinEdge {
+                a: RelId(0),
+                b: RelId(1),
+                selectivity: 1e-4,
+            },
+            JoinEdge {
+                a: RelId(1),
+                b: RelId(2),
+                selectivity: 1e-4,
+            },
         ];
         QuerySpec::new(rels, edges)
     }
@@ -267,7 +277,11 @@ mod tests {
             .collect();
         QuerySpec::new(
             rels,
-            vec![JoinEdge { a: RelId(0), b: RelId(1), selectivity: 0.0 }],
+            vec![JoinEdge {
+                a: RelId(0),
+                b: RelId(1),
+                selectivity: 0.0,
+            }],
         );
     }
 }

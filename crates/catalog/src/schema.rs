@@ -1,7 +1,5 @@
 //! Base relations and their statistics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::RelId;
 
 /// A base relation with the statistics the cost model and engine need.
@@ -10,7 +8,7 @@ use crate::ids::RelId;
 /// (§3.3); with 4096-byte pages that is 40 tuples per page and exactly 250
 /// pages per relation — the page counts quoted throughout §4 (500 pages for
 /// two relations, 2500 for ten) follow from this.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     /// Dense relation id.
     pub id: RelId,

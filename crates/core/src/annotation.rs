@@ -8,10 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A logical site annotation on a plan operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Annotation {
     /// Run at the site where the query was submitted.
     Client,
@@ -55,6 +53,22 @@ impl Annotation {
             Annotation::OuterRel => "outer relation",
             Annotation::PrimaryCopy => "primary copy",
         }
+    }
+
+    /// Every annotation, in declaration order.
+    pub const ALL: [Annotation; 6] = [
+        Annotation::Client,
+        Annotation::Consumer,
+        Annotation::Producer,
+        Annotation::InnerRel,
+        Annotation::OuterRel,
+        Annotation::PrimaryCopy,
+    ];
+
+    /// Parse a compact tag produced by [`Annotation::tag`] (the plan JSON
+    /// encoding).
+    pub fn from_tag(tag: &str) -> Option<Annotation> {
+        Annotation::ALL.into_iter().find(|a| a.tag() == tag)
     }
 
     /// A compact tag used in one-line plan renderings.

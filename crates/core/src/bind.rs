@@ -35,6 +35,16 @@ pub enum BindError {
         /// Nodes left unresolved when the fixpoint stalled.
         unresolved: Vec<NodeId>,
     },
+    /// The plan is structurally broken: an annotation refers to a child
+    /// slot or parent that does not exist. `Plan::validate_structure`
+    /// catches these before binding; this arm reports them instead of
+    /// panicking when a caller skips validation.
+    Malformed {
+        /// The node whose annotation could not be resolved.
+        node: NodeId,
+        /// What was missing.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BindError {
@@ -46,6 +56,9 @@ impl fmt::Display for BindError {
                 unresolved.len(),
                 unresolved
             ),
+            BindError::Malformed { node, reason } => {
+                write!(f, "malformed plan at {node:?}: {reason}")
+            }
         }
     }
 }
@@ -86,6 +99,15 @@ impl BoundPlan {
         s
     }
 
+    /// Render `child`, or a `?` placeholder when the slot is empty — a
+    /// renderer must not panic even on a plan that lost an input.
+    fn render_child(&self, child: Option<NodeId>, out: &mut String) {
+        match child {
+            Some(c) => self.render_node(c, out),
+            None => out.push('?'),
+        }
+    }
+
     fn render_node(&self, id: NodeId, out: &mut String) {
         use fmt::Write;
         let n = self.plan.node(id);
@@ -93,24 +115,24 @@ impl BoundPlan {
         match n.op {
             LogicalOp::Display => {
                 let _ = write!(out, "(display@{site} ");
-                self.render_node(n.children[0].unwrap(), out);
+                self.render_child(n.children[0], out);
                 out.push(')');
             }
             LogicalOp::Join => {
                 let _ = write!(out, "(join@{site} ");
-                self.render_node(n.children[0].unwrap(), out);
+                self.render_child(n.children[0], out);
                 out.push(' ');
-                self.render_node(n.children[1].unwrap(), out);
+                self.render_child(n.children[1], out);
                 out.push(')');
             }
             LogicalOp::Select { rel } => {
                 let _ = write!(out, "(select {rel}@{site} ");
-                self.render_node(n.children[0].unwrap(), out);
+                self.render_child(n.children[0], out);
                 out.push(')');
             }
             LogicalOp::Aggregate { groups } => {
                 let _ = write!(out, "(agg {groups}@{site} ");
-                self.render_node(n.children[0].unwrap(), out);
+                self.render_child(n.children[0], out);
                 out.push(')');
             }
             LogicalOp::Scan { rel } => {
@@ -172,12 +194,28 @@ pub fn bind(plan: &Plan, ctx: BindContext<'_>) -> Result<BoundPlan, BindError> {
             }
             let n = plan.node(id);
             let referent = match n.ann {
-                Annotation::Consumer => parents[id.index()].map(|(p, _)| p),
-                ann => ann
-                    .points_down_at()
-                    .map(|slot| n.children[slot].expect("validated arity")),
+                Annotation::Consumer => match parents[id.index()] {
+                    Some((p, _)) => p,
+                    None => {
+                        return Err(BindError::Malformed {
+                            node: id,
+                            reason: "'consumer' annotation on the root: no parent to follow".into(),
+                        })
+                    }
+                },
+                ann => match ann.points_down_at().and_then(|slot| n.children[slot]) {
+                    Some(c) => c,
+                    None => {
+                        return Err(BindError::Malformed {
+                            node: id,
+                            reason: format!(
+                                "annotation '{ann}' on {:?} has no child to follow",
+                                n.op
+                            ),
+                        })
+                    }
+                },
             };
-            let referent = referent.expect("non-root consumer or down-pointing annotation");
             if let Some(site) = sites[referent.index()] {
                 sites[id.index()] = Some(site);
                 progress = true;
@@ -217,7 +255,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -239,8 +281,14 @@ mod tests {
             Annotation::Consumer,
             Annotation::Client,
         );
-        let bound = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let bound = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         for id in plan.postorder() {
             assert!(bound.site(id).is_client());
         }
@@ -256,11 +304,19 @@ mod tests {
             Annotation::InnerRel,
             Annotation::PrimaryCopy,
         );
-        let bound = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let bound = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         // Scans at their primary copies.
         for scan in plan.scan_nodes() {
-            let LogicalOp::Scan { rel } = plan.node(scan).op else { unreachable!() };
+            let LogicalOp::Scan { rel } = plan.node(scan).op else {
+                unreachable!()
+            };
             assert_eq!(bound.site(scan), cat.primary_site(rel));
         }
         // Left-deep with inner-relation annotations: every join follows
@@ -282,8 +338,14 @@ mod tests {
             Annotation::OuterRel,
             Annotation::PrimaryCopy,
         );
-        let bound = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let bound = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         let join = plan.join_nodes()[0];
         assert_eq!(bound.site(join), SiteId::server(2));
     }
@@ -299,8 +361,14 @@ mod tests {
             Annotation::Consumer,
             Annotation::PrimaryCopy,
         );
-        let bound = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let bound = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         let join = plan.join_nodes()[0];
         assert!(bound.site(join).is_client());
         assert!(bound.render().contains("(scan R0@server1)"));
@@ -320,10 +388,42 @@ mod tests {
         // top join points down at bottom join; bottom join points up.
         plan.node_mut(joins[1]).ann = Annotation::InnerRel;
         plan.node_mut(joins[0]).ann = Annotation::Consumer;
-        let err = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap_err();
-        let BindError::Cycle { unresolved } = err;
+        let err = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap_err();
+        let BindError::Cycle { unresolved } = err else {
+            panic!("expected a cycle, got {err}");
+        };
         assert_eq!(unresolved.len(), 2);
+    }
+
+    #[test]
+    fn malformed_plan_is_reported_not_panicked() {
+        use crate::plan::{LogicalOp, PlanNode};
+        // A lone join with a down-pointing annotation but no children:
+        // binding must return Malformed instead of panicking.
+        let cat = catalog_two_servers();
+        let mut plan = Plan::from_parts(Vec::new(), NodeId(0));
+        let j = plan.push(PlanNode {
+            op: LogicalOp::Join,
+            ann: Annotation::InnerRel,
+            children: [None, None],
+        });
+        let plan = Plan::from_parts(vec![plan.node(j).clone()], j);
+        let err = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BindError::Malformed { .. }), "{err}");
     }
 
     #[test]
@@ -339,13 +439,25 @@ mod tests {
         let mut cat = Catalog::new(2);
         cat.place(RelId(0), SiteId::server(1));
         cat.place(RelId(1), SiteId::server(2));
-        let b1 = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let b1 = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         assert_eq!(b1.site(plan.join_nodes()[0]), SiteId::server(1));
         // Migrate R0 to server 2: the join follows.
         cat.place(RelId(0), SiteId::server(2));
-        let b2 = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT })
-            .unwrap();
+        let b2 = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         assert_eq!(b2.site(plan.join_nodes()[0]), SiteId::server(2));
     }
 }

@@ -137,7 +137,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -161,7 +165,8 @@ mod tests {
     fn balanced_shape() {
         let q = chain(4);
         let order: Vec<RelId> = (0..4).map(RelId).collect();
-        let p = JoinTree::balanced(&order).into_plan(&q, Annotation::InnerRel, Annotation::PrimaryCopy);
+        let p =
+            JoinTree::balanced(&order).into_plan(&q, Annotation::InnerRel, Annotation::PrimaryCopy);
         p.validate_structure(&q).unwrap();
         assert_eq!(
             p.render_compact(),

@@ -23,10 +23,12 @@
 //!   explicit join trees) used by the optimizer and the tests.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod annotation;
 pub mod bind;
 pub mod builder;
+pub mod diag;
 pub mod plan;
 pub mod policy;
 pub mod wellformed;
@@ -34,6 +36,7 @@ pub mod wellformed;
 pub use annotation::Annotation;
 pub use bind::{bind, BindContext, BindError, BoundPlan};
 pub use builder::JoinTree;
+pub use diag::{DiagCode, Diagnostic};
 pub use plan::{LogicalOp, NodeId, Plan};
 pub use policy::Policy;
-pub use wellformed::is_well_formed;
+pub use wellformed::{check_well_formed, is_well_formed};

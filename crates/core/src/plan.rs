@@ -14,12 +14,13 @@
 use std::fmt;
 
 use csqp_catalog::{QuerySpec, RelId, RelSet};
-use serde::{Deserialize, Serialize};
+use csqp_json::{Json, JsonError};
 
 use crate::annotation::Annotation;
+use crate::diag::{DiagCode, Diagnostic};
 
 /// Index of a node within its [`Plan`] arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -33,7 +34,7 @@ impl NodeId {
 /// A query operator (§2.1). The join method is always hybrid hash
 /// (§3.2.2: "All joins are processed using hybrid hashing"), with child 0
 /// the inner (build) input and child 1 the outer (probe) input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LogicalOp {
     /// Root: present results at the query site.
     Display,
@@ -89,7 +90,7 @@ impl LogicalOp {
 }
 
 /// One node of a plan: operator, annotation, children.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanNode {
     /// The operator.
     pub op: LogicalOp,
@@ -107,7 +108,7 @@ impl PlanNode {
 }
 
 /// An annotated query plan: an arena of nodes plus the root (display).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Plan {
     nodes: Vec<PlanNode>,
     root: NodeId,
@@ -232,14 +233,15 @@ impl Plan {
         for old in &order {
             let mut n = self.node(*old).clone();
             for c in n.children.iter_mut() {
-                if let Some(cid) = c {
-                    *c = Some(remap[cid.index()].expect("reachable child"));
-                }
+                // Children of reachable nodes are reachable, so the remap
+                // entry is always present.
+                *c = c.and_then(|cid| remap[cid.index()]);
             }
             nodes.push(n);
         }
+        // Postorder visits the root last, so it lands in the final slot.
         Plan {
-            root: remap[self.root.index()].expect("root reachable"),
+            root: NodeId((order.len() - 1) as u32),
             nodes,
         }
     }
@@ -251,53 +253,82 @@ impl Plan {
     /// * every base relation of the query is scanned exactly once;
     /// * select nodes sit over the scan of their own relation;
     /// * join children cover disjoint relation sets.
-    pub fn validate_structure(&self, query: &QuerySpec) -> Result<(), String> {
+    pub fn validate_structure(&self, query: &QuerySpec) -> Result<(), Diagnostic> {
         let root = self.node(self.root);
         if root.op != LogicalOp::Display {
-            return Err("root is not a display operator".into());
+            return Err(Diagnostic::new(
+                DiagCode::RootNotDisplay,
+                format!("root is {:?}, not a display operator", root.op),
+            ));
         }
         let mut scanned = RelSet::EMPTY;
         for id in self.postorder() {
             let n = self.node(id);
             let have = n.child_ids().count();
             if have != n.op.arity() {
-                return Err(format!(
-                    "node {id:?} ({:?}) has {have} children, wants {}",
-                    n.op,
-                    n.op.arity()
+                return Err(Diagnostic::at(
+                    DiagCode::BadArity,
+                    self,
+                    id,
+                    format!("{:?} has {have} children, wants {}", n.op, n.op.arity()),
                 ));
             }
             if !n.op.legal_annotations().contains(&n.ann) {
-                return Err(format!(
-                    "node {id:?} ({:?}) has illegal annotation {}",
-                    n.op, n.ann
+                return Err(Diagnostic::at(
+                    DiagCode::IllegalAnnotation,
+                    self,
+                    id,
+                    format!("{:?} has illegal annotation '{}'", n.op, n.ann),
                 ));
             }
+            // Arity is checked above, so the child slots read below are
+            // occupied; `if let` keeps the traversal panic-free anyway.
             match n.op {
                 LogicalOp::Scan { rel } => {
                     if scanned.contains(rel) {
-                        return Err(format!("{rel} scanned twice"));
+                        return Err(Diagnostic::at(
+                            DiagCode::DuplicateScan,
+                            self,
+                            id,
+                            format!("{rel} scanned twice"),
+                        ));
                     }
                     scanned = scanned.union(RelSet::single(rel));
                 }
                 LogicalOp::Select { rel } => {
-                    let child = n.children[0].expect("arity checked");
-                    if !matches!(self.node(child).op, LogicalOp::Scan { rel: r } if r == rel) {
-                        return Err(format!(
-                            "select on {rel} must sit directly over its scan"
-                        ));
+                    if let Some(child) = n.children[0] {
+                        if !matches!(self.node(child).op, LogicalOp::Scan { rel: r } if r == rel) {
+                            return Err(Diagnostic::at(
+                                DiagCode::SelectPlacement,
+                                self,
+                                id,
+                                format!("select on {rel} must sit directly over its scan"),
+                            ));
+                        }
                     }
                 }
                 LogicalOp::Join => {
-                    let l = self.rel_set(n.children[0].expect("arity checked"));
-                    let r = self.rel_set(n.children[1].expect("arity checked"));
-                    if !l.is_disjoint(r) {
-                        return Err(format!("join {id:?} children overlap"));
+                    if let (Some(lc), Some(rc)) = (n.children[0], n.children[1]) {
+                        let l = self.rel_set(lc);
+                        let r = self.rel_set(rc);
+                        if !l.is_disjoint(r) {
+                            return Err(Diagnostic::at(
+                                DiagCode::JoinOverlap,
+                                self,
+                                id,
+                                format!("children cover overlapping relation sets {l:?} and {r:?}"),
+                            ));
+                        }
                     }
                 }
                 LogicalOp::Aggregate { groups } => {
                     if groups == 0 {
-                        return Err("aggregate with zero groups".into());
+                        return Err(Diagnostic::at(
+                            DiagCode::AggregateMismatch,
+                            self,
+                            id,
+                            "aggregate with zero groups",
+                        ));
                     }
                     // Aggregates sit directly under the display: the
                     // parent check happens from the display side below.
@@ -305,32 +336,45 @@ impl Plan {
                 LogicalOp::Display => {}
             }
             if n.op == LogicalOp::Display {
-                let child = n.children[0].expect("arity checked");
-                let child_is_agg =
-                    matches!(self.node(child).op, LogicalOp::Aggregate { .. });
-                match query.aggregate_groups {
-                    Some(g) => {
-                        if !matches!(self.node(child).op, LogicalOp::Aggregate { groups } if groups == g)
-                        {
-                            return Err(format!(
-                                "query aggregates into {g} groups but the plan root lacks \
-                                 the matching aggregate operator"
-                            ));
+                if let Some(child) = n.children[0] {
+                    let child_is_agg = matches!(self.node(child).op, LogicalOp::Aggregate { .. });
+                    match query.aggregate_groups {
+                        Some(g) => {
+                            if !matches!(self.node(child).op, LogicalOp::Aggregate { groups } if groups == g)
+                            {
+                                return Err(Diagnostic::at(
+                                    DiagCode::AggregateMismatch,
+                                    self,
+                                    id,
+                                    format!(
+                                        "query aggregates into {g} groups but the plan root \
+                                         lacks the matching aggregate operator"
+                                    ),
+                                ));
+                            }
                         }
-                    }
-                    None => {
-                        if child_is_agg {
-                            return Err("plan aggregates but the query does not".into());
+                        None => {
+                            if child_is_agg {
+                                return Err(Diagnostic::at(
+                                    DiagCode::AggregateMismatch,
+                                    self,
+                                    id,
+                                    "plan aggregates but the query does not",
+                                ));
+                            }
                         }
                     }
                 }
             }
         }
         if scanned != query.all_rels() {
-            return Err(format!(
-                "plan scans {:?}, query needs {:?}",
-                scanned,
-                query.all_rels()
+            return Err(Diagnostic::new(
+                DiagCode::ScanCoverage,
+                format!(
+                    "plan scans {:?}, query needs {:?}",
+                    scanned,
+                    query.all_rels()
+                ),
             ));
         }
         Ok(())
@@ -354,14 +398,142 @@ impl Plan {
     /// assert_eq!(plan, restored);
     /// ```
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("plans always serialize")
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let op = match n.op {
+                    LogicalOp::Display => csqp_json::obj(vec![("kind", Json::from("display"))]),
+                    LogicalOp::Join => csqp_json::obj(vec![("kind", Json::from("join"))]),
+                    LogicalOp::Select { rel } => csqp_json::obj(vec![
+                        ("kind", Json::from("select")),
+                        ("rel", Json::from(u64::from(rel.0))),
+                    ]),
+                    LogicalOp::Aggregate { groups } => csqp_json::obj(vec![
+                        ("kind", Json::from("aggregate")),
+                        ("groups", Json::from(groups)),
+                    ]),
+                    LogicalOp::Scan { rel } => csqp_json::obj(vec![
+                        ("kind", Json::from("scan")),
+                        ("rel", Json::from(u64::from(rel.0))),
+                    ]),
+                };
+                let children = n
+                    .children
+                    .iter()
+                    .map(|c| match c {
+                        Some(id) => Json::from(u64::from(id.0)),
+                        None => Json::Null,
+                    })
+                    .collect::<Vec<_>>();
+                csqp_json::obj(vec![
+                    ("op", op),
+                    ("ann", Json::from(n.ann.tag())),
+                    ("children", Json::Arr(children)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        csqp_json::obj(vec![
+            ("nodes", Json::Arr(nodes)),
+            ("root", Json::from(u64::from(self.root.0))),
+        ])
+        .render()
     }
 
     /// Deserialize a plan stored with [`Plan::to_json`]. Callers should
     /// run [`Plan::validate_structure`] against their query afterwards —
     /// a stored plan may predate schema changes.
-    pub fn from_json(json: &str) -> Result<Plan, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Plan, JsonError> {
+        let doc = Json::parse(json)?;
+        let node_docs = doc
+            .field("nodes")?
+            .as_arr()
+            .ok_or_else(|| JsonError::decode("nodes", "expected an array"))?;
+        let node_id = |v: &Json, path: String| -> Result<NodeId, JsonError> {
+            let raw = v
+                .as_u64()
+                .ok_or_else(|| JsonError::decode(path.clone(), "expected a node index"))?;
+            if raw as usize >= node_docs.len() {
+                return Err(JsonError::decode(
+                    path,
+                    format!(
+                        "node index {raw} out of range (arena has {})",
+                        node_docs.len()
+                    ),
+                ));
+            }
+            Ok(NodeId(raw as u32))
+        };
+        let mut nodes = Vec::with_capacity(node_docs.len());
+        for (i, nd) in node_docs.iter().enumerate() {
+            let at = |f: &str| format!("nodes[{i}].{f}");
+            let opd = nd
+                .field("op")
+                .map_err(|_| JsonError::decode(at("op"), "missing field"))?;
+            let kind = opd
+                .field("kind")
+                .map_err(|_| JsonError::decode(at("op.kind"), "missing field"))?
+                .as_str()
+                .ok_or_else(|| JsonError::decode(at("op.kind"), "expected a string"))?;
+            let rel_of = |opd: &Json| -> Result<RelId, JsonError> {
+                let r = opd
+                    .field("rel")
+                    .map_err(|_| JsonError::decode(at("op.rel"), "missing field"))?
+                    .as_u64()
+                    .ok_or_else(|| JsonError::decode(at("op.rel"), "expected an integer"))?;
+                u32::try_from(r)
+                    .map(RelId)
+                    .map_err(|_| JsonError::decode(at("op.rel"), "relation id out of range"))
+            };
+            let op = match kind {
+                "display" => LogicalOp::Display,
+                "join" => LogicalOp::Join,
+                "select" => LogicalOp::Select { rel: rel_of(opd)? },
+                "scan" => LogicalOp::Scan { rel: rel_of(opd)? },
+                "aggregate" => {
+                    let groups = opd
+                        .field("groups")
+                        .map_err(|_| JsonError::decode(at("op.groups"), "missing field"))?
+                        .as_u64()
+                        .ok_or_else(|| JsonError::decode(at("op.groups"), "expected an integer"))?;
+                    LogicalOp::Aggregate { groups }
+                }
+                other => {
+                    return Err(JsonError::decode(
+                        at("op.kind"),
+                        format!("unknown operator kind `{other}`"),
+                    ))
+                }
+            };
+            let tag = nd
+                .field("ann")
+                .map_err(|_| JsonError::decode(at("ann"), "missing field"))?
+                .as_str()
+                .ok_or_else(|| JsonError::decode(at("ann"), "expected a string"))?;
+            let ann = Annotation::from_tag(tag).ok_or_else(|| {
+                JsonError::decode(at("ann"), format!("unknown annotation tag `{tag}`"))
+            })?;
+            let cd = nd
+                .field("children")
+                .map_err(|_| JsonError::decode(at("children"), "missing field"))?
+                .as_arr()
+                .ok_or_else(|| JsonError::decode(at("children"), "expected an array"))?;
+            if cd.len() != 2 {
+                return Err(JsonError::decode(
+                    at("children"),
+                    format!("expected 2 child slots, got {}", cd.len()),
+                ));
+            }
+            let mut children = [None, None];
+            for (slot, c) in cd.iter().enumerate() {
+                if !c.is_null() {
+                    children[slot] = Some(node_id(c, format!("nodes[{i}].children[{slot}]"))?);
+                }
+            }
+            nodes.push(PlanNode { op, ann, children });
+        }
+        let root = node_id(doc.field("root")?, "root".to_string())?;
+        Ok(Plan { nodes, root })
     }
 
     /// One-line s-expression rendering, e.g.
@@ -375,27 +547,33 @@ impl Plan {
     fn render_node(&self, id: NodeId, out: &mut String) {
         use fmt::Write;
         let n = self.node(id);
+        // A missing child (arity violation) renders as `?` rather than
+        // panicking — diagnostics embed these renderings.
+        let child = |out: &mut String, slot: usize| match n.children[slot] {
+            Some(c) => self.render_node(c, out),
+            None => out.push('?'),
+        };
         match n.op {
             LogicalOp::Display => {
                 out.push_str("(display ");
-                self.render_node(n.children[0].unwrap(), out);
+                child(out, 0);
                 out.push(')');
             }
             LogicalOp::Join => {
                 let _ = write!(out, "(join:{} ", n.ann.tag());
-                self.render_node(n.children[0].unwrap(), out);
+                child(out, 0);
                 out.push(' ');
-                self.render_node(n.children[1].unwrap(), out);
+                child(out, 1);
                 out.push(')');
             }
             LogicalOp::Select { rel } => {
                 let _ = write!(out, "(select {rel}:{} ", n.ann.tag());
-                self.render_node(n.children[0].unwrap(), out);
+                child(out, 0);
                 out.push(')');
             }
             LogicalOp::Aggregate { groups } => {
                 let _ = write!(out, "(agg {groups}:{} ", n.ann.tag());
-                self.render_node(n.children[0].unwrap(), out);
+                child(out, 0);
                 out.push(')');
             }
             LogicalOp::Scan { rel } => {
@@ -411,14 +589,7 @@ impl Plan {
         out
     }
 
-    fn render_tree_node(
-        &self,
-        id: NodeId,
-        prefix: &str,
-        last: bool,
-        root: bool,
-        out: &mut String,
-    ) {
+    fn render_tree_node(&self, id: NodeId, prefix: &str, last: bool, root: bool, out: &mut String) {
         use fmt::Write;
         let n = self.node(id);
         let connector = if root {
@@ -467,15 +638,22 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
 
     fn two_way_plan() -> (QuerySpec, Plan) {
         let q = chain(2);
-        let plan = JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1)))
-            .into_plan(&q, Annotation::Consumer, Annotation::Client);
+        let plan = JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1))).into_plan(
+            &q,
+            Annotation::Consumer,
+            Annotation::Client,
+        );
         (q, plan)
     }
 
@@ -566,7 +744,10 @@ mod tests {
             d,
         );
         let err = plan.validate_structure(&q).unwrap_err();
-        assert!(err.contains("scanned twice") || err.contains("overlap"), "{err}");
+        assert!(
+            matches!(err.code, DiagCode::DuplicateScan | DiagCode::JoinOverlap),
+            "{err}"
+        );
     }
 
     #[test]
@@ -575,7 +756,8 @@ mod tests {
         let scan = plan.scan_nodes()[0];
         plan.node_mut(scan).ann = Annotation::Consumer;
         let err = plan.validate_structure(&q).unwrap_err();
-        assert!(err.contains("illegal annotation"), "{err}");
+        assert_eq!(err.code, DiagCode::IllegalAnnotation, "{err}");
+        assert!(err.to_string().contains("illegal annotation"), "{err}");
     }
 
     #[test]

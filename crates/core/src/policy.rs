@@ -9,9 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::annotation::Annotation;
+use crate::diag::{DiagCode, Diagnostic};
 use crate::plan::{LogicalOp, Plan};
 
 /// A query execution policy (§2.2).
@@ -32,7 +31,7 @@ use crate::plan::{LogicalOp, Plan};
 /// // Every pure plan is a hybrid plan (§2.2.3).
 /// assert!(Policy::HybridShipping.validate(&plan).is_ok());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// All operators at the client; scans use client-cached data (§2.2.1).
     DataShipping,
@@ -77,13 +76,24 @@ impl Policy {
     }
 
     /// Check that every node of `plan` carries a permitted annotation.
-    pub fn validate(self, plan: &Plan) -> Result<(), String> {
+    pub fn validate(self, plan: &Plan) -> Result<(), Diagnostic> {
         for id in plan.postorder() {
             let n = plan.node(id);
             if !self.permits(n.op, n.ann) {
-                return Err(format!(
-                    "{self} forbids annotation '{}' on {:?} (node {id:?})",
-                    n.ann, n.op
+                return Err(Diagnostic::at(
+                    DiagCode::PolicyViolation,
+                    plan,
+                    id,
+                    format!(
+                        "{self} forbids annotation '{}' on {:?} (allowed: {})",
+                        n.ann,
+                        n.op,
+                        self.allowed(n.op)
+                            .iter()
+                            .map(|a| a.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
                 ));
             }
         }
@@ -123,7 +133,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -152,10 +166,7 @@ mod tests {
             Policy::HybridShipping.allowed(select),
             &[Consumer, Producer]
         );
-        assert_eq!(
-            Policy::HybridShipping.allowed(scan),
-            &[Client, PrimaryCopy]
-        );
+        assert_eq!(Policy::HybridShipping.allowed(scan), &[Client, PrimaryCopy]);
     }
 
     /// Hybrid is exactly the union of the two pure policies (§2.2.3:
@@ -183,11 +194,8 @@ mod tests {
     fn validate_accepts_canonical_ds_and_qs_plans() {
         let q = chain(3);
         let order: Vec<RelId> = (0..3).map(RelId).collect();
-        let ds = JoinTree::left_deep(&order).into_plan(
-            &q,
-            Annotation::Consumer,
-            Annotation::Client,
-        );
+        let ds =
+            JoinTree::left_deep(&order).into_plan(&q, Annotation::Consumer, Annotation::Client);
         Policy::DataShipping.validate(&ds).unwrap();
         Policy::HybridShipping.validate(&ds).unwrap();
         assert!(Policy::QueryShipping.validate(&ds).is_err());

@@ -12,6 +12,7 @@
 //! at a child slot whose occupant's annotation points back up
 //! (`consumer`).
 
+use crate::diag::{DiagCode, Diagnostic};
 use crate::plan::Plan;
 
 /// True when `plan` has no annotation cycle, i.e. site binding will
@@ -22,17 +23,62 @@ pub fn is_well_formed(plan: &Plan) -> bool {
 
 /// The first (parent, child) pair forming a two-node annotation cycle, in
 /// postorder, or `None` for a well-formed plan.
+///
+/// A down-pointing annotation over an *empty* child slot (an arity
+/// violation) is not a cycle; [`check_well_formed`] reports it as a
+/// diagnostic, and `Plan::validate_structure` rejects it outright.
 pub fn find_cycle(plan: &Plan) -> Option<(crate::plan::NodeId, crate::plan::NodeId)> {
     for id in plan.postorder() {
         let n = plan.node(id);
         if let Some(slot) = n.ann.points_down_at() {
-            let child = n.children[slot].expect("validated arity");
+            let Some(child) = n.children[slot] else {
+                continue;
+            };
             if plan.node(child).ann.points_up() {
                 return Some((id, child));
             }
         }
     }
     None
+}
+
+/// Check well-formedness, reporting the offending annotation pair with
+/// its node path instead of a bare boolean.
+pub fn check_well_formed(plan: &Plan) -> Result<(), Diagnostic> {
+    for id in plan.postorder() {
+        let n = plan.node(id);
+        if let Some(slot) = n.ann.points_down_at() {
+            match n.children[slot] {
+                None => {
+                    return Err(Diagnostic::at(
+                        DiagCode::DanglingChild,
+                        plan,
+                        id,
+                        format!(
+                            "annotation '{}' points at empty child slot {slot} of {:?}",
+                            n.ann, n.op
+                        ),
+                    ))
+                }
+                Some(child) => {
+                    let c = plan.node(child);
+                    if c.ann.points_up() {
+                        return Err(Diagnostic::at(
+                            DiagCode::AnnotationCycle,
+                            plan,
+                            id,
+                            format!(
+                                "two-node cycle: {:?} '{}' points down at {:?} '{}', \
+                                 which points back up",
+                                n.op, n.ann, c.op, c.ann
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -47,7 +93,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -71,11 +121,8 @@ mod tests {
         // join_top[inner] -> join_bot, join_bot[consumer] -> join_top.
         let q = chain(3);
         let order: Vec<RelId> = (0..3).map(RelId).collect();
-        let mut p = JoinTree::left_deep(&order).into_plan(
-            &q,
-            Annotation::Consumer,
-            Annotation::Client,
-        );
+        let mut p =
+            JoinTree::left_deep(&order).into_plan(&q, Annotation::Consumer, Annotation::Client);
         let joins = p.join_nodes(); // postorder: bottom join first
         let (bottom, top) = (joins[0], joins[1]);
         p.node_mut(top).ann = Annotation::InnerRel; // points at child 0 = bottom

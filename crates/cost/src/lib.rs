@@ -26,6 +26,7 @@
 //! multi-client stand-in of §3.2.2) inflates disk time by `1/(1-ρ)`.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod model;
 pub mod objective;

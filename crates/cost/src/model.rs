@@ -107,10 +107,18 @@ impl<'a> CostModel<'a> {
     pub fn evaluate_plan(&self, plan: &Plan, objective: Objective) -> Option<f64> {
         let bound = bind(
             plan,
-            BindContext { catalog: self.catalog, query_site: self.query_site },
+            BindContext {
+                catalog: self.catalog,
+                query_site: self.query_site,
+            },
         )
         .ok()?;
         Some(self.evaluate_bound(&bound, objective))
+    }
+
+    /// The query this model prices.
+    pub fn query(&self) -> &'a QuerySpec {
+        self.query
     }
 
     /// Full usage vector of a bound plan.
@@ -125,21 +133,21 @@ impl<'a> CostModel<'a> {
 
     /// Output of a node as (tuples, pages): scans emit the raw relation;
     /// everything else emits the estimator's size for its relation set.
+    // `expect("arity")` is an invariant, not an error path: costing only
+    // sees plans inside a `BoundPlan`, and `bind` rejects missing inputs
+    // as `BindError::Malformed` before one can exist.
+    #[allow(clippy::expect_used)]
     fn output_stats(&self, plan: &Plan, id: NodeId) -> (f64, f64) {
         match plan.node(id).op {
             LogicalOp::Scan { rel } => {
                 let r = &self.query.relations[rel.index()];
-                (
-                    r.tuples as f64,
-                    r.pages(self.config.page_size) as f64,
-                )
+                (r.tuples as f64, r.pages(self.config.page_size) as f64)
             }
             LogicalOp::Aggregate { groups } => {
                 let child = plan.node(id).children[0].expect("arity");
                 let (in_tuples, _) = self.output_stats(plan, child);
                 let t = (groups as f64).min(in_tuples);
-                let per_page =
-                    (self.config.page_size / self.est.tuple_bytes(RelSet::EMPTY)) as f64;
+                let per_page = (self.config.page_size / self.est.tuple_bytes(RelSet::EMPTY)) as f64;
                 (t, (t / per_page).ceil())
             }
             _ => {
@@ -170,6 +178,9 @@ impl<'a> CostModel<'a> {
         u.add_cpu(to, pages * cpu);
     }
 
+    // `expect("arity")` as in `output_stats`: `bind` already rejected
+    // plans with missing inputs, so every child slot here is occupied.
+    #[allow(clippy::expect_used)]
     fn node_cost(&self, bound: &BoundPlan, id: NodeId) -> NodeCost {
         let plan = &bound.plan;
         let n = plan.node(id);
@@ -210,8 +221,8 @@ impl<'a> CostModel<'a> {
                         let rep_cpu = cfg.cpu_secs(cfg.msg_cpu_instr(page));
                         u.add_cpu(site, faulted * (req_cpu + rep_cpu));
                         u.add_cpu(primary, faulted * (req_cpu + rep_cpu));
-                        u.net_wire += faulted
-                            * (cfg.wire_secs(CONTROL_MSG_BYTES) + cfg.wire_secs(page));
+                        u.net_wire +=
+                            faulted * (cfg.wire_secs(CONTROL_MSG_BYTES) + cfg.wire_secs(page));
                         u.pages_sent += faulted;
                         // The fault RPC is synchronous page-at-a-time
                         // (§4.2.3): disk, wire and CPU legs serialize
@@ -243,10 +254,7 @@ impl<'a> CostModel<'a> {
                 u.merge(&c.usage);
             }
             LogicalOp::Join => {
-                let (ci, co) = (
-                    n.children[0].expect("arity"),
-                    n.children[1].expect("arity"),
-                );
+                let (ci, co) = (n.children[0].expect("arity"), n.children[1].expect("arity"));
                 let inner = self.node_cost(bound, ci);
                 let outer = self.node_cost(bound, co);
                 let (in_tuples, in_pages) = self.output_stats(plan, ci);
@@ -263,8 +271,7 @@ impl<'a> CostModel<'a> {
                 let build_cpu = in_tuples * (hash_cpu + move_cpu);
                 u.add_cpu(site, build_cpu);
                 let res_tuples = self.est.tuples(plan.rel_set(id));
-                let probe_cpu =
-                    out_tuples_probe * (hash_cpu + cmp_cpu) + res_tuples * move_cpu;
+                let probe_cpu = out_tuples_probe * (hash_cpu + cmp_cpu) + res_tuples * move_cpu;
                 u.add_cpu(site, probe_cpu);
 
                 // Hybrid-hash spill I/O (Shapiro, §3.2.2).
@@ -323,7 +330,11 @@ impl<'a> CostModel<'a> {
             }
         }
 
-        NodeCost { usage: u, pre, stream }
+        NodeCost {
+            usage: u,
+            pre,
+            stream,
+        }
     }
 }
 
@@ -338,7 +349,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -351,7 +366,14 @@ mod tests {
     }
 
     fn bind_plan(plan: &Plan, cat: &Catalog) -> BoundPlan {
-        bind(plan, BindContext { catalog: cat, query_site: SiteId::CLIENT }).unwrap()
+        bind(
+            plan,
+            BindContext {
+                catalog: cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap()
     }
 
     fn ds_plan(q: &QuerySpec) -> Plan {
@@ -460,13 +482,16 @@ mod tests {
         let cat = one_server_catalog();
         let cfg = SystemConfig::default();
         let base = CostModel::new(&cfg, &cat, &q, SiteId::CLIENT);
-        let loaded = CostModel::new(&cfg, &cat, &q, SiteId::CLIENT)
-            .with_disk_load(SiteId::server(1), 0.75);
+        let loaded =
+            CostModel::new(&cfg, &cat, &q, SiteId::CLIENT).with_disk_load(SiteId::server(1), 0.75);
 
         let qs = bind_plan(&qs_plan(&q), &cat);
         let rt0 = base.evaluate_bound(&qs, Objective::ResponseTime);
         let rt1 = loaded.evaluate_bound(&qs, Objective::ResponseTime);
-        assert!(rt1 > 2.0 * rt0, "QS should blow up under load: {rt0} -> {rt1}");
+        assert!(
+            rt1 > 2.0 * rt0,
+            "QS should blow up under load: {rt0} -> {rt1}"
+        );
 
         // DS with a full cache never touches the server disk.
         let mut cat_cached = one_server_catalog();

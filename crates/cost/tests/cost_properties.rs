@@ -1,6 +1,9 @@
 //! Property tests for the cost model: monotonicity and internal
 //! consistency over randomized scenarios.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp_catalog::{Catalog, JoinEdge, QuerySpec, RelId, Relation, SiteId, SystemConfig};
 use csqp_core::{bind, is_well_formed, Annotation, BindContext, JoinTree, Plan, Policy};
 use csqp_cost::{CostModel, Objective};
@@ -11,7 +14,11 @@ fn chain(n: u32) -> QuerySpec {
         .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
         .collect();
     let edges = (0..n - 1)
-        .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+        .map(|i| JoinEdge {
+            a: RelId(i),
+            b: RelId(i + 1),
+            selectivity: 1e-4,
+        })
         .collect();
     QuerySpec::new(rels, edges)
 }
@@ -43,7 +50,9 @@ fn seeded_plan(query: &QuerySpec, seed: u64) -> Plan {
     for id in plan.postorder() {
         let op = plan.node(id).op;
         let allowed = Policy::HybridShipping.allowed(op);
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let pick = allowed[(state >> 33) as usize % allowed.len()];
         let old = plan.node(id).ann;
         plan.node_mut(id).ann = pick;

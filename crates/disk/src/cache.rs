@@ -63,6 +63,9 @@ impl ControllerCache {
     /// Install the read-ahead segment after a media read at `addr`: the
     /// rest of `addr`'s track, starting just past `addr`. Evicts the LRU
     /// segment when full.
+    // Invariant panic: the eviction scan runs only when `segments.len()`
+    // equals `max_segments`, which is at least one, so a minimum exists.
+    #[allow(clippy::expect_used)]
     pub fn fill(&mut self, geo: &Geometry, addr: DiskAddr) {
         let track = geo.track_index(addr);
         let from = DiskAddr(addr.0 + 1);

@@ -58,9 +58,19 @@ pub fn measure(params: &DiskParams, pages: u64, seed: u64) -> Calibration {
     }
 }
 
+// Invariant panic: the calibration loop is synchronous — each request is
+// retired before the next is submitted, so the disk is always idle here.
+#[allow(clippy::expect_used)]
 fn serve_one(disk: &mut Disk<()>, now: SimTime, addr: DiskAddr) -> SimTime {
     let fin = disk
-        .submit(now, DiskRequest { addr, kind: IoKind::Read, token: () })
+        .submit(
+            now,
+            DiskRequest {
+                addr,
+                kind: IoKind::Read,
+                token: (),
+            },
+        )
         .expect("disk idle in synchronous calibration loop");
     let (_, next) = disk.finish_current(fin);
     assert!(next.is_none());

@@ -119,6 +119,9 @@ impl<T> Disk<T> {
     /// Retire the request in service; dispatch the elevator's next pick.
     /// Returns the completed token and, when another request entered
     /// service, its completion time for the caller to schedule.
+    // Invariant panic, as in `FifoServer::finish_current`: completing an
+    // idle disk is a caller bug the simulator cannot recover from.
+    #[allow(clippy::expect_used)]
     pub fn finish_current(&mut self, now: SimTime) -> (T, Option<SimTime>) {
         let done = self
             .in_service
@@ -177,7 +180,6 @@ impl<T> Disk<T> {
         let pos = geo.position(addr);
         let streaming = self.last_media == Some(DiskAddr(addr.0.wrapping_sub(1))) && addr.0 > 0;
 
-        
         match kind {
             IoKind::Read => {
                 if self.cache.lookup(geo, addr) {
@@ -233,11 +235,19 @@ mod tests {
     }
 
     fn read(addr: u64, token: u32) -> DiskRequest<u32> {
-        DiskRequest { addr: DiskAddr(addr), kind: IoKind::Read, token }
+        DiskRequest {
+            addr: DiskAddr(addr),
+            kind: IoKind::Read,
+            token,
+        }
     }
 
     fn write(addr: u64, token: u32) -> DiskRequest<u32> {
-        DiskRequest { addr: DiskAddr(addr), kind: IoKind::Write, token }
+        DiskRequest {
+            addr: DiskAddr(addr),
+            kind: IoKind::Write,
+            token,
+        }
     }
 
     /// Drain one request synchronously, returning its service time.

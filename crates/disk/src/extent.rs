@@ -24,7 +24,11 @@ impl Extent {
     /// Panics when `i` is out of range.
     #[inline]
     pub fn page(&self, i: u64) -> DiskAddr {
-        assert!(i < self.pages, "page {i} out of extent of {} pages", self.pages);
+        assert!(
+            i < self.pages,
+            "page {i} out of extent of {} pages",
+            self.pages
+        );
         DiskAddr(self.start.0 + i)
     }
 
@@ -102,7 +106,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of extent")]
     fn page_out_of_range() {
-        let e = Extent { start: DiskAddr(0), pages: 5 };
+        let e = Extent {
+            start: DiskAddr(0),
+            pages: 5,
+        };
         e.page(5);
     }
 }

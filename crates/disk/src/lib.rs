@@ -30,6 +30,7 @@
 //! No "contention penalty" constant exists anywhere in this crate.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod calibrate;

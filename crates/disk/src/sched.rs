@@ -56,11 +56,20 @@ impl<T> Elevator<T> {
 
     /// Dequeue the next request given the head is at `head_cyl`, following
     /// the SCAN discipline. Returns the request and its cylinder.
+    // Invariant panics: the queue is non-empty past the early return, so
+    // when one sweep direction finds nothing the other must; and the key
+    // handed to `remove` was observed in the map one statement earlier.
+    #[allow(clippy::expect_used)]
     pub fn pop(&mut self, head_cyl: u64) -> Option<(u64, T)> {
         if self.pending.is_empty() {
             return None;
         }
-        let lo = Key { cylinder: head_cyl, track: 0, offset: 0, seq: 0 };
+        let lo = Key {
+            cylinder: head_cyl,
+            track: 0,
+            offset: 0,
+            seq: 0,
+        };
         let key = if self.upward {
             // Nearest at-or-above the head, else reverse.
             match self.pending.range(lo..).next() {

@@ -1,6 +1,9 @@
 //! Property tests for the disk model: completeness, accounting, and the
 //! sequential-beats-random invariant under arbitrary workloads.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp_disk::{Disk, DiskAddr, DiskParams, DiskRequest, IoKind};
 use csqp_simkernel::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -13,7 +16,11 @@ fn run_batch(reqs: &[(u64, bool)]) -> (Vec<u32>, SimTime, Disk<u32>) {
     let mut fin = None;
     for (i, (addr, write)) in reqs.iter().enumerate() {
         let kind = if *write { IoKind::Write } else { IoKind::Read };
-        let req = DiskRequest { addr: DiskAddr(*addr), kind, token: i as u32 };
+        let req = DiskRequest {
+            addr: DiskAddr(*addr),
+            kind,
+            token: i as u32,
+        };
         if let Some(f) = d.submit(SimTime::ZERO, req) {
             assert!(fin.is_none(), "only the first submission starts service");
             fin = Some(f);

@@ -112,6 +112,9 @@ impl<'a> ExecutionBuilder<'a> {
     /// future work): `steps` page touches at the client with the given
     /// reference locality. Returns full metrics; `response_time` is the
     /// traversal's elapsed time.
+    // Invariant panic: the layout allocates a cache extent for every
+    // relation the catalog reports cached pages for.
+    #[allow(clippy::expect_used)]
     pub fn navigate(
         &self,
         rel: csqp_catalog::RelId,
@@ -196,12 +199,30 @@ impl<'a> ExecutionBuilder<'a> {
     /// the multi-query workloads the paper lists as future work (§7).
     /// All plans share the relations, caches, disks, CPUs and the wire;
     /// each gets its own operator processes and join temp space.
+    // Invariant panics: every plan is structurally validated at the top
+    // of this function, so the display root has its input; and the engine
+    // records a finish time for every display process before returning.
+    #[allow(clippy::expect_used)]
     pub fn execute_many(&self, bounds: &[BoundPlan]) -> MultiQueryMetrics {
         assert!(!bounds.is_empty(), "need at least one query");
         for b in bounds {
-            b.plan
-                .validate_structure(self.query)
-                .expect("executable plans must be structurally valid");
+            if let Err(d) = b.plan.validate_structure(self.query) {
+                panic!("refusing to execute a structurally invalid plan: {d}");
+            }
+            // Plan-bind boundary hook: in debug builds, run the full
+            // static analyzer (structure, well-formedness, cost-model
+            // invariants) before committing simulator time to the plan.
+            #[cfg(debug_assertions)]
+            {
+                let client = b.site(b.plan.root());
+                let report =
+                    csqp_verify::Checker::new(self.query, self.catalog, self.config, client)
+                        .check(&b.plan);
+                debug_assert!(
+                    report.is_clean(),
+                    "plan failed static verification at the bind boundary:\n{report}"
+                );
+            }
         }
         let num_sites = self.catalog.num_servers() as usize + 1;
         let capacity = self.disk_params.geometry.capacity_pages();
@@ -267,6 +288,9 @@ impl<'a> ExecutionBuilder<'a> {
     /// Output size of a node: scans emit the raw relation, everything
     /// else the estimator's size for its relation set (matches the cost
     /// model's convention).
+    // Invariant panic: only structurally validated plans reach here, so
+    // every child slot demanded by an operator's arity is occupied.
+    #[allow(clippy::expect_used)]
     fn output_stats(&self, est: &Estimator<'_>, bound: &BoundPlan, id: NodeId) -> (u64, u64) {
         match bound.plan.node(id).op {
             LogicalOp::Scan { rel } => {
@@ -287,6 +311,9 @@ impl<'a> ExecutionBuilder<'a> {
         }
     }
 
+    // Modeling assumption, as in `Estimator::tuple_bytes`: the benchmark
+    // schema is uniform-width.
+    #[allow(clippy::expect_used)]
     fn tuples_per_page(&self) -> u64 {
         let width = self
             .query
@@ -297,6 +324,10 @@ impl<'a> ExecutionBuilder<'a> {
 
     /// Create the process for `id` and the channel carrying its output
     /// towards `parent_site`; returns that channel.
+    // Invariant panics: plans are structurally validated before building
+    // (arity slots occupied), the schema is uniform-width, and the layout
+    // has an extent wherever the catalog reports cached pages.
+    #[allow(clippy::expect_used)]
     fn build_node(
         &self,
         engine: &mut Engine,
@@ -356,9 +387,7 @@ impl<'a> ExecutionBuilder<'a> {
                     self.query.selection[rel.index()],
                     self.tuples_per_page(),
                     cfg.compare_inst,
-                    cfg.move_tuple_instr(
-                        self.query.uniform_tuple_bytes().expect("uniform width"),
-                    ),
+                    cfg.move_tuple_instr(self.query.uniform_tuple_bytes().expect("uniform width")),
                     format!("select {rel}@{site}"),
                 )));
             }
@@ -389,13 +418,14 @@ impl<'a> ExecutionBuilder<'a> {
                     let frac = hp.resident_inner_pages as f64 / inner_pages.max(1) as f64;
                     let b = hp.spill_partitions;
                     let inner_part = hp.partition_pages * 2 + 4;
-                    let outer_spill =
-                        ((outer_pages as f64) * (1.0 - frac)).ceil() as u64;
+                    let outer_spill = ((outer_pages as f64) * (1.0 - frac)).ceil() as u64;
                     let outer_part = outer_spill.div_ceil(b) * 2 + 4;
-                    let inner_ext =
-                        (0..b).map(|_| layout.alloc_temp(site, inner_part)).collect();
-                    let outer_ext =
-                        (0..b).map(|_| layout.alloc_temp(site, outer_part)).collect();
+                    let inner_ext = (0..b)
+                        .map(|_| layout.alloc_temp(site, inner_part))
+                        .collect();
+                    let outer_ext = (0..b)
+                        .map(|_| layout.alloc_temp(site, outer_part))
+                        .collect();
                     (frac, inner_ext, outer_ext)
                 };
 
@@ -430,9 +460,7 @@ impl<'a> ExecutionBuilder<'a> {
                     groups,
                     self.tuples_per_page(),
                     cfg.hash_inst,
-                    cfg.move_tuple_instr(
-                        self.query.uniform_tuple_bytes().expect("uniform width"),
-                    ),
+                    cfg.move_tuple_instr(self.query.uniform_tuple_bytes().expect("uniform width")),
                 )));
             }
             LogicalOp::Display => unreachable!("display handled by execute()"),
@@ -452,7 +480,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -470,7 +502,14 @@ mod tests {
 
     fn bound(q: &QuerySpec, cat: &Catalog, jann: Annotation, sann: Annotation) -> BoundPlan {
         let plan = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(q, jann, sann);
-        bind(&plan, BindContext { catalog: cat, query_site: SiteId::CLIENT }).unwrap()
+        bind(
+            &plan,
+            BindContext {
+                catalog: cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -530,7 +569,11 @@ mod tests {
         let b = bound(&q, &cat, Annotation::InnerRel, Annotation::PrimaryCopy);
         let fast = ExecutionBuilder::new(&q, &cat, &max_cfg).execute(&b);
         let slow = ExecutionBuilder::new(&q, &cat, &min_cfg).execute(&b);
-        assert!(slow.disk[1].writes > 400, "spill writes: {:?}", slow.disk[1]);
+        assert!(
+            slow.disk[1].writes > 400,
+            "spill writes: {:?}",
+            slow.disk[1]
+        );
         assert!(
             slow.response_secs() > 1.5 * fast.response_secs(),
             "min {} vs max {}",
@@ -546,8 +589,12 @@ mod tests {
         let cat = one_server(0.5);
         let cfg = SystemConfig::default();
         let b = bound(&q, &cat, Annotation::Consumer, Annotation::Client);
-        let m1 = ExecutionBuilder::new(&q, &cat, &cfg).with_seed(7).execute(&b);
-        let m2 = ExecutionBuilder::new(&q, &cat, &cfg).with_seed(7).execute(&b);
+        let m1 = ExecutionBuilder::new(&q, &cat, &cfg)
+            .with_seed(7)
+            .execute(&b);
+        let m2 = ExecutionBuilder::new(&q, &cat, &cfg)
+            .with_seed(7)
+            .execute(&b);
         assert_eq!(m1.response_time, m2.response_time);
         assert_eq!(m1.pages_sent, m2.pages_sent);
     }
@@ -588,7 +635,14 @@ mod tests {
         );
         let scan_r1 = plan.scan_nodes()[1];
         plan.node_mut(scan_r1).ann = Annotation::Client;
-        let b = bind(&plan, BindContext { catalog: &cat, query_site: SiteId::CLIENT }).unwrap();
+        let b = bind(
+            &plan,
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap();
         let m = ExecutionBuilder::new(&q, &cat, &cfg).execute(&b);
         // R0 shipped pipelined (250 pages), R1 read from client cache.
         assert_eq!(m.pages_sent, 250);

@@ -43,7 +43,11 @@ impl Channel {
         let remote = (from != to).then_some((from, to));
         Channel {
             queue: VecDeque::new(),
-            capacity: if remote.is_some() { REMOTE_CAP } else { LOCAL_CAP },
+            capacity: if remote.is_some() {
+                REMOTE_CAP
+            } else {
+                LOCAL_CAP
+            },
             closed: false,
             in_flight: 0,
             remote,

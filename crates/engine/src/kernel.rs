@@ -323,10 +323,7 @@ impl Engine {
             let action = match self.procs[p].queue.pop_front() {
                 Some(a) => a,
                 None => {
-                    let input = std::mem::replace(
-                        &mut self.procs[p].next_input,
-                        ResumeInput::None,
-                    );
+                    let input = std::mem::replace(&mut self.procs[p].next_input, ResumeInput::None);
                     let batch = self.procs[p].op.resume(input);
                     assert!(
                         !batch.is_empty(),
@@ -358,7 +355,10 @@ impl Engine {
     pub fn proc_reports(&self) -> Vec<ProcReport> {
         self.procs
             .iter()
-            .map(|s| ProcReport { label: s.op.label(), waits: s.waits })
+            .map(|s| ProcReport {
+                label: s.op.label(),
+                waits: s.waits,
+            })
             .collect()
     }
 
@@ -368,9 +368,7 @@ impl Engine {
         match action {
             Action::Cpu { site, instr } => {
                 let service = SimDuration::from_secs_f64(self.config.cpu_secs(instr));
-                if let Some(fin) =
-                    self.cpus[site.index()].submit(now, CpuToken::Proc(p), service)
-                {
+                if let Some(fin) = self.cpus[site.index()].submit(now, CpuToken::Proc(p), service) {
                     self.events.schedule(fin, Ev::CpuDone(site.index()));
                 }
                 Some(Blocked::Cpu)
@@ -400,7 +398,11 @@ impl Engine {
                 }
             }
             Action::Wire { bytes, data_page } => {
-                let kind = if data_page { MsgKind::DataPage } else { MsgKind::Control };
+                let kind = if data_page {
+                    MsgKind::DataPage
+                } else {
+                    MsgKind::Control
+                };
                 if let Some(fin) = self.link.submit(now, WireToken::Proc(p), bytes, kind) {
                     self.events.schedule(fin, Ev::WireDone);
                 }
@@ -461,11 +463,15 @@ impl Engine {
         }
     }
 
-    fn submit_disk(&mut self, site: SiteId, addr: csqp_disk::DiskAddr, kind: IoKind, token: DiskToken) {
+    fn submit_disk(
+        &mut self,
+        site: SiteId,
+        addr: csqp_disk::DiskAddr,
+        kind: IoKind,
+        token: DiskToken,
+    ) {
         let now = self.events.now();
-        if let Some(fin) =
-            self.disks[site.index()].submit(now, DiskRequest { addr, kind, token })
-        {
+        if let Some(fin) = self.disks[site.index()].submit(now, DiskRequest { addr, kind, token }) {
             self.events.schedule(fin, Ev::DiskDone(site.index()));
         }
     }
@@ -480,11 +486,17 @@ impl Engine {
             self.channels[ch_idx].in_flight += 1;
             let tid = match self.free_transfers.pop() {
                 Some(t) => {
-                    self.transfers[t] = Some(Transfer { channel: ch_idx, page });
+                    self.transfers[t] = Some(Transfer {
+                        channel: ch_idx,
+                        page,
+                    });
                     t
                 }
                 None => {
-                    self.transfers.push(Some(Transfer { channel: ch_idx, page }));
+                    self.transfers.push(Some(Transfer {
+                        channel: ch_idx,
+                        page,
+                    }));
                     self.transfers.len() - 1
                 }
             };
@@ -538,6 +550,9 @@ impl Engine {
         }
     }
 
+    // Invariant panic: a `TransferRecv` token is only scheduled for a
+    // transfer slot that is live until this very handler frees it.
+    #[allow(clippy::expect_used)]
     fn on_cpu_done(&mut self, site: usize) {
         let (token, next) = self.cpus[site].finish_current(self.events.now());
         if let Some(fin) = next {
@@ -587,8 +602,7 @@ impl Engine {
             }
             DiskToken::Async(p) => {
                 self.procs[p].outstanding_writes -= 1;
-                if self.procs[p].outstanding_writes == 0
-                    && self.procs[p].blocked == Blocked::Drain
+                if self.procs[p].outstanding_writes == 0 && self.procs[p].blocked == Blocked::Drain
                 {
                     self.wake(p, Blocked::No);
                     self.advance(p);
@@ -598,6 +612,9 @@ impl Engine {
         }
     }
 
+    // Invariant panics: a `Transfer` wire token references a live slot,
+    // and page transfers are created only for cross-site channels.
+    #[allow(clippy::expect_used)]
     fn on_wire_done(&mut self) {
         let (token, next) = self.link.finish_current(self.events.now());
         if let Some(fin) = next {

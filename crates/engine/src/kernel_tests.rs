@@ -26,8 +26,14 @@ impl OperatorProc for MiniProducer {
         }
         self.emitted += 1;
         vec![
-            Action::Cpu { site: self.site, instr: self.cpu },
-            Action::Emit { channel: self.out, page: Page { tuples: 40 } },
+            Action::Cpu {
+                site: self.site,
+                instr: self.cpu,
+            },
+            Action::Emit {
+                channel: self.out,
+                page: Page { tuples: 40 },
+            },
         ]
     }
     fn label(&self) -> String {
@@ -48,14 +54,21 @@ impl OperatorProc for MiniConsumer {
     fn resume(&mut self, input: ResumeInput) -> Vec<Action> {
         if !self.started {
             self.started = true;
-            return vec![Action::AwaitInput { channel: self.input }];
+            return vec![Action::AwaitInput {
+                channel: self.input,
+            }];
         }
         match input {
             ResumeInput::Page(p) => {
                 self.seen.set(self.seen.get() + p.tuples);
                 vec![
-                    Action::Cpu { site: self.site, instr: self.cpu },
-                    Action::AwaitInput { channel: self.input },
+                    Action::Cpu {
+                        site: self.site,
+                        instr: self.cpu,
+                    },
+                    Action::AwaitInput {
+                        channel: self.input,
+                    },
                 ]
             }
             ResumeInput::EndOfStream => vec![Action::Done],
@@ -164,7 +177,10 @@ impl OperatorProc for DiskToucher {
         }
         let addr = DiskAddr(self.done);
         self.done += 1;
-        vec![Action::DiskRead { site: self.site, addr }]
+        vec![Action::DiskRead {
+            site: self.site,
+            addr,
+        }]
     }
     fn label(&self) -> String {
         "disk-toucher".into()
@@ -174,7 +190,11 @@ impl OperatorProc for DiskToucher {
 #[test]
 fn disk_reads_accumulate_stats() {
     let mut e = engine(1);
-    e.add_display_proc(Box::new(DiskToucher { site: SiteId::CLIENT, reads: 12, done: 0 }));
+    e.add_display_proc(Box::new(DiskToucher {
+        site: SiteId::CLIENT,
+        reads: 12,
+        done: 0,
+    }));
     let rt = e.run();
     let stats = e.disk_stats(SiteId::CLIENT);
     assert_eq!(stats.reads, 12);
@@ -185,7 +205,11 @@ fn disk_reads_accumulate_stats() {
 #[should_panic(expected = "no display process registered")]
 fn run_requires_display() {
     let mut e = engine(1);
-    e.add_proc(Box::new(DiskToucher { site: SiteId::CLIENT, reads: 1, done: 0 }));
+    e.add_proc(Box::new(DiskToucher {
+        site: SiteId::CLIENT,
+        reads: 1,
+        done: 0,
+    }));
     e.run();
 }
 
@@ -202,7 +226,10 @@ impl OperatorProc for WriterThenDrain {
         }
         self.wrote = true;
         let mut acts: Vec<Action> = (0..8)
-            .map(|i| Action::DiskWriteAsync { site: self.site, addr: DiskAddr(i * 100) })
+            .map(|i| Action::DiskWriteAsync {
+                site: self.site,
+                addr: DiskAddr(i * 100),
+            })
             .collect();
         acts.push(Action::DrainWrites);
         acts
@@ -215,7 +242,10 @@ impl OperatorProc for WriterThenDrain {
 #[test]
 fn drain_waits_for_async_writes() {
     let mut e = engine(1);
-    e.add_display_proc(Box::new(WriterThenDrain { site: SiteId::CLIENT, wrote: false }));
+    e.add_display_proc(Box::new(WriterThenDrain {
+        site: SiteId::CLIENT,
+        wrote: false,
+    }));
     let rt = e.run();
     let stats = e.disk_stats(SiteId::CLIENT);
     assert_eq!(stats.writes, 8);
@@ -234,7 +264,9 @@ impl OperatorProc for Starver {
     fn resume(&mut self, _input: ResumeInput) -> Vec<Action> {
         if !self.started {
             self.started = true;
-            return vec![Action::AwaitInput { channel: self.input }];
+            return vec![Action::AwaitInput {
+                channel: self.input,
+            }];
         }
         vec![Action::Done]
     }
@@ -248,7 +280,10 @@ impl OperatorProc for Starver {
 fn deadlock_is_reported() {
     let mut e = engine(1);
     let ch = e.add_channel(SiteId::CLIENT, SiteId::CLIENT);
-    e.add_display_proc(Box::new(Starver { input: ch, started: false }));
+    e.add_display_proc(Box::new(Starver {
+        input: ch,
+        started: false,
+    }));
     e.run();
 }
 
@@ -263,7 +298,9 @@ fn sleep_advances_virtual_time() {
                 return vec![Action::Done];
             }
             self.slept = true;
-            vec![Action::Sleep { dur: SimDuration::from_millis(250) }]
+            vec![Action::Sleep {
+                dur: SimDuration::from_millis(250),
+            }]
         }
         fn label(&self) -> String {
             "sleeper".into()

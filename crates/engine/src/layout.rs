@@ -33,8 +33,9 @@ impl Layout {
         capacity: u64,
     ) -> Layout {
         let num_sites = catalog.num_servers() as usize + 1;
-        let mut allocators: Vec<ExtentAllocator> =
-            (0..num_sites).map(|_| ExtentAllocator::new(capacity)).collect();
+        let mut allocators: Vec<ExtentAllocator> = (0..num_sites)
+            .map(|_| ExtentAllocator::new(capacity))
+            .collect();
         let mut rel_extents = HashMap::new();
         let mut cache_extents = HashMap::new();
         for rel in &query.relations {
@@ -43,10 +44,7 @@ impl Layout {
             rel_extents.insert(rel.id, allocators[server.index()].alloc(pages));
             let cached = catalog.cached_pages(rel.id, pages);
             if cached > 0 {
-                cache_extents.insert(
-                    rel.id,
-                    allocators[SiteId::CLIENT.index()].alloc(cached),
-                );
+                cache_extents.insert(rel.id, allocators[SiteId::CLIENT.index()].alloc(cached));
             }
         }
         Layout {
@@ -86,7 +84,11 @@ mod tests {
         let rels = (0..2)
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
-        let edges = vec![JoinEdge { a: RelId(0), b: RelId(1), selectivity: 1e-4 }];
+        let edges = vec![JoinEdge {
+            a: RelId(0),
+            b: RelId(1),
+            selectivity: 1e-4,
+        }];
         let q = QuerySpec::new(rels, edges);
         let mut cat = Catalog::new(2);
         cat.place(RelId(0), SiteId::server(1));

@@ -32,6 +32,7 @@
 //!   reads at a configurable rate against server disks (§3.2.2).
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod build;
 pub mod channel;

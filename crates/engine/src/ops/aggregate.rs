@@ -54,14 +54,21 @@ impl OperatorProc for AggregateProc {
     fn resume(&mut self, input: ResumeInput) -> Vec<Action> {
         if !self.started {
             self.started = true;
-            return vec![Action::AwaitInput { channel: self.input }];
+            return vec![Action::AwaitInput {
+                channel: self.input,
+            }];
         }
         match input {
             ResumeInput::Page(p) => {
                 self.seen += p.tuples;
                 vec![
-                    Action::Cpu { site: self.site, instr: p.tuples * self.hash_inst },
-                    Action::AwaitInput { channel: self.input },
+                    Action::Cpu {
+                        site: self.site,
+                        instr: p.tuples * self.hash_inst,
+                    },
+                    Action::AwaitInput {
+                        channel: self.input,
+                    },
                 ]
             }
             ResumeInput::EndOfStream => {
@@ -72,7 +79,10 @@ impl OperatorProc for AggregateProc {
                 }];
                 while out_tuples > 0 {
                     let t = out_tuples.min(self.tuples_per_page);
-                    acts.push(Action::Emit { channel: self.out, page: Page { tuples: t } });
+                    acts.push(Action::Emit {
+                        channel: self.out,
+                        page: Page { tuples: t },
+                    });
                     out_tuples -= t;
                 }
                 acts.push(Action::Close { channel: self.out });

@@ -41,14 +41,21 @@ impl OperatorProc for DisplayProc {
     fn resume(&mut self, input: ResumeInput) -> Vec<Action> {
         if !self.started {
             self.started = true;
-            return vec![Action::AwaitInput { channel: self.input }];
+            return vec![Action::AwaitInput {
+                channel: self.input,
+            }];
         }
         match input {
             ResumeInput::Page(p) => {
                 self.tuples_seen.set(self.tuples_seen.get() + p.tuples);
                 vec![
-                    Action::Cpu { site: self.site, instr: self.display_inst * p.tuples },
-                    Action::AwaitInput { channel: self.input },
+                    Action::Cpu {
+                        site: self.site,
+                        instr: self.display_inst * p.tuples,
+                    },
+                    Action::AwaitInput {
+                        channel: self.input,
+                    },
                 ]
             }
             ResumeInput::EndOfStream => vec![Action::Done],

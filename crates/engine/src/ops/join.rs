@@ -123,7 +123,11 @@ impl JoinProc {
         assert!(out_ratio >= 0.0);
         let part = |e: Vec<Extent>| {
             e.into_iter()
-                .map(|extent| Partition { extent, pages: 0, tuples: 0.0 })
+                .map(|extent| Partition {
+                    extent,
+                    pages: 0,
+                    tuples: 0.0,
+                })
                 .collect::<Vec<_>>()
         };
         JoinProc {
@@ -153,10 +157,18 @@ impl JoinProc {
     /// Queue spilled tuples and emit full partition pages round-robin.
     fn spill(&mut self, tuples: f64, inner_side: bool, acts: &mut Vec<Action>) {
         let tpp = self.costs.tuples_per_page as f64;
-        let acc = if inner_side { &mut self.spill_acc_inner } else { &mut self.spill_acc_outer };
+        let acc = if inner_side {
+            &mut self.spill_acc_inner
+        } else {
+            &mut self.spill_acc_outer
+        };
         *acc += tuples;
         while {
-            let acc = if inner_side { self.spill_acc_inner } else { self.spill_acc_outer };
+            let acc = if inner_side {
+                self.spill_acc_inner
+            } else {
+                self.spill_acc_outer
+            };
             acc >= tpp
         } {
             let (parts, rr) = if inner_side {
@@ -178,7 +190,11 @@ impl JoinProc {
 
     /// Flush a final partial spill page, if any.
     fn flush_spill(&mut self, inner_side: bool, acts: &mut Vec<Action>) {
-        let acc = if inner_side { self.spill_acc_inner } else { self.spill_acc_outer };
+        let acc = if inner_side {
+            self.spill_acc_inner
+        } else {
+            self.spill_acc_outer
+        };
         if acc >= 0.5 {
             let (parts, rr) = if inner_side {
                 (&mut self.inner_parts, &mut self.rr_inner)
@@ -202,7 +218,10 @@ impl JoinProc {
         let tpp = self.costs.tuples_per_page;
         self.out_acc += tuples;
         while self.out_acc >= tpp as f64 {
-            acts.push(Action::Emit { channel: self.out, page: Page { tuples: tpp } });
+            acts.push(Action::Emit {
+                channel: self.out,
+                page: Page { tuples: tpp },
+            });
             self.out_acc -= tpp as f64;
         }
     }
@@ -211,7 +230,10 @@ impl JoinProc {
         let mut acts = Vec::new();
         let rem = self.out_acc.round() as u64;
         if rem > 0 {
-            acts.push(Action::Emit { channel: self.out, page: Page { tuples: rem } });
+            acts.push(Action::Emit {
+                channel: self.out,
+                page: Page { tuples: rem },
+            });
         }
         self.out_acc = 0.0;
         self.state = JState::Finished;
@@ -245,11 +267,18 @@ impl JoinProc {
                         self.state = JState::PartOuter(b, 0);
                         continue;
                     }
-                    let tuples = if part.pages == 0 { 0.0 } else { part.tuples / part.pages as f64 };
+                    let tuples = if part.pages == 0 {
+                        0.0
+                    } else {
+                        part.tuples / part.pages as f64
+                    };
                     let addr = part.extent.page(i);
                     let mut acts = Vec::with_capacity(3);
                     disk_read(self.site, addr, self.costs.disk_inst, &mut acts);
-                    acts.push(Action::Cpu { site: self.site, instr: self.build_instr(tuples) });
+                    acts.push(Action::Cpu {
+                        site: self.site,
+                        instr: self.build_instr(tuples),
+                    });
                     self.state = JState::PartInner(b, i + 1);
                     return acts;
                 }
@@ -283,7 +312,9 @@ impl OperatorProc for JoinProc {
         match self.state {
             JState::Start => {
                 self.state = JState::Build;
-                vec![Action::AwaitInput { channel: self.inner }]
+                vec![Action::AwaitInput {
+                    channel: self.inner,
+                }]
             }
             JState::Build => match input {
                 ResumeInput::Page(p) => {
@@ -296,7 +327,9 @@ impl OperatorProc for JoinProc {
                         let spilled = p.tuples as f64 * (1.0 - self.resident_frac);
                         self.spill(spilled, true, &mut acts);
                     }
-                    acts.push(Action::AwaitInput { channel: self.inner });
+                    acts.push(Action::AwaitInput {
+                        channel: self.inner,
+                    });
                     acts
                 }
                 ResumeInput::EndOfStream => {
@@ -306,7 +339,9 @@ impl OperatorProc for JoinProc {
                         self.flush_spill(true, &mut acts);
                         acts.push(Action::DrainWrites);
                     }
-                    acts.push(Action::AwaitInput { channel: self.outer });
+                    acts.push(Action::AwaitInput {
+                        channel: self.outer,
+                    });
                     acts
                 }
                 ResumeInput::None => unreachable!("build resumed without input"),
@@ -325,7 +360,9 @@ impl OperatorProc for JoinProc {
                         let spilled = p.tuples as f64 * (1.0 - self.resident_frac);
                         self.spill(spilled, false, &mut acts);
                     }
-                    acts.push(Action::AwaitInput { channel: self.outer });
+                    acts.push(Action::AwaitInput {
+                        channel: self.outer,
+                    });
                     acts
                 }
                 ResumeInput::EndOfStream => {

@@ -27,8 +27,16 @@ pub struct LoadGenProc {
 impl LoadGenProc {
     /// A generator issuing uniformly random single-page reads at
     /// `rate_per_sec` against `site`'s disk.
-    pub fn new(site: SiteId, rate_per_sec: f64, disk_capacity_pages: u64, rng: SimRng) -> LoadGenProc {
-        assert!(rate_per_sec > 0.0, "use no load generator instead of rate 0");
+    pub fn new(
+        site: SiteId,
+        rate_per_sec: f64,
+        disk_capacity_pages: u64,
+        rng: SimRng,
+    ) -> LoadGenProc {
+        assert!(
+            rate_per_sec > 0.0,
+            "use no load generator instead of rate 0"
+        );
         LoadGenProc {
             site,
             mean_interarrival: SimDuration::from_secs_f64(1.0 / rate_per_sec),
@@ -43,7 +51,10 @@ impl OperatorProc for LoadGenProc {
         let addr = DiskAddr(self.rng.below(self.disk_capacity_pages as usize) as u64);
         let dur = self.rng.exp_duration(self.mean_interarrival);
         vec![
-            Action::DiskReadAsync { site: self.site, addr },
+            Action::DiskReadAsync {
+                site: self.site,
+                addr,
+            },
             Action::Sleep { dur },
         ]
     }

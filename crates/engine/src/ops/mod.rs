@@ -21,7 +21,10 @@ use crate::process::Action;
 /// ("a CPU overhead of DiskInst instructions is charged for every disk
 /// I/O request", §3.2.2).
 pub(crate) fn disk_read(site: SiteId, addr: DiskAddr, disk_inst: u64, out: &mut Vec<Action>) {
-    out.push(Action::Cpu { site, instr: disk_inst });
+    out.push(Action::Cpu {
+        site,
+        instr: disk_inst,
+    });
     out.push(Action::DiskRead { site, addr });
 }
 
@@ -32,6 +35,9 @@ pub(crate) fn disk_write_async(
     disk_inst: u64,
     out: &mut Vec<Action>,
 ) {
-    out.push(Action::Cpu { site, instr: disk_inst });
+    out.push(Action::Cpu {
+        site,
+        instr: disk_inst,
+    });
     out.push(Action::DiskWriteAsync { site, addr });
 }

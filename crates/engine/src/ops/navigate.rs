@@ -72,6 +72,9 @@ impl NavigatorProc {
 }
 
 impl OperatorProc for NavigatorProc {
+    // Invariant panic: the builder passes a cache extent whenever
+    // `cached_pages > 0`, the only case that reads it.
+    #[allow(clippy::expect_used)]
     fn resume(&mut self, _input: ResumeInput) -> Vec<Action> {
         if self.done == self.steps {
             return vec![Action::Done];
@@ -88,13 +91,36 @@ impl OperatorProc for NavigatorProc {
             let ext = self.cache_extent.expect("cached pages imply an extent");
             disk_read(self.client, ext.page(i), self.costs.disk_inst, &mut acts);
         } else {
-            acts.push(Action::Cpu { site: self.client, instr: self.costs.control_msg_instr });
-            acts.push(Action::Wire { bytes: self.costs.control_bytes, data_page: false });
-            acts.push(Action::Cpu { site: self.server, instr: self.costs.control_msg_instr });
-            disk_read(self.server, self.rel_extent.page(i), self.costs.disk_inst, &mut acts);
-            acts.push(Action::Cpu { site: self.server, instr: self.costs.page_msg_instr });
-            acts.push(Action::Wire { bytes: self.costs.page_bytes, data_page: true });
-            acts.push(Action::Cpu { site: self.client, instr: self.costs.page_msg_instr });
+            acts.push(Action::Cpu {
+                site: self.client,
+                instr: self.costs.control_msg_instr,
+            });
+            acts.push(Action::Wire {
+                bytes: self.costs.control_bytes,
+                data_page: false,
+            });
+            acts.push(Action::Cpu {
+                site: self.server,
+                instr: self.costs.control_msg_instr,
+            });
+            disk_read(
+                self.server,
+                self.rel_extent.page(i),
+                self.costs.disk_inst,
+                &mut acts,
+            );
+            acts.push(Action::Cpu {
+                site: self.server,
+                instr: self.costs.page_msg_instr,
+            });
+            acts.push(Action::Wire {
+                bytes: self.costs.page_bytes,
+                data_page: true,
+            });
+            acts.push(Action::Cpu {
+                site: self.client,
+                instr: self.costs.page_msg_instr,
+            });
         }
         acts
     }

@@ -96,6 +96,9 @@ impl ScanProc {
 }
 
 impl OperatorProc for ScanProc {
+    // Invariant panic: the builder passes a cache extent whenever
+    // `cached_pages > 0`, the only case that reads it.
+    #[allow(clippy::expect_used)]
     fn resume(&mut self, _input: ResumeInput) -> Vec<Action> {
         if self.cursor == self.total_pages {
             return vec![Action::Close { channel: self.out }, Action::Done];
@@ -107,7 +110,12 @@ impl OperatorProc for ScanProc {
         let mut acts = Vec::with_capacity(9);
         if self.site == self.server {
             // Local scan at the primary copy.
-            disk_read(self.site, self.rel_extent.page(i), self.costs.disk_inst, &mut acts);
+            disk_read(
+                self.site,
+                self.rel_extent.page(i),
+                self.costs.disk_inst,
+                &mut acts,
+            );
         } else if i < self.cached_pages {
             // Cached prefix on the client disk (footnote 8: contiguous
             // regions are cached).
@@ -115,15 +123,41 @@ impl OperatorProc for ScanProc {
             disk_read(self.site, ext.page(i), self.costs.disk_inst, &mut acts);
         } else {
             // Synchronous per-page fault RPC.
-            acts.push(Action::Cpu { site: self.site, instr: self.costs.control_msg_instr });
-            acts.push(Action::Wire { bytes: self.costs.control_bytes, data_page: false });
-            acts.push(Action::Cpu { site: self.server, instr: self.costs.control_msg_instr });
-            disk_read(self.server, self.rel_extent.page(i), self.costs.disk_inst, &mut acts);
-            acts.push(Action::Cpu { site: self.server, instr: self.costs.page_msg_instr });
-            acts.push(Action::Wire { bytes: self.costs.page_bytes, data_page: true });
-            acts.push(Action::Cpu { site: self.site, instr: self.costs.page_msg_instr });
+            acts.push(Action::Cpu {
+                site: self.site,
+                instr: self.costs.control_msg_instr,
+            });
+            acts.push(Action::Wire {
+                bytes: self.costs.control_bytes,
+                data_page: false,
+            });
+            acts.push(Action::Cpu {
+                site: self.server,
+                instr: self.costs.control_msg_instr,
+            });
+            disk_read(
+                self.server,
+                self.rel_extent.page(i),
+                self.costs.disk_inst,
+                &mut acts,
+            );
+            acts.push(Action::Cpu {
+                site: self.server,
+                instr: self.costs.page_msg_instr,
+            });
+            acts.push(Action::Wire {
+                bytes: self.costs.page_bytes,
+                data_page: true,
+            });
+            acts.push(Action::Cpu {
+                site: self.site,
+                instr: self.costs.page_msg_instr,
+            });
         }
-        acts.push(Action::Emit { channel: self.out, page });
+        acts.push(Action::Emit {
+            channel: self.out,
+            page,
+        });
         acts
     }
 

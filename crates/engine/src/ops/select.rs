@@ -52,7 +52,9 @@ impl SelectProc {
         while self.acc >= self.tuples_per_page as f64 {
             acts.push(Action::Emit {
                 channel: self.out,
-                page: Page { tuples: self.tuples_per_page },
+                page: Page {
+                    tuples: self.tuples_per_page,
+                },
             });
             self.acc -= self.tuples_per_page as f64;
         }
@@ -63,7 +65,9 @@ impl OperatorProc for SelectProc {
     fn resume(&mut self, input: ResumeInput) -> Vec<Action> {
         if !self.started {
             self.started = true;
-            return vec![Action::AwaitInput { channel: self.input }];
+            return vec![Action::AwaitInput {
+                channel: self.input,
+            }];
         }
         match input {
             ResumeInput::Page(p) => {
@@ -71,16 +75,24 @@ impl OperatorProc for SelectProc {
                 let instr = p.tuples * self.compare_inst
                     + (survivors * self.move_tuple_instr as f64) as u64;
                 self.acc += survivors;
-                let mut acts = vec![Action::Cpu { site: self.site, instr }];
+                let mut acts = vec![Action::Cpu {
+                    site: self.site,
+                    instr,
+                }];
                 self.drain_full_pages(&mut acts);
-                acts.push(Action::AwaitInput { channel: self.input });
+                acts.push(Action::AwaitInput {
+                    channel: self.input,
+                });
                 acts
             }
             ResumeInput::EndOfStream => {
                 let mut acts = Vec::new();
                 let rem = self.acc.round() as u64;
                 if rem > 0 {
-                    acts.push(Action::Emit { channel: self.out, page: Page { tuples: rem } });
+                    acts.push(Action::Emit {
+                        channel: self.out,
+                        page: Page { tuples: rem },
+                    });
                 }
                 acts.push(Action::Close { channel: self.out });
                 acts.push(Action::Done);

@@ -36,7 +36,9 @@ fn main() {
                 ctx.base_seed = s;
             }
             "--out" => {
-                let dir = args.next().unwrap_or_else(|| die("--out needs a directory"));
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a directory"));
                 out_dir = Some(PathBuf::from(dir));
             }
             "--help" | "-h" => {
@@ -54,7 +56,12 @@ fn main() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create output directory");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!(
+                "cannot create output directory {}: {e}",
+                dir.display()
+            ));
+        }
     }
 
     for id in &ids {
@@ -66,13 +73,12 @@ fn main() {
         println!("{}", fig.render_table());
         println!("   [{} finished in {:.1?}]\n", fig.id, start.elapsed());
         if let Some(dir) = &out_dir {
-            std::fs::write(dir.join(format!("{}.csv", fig.id)), fig.to_csv())
-                .expect("write csv");
-            std::fs::write(
-                dir.join(format!("{}.json", fig.id)),
-                serde_json::to_string_pretty(&fig).expect("serialize"),
-            )
-            .expect("write json");
+            for (ext, body) in [("csv", fig.to_csv()), ("json", fig.to_json_pretty())] {
+                let path = dir.join(format!("{}.{ext}", fig.id));
+                if let Err(e) = std::fs::write(&path, body) {
+                    die(&format!("cannot write {}: {e}", path.display()));
+                }
+            }
         }
     }
 }

@@ -26,12 +26,16 @@ pub fn run(ctx: &ExpContext) -> FigResult {
         x_label: "-".into(),
         y_label: "ms per page".into(),
         series: vec![
-            Series { label: "sequential".into(), points: vec![aggregate(0.0, &seq)] },
-            Series { label: "random".into(), points: vec![aggregate(0.0, &rnd)] },
+            Series {
+                label: "sequential".into(),
+                points: vec![aggregate(0.0, &seq)],
+            },
+            Series {
+                label: "random".into(),
+                points: vec![aggregate(0.0, &rnd)],
+            },
         ],
-        notes: vec![
-            "sequential runs are deterministic; random runs vary by seed".into(),
-        ],
+        notes: vec!["sequential runs are deterministic; random runs vary by seed".into()],
     }
 }
 

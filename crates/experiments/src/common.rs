@@ -4,11 +4,11 @@ use csqp_catalog::{Catalog, QuerySpec, SiteId, SystemConfig};
 use csqp_core::{bind, BindContext, Plan, Policy};
 use csqp_cost::{CostModel, Objective};
 use csqp_engine::{ExecutionBuilder, ExecutionMetrics, ServerLoad};
+use csqp_json::Json;
 use csqp_optimizer::{OptConfig, Optimizer};
 use csqp_simkernel::rng::SimRng;
 use csqp_simkernel::stats::Sample;
 use csqp_workload::load_utilization;
-use serde::Serialize;
 
 /// Experiment-wide knobs.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ impl ExpContext {
 }
 
 /// One measured point of a series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// The x coordinate (cached %, number of servers, …).
     pub x: f64,
@@ -64,7 +64,7 @@ pub struct Point {
 }
 
 /// A labelled series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (e.g. "DS", "QS", "HY", "Deep 2-Step").
     pub label: String,
@@ -73,7 +73,7 @@ pub struct Series {
 }
 
 /// The result of one experiment: what the paper's figure/table shows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigResult {
     /// Experiment id ("fig2", "table1", …).
     pub id: String,
@@ -135,6 +135,44 @@ impl FigResult {
             let _ = writeln!(out, "   note: {n}");
         }
         out
+    }
+
+    /// Render as pretty-printed JSON (the `--out` persistence format).
+    pub fn to_json_pretty(&self) -> String {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        csqp_json::obj(vec![
+                            ("x", Json::from(p.x)),
+                            ("mean", Json::from(p.mean)),
+                            ("ci90", Json::from(p.ci90)),
+                            ("n", Json::from(p.n)),
+                        ])
+                    })
+                    .collect::<Vec<_>>();
+                csqp_json::obj(vec![
+                    ("label", Json::from(s.label.clone())),
+                    ("points", Json::Arr(points)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        csqp_json::obj(vec![
+            ("id", Json::from(self.id.clone())),
+            ("title", Json::from(self.title.clone())),
+            ("x_label", Json::from(self.x_label.clone())),
+            ("y_label", Json::from(self.y_label.clone())),
+            ("series", Json::Arr(series)),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::from(n.clone())).collect()),
+            ),
+        ])
+        .render_pretty()
     }
 
     /// Render as CSV (`series,x,mean,ci90,n`).
@@ -208,14 +246,19 @@ impl<'a> Scenario<'a> {
     }
 
     /// Simulate a given plan in this scenario.
+    // Invariant panic: callers pass optimizer output, which is
+    // checker-verified and therefore bindable.
+    #[allow(clippy::expect_used)]
     pub fn execute(&self, plan: &Plan, seed: u64) -> ExecutionMetrics {
         let bound = bind(
             plan,
-            BindContext { catalog: self.catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: self.catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .expect("optimized plans are well-formed");
-        let mut builder =
-            ExecutionBuilder::new(self.query, self.catalog, self.sys).with_seed(seed);
+        let mut builder = ExecutionBuilder::new(self.query, self.catalog, self.sys).with_seed(seed);
         for l in self.loads {
             builder = builder.with_load(l.site, l.rate_per_sec);
         }
@@ -279,7 +322,12 @@ mod tests {
         let q = two_way();
         let cat = single_server_placement(&q);
         let sys = SystemConfig::default();
-        let scenario = Scenario { query: &q, catalog: &cat, sys: &sys, loads: &[] };
+        let scenario = Scenario {
+            query: &q,
+            catalog: &cat,
+            sys: &sys,
+            loads: &[],
+        };
         let m = scenario.optimize_and_run(
             Policy::QueryShipping,
             Objective::Communication,

@@ -17,6 +17,9 @@ use crate::common::{aggregate, ExpContext, FigResult, Series};
 /// Concurrency levels on the x axis.
 pub const COPIES: [usize; 4] = [1, 2, 4, 8];
 
+// Invariant panic: the fixed uniform-annotation two-way plans built here
+// are acyclic by construction, so binding cannot fail.
+#[allow(clippy::unwrap_used)]
 fn plan(
     query: &csqp_catalog::QuerySpec,
     catalog: &csqp_catalog::Catalog,
@@ -24,7 +27,14 @@ fn plan(
     sann: Annotation,
 ) -> BoundPlan {
     let p = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(query, jann, sann);
-    bind(&p, BindContext { catalog, query_site: SiteId::CLIENT }).unwrap()
+    bind(
+        &p,
+        BindContext {
+            catalog,
+            query_site: SiteId::CLIENT,
+        },
+    )
+    .unwrap()
 }
 
 /// Run the extension experiment.
@@ -33,8 +43,14 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     let mut sys = SystemConfig::default();
     sys.buf_alloc = BufAlloc::Max;
 
-    let mut all_qs = Series { label: "all QS".into(), points: Vec::new() };
-    let mut mixed = Series { label: "DS/QS mix (cached)".into(), points: Vec::new() };
+    let mut all_qs = Series {
+        label: "all QS".into(),
+        points: Vec::new(),
+    };
+    let mut mixed = Series {
+        label: "DS/QS mix (cached)".into(),
+        points: Vec::new(),
+    };
 
     for (xi, &n) in COPIES.iter().enumerate() {
         let mut qs_vals = Vec::new();
@@ -43,12 +59,20 @@ pub fn run(ctx: &ExpContext) -> FigResult {
             let seed = ctx.seed(xi as u64, rep as u64);
 
             let catalog = single_server_placement(&query);
-            let qs = plan(&query, &catalog, Annotation::InnerRel, Annotation::PrimaryCopy);
+            let qs = plan(
+                &query,
+                &catalog,
+                Annotation::InnerRel,
+                Annotation::PrimaryCopy,
+            );
             let res = ExecutionBuilder::new(&query, &catalog, &sys)
                 .with_seed(seed)
                 .execute_many(&vec![qs; n]);
             qs_vals.push(
-                res.per_query.iter().map(|q| q.response_time.as_secs_f64()).sum::<f64>()
+                res.per_query
+                    .iter()
+                    .map(|q| q.response_time.as_secs_f64())
+                    .sum::<f64>()
                     / n as f64,
             );
 
@@ -56,7 +80,12 @@ pub fn run(ctx: &ExpContext) -> FigResult {
             cached.set_cached_fraction(RelId(0), 1.0);
             cached.set_cached_fraction(RelId(1), 1.0);
             let ds = plan(&query, &cached, Annotation::Consumer, Annotation::Client);
-            let qs2 = plan(&query, &cached, Annotation::InnerRel, Annotation::PrimaryCopy);
+            let qs2 = plan(
+                &query,
+                &cached,
+                Annotation::InnerRel,
+                Annotation::PrimaryCopy,
+            );
             let mix: Vec<BoundPlan> = (0..n)
                 .map(|i| if i % 2 == 0 { ds.clone() } else { qs2.clone() })
                 .collect();
@@ -64,7 +93,10 @@ pub fn run(ctx: &ExpContext) -> FigResult {
                 .with_seed(seed)
                 .execute_many(&mix);
             mix_vals.push(
-                res.per_query.iter().map(|q| q.response_time.as_secs_f64()).sum::<f64>()
+                res.per_query
+                    .iter()
+                    .map(|q| q.response_time.as_secs_f64())
+                    .sum::<f64>()
                     / n as f64,
             );
         }

@@ -21,7 +21,10 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     let sys = SystemConfig::default();
     let mut series: Vec<Series> = [0.0f64, 0.8]
         .iter()
-        .map(|l| Series { label: format!("locality {l:.1}"), points: Vec::new() })
+        .map(|l| Series {
+            label: format!("locality {l:.1}"),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, cached_pct) in [0.0f64, 25.0, 50.0, 75.0, 100.0].iter().enumerate() {

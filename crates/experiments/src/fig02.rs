@@ -19,13 +19,21 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     let sys = SystemConfig::default();
     let mut series: Vec<Series> = POLICIES
         .iter()
-        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .map(|(_, label)| Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, pct) in CACHE_STEPS.iter().enumerate() {
         let mut catalog = single_server_placement(&query);
         cache_all(&mut catalog, &query, pct / 100.0);
-        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        let scenario = Scenario {
+            query: &query,
+            catalog: &catalog,
+            sys: &sys,
+            loads: &[],
+        };
         for (pi, (policy, _)) in POLICIES.iter().enumerate() {
             let values: Vec<f64> = (0..ctx.reps)
                 .map(|rep| {

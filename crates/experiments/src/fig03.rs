@@ -21,23 +21,27 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     sys.buf_alloc = BufAlloc::Min;
     let mut series: Vec<Series> = POLICIES
         .iter()
-        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .map(|(_, label)| Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, pct) in CACHE_STEPS.iter().enumerate() {
         let mut catalog = single_server_placement(&query);
         cache_all(&mut catalog, &query, pct / 100.0);
-        let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+        let scenario = Scenario {
+            query: &query,
+            catalog: &catalog,
+            sys: &sys,
+            loads: &[],
+        };
         for (pi, (policy, _)) in POLICIES.iter().enumerate() {
             let values: Vec<f64> = (0..ctx.reps)
                 .map(|rep| {
                     let seed = ctx.seed((xi * 3 + pi) as u64, rep as u64);
-                    let m = scenario.optimize_and_run(
-                        *policy,
-                        Objective::ResponseTime,
-                        &ctx.opt,
-                        seed,
-                    );
+                    let m =
+                        scenario.optimize_and_run(*policy, Objective::ResponseTime, &ctx.opt, seed);
                     metric_of(Objective::ResponseTime, &m)
                 })
                 .collect();
@@ -68,7 +72,10 @@ mod tests {
         // QS is (nearly) flat: caching can't help it.
         let qs0 = fig.value("QS", 0.0);
         let qs100 = fig.value("QS", 100.0);
-        assert!((qs0 - qs100).abs() / qs0 < 0.05, "QS flat: {qs0} vs {qs100}");
+        assert!(
+            (qs0 - qs100).abs() / qs0 < 0.05,
+            "QS flat: {qs0} vs {qs100}"
+        );
         // DS beats QS with an empty cache, degrades as caching grows.
         let ds0 = fig.value("DS", 0.0);
         let ds100 = fig.value("DS", 100.0);

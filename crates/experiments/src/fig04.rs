@@ -25,16 +25,26 @@ pub fn run(ctx: &ExpContext) -> FigResult {
 
     for (li, load) in FIG4_LOAD_LEVELS.iter().enumerate() {
         let loads: Vec<ServerLoad> = if *load > 0.0 {
-            vec![ServerLoad { site: SiteId::server(1), rate_per_sec: *load }]
+            vec![ServerLoad {
+                site: SiteId::server(1),
+                rate_per_sec: *load,
+            }]
         } else {
             Vec::new()
         };
-        let mut s = Series { label: format!("{load:.0} req/sec"), points: Vec::new() };
+        let mut s = Series {
+            label: format!("{load:.0} req/sec"),
+            points: Vec::new(),
+        };
         for (xi, pct) in CACHE_STEPS.iter().enumerate() {
             let mut catalog = single_server_placement(&query);
             cache_all(&mut catalog, &query, pct / 100.0);
-            let scenario =
-                Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &loads };
+            let scenario = Scenario {
+                query: &query,
+                catalog: &catalog,
+                sys: &sys,
+                loads: &loads,
+            };
             let values: Vec<f64> = (0..ctx.reps)
                 .map(|rep| {
                     let seed = ctx.seed((li * 5 + xi) as u64, rep as u64);
@@ -53,15 +63,20 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     }
 
     // Supplementary in-text numbers (§4.2.2): QS response under load.
-    let mut notes = vec![
-        "paper: caching hurts DS at 0/40 req/s, helps at 60-70 req/s".into(),
-    ];
+    let mut notes = vec!["paper: caching hurts DS at 0/40 req/s, helps at 60-70 req/s".into()];
     {
         let catalog = single_server_placement(&query);
         for rate in [40.0, 60.0] {
-            let loads = vec![ServerLoad { site: SiteId::server(1), rate_per_sec: rate }];
-            let scenario =
-                Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &loads };
+            let loads = vec![ServerLoad {
+                site: SiteId::server(1),
+                rate_per_sec: rate,
+            }];
+            let scenario = Scenario {
+                query: &query,
+                catalog: &catalog,
+                sys: &sys,
+                loads: &loads,
+            };
             let m = scenario.optimize_and_run(
                 Policy::QueryShipping,
                 Objective::ResponseTime,

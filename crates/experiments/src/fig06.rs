@@ -21,7 +21,10 @@ pub fn run_comm_experiment(ctx: &ExpContext, cache_five: bool, id: &str, title: 
     let sys = SystemConfig::default();
     let mut series: Vec<Series> = POLICIES
         .iter()
-        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .map(|(_, label)| Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, servers) in SERVER_STEPS.iter().enumerate() {
@@ -36,7 +39,12 @@ pub fn run_comm_experiment(ctx: &ExpContext, cache_five: bool, id: &str, title: 
             if cache_five {
                 csqp_workload::cache_k_relations(&mut catalog, &query, 5, &mut rng);
             }
-            let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+            let scenario = Scenario {
+                query: &query,
+                catalog: &catalog,
+                sys: &sys,
+                loads: &[],
+            };
             for (pi, (policy, _)) in POLICIES.iter().enumerate() {
                 let m = scenario.optimize_and_run(
                     *policy,
@@ -58,9 +66,7 @@ pub fn run_comm_experiment(ctx: &ExpContext, cache_five: bool, id: &str, title: 
         x_label: "number of servers".into(),
         y_label: "pages sent".into(),
         series,
-        notes: vec![
-            "placements are random with every server holding >=1 relation".into(),
-        ],
+        notes: vec!["placements are random with every server holding >=1 relation".into()],
     }
 }
 

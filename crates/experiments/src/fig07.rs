@@ -17,9 +17,8 @@ pub fn run(ctx: &ExpContext) -> FigResult {
         "fig7",
         "Pages Sent, 10-Way Join, Vary Servers, 5 Relations Cached",
     );
-    fig.notes.push(
-        "paper: DS flat 1250; QS as in Fig 6; HY below both for mid server counts".into(),
-    );
+    fig.notes
+        .push("paper: DS flat 1250; QS as in Fig 6; HY below both for mid server counts".into());
     fig
 }
 

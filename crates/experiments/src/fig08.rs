@@ -21,7 +21,10 @@ pub fn run(ctx: &ExpContext) -> FigResult {
     sys.buf_alloc = BufAlloc::Min;
     let mut series: Vec<Series> = POLICIES
         .iter()
-        .map(|(_, label)| Series { label: label.to_string(), points: Vec::new() })
+        .map(|(_, label)| Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, servers) in SERVER_STEPS.iter().enumerate() {
@@ -30,7 +33,12 @@ pub fn run(ctx: &ExpContext) -> FigResult {
             let seed = ctx.seed(xi as u64, rep as u64);
             let mut rng = csqp_simkernel::rng::SimRng::seed_from_u64(seed);
             let catalog = random_placement(&query, *servers, &mut rng);
-            let scenario = Scenario { query: &query, catalog: &catalog, sys: &sys, loads: &[] };
+            let scenario = Scenario {
+                query: &query,
+                catalog: &catalog,
+                sys: &sys,
+                loads: &[],
+            };
             for (pi, (policy, _)) in POLICIES.iter().enumerate() {
                 let m = scenario.optimize_and_run(
                     *policy,

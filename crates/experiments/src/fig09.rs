@@ -34,10 +34,26 @@ pub fn cycle_query() -> QuerySpec {
         .map(|i| Relation::benchmark(RelId(i), ["A", "B", "C", "D"][i as usize]))
         .collect();
     let edges = vec![
-        JoinEdge { a: RelId(0), b: RelId(1), selectivity: MODERATE_SEL },
-        JoinEdge { a: RelId(1), b: RelId(2), selectivity: MODERATE_SEL },
-        JoinEdge { a: RelId(2), b: RelId(3), selectivity: MODERATE_SEL },
-        JoinEdge { a: RelId(3), b: RelId(0), selectivity: MODERATE_SEL },
+        JoinEdge {
+            a: RelId(0),
+            b: RelId(1),
+            selectivity: MODERATE_SEL,
+        },
+        JoinEdge {
+            a: RelId(1),
+            b: RelId(2),
+            selectivity: MODERATE_SEL,
+        },
+        JoinEdge {
+            a: RelId(2),
+            b: RelId(3),
+            selectivity: MODERATE_SEL,
+        },
+        JoinEdge {
+            a: RelId(3),
+            b: RelId(0),
+            selectivity: MODERATE_SEL,
+        },
     ];
     QuerySpec::new(rels, edges)
 }
@@ -45,6 +61,8 @@ pub fn cycle_query() -> QuerySpec {
 /// The paper's Figure 9(a) compile-time plan: `(A⋈B) ⋈ (C⋈D)`, the two
 /// lower joins at their producers' (compile-time co-located) servers, the
 /// top join at the client.
+// Invariant panic: the tree literally constructed above has three joins.
+#[allow(clippy::expect_used)]
 pub fn paper_static_plan(query: &QuerySpec) -> Plan {
     let tree = JoinTree::join(
         JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1))),
@@ -70,8 +88,12 @@ pub fn run(ctx: &ExpContext) -> FigResult {
         objective: Objective::Communication,
         config: ctx.opt.clone(),
     };
-    let scenario =
-        Scenario { query: &query, catalog: &runtime_cat, sys: &sys, loads: &[] };
+    let scenario = Scenario {
+        query: &query,
+        catalog: &runtime_cat,
+        sys: &sys,
+        loads: &[],
+    };
     let compiled = paper_static_plan(&query);
 
     let mut static_pages = Vec::new();
@@ -96,9 +118,18 @@ pub fn run(ctx: &ExpContext) -> FigResult {
         x_label: "strategy (0=static, 1=2-step, 2=reoptimized)".into(),
         y_label: "pages sent".into(),
         series: vec![
-            Series { label: "Static".into(), points: vec![aggregate(0.0, &static_pages)] },
-            Series { label: "2-Step".into(), points: vec![aggregate(1.0, &twostep_pages)] },
-            Series { label: "Reoptimized".into(), points: vec![aggregate(2.0, &optimal_pages)] },
+            Series {
+                label: "Static".into(),
+                points: vec![aggregate(0.0, &static_pages)],
+            },
+            Series {
+                label: "2-Step".into(),
+                points: vec![aggregate(1.0, &twostep_pages)],
+            },
+            Series {
+                label: "Reoptimized".into(),
+                points: vec![aggregate(2.0, &optimal_pages)],
+            },
         ],
         notes: vec![
             "paper (result stipulated = 250 pages): 1000 : 750 : 500".into(),
@@ -129,6 +160,9 @@ mod tests {
         let paper_two = two + 249.0;
         let paper_opt = opt + 249.0;
         assert!((stat / paper_opt - 2.0).abs() < 0.1, "static = 2x optimal");
-        assert!((paper_two / paper_opt - 1.5).abs() < 0.1, "2-step = 1.5x optimal");
+        assert!(
+            (paper_two / paper_opt - 1.5).abs() < 0.1,
+            "2-step = 1.5x optimal"
+        );
     }
 }

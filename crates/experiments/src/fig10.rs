@@ -42,7 +42,10 @@ pub fn run_twostep_experiment(
     let labels = ["Deep Static", "Deep 2-Step", "Bushy Static", "Bushy 2-Step"];
     let mut series: Vec<Series> = labels
         .iter()
-        .map(|l| Series { label: l.to_string(), points: Vec::new() })
+        .map(|l| Series {
+            label: l.to_string(),
+            points: Vec::new(),
+        })
         .collect();
 
     for (xi, servers) in SERVER_STEPS.iter().enumerate() {
@@ -51,7 +54,12 @@ pub fn run_twostep_experiment(
             let seed = ctx.seed(xi as u64, rep as u64);
             let mut rng = SimRng::seed_from_u64(seed);
             let catalog = random_placement(query, *servers, &mut rng);
-            let scenario = Scenario { query, catalog: &catalog, sys: &sys, loads: &[] };
+            let scenario = Scenario {
+                query,
+                catalog: &catalog,
+                sys: &sys,
+                loads: &[],
+            };
 
             // Ideal: full hybrid optimization against the true state.
             // The randomized search is not exhaustive, so the ideal is
@@ -78,8 +86,7 @@ pub fn run_twostep_experiment(
             {
                 let compiled = planner.compile(query, &sys, *assumption, &mut rng);
                 times[i * 2] = scenario.execute(&compiled, seed).response_secs();
-                let selected =
-                    planner.site_select(&compiled, query, &sys, &catalog, &mut rng);
+                let selected = planner.site_select(&compiled, query, &sys, &catalog, &mut rng);
                 times[i * 2 + 1] = scenario.execute(&selected, seed).response_secs();
             }
             let ideal = times.iter().copied().fold(hy, f64::min);
@@ -142,7 +149,10 @@ mod tests {
         assert!(sd > b2, "deep static {sd} worse than bushy 2-step {b2}");
         // 2-step mitigates the deep plan's penalty.
         let d2 = fig.value("Deep 2-Step", 10.0);
-        assert!(d2 < sd * 1.02, "2-step should not lose to static: {d2} vs {sd}");
+        assert!(
+            d2 < sd * 1.02,
+            "2-step should not lose to static: {d2} vs {sd}"
+        );
         // Bushy 2-step stays near the ideal across server counts.
         for s in SERVER_STEPS {
             let v = fig.value("Bushy 2-Step", s as f64);

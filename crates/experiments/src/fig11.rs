@@ -36,6 +36,9 @@ mod tests {
         // Static strategies degrade relative to 2-step at 10 servers.
         let ds = fig.value("Deep Static", 10.0);
         let d2 = fig.value("Deep 2-Step", 10.0);
-        assert!(d2 <= ds * 1.05, "2-step should not lose to static: {d2} vs {ds}");
+        assert!(
+            d2 <= ds * 1.05,
+            "2-step should not lose to static: {d2} vs {ds}"
+        );
     }
 }

@@ -9,8 +9,12 @@
 //! the workspace integration suite.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod calibration;
 pub mod common;
+pub mod ext_multiquery;
+pub mod ext_navigation;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;
@@ -21,9 +25,6 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
-pub mod calibration;
-pub mod ext_multiquery;
-pub mod ext_navigation;
 pub mod tables;
 
 pub use common::{ExpContext, FigResult, Point, Series};
@@ -54,6 +55,19 @@ pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<FigResult> {
 /// All experiment ids, in paper order, followed by the future-work
 /// extensions.
 pub const ALL_EXPERIMENTS: [&str; 15] = [
-    "table1", "table2", "calibration", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "ext-multiquery", "ext-navigation",
+    "table1",
+    "table2",
+    "calibration",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ext-multiquery",
+    "ext-navigation",
 ];

@@ -38,13 +38,41 @@ pub fn table2() -> FigResult {
     let rows: Vec<(&str, f64, &str)> = vec![
         ("Mips", c.mips as f64, "CPU speed (10^6 instr/sec)"),
         ("NumDisks", c.num_disks as f64, "number of disks on a site"),
-        ("DiskInst", c.disk_inst as f64, "instr. to read a page from disk"),
-        ("PageSize", c.page_size as f64, "size of one data page (bytes)"),
-        ("NetBw", c.net_bw_mbit as f64, "network bandwidth (Mbit/sec)"),
-        ("MsgInst", c.msg_inst as f64, "instr. to send/receive a message"),
-        ("PerSizeMI", c.per_size_mi as f64, "instr. to send/receive 4096 bytes"),
-        ("Display", c.display_inst as f64, "instr. to display a tuple"),
-        ("Compare", c.compare_inst as f64, "instr. to apply a predicate"),
+        (
+            "DiskInst",
+            c.disk_inst as f64,
+            "instr. to read a page from disk",
+        ),
+        (
+            "PageSize",
+            c.page_size as f64,
+            "size of one data page (bytes)",
+        ),
+        (
+            "NetBw",
+            c.net_bw_mbit as f64,
+            "network bandwidth (Mbit/sec)",
+        ),
+        (
+            "MsgInst",
+            c.msg_inst as f64,
+            "instr. to send/receive a message",
+        ),
+        (
+            "PerSizeMI",
+            c.per_size_mi as f64,
+            "instr. to send/receive 4096 bytes",
+        ),
+        (
+            "Display",
+            c.display_inst as f64,
+            "instr. to display a tuple",
+        ),
+        (
+            "Compare",
+            c.compare_inst as f64,
+            "instr. to apply a predicate",
+        ),
         ("HashInst", c.hash_inst as f64, "instr. to hash a tuple"),
         ("MoveInst", c.move_inst as f64, "instr. to copy 4 bytes"),
     ];
@@ -53,7 +81,12 @@ pub fn table2() -> FigResult {
         points: rows
             .iter()
             .enumerate()
-            .map(|(i, (_, v, _))| Point { x: i as f64, mean: *v, ci90: 0.0, n: 1 })
+            .map(|(i, (_, v, _))| Point {
+                x: i as f64,
+                mean: *v,
+                ci90: 0.0,
+                n: 1,
+            })
             .collect(),
     }];
     let notes = rows
@@ -100,7 +133,15 @@ mod tests {
                 .iter()
                 .find(|n| n.starts_with(&format!("{name} = ")))
                 .unwrap();
-            row.split('=').nth(1).unwrap().trim().split(' ').next().unwrap().parse().unwrap()
+            row.split('=')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert_eq!(get("Mips"), 50.0);
         assert_eq!(get("DiskInst"), 5000.0);

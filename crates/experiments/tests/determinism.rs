@@ -1,0 +1,139 @@
+//! The byte-identical-stats regression test promised by
+//! `csqp_simkernel::rng`: the simulator keeps **no hidden per-run state**,
+//! so two runs from the same seed must produce *exactly* the same
+//! metrics — every `f64` bit-for-bit, every counter, every per-operator
+//! report. Any drift here means something in the pipeline consulted an
+//! ambient source of entropy (a timestamp, an unseeded RNG, hash-map
+//! iteration order) and broke reproducibility.
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_catalog::{BufAlloc, SiteId, SystemConfig};
+use csqp_core::{bind, BindContext, Policy};
+use csqp_cost::Objective;
+use csqp_engine::{ExecutionBuilder, ServerLoad};
+use csqp_experiments::common::Scenario;
+use csqp_optimizer::{OptConfig, Optimizer};
+use csqp_simkernel::rng::SimRng;
+use csqp_workload::{random_placement, ten_way, two_way};
+
+/// The full-precision rendering used for comparison: `{:?}` on the
+/// metrics prints every float with round-trip precision, so equal
+/// strings mean bit-identical stats.
+fn render<T: std::fmt::Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+#[test]
+fn identically_seeded_runs_produce_byte_identical_stats() {
+    let query = two_way();
+    let catalog = csqp_workload::single_server_placement(&query);
+    let mut sys = SystemConfig::default();
+    sys.buf_alloc = BufAlloc::Min; // exercise the spill path too
+
+    let plan = csqp_core::JoinTree::left_deep(&[csqp_catalog::RelId(0), csqp_catalog::RelId(1)])
+        .into_plan(
+            &query,
+            csqp_core::Annotation::InnerRel,
+            csqp_core::Annotation::PrimaryCopy,
+        );
+    let bound = bind(
+        &plan,
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
+    )
+    .unwrap();
+
+    let run = || {
+        let builder = ExecutionBuilder::new(&query, &catalog, &sys).with_seed(0xC5);
+        render(&builder.execute(&bound))
+    };
+    assert_eq!(run(), run(), "two identically-seeded executions diverged");
+}
+
+#[test]
+fn loaded_multi_query_runs_are_byte_identical() {
+    // Load generators and concurrent queries are the RNG-heaviest path:
+    // every interleaving decision flows from the builder seed.
+    let query = two_way();
+    let catalog = csqp_workload::single_server_placement(&query);
+    let sys = SystemConfig::default();
+
+    let mk_bound = |jann, sann| {
+        let p = csqp_core::JoinTree::left_deep(&[csqp_catalog::RelId(0), csqp_catalog::RelId(1)])
+            .into_plan(&query, jann, sann);
+        bind(
+            &p,
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
+        )
+        .unwrap()
+    };
+    let bounds = vec![
+        mk_bound(
+            csqp_core::Annotation::InnerRel,
+            csqp_core::Annotation::PrimaryCopy,
+        ),
+        mk_bound(
+            csqp_core::Annotation::Consumer,
+            csqp_core::Annotation::Client,
+        ),
+    ];
+
+    let run = || {
+        let builder = ExecutionBuilder::new(&query, &catalog, &sys)
+            .with_seed(7)
+            .with_load(SiteId::server(1), 20.0);
+        render(&builder.execute_many(&bounds))
+    };
+    assert_eq!(run(), run(), "loaded multi-query executions diverged");
+}
+
+#[test]
+fn whole_measurement_pipeline_is_byte_identical() {
+    // Optimizer + binder + simulator, end to end, the way the figure
+    // experiments drive it — including a server disk load feeding the
+    // load-aware cost model.
+    let query = ten_way();
+    let mut rng = SimRng::seed_from_u64(99);
+    let catalog = random_placement(&query, 4, &mut rng);
+    let sys = SystemConfig::default();
+    let loads = [ServerLoad {
+        site: SiteId::server(1),
+        rate_per_sec: 10.0,
+    }];
+    let scenario = Scenario {
+        query: &query,
+        catalog: &catalog,
+        sys: &sys,
+        loads: &loads,
+    };
+
+    let run = || {
+        let model = scenario.cost_model();
+        let optimizer = Optimizer::new(
+            &model,
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            OptConfig::fast(),
+        );
+        let mut opt_rng = SimRng::seed_from_u64(41);
+        let plan = optimizer.optimize(&query, &mut opt_rng).plan;
+        (render(&plan), render(&scenario.execute(&plan, 17)))
+    };
+    let (plan_a, stats_a) = run();
+    let (plan_b, stats_b) = run();
+    assert_eq!(
+        plan_a, plan_b,
+        "optimizer output diverged under the same seed"
+    );
+    assert_eq!(
+        stats_a, stats_b,
+        "pipeline stats diverged under the same seed"
+    );
+}

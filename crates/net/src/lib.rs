@@ -13,6 +13,7 @@
 //! queues (they are site costs, not wire costs); [`MsgCost`] computes them.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use csqp_catalog::SystemConfig;
 use csqp_simkernel::{FifoServer, SimDuration, SimTime};

@@ -1,6 +1,9 @@
 //! Property tests for the network link: FIFO delivery, exact wire-time
 //! accounting, and byte bookkeeping under arbitrary message mixes.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp_catalog::SystemConfig;
 use csqp_net::{Link, MsgKind};
 use csqp_simkernel::SimTime;

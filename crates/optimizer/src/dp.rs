@@ -31,16 +31,28 @@ struct Entry {
 /// # Panics
 /// Panics on queries with zero relations or more than 20 (the DP table
 /// is exponential; the study's queries have at most 10).
+// Invariant panic: every singleton seeds the table and every superset
+// combines two table entries, so the full relation set always has one.
+#[allow(clippy::expect_used)]
 pub fn dp_join_order(query: &QuerySpec, config: &SystemConfig) -> JoinTree {
     let n = query.num_relations();
     assert!(n >= 1, "empty query");
-    assert!(n <= 20, "DP join ordering is exponential; {n} relations is too many");
+    assert!(
+        n <= 20,
+        "DP join ordering is exponential; {n} relations is too many"
+    );
     let est = Estimator::new(query, config);
 
     let mut table: HashMap<u64, Entry> = HashMap::new();
     for r in &query.relations {
         let s = RelSet::single(r.id);
-        table.insert(s.0, Entry { tree: JoinTree::leaf(r.id), cost: 0.0 });
+        table.insert(
+            s.0,
+            Entry {
+                tree: JoinTree::leaf(r.id),
+                cost: 0.0,
+            },
+        );
     }
 
     let full = query.all_rels().0;
@@ -78,7 +90,10 @@ pub fn dp_join_order(query: &QuerySpec, config: &SystemConfig) -> JoinTree {
                 } else {
                     (re.tree.clone(), le.tree.clone())
                 };
-                let entry = Entry { tree: JoinTree::join(inner, outer), cost };
+                let entry = Entry {
+                    tree: JoinTree::join(inner, outer),
+                    cost,
+                };
                 let slot = if joinable { &mut best } else { &mut best_cross };
                 if slot.as_ref().is_none_or(|b| cost < b.cost) {
                     *slot = Some(entry);
@@ -128,7 +143,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: sel })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: sel,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -179,10 +198,7 @@ mod tests {
         for _ in 0..50 {
             let t = crate::random::random_join_tree(&q, &mut rng);
             let c = intermediate_pages(&t, &q, &cfg);
-            assert!(
-                dp_cost <= c + 1e-9,
-                "random tree beat DP: {c} < {dp_cost}"
-            );
+            assert!(dp_cost <= c + 1e-9, "random tree beat DP: {c} < {dp_cost}");
         }
     }
 
@@ -194,8 +210,16 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = vec![
-            JoinEdge { a: RelId(0), b: RelId(1), selectivity: 1e-4 },
-            JoinEdge { a: RelId(2), b: RelId(3), selectivity: 1e-4 },
+            JoinEdge {
+                a: RelId(0),
+                b: RelId(1),
+                selectivity: 1e-4,
+            },
+            JoinEdge {
+                a: RelId(2),
+                b: RelId(3),
+                selectivity: 1e-4,
+            },
         ];
         let q = QuerySpec::new(rels, edges);
         let cfg = SystemConfig::default();

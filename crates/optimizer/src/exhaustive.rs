@@ -35,8 +35,12 @@ fn all_trees(query: &QuerySpec, rels: &[RelId]) -> Vec<JoinTree> {
                 right.push(*r);
             }
         }
-        let lset = left.iter().fold(RelSet::EMPTY, |s, r| s.union(RelSet::single(*r)));
-        let rset = right.iter().fold(RelSet::EMPTY, |s, r| s.union(RelSet::single(*r)));
+        let lset = left
+            .iter()
+            .fold(RelSet::EMPTY, |s, r| s.union(RelSet::single(*r)));
+        let rset = right
+            .iter()
+            .fold(RelSet::EMPTY, |s, r| s.union(RelSet::single(*r)));
         if !query.joinable(lset, rset) {
             continue; // skip Cartesian products (connected benchmark graphs)
         }
@@ -74,6 +78,9 @@ fn all_annotations(plan: &Plan, policy: Policy) -> Vec<Plan> {
 /// The true optimum over the full (tree × annotation) space.
 ///
 /// Returns the best plan and its metric value.
+// Invariant panic: the enumeration always yields at least one
+// policy-conformant plan per tree, and conformant plans bind.
+#[allow(clippy::expect_used)]
 pub fn exhaustive_optimum(
     query: &QuerySpec,
     policy: Policy,
@@ -119,7 +126,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -147,7 +158,11 @@ mod tests {
             .iter()
             .map(|t| {
                 t.clone()
-                    .into_plan(&q, csqp_core::Annotation::Consumer, csqp_core::Annotation::Client)
+                    .into_plan(
+                        &q,
+                        csqp_core::Annotation::Consumer,
+                        csqp_core::Annotation::Client,
+                    )
                     .render_compact()
             })
             .collect();

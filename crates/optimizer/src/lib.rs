@@ -23,6 +23,7 @@
 //!   annealing).
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dp;
 pub mod exhaustive;
@@ -33,8 +34,8 @@ pub mod twostep;
 
 pub use dp::dp_join_order;
 pub use exhaustive::exhaustive_optimum;
-pub use moves::{applicable_moves, apply_move, Move, MoveKind};
-pub use random::random_plan;
-pub use search::{OptConfig, OptResult, Optimizer};
 pub use moves::MoveSet;
+pub use moves::{applicable_moves, apply_move, Move, MoveKind};
+pub use random::{random_neighbor, random_plan};
+pub use search::{OptConfig, OptResult, Optimizer};
 pub use twostep::{explicit_placement, two_step_plan, CompileTimeAssumption, TwoStepPlanner};

@@ -26,6 +26,7 @@
 //! (annotation cycle, §2.2.3) are filtered out by the caller via
 //! [`csqp_core::is_well_formed`].
 
+use csqp_catalog::QuerySpec;
 use csqp_core::{Annotation, LogicalOp, NodeId, Plan, Policy};
 
 /// The kind of a transformation.
@@ -122,7 +123,10 @@ pub fn applicable_moves(plan: &Plan, policy: Policy, set: MoveSet) -> Vec<Move> 
             LogicalOp::Join => {
                 if set.order_moves {
                     if set.commute {
-                        out.push(Move { node: id, kind: MoveKind::Commute });
+                        out.push(Move {
+                            node: id,
+                            kind: MoveKind::Commute,
+                        });
                     }
                     let left_is_join = n.children[0]
                         .map(|c| matches!(plan.node(c).op, LogicalOp::Join))
@@ -131,18 +135,33 @@ pub fn applicable_moves(plan: &Plan, policy: Policy, set: MoveSet) -> Vec<Move> 
                         .map(|c| matches!(plan.node(c).op, LogicalOp::Join))
                         .unwrap_or(false);
                     if left_is_join {
-                        out.push(Move { node: id, kind: MoveKind::AssocLeft });
-                        out.push(Move { node: id, kind: MoveKind::ExchangeLeft });
+                        out.push(Move {
+                            node: id,
+                            kind: MoveKind::AssocLeft,
+                        });
+                        out.push(Move {
+                            node: id,
+                            kind: MoveKind::ExchangeLeft,
+                        });
                     }
                     if right_is_join {
-                        out.push(Move { node: id, kind: MoveKind::AssocRight });
-                        out.push(Move { node: id, kind: MoveKind::ExchangeRight });
+                        out.push(Move {
+                            node: id,
+                            kind: MoveKind::AssocRight,
+                        });
+                        out.push(Move {
+                            node: id,
+                            kind: MoveKind::ExchangeRight,
+                        });
                     }
                 }
                 if set.site_moves {
                     for &ann in policy.allowed(LogicalOp::Join) {
                         if ann != n.ann {
-                            out.push(Move { node: id, kind: MoveKind::JoinAnnotation(ann) });
+                            out.push(Move {
+                                node: id,
+                                kind: MoveKind::JoinAnnotation(ann),
+                            });
                         }
                     }
                 }
@@ -153,7 +172,10 @@ pub fn applicable_moves(plan: &Plan, policy: Policy, set: MoveSet) -> Vec<Move> 
                 if set.site_moves {
                     for &ann in policy.allowed(n.op) {
                         if ann != n.ann {
-                            out.push(Move { node: id, kind: MoveKind::SelectAnnotation(ann) });
+                            out.push(Move {
+                                node: id,
+                                kind: MoveKind::SelectAnnotation(ann),
+                            });
                         }
                     }
                 }
@@ -162,7 +184,10 @@ pub fn applicable_moves(plan: &Plan, policy: Policy, set: MoveSet) -> Vec<Move> 
                 if set.site_moves {
                     for &ann in policy.allowed(n.op) {
                         if ann != n.ann {
-                            out.push(Move { node: id, kind: MoveKind::ScanAnnotation(ann) });
+                            out.push(Move {
+                                node: id,
+                                kind: MoveKind::ScanAnnotation(ann),
+                            });
                         }
                     }
                 }
@@ -261,10 +286,49 @@ pub fn apply_move(plan: &Plan, mv: Move) -> Option<Plan> {
     Some(p)
 }
 
+/// Apply `mv` and hand the result to the static checker
+/// ([`csqp_verify::check_logical`]).
+///
+/// Moves 1–7 must preserve structural validity and policy conformance —
+/// under `debug_assertions`, any other checker finding is a bug in the
+/// move itself and panics with the full diagnostic report. What a legal
+/// move *can* do is introduce a two-node annotation cycle (§2.2.3: "it is
+/// very easy to 'sort out' ill-formed plans during query optimization");
+/// those plans are rejected as `None`, exactly like inapplicable moves.
+///
+/// The returned plan is therefore *checker-verified*: structurally sound,
+/// in `policy`'s Table 1 search space, and well-formed.
+pub fn apply_move_verified(
+    plan: &Plan,
+    mv: Move,
+    query: &QuerySpec,
+    policy: Policy,
+) -> Option<Plan> {
+    let next = apply_move(plan, mv)?;
+    #[cfg(debug_assertions)]
+    {
+        let report = csqp_verify::check_logical(&next, query, policy);
+        if !report.is_clean() && !report.only(csqp_verify::DiagCode::AnnotationCycle) {
+            panic!("move {mv:?} broke plan invariants:\n{report}\nplan: {next}");
+        }
+        if !report.is_clean() {
+            return None;
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (query, policy);
+        if !csqp_core::is_well_formed(&next) {
+            return None;
+        }
+    }
+    Some(next)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation};
+    use csqp_catalog::{JoinEdge, RelId, Relation};
     use csqp_core::JoinTree;
 
     fn chain(n: u32) -> QuerySpec {
@@ -272,7 +336,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -291,7 +359,14 @@ mod tests {
         let p = three_way_plan(&q);
         // ((R0 ⋈ R1) ⋈ R2): the top join has a join as child 0.
         let top = *p.join_nodes().last().unwrap();
-        let p2 = apply_move(&p, Move { node: top, kind: MoveKind::AssocLeft }).unwrap();
+        let p2 = apply_move(
+            &p,
+            Move {
+                node: top,
+                kind: MoveKind::AssocLeft,
+            },
+        )
+        .unwrap();
         p2.validate_structure(&q).unwrap();
         assert_eq!(
             p2.render_compact(),
@@ -304,7 +379,14 @@ mod tests {
         let q = chain(3);
         let p = three_way_plan(&q);
         let top = *p.join_nodes().last().unwrap();
-        let p2 = apply_move(&p, Move { node: top, kind: MoveKind::ExchangeLeft }).unwrap();
+        let p2 = apply_move(
+            &p,
+            Move {
+                node: top,
+                kind: MoveKind::ExchangeLeft,
+            },
+        )
+        .unwrap();
         p2.validate_structure(&q).unwrap();
         assert_eq!(
             p2.render_compact(),
@@ -317,8 +399,22 @@ mod tests {
         let q = chain(3);
         let p = three_way_plan(&q);
         let top = *p.join_nodes().last().unwrap();
-        let right = apply_move(&p, Move { node: top, kind: MoveKind::AssocLeft }).unwrap();
-        let back = apply_move(&right, Move { node: top, kind: MoveKind::AssocRight }).unwrap();
+        let right = apply_move(
+            &p,
+            Move {
+                node: top,
+                kind: MoveKind::AssocLeft,
+            },
+        )
+        .unwrap();
+        let back = apply_move(
+            &right,
+            Move {
+                node: top,
+                kind: MoveKind::AssocRight,
+            },
+        )
+        .unwrap();
         assert_eq!(back.render_compact(), p.render_compact());
     }
 
@@ -331,7 +427,14 @@ mod tests {
         );
         let p = t.into_plan(&q, Annotation::Consumer, Annotation::Client);
         let top = *p.join_nodes().last().unwrap();
-        let p2 = apply_move(&p, Move { node: top, kind: MoveKind::ExchangeRight }).unwrap();
+        let p2 = apply_move(
+            &p,
+            Move {
+                node: top,
+                kind: MoveKind::ExchangeRight,
+            },
+        )
+        .unwrap();
         p2.validate_structure(&q).unwrap();
         // A⋈(B⋈C) → (A⋈C)⋈B.
         assert_eq!(
@@ -349,7 +452,14 @@ mod tests {
             Annotation::Client,
         );
         let j = p.join_nodes()[0];
-        let p2 = apply_move(&p, Move { node: j, kind: MoveKind::Commute }).unwrap();
+        let p2 = apply_move(
+            &p,
+            Move {
+                node: j,
+                kind: MoveKind::Commute,
+            },
+        )
+        .unwrap();
         assert_eq!(
             p2.render_compact(),
             "(display (join:cons (scan R1:cl) (scan R0:cl)))"
@@ -360,7 +470,11 @@ mod tests {
     fn move_lists_respect_policies() {
         let q = chain(3);
         let p = three_way_plan(&q);
-        let ds = applicable_moves(&p, Policy::DataShipping, MoveSet::for_policy(Policy::DataShipping));
+        let ds = applicable_moves(
+            &p,
+            Policy::DataShipping,
+            MoveSet::for_policy(Policy::DataShipping),
+        );
         // DS: join annotations have a single choice, scans/selects too ->
         // no site moves at all; order moves only.
         assert!(ds.iter().all(|m| m.kind.is_order_move()), "{ds:?}");
@@ -371,7 +485,11 @@ mod tests {
             Annotation::InnerRel,
             Annotation::PrimaryCopy,
         );
-        let qs = applicable_moves(&qsp, Policy::QueryShipping, MoveSet::for_policy(Policy::QueryShipping));
+        let qs = applicable_moves(
+            &qsp,
+            Policy::QueryShipping,
+            MoveSet::for_policy(Policy::QueryShipping),
+        );
         // QS joins may flip between inner/outer but never to consumer;
         // scans never move to the client.
         for m in &qs {
@@ -386,9 +504,17 @@ mod tests {
             }
         }
 
-        let hy = applicable_moves(&p, Policy::HybridShipping, MoveSet::for_policy(Policy::HybridShipping));
-        assert!(hy.iter().any(|m| matches!(m.kind, MoveKind::ScanAnnotation(_))));
-        assert!(hy.iter().any(|m| matches!(m.kind, MoveKind::JoinAnnotation(_))));
+        let hy = applicable_moves(
+            &p,
+            Policy::HybridShipping,
+            MoveSet::for_policy(Policy::HybridShipping),
+        );
+        assert!(hy
+            .iter()
+            .any(|m| matches!(m.kind, MoveKind::ScanAnnotation(_))));
+        assert!(hy
+            .iter()
+            .any(|m| matches!(m.kind, MoveKind::JoinAnnotation(_))));
         assert!(hy.len() > qs.len());
     }
 
@@ -405,14 +531,15 @@ mod tests {
     fn all_order_moves_preserve_structure() {
         let q = chain(5);
         let order: Vec<RelId> = (0..5).map(RelId).collect();
-        let mut p = JoinTree::balanced(&order).into_plan(
-            &q,
-            Annotation::Consumer,
-            Annotation::Client,
-        );
+        let mut p =
+            JoinTree::balanced(&order).into_plan(&q, Annotation::Consumer, Annotation::Client);
         // Exhaustively apply every applicable order move once.
         for _ in 0..50 {
-            let moves = applicable_moves(&p, Policy::DataShipping, MoveSet::for_policy(Policy::DataShipping));
+            let moves = applicable_moves(
+                &p,
+                Policy::DataShipping,
+                MoveSet::for_policy(Policy::DataShipping),
+            );
             let mv = moves[p.arena_len() % moves.len()];
             let p2 = apply_move(&p, mv).unwrap();
             p2.validate_structure(&q).unwrap();
@@ -429,9 +556,23 @@ mod tests {
             Annotation::Client,
         );
         let scan = p.scan_nodes()[0];
-        assert!(apply_move(&p, Move { node: scan, kind: MoveKind::Commute }).is_none());
+        assert!(apply_move(
+            &p,
+            Move {
+                node: scan,
+                kind: MoveKind::Commute
+            }
+        )
+        .is_none());
         let join = p.join_nodes()[0];
         // Join whose children are scans: assoc does not apply.
-        assert!(apply_move(&p, Move { node: join, kind: MoveKind::AssocLeft }).is_none());
+        assert!(apply_move(
+            &p,
+            Move {
+                node: join,
+                kind: MoveKind::AssocLeft
+            }
+        )
+        .is_none());
     }
 }

@@ -13,10 +13,10 @@
 //! plans during query optimization").
 
 use csqp_catalog::{QuerySpec, RelSet};
-use csqp_core::{is_well_formed, Annotation, JoinTree, Plan, Policy};
+use csqp_core::{Annotation, JoinTree, Plan, Policy};
 use csqp_simkernel::rng::SimRng;
 
-use crate::moves::{applicable_moves, apply_move, MoveKind, MoveSet};
+use crate::moves::{applicable_moves, apply_move_verified, MoveKind, MoveSet};
 
 /// Generate a random plan in `policy`'s search space.
 pub fn random_plan(query: &QuerySpec, policy: Policy, rng: &mut SimRng) -> Plan {
@@ -28,8 +28,14 @@ pub fn random_plan(query: &QuerySpec, policy: Policy, rng: &mut SimRng) -> Plan 
     };
     let mut plan = tree.into_plan(query, jann, sann);
     randomize_annotations(&mut plan, policy, rng);
-    debug_assert!(is_well_formed(&plan));
-    debug_assert_eq!(policy.validate(&plan), Ok(()));
+    #[cfg(debug_assertions)]
+    {
+        let report = csqp_verify::check_logical(&plan, query, policy);
+        debug_assert!(
+            report.is_clean(),
+            "random_plan produced an invalid plan:\n{report}"
+        );
+    }
     plan
 }
 
@@ -74,6 +80,9 @@ pub fn repair_wellformedness(plan: &mut Plan, policy: Policy, rng: &mut SimRng) 
 }
 
 /// Grow a random join tree over the query's relations.
+// Invariant panic: the forest starts with one tree per relation and each
+// round joins two into one, so exactly one tree remains at the end.
+#[allow(clippy::expect_used)]
 pub fn random_join_tree(query: &QuerySpec, rng: &mut SimRng) -> JoinTree {
     assert!(query.num_relations() > 0, "empty query");
     let mut forest: Vec<(JoinTree, RelSet)> = query
@@ -115,10 +124,13 @@ pub fn random_join_tree(query: &QuerySpec, rng: &mut SimRng) -> JoinTree {
     forest.pop().expect("non-empty forest").0
 }
 
-/// Take one uniformly random applicable move; `None` when the move would
-/// break well-formedness or nothing applies.
+/// Take one uniformly random applicable move, returning a
+/// checker-verified plan (see
+/// [`apply_move_verified`](crate::moves::apply_move_verified)); `None`
+/// when the move would break well-formedness or nothing applies.
 pub fn random_neighbor(
     plan: &Plan,
+    query: &QuerySpec,
     policy: Policy,
     set: MoveSet,
     rng: &mut SimRng,
@@ -128,10 +140,7 @@ pub fn random_neighbor(
         return None;
     }
     let mv = *rng.pick(&moves);
-    let candidate = apply_move(plan, mv)?;
-    if !is_well_formed(&candidate) {
-        return None;
-    }
+    let candidate = apply_move_verified(plan, mv, query, policy)?;
     Some((candidate, mv.kind))
 }
 
@@ -139,13 +148,18 @@ pub fn random_neighbor(
 mod tests {
     use super::*;
     use csqp_catalog::{JoinEdge, RelId, Relation};
+    use csqp_core::is_well_formed;
 
     fn chain(n: u32) -> QuerySpec {
         let rels = (0..n)
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -205,7 +219,7 @@ mod tests {
             let mut plan = random_plan(&q, policy, &mut rng);
             for _ in 0..100 {
                 if let Some((next, _)) =
-                    random_neighbor(&plan, policy, MoveSet::for_policy(policy), &mut rng)
+                    random_neighbor(&plan, &q, policy, MoveSet::for_policy(policy), &mut rng)
                 {
                     next.validate_structure(&q).unwrap();
                     policy.validate(&next).unwrap();

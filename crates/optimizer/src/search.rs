@@ -181,6 +181,11 @@ impl<'a> Optimizer<'a> {
     /// Run only the site-selection half of the search (annotation moves)
     /// from a fixed starting plan — used by 2-step optimization at query
     /// execution time (§5).
+    ///
+    /// # Panics
+    /// Panics when `start` does not bind: 2-step hands this function the
+    /// compile-time plan, which bound when it was produced.
+    #[allow(clippy::expect_used)]
     pub fn site_selection(&self, start: Plan, rng: &mut SimRng) -> OptResult {
         let mut evals = 0;
         let cost = self
@@ -204,6 +209,9 @@ impl<'a> Optimizer<'a> {
     /// the larger search space never converges *worse* than a pure
     /// policy would, matching the paper's "hybrid-shipping at least
     /// matches the best performance of data and query shipping".
+    // Invariant panic: `random_plan` returns checker-verified plans and
+    // those always bind, so the first start already populates `best`.
+    #[allow(clippy::expect_used)]
     fn iterative_improvement(
         &self,
         query: &csqp_catalog::QuerySpec,
@@ -286,7 +294,7 @@ impl<'a> Optimizer<'a> {
             .ii_patience
             .max(3 * crate::moves::applicable_moves(&plan, space, set).len());
         while stuck < patience {
-            match random_neighbor(&plan, space, set, rng) {
+            match random_neighbor(&plan, self.model.query(), space, set, rng) {
                 Some((cand, _)) => match self.eval(&cand, evals) {
                     Some(c) if c < cost => {
                         plan = cand;
@@ -337,7 +345,9 @@ impl<'a> Optimizer<'a> {
         {
             let mut improved = false;
             for _ in 0..moves_per_stage {
-                let Some((cand, _)) = random_neighbor(&cur, self.policy, set, rng) else {
+                let Some((cand, _)) =
+                    random_neighbor(&cur, self.model.query(), self.policy, set, rng)
+                else {
                     continue;
                 };
                 let Some(c) = self.eval(&cand, evals) else {
@@ -376,7 +386,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -520,7 +534,10 @@ mod tests {
         // And the result binds.
         bind(
             &res.plan,
-            BindContext { catalog: &cat, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &cat,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
     }

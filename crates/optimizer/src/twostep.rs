@@ -190,7 +190,11 @@ mod tests {
             .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
             .collect();
         let edges = (0..n - 1)
-            .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+            .map(|i| JoinEdge {
+                a: RelId(i),
+                b: RelId(i + 1),
+                selectivity: 1e-4,
+            })
             .collect();
         QuerySpec::new(rels, edges)
     }
@@ -211,10 +215,7 @@ mod tests {
             .iter()
             .filter(|&&j| {
                 let n = plan.node(j);
-                !matches!(
-                    plan.node(n.children[1].unwrap()).op,
-                    LogicalOp::Join
-                )
+                !matches!(plan.node(n.children[1].unwrap()).op, LogicalOp::Join)
             })
             .count();
         deep as f64 / joins.len().max(1) as f64
@@ -229,7 +230,8 @@ mod tests {
         let mut bushy_sum = 0.0;
         for seed in 0..5 {
             let mut rng = SimRng::seed_from_u64(seed);
-            deep_sum += deepness(&p.compile(&q, &sys, CompileTimeAssumption::Centralized, &mut rng));
+            deep_sum +=
+                deepness(&p.compile(&q, &sys, CompileTimeAssumption::Centralized, &mut rng));
             let mut rng = SimRng::seed_from_u64(seed);
             bushy_sum +=
                 deepness(&p.compile(&q, &sys, CompileTimeAssumption::FullyDistributed, &mut rng));

@@ -3,11 +3,16 @@
 //! and the relation set — the invariants that make the randomized walk
 //! sound.
 
-use csqp_catalog::{JoinEdge, QuerySpec, RelId, Relation};
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_catalog::{Catalog, JoinEdge, QuerySpec, RelId, Relation, SiteId, SystemConfig};
 use csqp_core::{is_well_formed, Policy};
-use csqp_optimizer::moves::MoveSet;
-use csqp_optimizer::{applicable_moves, apply_move, random_plan};
+use csqp_cost::{CostModel, Objective};
+use csqp_optimizer::moves::{apply_move_verified, MoveSet};
+use csqp_optimizer::{applicable_moves, apply_move, random_plan, OptConfig, Optimizer};
 use csqp_simkernel::rng::SimRng;
+use csqp_verify::{check_logical, Checker};
 use proptest::prelude::*;
 
 fn chain(n: u32) -> QuerySpec {
@@ -15,7 +20,11 @@ fn chain(n: u32) -> QuerySpec {
         .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
         .collect();
     let edges = (0..n - 1)
-        .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity: 1e-4 })
+        .map(|i| JoinEdge {
+            a: RelId(i),
+            b: RelId(i + 1),
+            selectivity: 1e-4,
+        })
         .collect();
     QuerySpec::new(rels, edges)
 }
@@ -73,6 +82,80 @@ proptest! {
                 .unwrap_or_else(|| panic!("listed move must apply: {mv:?} on {plan}"));
             applied.validate_structure(&q).unwrap();
         }
+    }
+
+    /// The static analyzer's view of the same invariant: every verified
+    /// move maps a policy-conformant well-formed plan to another one, for
+    /// every policy — `check_logical` finds nothing to flag.
+    #[test]
+    fn verified_moves_map_conformant_plans_to_conformant_plans(
+        n in 2u32..7,
+        policy_idx in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let q = chain(n);
+        let policy = Policy::ALL[policy_idx];
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = random_plan(&q, policy, &mut rng);
+        prop_assert!(check_logical(&plan, &q, policy).is_clean());
+        let set = MoveSet::for_policy(policy);
+        for mv in applicable_moves(&plan, policy, set) {
+            if let Some(next) = apply_move_verified(&plan, mv, &q, policy) {
+                let report = check_logical(&next, &q, policy);
+                prop_assert!(
+                    report.is_clean(),
+                    "verified move {:?} left diagnostics under {}:\n{}",
+                    mv, policy.short(), report
+                );
+            }
+        }
+    }
+
+    /// End to end: for every policy × objective the two-phase optimizer
+    /// returns a plan that passes all four analyzer passes against a
+    /// real catalog and config.
+    #[test]
+    fn optimizer_output_verifies_for_all_policies_and_objectives(
+        policy_idx in 0usize..3,
+        objective_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let q = chain(4);
+        let policy = Policy::ALL[policy_idx];
+        let objective = [
+            Objective::Communication,
+            Objective::ResponseTime,
+            Objective::TotalCost,
+        ][objective_idx];
+        let config = SystemConfig::default();
+        let mut catalog = Catalog::new(2);
+        for (i, r) in q.relations.iter().enumerate() {
+            catalog.place(r.id, SiteId::server(1 + (i as u32) % 2));
+        }
+        let model = CostModel::new(&config, &catalog, &q, SiteId::CLIENT);
+        // A deliberately small search budget: the property is about the
+        // output's validity, not the search's quality.
+        let opt_cfg = OptConfig {
+            ii_starts: 2,
+            ii_patience: 8,
+            sa_t0_factor: 0.05,
+            sa_alpha: 0.7,
+            sa_moves_per_join: 3,
+            sa_frozen_stages: 2,
+            sa_min_temp_frac: 0.1,
+            paper_moves_only: false,
+        };
+        let optimizer = Optimizer::new(&model, policy, objective, opt_cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let result = optimizer.optimize(&q, &mut rng);
+        let report = Checker::new(&q, &catalog, &config, SiteId::CLIENT)
+            .with_policy(policy)
+            .check(&result.plan);
+        prop_assert!(
+            report.is_clean(),
+            "optimizer [{} / {}] returned a plan with diagnostics:\n{}",
+            policy.short(), objective, report
+        );
     }
 
     /// The arena never leaks: after any single move the plan has the

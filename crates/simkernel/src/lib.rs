@@ -18,6 +18,7 @@
 //! paper (hundreds of thousands of events) complete in milliseconds.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod event;
 pub mod resource;

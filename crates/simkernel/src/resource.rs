@@ -90,6 +90,11 @@ impl<T> FifoServer<T> {
     /// Returns `(completed_token, next)` where `next` is
     /// `Some((finish_time, token_ref))` when a queued request has now
     /// entered service. The caller schedules its completion.
+    // Invariant panics, not error paths: the three in-service slots and
+    // the submit-time queue move in lockstep by construction, and calling
+    // `finish_current` on an idle server is a caller bug the simulator
+    // cannot recover from mid-run.
+    #[allow(clippy::expect_used)]
     pub fn finish_current(&mut self, now: SimTime) -> (T, Option<SimTime>) {
         let done = self
             .in_service

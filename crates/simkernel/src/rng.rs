@@ -2,33 +2,69 @@
 //!
 //! All stochastic elements of the study (random plan generation, random data
 //! placement, the external-load arrival process) draw from explicitly
-//! seeded generators so that every experiment is reproducible. This module
-//! wraps `rand::rngs::SmallRng` and adds the distributions the simulator
-//! needs (exponential inter-arrivals for the load process, uniform picks).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! seeded generators so that every experiment is reproducible. The core
+//! generator is an in-repo xoshiro256++ (Blackman/Vigna), seeded through
+//! SplitMix64 so that nearby `u64` seeds produce uncorrelated states; the
+//! module adds the distributions the simulator needs (exponential
+//! inter-arrivals for the load process, uniform picks).
+//!
+//! There is **no hidden per-run state**: construction requires an explicit
+//! seed, and `derive` is the only sanctioned way to fork a stream, so two
+//! identically-seeded simulator runs consume identical random sequences
+//! (see the byte-identical-stats regression test in `csqp-experiments`).
 
 use crate::time::SimDuration;
 
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic RNG handle used throughout the simulator.
+///
+/// xoshiro256++ with 256 bits of state; period 2^256 − 1. Not
+/// cryptographic — the simulator only needs reproducible, well-mixed
+/// streams.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child generator; `stream` distinguishes
     /// subsystems so their draws do not interleave.
     pub fn derive(&mut self, stream: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(s)
     }
 
@@ -38,24 +74,34 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "SimRng::below(0)");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the top of the 64-bit range keeps the
+        // draw exactly uniform for any n.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "SimRng::range: empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponentially distributed duration with the given mean.
@@ -64,14 +110,14 @@ impl SimRng {
     /// at a configurable rate, §3.2.2).
     pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
         // Inverse-transform sampling; clamp u away from 0 to avoid ln(0).
-        let u: f64 = self.inner.gen::<f64>().max(1e-12);
+        let u: f64 = self.unit().max(1e-12);
         SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
     }
 
     /// Fisher-Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -100,7 +146,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4, "seeds 1 and 2 produced {same}/64 collisions");
     }
 
@@ -109,9 +157,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(42);
         let mean = SimDuration::from_millis(25);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exp_duration(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         let sample_mean = total / n as f64;
         assert!(
             (sample_mean - 0.025).abs() < 0.001,
@@ -134,7 +180,9 @@ mod tests {
         let mut root = SimRng::seed_from_u64(9);
         let mut c1 = root.derive(1);
         let mut c2 = root.derive(2);
-        let same = (0..64).filter(|_| c1.below(1 << 30) == c2.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| c1.below(1 << 30) == c2.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 
@@ -143,5 +191,24 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(5);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -1,6 +1,9 @@
 //! Property tests for the simulation kernel: the event queue's ordering
 //! contract and the FIFO server's conservation laws.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp_simkernel::{EventQueue, FifoServer, SimDuration, SimTime};
 use proptest::prelude::*;
 

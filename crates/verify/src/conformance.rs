@@ -1,0 +1,255 @@
+//! Pass 2: Table 1 policy conformance, as a declarative rule table.
+//!
+//! [`csqp_core::Policy::allowed`] already encodes Table 1, but the
+//! optimizer and the builders *use* that encoding — a transcription error
+//! there would silently warp the whole search space, and no check based
+//! on the same function could notice. This pass therefore carries its own
+//! transcription of the paper's Table 1 ([`TABLE1`]) and validates plans
+//! against it; a unit test cross-checks the two encodings cell by cell,
+//! so they can only drift together with a test failure.
+//!
+//! | operator | data shipping | query shipping | hybrid shipping          |
+//! |----------|---------------|----------------|--------------------------|
+//! | display  | client        | client         | client                   |
+//! | join     | consumer      | inner, outer   | consumer, inner, outer   |
+//! | select   | consumer      | producer       | consumer, producer       |
+//! | scan     | client        | primary copy   | client, primary copy     |
+//!
+//! Aggregates take the select row (footnote 4: "aggregations are
+//! annotated like selections").
+
+use csqp_core::diag::{DiagCode, Diagnostic};
+use csqp_core::{Annotation, LogicalOp, Plan, Policy};
+
+/// Operator classes of Table 1. `LogicalOp` carries per-node payload
+/// (relation ids, group counts); the rules only care about the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// The root display operator.
+    Display,
+    /// A binary join.
+    Join,
+    /// A selection.
+    Select,
+    /// An aggregation (annotated like a selection, footnote 4).
+    Aggregate,
+    /// A base-relation scan.
+    Scan,
+}
+
+impl OpClass {
+    /// The class of a concrete plan operator.
+    pub fn of(op: LogicalOp) -> OpClass {
+        match op {
+            LogicalOp::Display => OpClass::Display,
+            LogicalOp::Join => OpClass::Join,
+            LogicalOp::Select { .. } => OpClass::Select,
+            LogicalOp::Aggregate { .. } => OpClass::Aggregate,
+            LogicalOp::Scan { .. } => OpClass::Scan,
+        }
+    }
+}
+
+/// One cell of Table 1: the annotations `policy` permits for `op`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// The execution policy (column).
+    pub policy: Policy,
+    /// The operator class (row).
+    pub op: OpClass,
+    /// The permitted annotations for this cell.
+    pub allowed: &'static [Annotation],
+}
+
+/// The paper's Table 1, cell by cell — an independent transcription, kept
+/// deliberately separate from [`Policy::allowed`].
+pub const TABLE1: &[Rule] = {
+    use Annotation::{Client, Consumer, InnerRel, OuterRel, PrimaryCopy, Producer};
+    use OpClass::{Aggregate, Display, Join, Scan, Select};
+    use Policy::{DataShipping as DS, HybridShipping as HY, QueryShipping as QS};
+    &[
+        Rule {
+            policy: DS,
+            op: Display,
+            allowed: &[Client],
+        },
+        Rule {
+            policy: DS,
+            op: Join,
+            allowed: &[Consumer],
+        },
+        Rule {
+            policy: DS,
+            op: Select,
+            allowed: &[Consumer],
+        },
+        Rule {
+            policy: DS,
+            op: Aggregate,
+            allowed: &[Consumer],
+        },
+        Rule {
+            policy: DS,
+            op: Scan,
+            allowed: &[Client],
+        },
+        Rule {
+            policy: QS,
+            op: Display,
+            allowed: &[Client],
+        },
+        Rule {
+            policy: QS,
+            op: Join,
+            allowed: &[InnerRel, OuterRel],
+        },
+        Rule {
+            policy: QS,
+            op: Select,
+            allowed: &[Producer],
+        },
+        Rule {
+            policy: QS,
+            op: Aggregate,
+            allowed: &[Producer],
+        },
+        Rule {
+            policy: QS,
+            op: Scan,
+            allowed: &[PrimaryCopy],
+        },
+        Rule {
+            policy: HY,
+            op: Display,
+            allowed: &[Client],
+        },
+        Rule {
+            policy: HY,
+            op: Join,
+            allowed: &[Consumer, InnerRel, OuterRel],
+        },
+        Rule {
+            policy: HY,
+            op: Select,
+            allowed: &[Consumer, Producer],
+        },
+        Rule {
+            policy: HY,
+            op: Aggregate,
+            allowed: &[Consumer, Producer],
+        },
+        Rule {
+            policy: HY,
+            op: Scan,
+            allowed: &[Client, PrimaryCopy],
+        },
+    ]
+};
+
+/// The table cell for (`policy`, `op`): the annotations the rule table
+/// permits.
+pub fn allowed(policy: Policy, op: OpClass) -> &'static [Annotation] {
+    TABLE1
+        .iter()
+        .find(|r| r.policy == policy && r.op == op)
+        .map(|r| r.allowed)
+        // Every (policy, class) pair has a row above; an empty cell would
+        // make the checker reject every plan, which a test would catch.
+        .unwrap_or(&[])
+}
+
+/// Validate every node of `plan` against the rule table, collecting *all*
+/// violations (unlike [`Policy::validate`], which stops at the first so
+/// it can be used as a cheap predicate).
+pub fn check_policy(plan: &Plan, policy: Policy) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for id in plan.postorder() {
+        let n = plan.node(id);
+        let cell = allowed(policy, OpClass::of(n.op));
+        if !cell.contains(&n.ann) {
+            out.push(Diagnostic::at(
+                DiagCode::PolicyViolation,
+                plan,
+                id,
+                format!(
+                    "{policy} forbids annotation '{}' on {:?} (Table 1 allows: {})",
+                    n.ann,
+                    n.op,
+                    cell.iter()
+                        .map(|a| a.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_catalog::RelId;
+    use csqp_core::JoinTree;
+
+    /// The rule table and `Policy::allowed` must agree on every cell.
+    /// This is the cross-check that lets the two transcriptions only
+    /// drift together with a failure.
+    #[test]
+    fn rule_table_matches_policy_allowed() {
+        let ops = [
+            LogicalOp::Display,
+            LogicalOp::Join,
+            LogicalOp::Select { rel: RelId(0) },
+            LogicalOp::Aggregate { groups: 10 },
+            LogicalOp::Scan { rel: RelId(0) },
+        ];
+        for policy in Policy::ALL {
+            for op in ops {
+                assert_eq!(
+                    allowed(policy, OpClass::of(op)),
+                    policy.allowed(op),
+                    "{policy} / {op:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell() {
+        assert_eq!(TABLE1.len(), 15);
+        for policy in Policy::ALL {
+            for op in [
+                OpClass::Display,
+                OpClass::Join,
+                OpClass::Select,
+                OpClass::Aggregate,
+                OpClass::Scan,
+            ] {
+                let rows = TABLE1
+                    .iter()
+                    .filter(|r| r.policy == policy && r.op == op)
+                    .count();
+                assert_eq!(rows, 1, "{policy:?}/{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_violations_are_collected() {
+        let q = csqp_workload::chain_query(3, 1e-4);
+        let p = JoinTree::left_deep(&[RelId(0), RelId(1), RelId(2)]).into_plan(
+            &q,
+            Annotation::Consumer,
+            Annotation::Client,
+        );
+        // Under QS every join and scan of this DS plan violates: 2 joins
+        // + 3 scans = 5 findings, each with a path.
+        let ds = check_policy(&p, Policy::QueryShipping);
+        assert_eq!(ds.len(), 5, "{ds:?}");
+        assert!(ds.iter().all(|d| d.code == DiagCode::PolicyViolation));
+        assert!(ds.iter().all(|d| d.path.is_some()));
+        assert!(check_policy(&p, Policy::DataShipping).is_empty());
+        assert!(check_policy(&p, Policy::HybridShipping).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Collected findings of an analyzer run.
+
+use std::fmt;
+
+use csqp_core::diag::{DiagCode, Diagnostic};
+
+/// Every finding from the passes that ran, in pass order.
+///
+/// An empty report means the checked artifact satisfied every invariant
+/// the passes enforce — the checker's definition of "verified".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings, in the order the passes emitted them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Report {
+        Report {
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// A report holding the given findings.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Report {
+        Report { diagnostics }
+    }
+
+    /// True when no pass found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Add one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Add all findings of a pass.
+    pub fn extend(&mut self, ds: Vec<Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// True when at least one finding carries `code`.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// True when the report is non-empty and *every* finding carries
+    /// `code` — e.g. "the only thing wrong is an annotation cycle", which
+    /// the optimizer treats as a filterable plan rather than a bug.
+    pub fn only(&self, code: DiagCode) -> bool {
+        !self.diagnostics.is_empty() && self.diagnostics.iter().all(|d| d.code == code)
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when there are no findings (alias of [`is_clean`](Report::is_clean)
+    /// for the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Report {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diagnostics.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.to_string(), "clean");
+    }
+
+    #[test]
+    fn only_requires_non_empty_and_uniform_codes() {
+        let mut r = Report::new();
+        assert!(!r.only(DiagCode::AnnotationCycle));
+        r.push(Diagnostic::new(DiagCode::AnnotationCycle, "a"));
+        assert!(r.only(DiagCode::AnnotationCycle));
+        r.push(Diagnostic::new(DiagCode::PolicyViolation, "b"));
+        assert!(!r.only(DiagCode::AnnotationCycle));
+        assert!(r.has(DiagCode::PolicyViolation));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.to_string().lines().count(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pass 1: structural soundness of the plan arena.
+//!
+//! `Plan` is an arena of nodes with `Option<NodeId>` child slots; nothing
+//! in the representation forces it to be a display-rooted tree. The
+//! builders guarantee that shape, but a plan deserialized from JSON or
+//! assembled by hand (`Plan::from_parts`) can violate it in ways that
+//! send the other crates' recursive walks into panics or unbounded
+//! recursion. This pass therefore uses its own iterative, bounds-checked
+//! traversal and only hands the plan to the (recursive) core checks once
+//! the reachable arena is a proper tree.
+//!
+//! Checks, in order:
+//!
+//! 1. root in bounds and a `display` operator;
+//! 2. every reachable child reference in bounds ([`DiagCode::DanglingChild`]);
+//! 3. no node reachable twice — DAGs and child-cycles both surface as
+//!    [`DiagCode::SharedNode`];
+//! 4. operator arity: a binary operator has both slots filled, a unary
+//!    operator exactly slot 0, a leaf none ([`DiagCode::BadArity`]);
+//! 5. annotations drawn from the operator's *legal* set — e.g. `inner
+//!    relation` on a scan is illegal under every policy
+//!    ([`DiagCode::IllegalAnnotation`]);
+//! 6. the two-node annotation-cycle check of §2.2.3
+//!    ([`DiagCode::AnnotationCycle`]);
+//! 7. with a query: scan coverage, duplicate scans, select placement,
+//!    join-input disjointness and aggregate shape, via
+//!    [`Plan::validate_structure`].
+
+use csqp_catalog::QuerySpec;
+use csqp_core::diag::{DiagCode, Diagnostic};
+use csqp_core::{check_well_formed, LogicalOp, Plan};
+
+/// Run the structural pass. `query` enables the query-dependent checks
+/// (scan coverage etc.); without it only the arena shape is checked.
+///
+/// Returns every finding it can reach; once the arena shape itself is
+/// broken (dangling or shared references) the deeper checks are skipped
+/// because their traversals assume a tree.
+pub fn check_structure(plan: &Plan, query: Option<&QuerySpec>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let len = plan.arena_len();
+
+    let root = plan.root();
+    if root.index() >= len {
+        out.push(Diagnostic::new(
+            DiagCode::DanglingChild,
+            format!("root {:?} is outside the {len}-node arena", root),
+        ));
+        return out;
+    }
+
+    // Iterative DFS with an explicit stack: never panics, always
+    // terminates (visited nodes are not re-entered, so even a child
+    // cycle only yields a shared-node finding).
+    let mut visited = vec![false; len];
+    let mut stack = vec![root];
+    let mut arena_broken = false;
+    while let Some(id) = stack.pop() {
+        if visited[id.index()] {
+            out.push(Diagnostic::new(
+                DiagCode::SharedNode,
+                format!("node {} is reachable through more than one parent", id.0),
+            ));
+            arena_broken = true;
+            continue;
+        }
+        visited[id.index()] = true;
+        let n = plan.node(id);
+
+        let arity = n.op.arity();
+        for (slot, child) in n.children.iter().enumerate() {
+            match child {
+                Some(c) if c.index() >= len => {
+                    out.push(Diagnostic::new(
+                        DiagCode::DanglingChild,
+                        format!(
+                            "child slot {slot} of node {} ({:?}) points at {:?}, \
+                             outside the {len}-node arena",
+                            id.0, n.op, c
+                        ),
+                    ));
+                    arena_broken = true;
+                }
+                Some(c) if slot >= arity => {
+                    out.push(Diagnostic::new(
+                        DiagCode::BadArity,
+                        format!(
+                            "{:?} (node {}) has arity {arity} but child slot {slot} \
+                             is occupied by node {}",
+                            n.op, id.0, c.0
+                        ),
+                    ));
+                }
+                Some(c) => stack.push(*c),
+                None if slot < arity => {
+                    out.push(Diagnostic::new(
+                        DiagCode::BadArity,
+                        format!(
+                            "{:?} (node {}) has arity {arity} but child slot {slot} is empty",
+                            n.op, id.0
+                        ),
+                    ));
+                }
+                None => {}
+            }
+        }
+
+        if !n.op.legal_annotations().contains(&n.ann) {
+            out.push(Diagnostic::new(
+                DiagCode::IllegalAnnotation,
+                format!(
+                    "annotation '{}' on {:?} (node {}) is not legal under any policy",
+                    n.ann, n.op, id.0
+                ),
+            ));
+        }
+    }
+
+    if plan.node(root).op != LogicalOp::Display {
+        out.push(Diagnostic::new(
+            DiagCode::RootNotDisplay,
+            format!(
+                "plan root is {:?}, not a display operator",
+                plan.node(root).op
+            ),
+        ));
+    }
+
+    if arena_broken {
+        // The recursive core checks below assume a sound tree.
+        return out;
+    }
+
+    if let Err(d) = check_well_formed(plan) {
+        out.push(d);
+    }
+    if let Some(q) = query {
+        // validate_structure repeats the arity/root checks (harmless) and
+        // adds the query-dependent ones: scan coverage, duplicate scans,
+        // select placement, join disjointness, aggregate shape.
+        if let Err(d) = plan.validate_structure(q) {
+            if !out.contains(&d) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_catalog::{RelId, Relation};
+    use csqp_core::plan::PlanNode;
+    use csqp_core::{Annotation, JoinTree, NodeId};
+
+    fn chain(n: u32) -> QuerySpec {
+        csqp_workload::chain_query(n, 1e-4)
+    }
+
+    fn good_plan(q: &QuerySpec) -> Plan {
+        let order: Vec<RelId> = (0..q.num_relations() as u32).map(RelId).collect();
+        JoinTree::left_deep(&order).into_plan(q, Annotation::Consumer, Annotation::Client)
+    }
+
+    #[test]
+    fn well_built_plans_are_clean() {
+        let q = chain(4);
+        assert!(check_structure(&good_plan(&q), Some(&q)).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_child_is_flagged_not_panicked() {
+        let q = chain(2);
+        let mut p = good_plan(&q);
+        let join = p.join_nodes()[0];
+        p.node_mut(join).children[1] = Some(NodeId(999));
+        let ds = check_structure(&p, Some(&q));
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::DanglingChild),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn shared_child_is_flagged() {
+        let q = chain(2);
+        let mut p = good_plan(&q);
+        let join = p.join_nodes()[0];
+        let scan0 = p.scan_nodes()[0];
+        // Both join inputs point at the same scan.
+        p.node_mut(join).children[1] = Some(scan0);
+        let ds = check_structure(&p, Some(&q));
+        assert!(ds.iter().any(|d| d.code == DiagCode::SharedNode), "{ds:?}");
+    }
+
+    #[test]
+    fn child_cycle_terminates_with_shared_node() {
+        // display -> join, join's child 0 points back at the display.
+        let q = chain(2);
+        let nodes = vec![
+            PlanNode {
+                op: LogicalOp::Display,
+                ann: Annotation::Client,
+                children: [Some(NodeId(1)), None],
+            },
+            PlanNode {
+                op: LogicalOp::Join,
+                ann: Annotation::Consumer,
+                children: [Some(NodeId(0)), Some(NodeId(2))],
+            },
+            PlanNode {
+                op: LogicalOp::Scan { rel: RelId(0) },
+                ann: Annotation::Client,
+                children: [None, None],
+            },
+        ];
+        let p = Plan::from_parts(nodes, NodeId(0));
+        let ds = check_structure(&p, Some(&q));
+        assert!(ds.iter().any(|d| d.code == DiagCode::SharedNode), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_join_input_is_bad_arity() {
+        let q = chain(2);
+        let mut p = good_plan(&q);
+        let join = p.join_nodes()[0];
+        p.node_mut(join).children[1] = None;
+        let ds = check_structure(&p, Some(&q));
+        assert!(ds.iter().any(|d| d.code == DiagCode::BadArity), "{ds:?}");
+    }
+
+    #[test]
+    fn scan_with_inner_rel_annotation_is_illegal() {
+        let q = chain(2);
+        let mut p = good_plan(&q);
+        let scan = p.scan_nodes()[0];
+        p.node_mut(scan).ann = Annotation::InnerRel;
+        let ds = check_structure(&p, Some(&q));
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::IllegalAnnotation),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn join_rooted_plan_is_flagged() {
+        let q = chain(2);
+        let p = good_plan(&q);
+        // Re-root at the join: the display becomes an unreachable orphan.
+        let join = p.join_nodes()[0];
+        let nodes = (0..p.arena_len())
+            .map(|i| p.node(NodeId(i as u32)).clone())
+            .collect();
+        let p2 = Plan::from_parts(nodes, join);
+        let ds = check_structure(&p2, None);
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::RootNotDisplay),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_and_query_checks_run_after_shape_passes() {
+        let q = chain(3);
+        let mut p = good_plan(&q);
+        let joins = p.join_nodes();
+        p.node_mut(joins[1]).ann = Annotation::InnerRel;
+        let ds = check_structure(&p, Some(&q));
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::AnnotationCycle),
+            "{ds:?}"
+        );
+
+        // Scan the wrong relation: coverage error from validate_structure.
+        let mut p2 = good_plan(&q);
+        let scan = p2.scan_nodes()[0];
+        if let LogicalOp::Scan { rel } = &mut p2.node_mut(scan).op {
+            *rel = RelId(1); // duplicates R1, drops R0
+        }
+        let ds2 = check_structure(&p2, Some(&q));
+        assert!(!ds2.is_empty(), "duplicate/coverage must be flagged");
+    }
+
+    #[test]
+    fn extra_relation_query_mismatch_is_flagged() {
+        let q3 = chain(3);
+        let q2 = QuerySpec::new(
+            vec![
+                Relation::benchmark(RelId(0), "R0"),
+                Relation::benchmark(RelId(1), "R1"),
+            ],
+            vec![],
+        );
+        let p = good_plan(&q2);
+        let ds = check_structure(&p, Some(&q3));
+        assert!(!ds.is_empty(), "plan covering 2 of 3 relations must fail");
+    }
+}

@@ -14,6 +14,7 @@
 //! has at least one base relation)".
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use csqp_catalog::{Catalog, JoinEdge, QuerySpec, RelId, Relation, SiteId};
 use csqp_simkernel::rng::SimRng;
@@ -33,7 +34,11 @@ pub fn chain_query(n: u32, selectivity: f64) -> QuerySpec {
         .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
         .collect();
     let edges = (0..n.saturating_sub(1))
-        .map(|i| JoinEdge { a: RelId(i), b: RelId(i + 1), selectivity })
+        .map(|i| JoinEdge {
+            a: RelId(i),
+            b: RelId(i + 1),
+            selectivity,
+        })
         .collect();
     QuerySpec::new(rels, edges)
 }
@@ -74,7 +79,11 @@ pub fn star_query(n: u32, selectivity: f64) -> QuerySpec {
         .map(|i| Relation::benchmark(RelId(i), format!("R{i}")))
         .collect();
     let edges = (1..n)
-        .map(|i| JoinEdge { a: RelId(0), b: RelId(i), selectivity })
+        .map(|i| JoinEdge {
+            a: RelId(0),
+            b: RelId(i),
+            selectivity,
+        })
         .collect();
     QuerySpec::new(rels, edges)
 }

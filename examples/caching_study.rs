@@ -10,11 +10,15 @@
 //! response time, minimum join memory) — i.e. the scenario behind the
 //! paper's Figures 2 and 3, driven through the public API.
 
+// Example code panics on impossible errors rather than threading
+// Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{SiteId, SystemConfig};
 use csqp::core::Policy;
+use csqp::core::{bind, BindContext};
 use csqp::cost::{CostModel, Objective};
 use csqp::engine::ExecutionBuilder;
-use csqp::core::{bind, BindContext};
 use csqp::optimizer::{OptConfig, Optimizer};
 use csqp::simkernel::rng::SimRng;
 use csqp::workload::{cache_all, single_server_placement, two_way};
@@ -51,7 +55,10 @@ fn main() {
             let run = |plan| {
                 let bound = bind(
                     plan,
-                    BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+                    BindContext {
+                        catalog: &catalog,
+                        query_site: SiteId::CLIENT,
+                    },
                 )
                 .unwrap();
                 ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound)

@@ -10,6 +10,10 @@
 //! a server disk near saturation (multiple other clients), off-loading
 //! the server wins and caching helps. Hybrid-shipping adapts either way.
 
+// Example code panics on impossible errors (optimizer output always
+// binds) rather than threading Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{SiteId, SystemConfig};
 use csqp::core::{bind, BindContext, Policy};
 use csqp::cost::{CostModel, Objective};
@@ -48,11 +52,13 @@ fn main() {
                 .plan;
                 let bound = bind(
                     &plan,
-                    BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+                    BindContext {
+                        catalog: &catalog,
+                        query_site: SiteId::CLIENT,
+                    },
                 )
                 .unwrap();
-                let mut builder =
-                    ExecutionBuilder::new(&query, &catalog, &sys).with_seed(3);
+                let mut builder = ExecutionBuilder::new(&query, &catalog, &sys).with_seed(3);
                 if rate > 0.0 {
                     builder = builder.with_load(SiteId::server(1), rate);
                 }

@@ -10,6 +10,10 @@
 //! query-shipping with a warm client cache (the mix spreads the load
 //! across client and server resources).
 
+// Example code panics on impossible errors rather than threading
+// Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{BufAlloc, RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree};
 use csqp::engine::ExecutionBuilder;
@@ -20,9 +24,8 @@ fn main() {
     let mut sys = SystemConfig::default();
     sys.buf_alloc = BufAlloc::Max;
 
-    let plan = |jann, sann| {
-        JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(&query, jann, sann)
-    };
+    let plan =
+        |jann, sann| JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(&query, jann, sann);
 
     println!("concurrent copies | policy mix | mean resp [s] | makespan [s]");
     println!("------------------+------------+---------------+-------------");
@@ -31,11 +34,14 @@ fn main() {
         let catalog = single_server_placement(&query);
         let qs = bind(
             &plan(Annotation::InnerRel, Annotation::PrimaryCopy),
-            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
-        let all_qs = ExecutionBuilder::new(&query, &catalog, &sys)
-            .execute_many(&vec![qs.clone(); n]);
+        let all_qs =
+            ExecutionBuilder::new(&query, &catalog, &sys).execute_many(&vec![qs.clone(); n]);
         let mean_qs: f64 = all_qs
             .per_query
             .iter()
@@ -49,12 +55,18 @@ fn main() {
         cached.set_cached_fraction(RelId(1), 1.0);
         let ds = bind(
             &plan(Annotation::Consumer, Annotation::Client),
-            BindContext { catalog: &cached, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &cached,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         let qs2 = bind(
             &plan(Annotation::InnerRel, Annotation::PrimaryCopy),
-            BindContext { catalog: &cached, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &cached,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         let mix: Vec<_> = (0..n)

@@ -11,6 +11,10 @@
 //! each winning plan on the detailed engine, and prints the plans with
 //! their measured metrics.
 
+// Example code panics on impossible errors rather than threading
+// Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{SiteId, SystemConfig};
 use csqp::core::{bind, BindContext, Policy};
 use csqp::cost::{CostModel, Objective};
@@ -30,14 +34,21 @@ fn main() {
 
     let model = CostModel::new(&sys, &catalog, &query, SiteId::CLIENT);
     for policy in Policy::ALL {
-        let optimizer =
-            Optimizer::new(&model, policy, Objective::ResponseTime, OptConfig::default());
+        let optimizer = Optimizer::new(
+            &model,
+            policy,
+            Objective::ResponseTime,
+            OptConfig::default(),
+        );
         let mut rng = SimRng::seed_from_u64(42);
         let result = optimizer.optimize(&query, &mut rng);
 
         let bound = bind(
             &result.plan,
-            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .expect("optimized plans are well-formed");
 

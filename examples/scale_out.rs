@@ -10,6 +10,10 @@
 //! the single client disk; query-shipping rides the growing server disk
 //! parallelism; hybrid-shipping uses client and servers together.
 
+// Example code panics on impossible errors rather than threading
+// Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{SiteId, SystemConfig};
 use csqp::core::{bind, BindContext, Policy};
 use csqp::cost::{CostModel, Objective};
@@ -46,7 +50,10 @@ fn main() {
                     .plan;
                     let bound = bind(
                         &plan,
-                        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+                        BindContext {
+                            catalog: &catalog,
+                            query_site: SiteId::CLIENT,
+                        },
                     )
                     .unwrap();
                     ExecutionBuilder::new(&query, &catalog, &sys)

@@ -12,6 +12,10 @@
 //! * **2-step** — keep the compiled join order, redo site selection;
 //! * **reoptimize** — full optimization against the new placement.
 
+// Example code panics on impossible errors rather than threading
+// Results through the demo.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{RelId, SiteId, SystemConfig};
 use csqp::core::{bind, BindContext, Policy};
 use csqp::cost::Objective;
@@ -35,12 +39,18 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(5);
 
     let compiled = paper_static_plan(&query);
-    println!("compiled (under the old placement):\n{}", compiled.render_tree());
+    println!(
+        "compiled (under the old placement):\n{}",
+        compiled.render_tree()
+    );
 
     let run = |plan: &csqp::core::Plan| {
         let bound = bind(
             plan,
-            BindContext { catalog: &runtime, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &runtime,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         let m = ExecutionBuilder::new(&query, &runtime, &sys).execute(&bound);
@@ -48,15 +58,27 @@ fn main() {
     };
 
     let (b, m) = run(&compiled);
-    println!("static at runtime: {}\n  -> {} pages sent", b.render(), m.pages_sent);
+    println!(
+        "static at runtime: {}\n  -> {} pages sent",
+        b.render(),
+        m.pages_sent
+    );
 
     let selected = planner.site_select(&compiled, &query, &sys, &runtime, &mut rng);
     let (b, m) = run(&selected);
-    println!("2-step at runtime: {}\n  -> {} pages sent", b.render(), m.pages_sent);
+    println!(
+        "2-step at runtime: {}\n  -> {} pages sent",
+        b.render(),
+        m.pages_sent
+    );
 
     let fresh = planner.compile_against(&query, &sys, &runtime, &mut rng);
     let (b, m) = run(&fresh);
-    println!("reoptimized:       {}\n  -> {} pages sent", b.render(), m.pages_sent);
+    println!(
+        "reoptimized:       {}\n  -> {} pages sent",
+        b.render(),
+        m.pages_sent
+    );
 
     println!(
         "\nExpect ≈ 1000 / 500 / 250 pages: the static plan ships two extra base \

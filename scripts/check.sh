@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml, plus the static analyzer over
+# the example workloads. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> csqp-check: random sweep + optimizer traces + negative fixtures"
+cargo run --release --bin csqp-check -- --plans 1000
+
+echo "==> csqp-check: example workloads (more servers, alternate seeds)"
+cargo run --release --bin csqp-check -- --plans 250 --servers 4 --seed 17
+cargo run --release --bin csqp-check -- --plans 250 --servers 8 --seed 42
+
+echo "All checks passed."

@@ -21,8 +21,8 @@ use csqp::engine::ExecutionBuilder;
 use csqp::optimizer::{OptConfig, Optimizer, TwoStepPlanner};
 use csqp::simkernel::rng::SimRng;
 use csqp::workload::{
-    cache_all, chain_query, load_utilization, random_placement, single_server_placement,
-    HISEL_SEL, MODERATE_SEL,
+    cache_all, chain_query, load_utilization, random_placement, single_server_placement, HISEL_SEL,
+    MODERATE_SEL,
 };
 
 struct Args {
@@ -59,14 +59,25 @@ fn parse() -> Args {
     };
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--relations" => a.relations = next(&mut it, "--relations").parse().unwrap_or_else(|_| die("bad --relations")),
-            "--servers" => a.servers = next(&mut it, "--servers").parse().unwrap_or_else(|_| die("bad --servers")),
+            "--relations" => {
+                a.relations = next(&mut it, "--relations")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --relations"))
+            }
+            "--servers" => {
+                a.servers = next(&mut it, "--servers")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --servers"))
+            }
             "--cached" => {
-                let pct: f64 = next(&mut it, "--cached").parse().unwrap_or_else(|_| die("bad --cached"));
+                let pct: f64 = next(&mut it, "--cached")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --cached"));
                 a.cached = pct / 100.0;
             }
             "--policy" => {
@@ -92,10 +103,24 @@ fn parse() -> Args {
                     other => die(&format!("unknown allocation '{other}'")),
                 }
             }
-            "--load" => a.load = next(&mut it, "--load").parse().unwrap_or_else(|_| die("bad --load")),
+            "--load" => {
+                a.load = next(&mut it, "--load")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --load"))
+            }
             "--hisel" => a.hisel = true,
-            "--groups" => a.groups = Some(next(&mut it, "--groups").parse().unwrap_or_else(|_| die("bad --groups"))),
-            "--seed" => a.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| die("bad --seed")),
+            "--groups" => {
+                a.groups = Some(
+                    next(&mut it, "--groups")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --groups")),
+                )
+            }
+            "--seed" => {
+                a.seed = next(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"))
+            }
             "--save" => a.save = Some(next(&mut it, "--save")),
             "--plan" => a.plan = Some(next(&mut it, "--plan")),
             "--site-select" => a.site_select = true,
@@ -181,7 +206,10 @@ fn main() {
 
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap_or_else(|e| die(&format!("plan does not bind: {e}")));
     println!("\nbound: {}", bound.render());
@@ -207,7 +235,11 @@ fn main() {
         if site_stats.reads + site_stats.writes > 0 {
             println!(
                 "  disk[{}]: {} reads, {} writes, {:.1}% busy",
-                if i == 0 { "client".into() } else { format!("server{i}") },
+                if i == 0 {
+                    "client".into()
+                } else {
+                    format!("server{i}")
+                },
                 site_stats.reads,
                 site_stats.writes,
                 100.0 * site_stats.busy.as_secs_f64() / m.response_secs()

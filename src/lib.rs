@@ -35,15 +35,19 @@
 //! # Ok::<(), csqp::core::BindError>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use csqp_catalog as catalog;
 pub use csqp_core as core;
 pub use csqp_cost as cost;
 pub use csqp_disk as disk;
 pub use csqp_engine as engine;
 pub use csqp_experiments as experiments;
+pub use csqp_json as json;
 pub use csqp_net as net;
 pub use csqp_optimizer as optimizer;
 pub use csqp_simkernel as simkernel;
+pub use csqp_verify as verify;
 pub use csqp_workload as workload;
 
 /// The names almost every user of the library needs.
@@ -54,4 +58,5 @@ pub mod prelude {
     pub use csqp_engine::{ExecutionBuilder, ExecutionMetrics};
     pub use csqp_optimizer::{OptConfig, Optimizer, TwoStepPlanner};
     pub use csqp_simkernel::rng::SimRng;
+    pub use csqp_verify::{Checker, DiagCode, Diagnostic, Report};
 }

@@ -2,6 +2,9 @@
 //! structural rules, policy placement, engine semantics, and the
 //! communication win of aggregating at the producer.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree, LogicalOp, Policy};
 use csqp::cost::{CostModel, Objective};
@@ -65,7 +68,10 @@ fn engine_produces_exactly_the_groups() {
     let plan = plan_with(&q, Annotation::InnerRel, Annotation::PrimaryCopy);
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     let m = ExecutionBuilder::new(&q, &catalog, &sys).execute(&bound);
@@ -86,7 +92,10 @@ fn aggregate_at_consumer_ships_the_full_result() {
     plan.node_mut(agg).ann = Annotation::Consumer;
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     assert!(bound.site(agg).is_client());
@@ -111,7 +120,10 @@ fn optimizer_pushes_aggregate_to_the_producer_for_communication() {
     let plan = opt.optimize(&q, &mut rng).plan;
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     let m = ExecutionBuilder::new(&q, &catalog, &sys).execute(&bound);
@@ -132,7 +144,10 @@ fn cost_model_matches_engine_for_aggregates() {
         plan.node_mut(agg).ann = ann;
         let bound = bind(
             &plan,
-            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         let est = model.evaluate_bound(&bound, Objective::Communication);

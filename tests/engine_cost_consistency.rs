@@ -2,6 +2,9 @@
 //! simulator must agree wherever the model has no approximation to make
 //! (page counts), and stay within sane bounds where it does (time).
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{BufAlloc, Catalog, RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree, Plan};
 use csqp::cost::{CostModel, Objective};
@@ -20,7 +23,14 @@ fn run_both(
     plan: &Plan,
 ) -> (f64, u64, f64, f64) {
     let model = CostModel::new(sys, catalog, query, SiteId::CLIENT);
-    let bound = bind(plan, BindContext { catalog, query_site: SiteId::CLIENT }).unwrap();
+    let bound = bind(
+        plan,
+        BindContext {
+            catalog,
+            query_site: SiteId::CLIENT,
+        },
+    )
+    .unwrap();
     let est_pages = model.evaluate_bound(&bound, Objective::Communication);
     let est_rt = model.evaluate_bound(&bound, Objective::ResponseTime);
     let m = ExecutionBuilder::new(query, catalog, sys).execute(&bound);
@@ -88,13 +98,23 @@ fn simulation_determinism() {
     let plan = canonical_plan(&query, Annotation::InnerRel, Annotation::PrimaryCopy);
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
 
-    let m1 = ExecutionBuilder::new(&query, &catalog, &sys).with_seed(1).execute(&bound);
-    let m2 = ExecutionBuilder::new(&query, &catalog, &sys).with_seed(2).execute(&bound);
-    assert_eq!(m1.response_time, m2.response_time, "no load -> seed-independent");
+    let m1 = ExecutionBuilder::new(&query, &catalog, &sys)
+        .with_seed(1)
+        .execute(&bound);
+    let m2 = ExecutionBuilder::new(&query, &catalog, &sys)
+        .with_seed(2)
+        .execute(&bound);
+    assert_eq!(
+        m1.response_time, m2.response_time,
+        "no load -> seed-independent"
+    );
 
     let l1 = ExecutionBuilder::new(&query, &catalog, &sys)
         .with_seed(1)
@@ -110,7 +130,10 @@ fn simulation_determinism() {
         .execute(&bound);
     assert_eq!(l1.response_time, l1b.response_time, "same seed, same run");
     assert_ne!(l1.response_time, l2.response_time, "load varies by seed");
-    assert!(l1.response_secs() > m1.response_secs(), "load slows the query");
+    assert!(
+        l1.response_secs() > m1.response_secs(),
+        "load slows the query"
+    );
 }
 
 /// Result cardinality is invariant across policies, placements and
@@ -134,7 +157,10 @@ fn result_cardinality_invariant() {
                 let plan = canonical_plan(&query, jann, sann);
                 let bound = bind(
                     &plan,
-                    BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+                    BindContext {
+                        catalog: &catalog,
+                        query_site: SiteId::CLIENT,
+                    },
                 )
                 .unwrap();
                 let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);

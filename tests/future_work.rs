@@ -1,6 +1,9 @@
 //! Tests for the paper's §7 future-work extensions implemented here:
 //! concurrent multi-query execution and navigation-based access.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree};
 use csqp::engine::ExecutionBuilder;
@@ -13,7 +16,14 @@ fn bound(
     sann: Annotation,
 ) -> csqp::core::BoundPlan {
     let plan = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(q, jann, sann);
-    bind(&plan, BindContext { catalog: cat, query_site: SiteId::CLIENT }).unwrap()
+    bind(
+        &plan,
+        BindContext {
+            catalog: cat,
+            query_site: SiteId::CLIENT,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -25,8 +35,7 @@ fn concurrent_queries_share_resources_and_slow_down() {
     let qs = bound(&q, &cat, Annotation::InnerRel, Annotation::PrimaryCopy);
 
     let solo = ExecutionBuilder::new(&q, &cat, &sys).execute(&qs);
-    let duo = ExecutionBuilder::new(&q, &cat, &sys)
-        .execute_many(&[qs.clone(), qs.clone()]);
+    let duo = ExecutionBuilder::new(&q, &cat, &sys).execute_many(&[qs.clone(), qs.clone()]);
 
     assert_eq!(duo.per_query.len(), 2);
     for out in &duo.per_query {

@@ -1,6 +1,9 @@
 //! The per-operator wait breakdown must tell the paper's §4 story about
 //! *where* time goes under each policy.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{BufAlloc, RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree};
 use csqp::engine::{ExecutionBuilder, ProcReport};
@@ -14,10 +17,15 @@ fn run(alloc: BufAlloc, jann: Annotation, sann: Annotation) -> Vec<ProcReport> {
     let plan = JoinTree::left_deep(&[RelId(0), RelId(1)]).into_plan(&q, jann, sann);
     let bound = bind(
         &plan,
-        BindContext { catalog: &cat, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &cat,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
-    ExecutionBuilder::new(&q, &cat, &sys).execute(&bound).operators
+    ExecutionBuilder::new(&q, &cat, &sys)
+        .execute(&bound)
+        .operators
 }
 
 fn find<'a>(ops: &'a [ProcReport], needle: &str) -> &'a ProcReport {
@@ -39,7 +47,10 @@ fn min_alloc_qs_join_is_disk_bound() {
         disk > w.cpu && disk > w.wire,
         "join should wait on disk, not {w:?}"
     );
-    assert!(disk.as_secs_f64() > 1.0, "substantial spill I/O wait: {w:?}");
+    assert!(
+        disk.as_secs_f64() > 1.0,
+        "substantial spill I/O wait: {w:?}"
+    );
 }
 
 /// With maximum allocation the join touches no disk at all; its time is

@@ -1,6 +1,9 @@
 //! End-to-end tests of the paper's headline claims, driven through the
 //! public facade (`csqp::…`) the way a downstream user would.
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{RelId, SiteId, SystemConfig};
 use csqp::core::{bind, Annotation, BindContext, JoinTree, Policy};
 use csqp::cost::{CostModel, Objective};
@@ -25,7 +28,10 @@ fn optimize_and_measure(
     let plan = opt.optimize(&query, &mut rng).plan;
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);
@@ -38,7 +44,8 @@ fn optimize_and_measure(
 #[test]
 fn hybrid_matches_best_pure_policy_on_communication() {
     for cached in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let (ds, _) = optimize_and_measure(Policy::DataShipping, Objective::Communication, cached, 1);
+        let (ds, _) =
+            optimize_and_measure(Policy::DataShipping, Objective::Communication, cached, 1);
         let (qs, _) =
             optimize_and_measure(Policy::QueryShipping, Objective::Communication, cached, 2);
         let (hy, _) =
@@ -64,7 +71,10 @@ fn pure_policies_place_operators_as_defined() {
         policy.validate(&plan).unwrap();
         let bound = bind(
             &plan,
-            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         // DS: display + join + 2 scans at the client; QS: only display.
@@ -85,8 +95,11 @@ fn hybrid_can_ship_cached_data_from_client_to_server() {
 
     // Scan R1 at the client (from cache), ship it INTO server 1 where the
     // join runs against R0, result back to the client.
-    let mut plan = JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1)))
-        .into_plan(&query, Annotation::InnerRel, Annotation::PrimaryCopy);
+    let mut plan = JoinTree::join(JoinTree::leaf(RelId(0)), JoinTree::leaf(RelId(1))).into_plan(
+        &query,
+        Annotation::InnerRel,
+        Annotation::PrimaryCopy,
+    );
     let scan_r1 = plan.scan_nodes()[1];
     plan.node_mut(scan_r1).ann = Annotation::Client;
     Policy::HybridShipping.validate(&plan).unwrap();
@@ -95,7 +108,10 @@ fn hybrid_can_ship_cached_data_from_client_to_server() {
 
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     assert_eq!(bound.site(plan.join_nodes()[0]), SiteId::server(1));
@@ -132,7 +148,10 @@ fn hybrid_adapts_to_server_load() {
     let plan = opt.optimize(&query, &mut rng).plan;
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     // Run without the load generator so the server disk counter reflects
@@ -164,7 +183,10 @@ fn star_join_hybrid_matches_best_pure() {
         let plan = opt.optimize(&query, &mut rng).plan;
         let bound = bind(
             &plan,
-            BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+            BindContext {
+                catalog: &catalog,
+                query_site: SiteId::CLIENT,
+            },
         )
         .unwrap();
         results.push(
@@ -205,7 +227,10 @@ fn spj_selections_shrink_communication() {
     let plan = opt.optimize(&query, &mut rng).plan;
     let bound = bind(
         &plan,
-        BindContext { catalog: &catalog, query_site: SiteId::CLIENT },
+        BindContext {
+            catalog: &catalog,
+            query_site: SiteId::CLIENT,
+        },
     )
     .unwrap();
     let m = ExecutionBuilder::new(&query, &catalog, &sys).execute(&bound);

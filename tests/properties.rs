@@ -1,6 +1,9 @@
 //! Property-based integration tests: random plans and random scenarios
 //! through the whole stack (plan → policy check → bind → cost → engine).
 
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use csqp::catalog::{Catalog, Estimator, SiteId, SystemConfig};
 use csqp::core::{bind, is_well_formed, BindContext, Policy};
 use csqp::engine::ExecutionBuilder;
