@@ -18,7 +18,7 @@
 
 use csqp_json::{obj, Json, JsonError};
 
-/// Join buffer allocation policy, after Shapiro [Sha86] (§3.2.2, §4.1).
+/// Join buffer allocation policy, after Shapiro \[Sha86\] (§3.2.2, §4.1).
 ///
 /// * `Max` lets the hash table for the inner relation be built entirely in
 ///   main memory (`⌈F·N⌉` frames for an `N`-page inner, fudge `F = 1.2`).

@@ -1,5 +1,5 @@
 //! Join memory allocation and hybrid-hash partition planning, after
-//! Shapiro [Sha86] as used by the paper (§3.2.2):
+//! Shapiro \[Sha86\] as used by the paper (§3.2.2):
 //!
 //! * **Maximum allocation** lets the hash table for the inner relation be
 //!   built entirely in main memory: `⌈F·N⌉` frames for an `N`-page inner.

@@ -16,7 +16,7 @@
 //!   operator, plus whole-plan validation;
 //! * [`wellformed`] — the two-node-cycle check of §2.2.3 ("a well-formed
 //!   plan has no cycles… only cycles with two nodes can occur");
-//! * [`bind`] — runtime binding of logical annotations to physical sites
+//! * [`bind()`] — runtime binding of logical annotations to physical sites
 //!   ("the logical annotations are bound to actual sites in the network",
 //!   §2.1);
 //! * [`builder`] — convenience constructors (left-deep, balanced-bushy,

@@ -3,8 +3,8 @@
 //! "The cost model that we used is capable of estimating both the total
 //! cost and the response time of a query plan for a given system
 //! configuration. The total-cost estimates are based on the model of
-//! Mackert and Lohman [ML86]. The response-time estimates are generated
-//! using the model of [GHK92]."
+//! Mackert and Lohman \[ML86\]. The response-time estimates are generated
+//! using the model of \[GHK92\]."
 //!
 //! Three objectives are provided ([`Objective`]):
 //!

@@ -1,7 +1,7 @@
 //! A detailed disk model for the csqp simulator.
 //!
 //! The paper's simulator "models disks using a detailed characterization
-//! that was adapted from the ZetaSim model [Bro92]. The disk model includes
+//! that was adapted from the ZetaSim model \[Bro92\]. The disk model includes
 //! an elevator disk scheduling policy, a controller cache, and read-ahead
 //! prefetching. … For the purposes of this study, the important aspect of
 //! the disk model is that it captures the cost differences between

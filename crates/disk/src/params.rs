@@ -4,7 +4,7 @@
 //! rotational speed, seek factor, settle time, track and cylinder sizes,
 //! controller cache size, etc." (§3.2.2). The defaults below are tuned so
 //! that the calibration runs of [`crate::calibrate`] land on the paper's
-//! measured averages for the Fujitsu-M2266-like configuration of [PCV94]:
+//! measured averages for the Fujitsu-M2266-like configuration of \[PCV94\]:
 //! ≈3.5 ms per page sequential, ≈11.8 ms per page random (§4.1).
 
 use crate::geometry::Geometry;

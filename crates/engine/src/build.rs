@@ -159,13 +159,13 @@ impl<'a> ExecutionBuilder<'a> {
             )));
         }
         let response_time = engine.run();
-        let (pages_sent, control_msgs, bytes_sent) = engine.link_stats();
+        let wire = engine.link_stats();
         let operators = engine.proc_reports();
         ExecutionMetrics {
             response_time,
-            pages_sent,
-            control_msgs,
-            bytes_sent,
+            pages_sent: wire.data_pages_sent,
+            control_msgs: wire.control_msgs_sent,
+            bytes_sent: wire.bytes_sent,
             link_utilization: engine.link_utilization(),
             disk: (0..num_sites)
                 .map(|s| engine.disk_stats(SiteId(s as u32)))
@@ -259,7 +259,7 @@ impl<'a> ExecutionBuilder<'a> {
 
         let makespan = engine.run();
         let finish = engine.display_finish_times();
-        let (pages_sent, control_msgs, bytes_sent) = engine.link_stats();
+        let wire = engine.link_stats();
         let operators = engine.proc_reports();
         MultiQueryMetrics {
             per_query: counters
@@ -271,9 +271,9 @@ impl<'a> ExecutionBuilder<'a> {
                 })
                 .collect(),
             makespan,
-            pages_sent,
-            control_msgs,
-            bytes_sent,
+            pages_sent: wire.data_pages_sent,
+            control_msgs: wire.control_msgs_sent,
+            bytes_sent: wire.bytes_sent,
             link_utilization: engine.link_utilization(),
             disk: (0..num_sites)
                 .map(|s| engine.disk_stats(SiteId(s as u32)))

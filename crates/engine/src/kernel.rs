@@ -271,13 +271,9 @@ impl Engine {
             .collect()
     }
 
-    /// Network counters: (data pages, control messages, bytes).
-    pub fn link_stats(&self) -> (u64, u64, u64) {
-        (
-            self.link.data_pages_sent(),
-            self.link.control_msgs_sent(),
-            self.link.bytes_sent(),
-        )
+    /// Snapshot of the wire-traffic counters, as one typed record.
+    pub fn link_stats(&self) -> csqp_net::LinkStats {
+        self.link.stats()
     }
 
     /// Wire utilization over the run so far.

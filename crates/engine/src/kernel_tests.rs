@@ -121,8 +121,11 @@ fn local_pipeline_delivers_everything() {
     let expect = SimDuration::from_micros(4000);
     assert!(rt >= expect, "{rt} >= {expect}");
     assert!(rt < expect * 2, "{rt} < 2x {expect}");
-    let (pages, _, _) = e.link_stats();
-    assert_eq!(pages, 0, "local channel never touches the wire");
+    let wire = e.link_stats();
+    assert_eq!(
+        wire.data_pages_sent, 0,
+        "local channel never touches the wire"
+    );
 }
 
 #[test]
@@ -130,9 +133,9 @@ fn remote_pipeline_ships_pages_and_overlaps() {
     let (mut e, seen) = pipe(SiteId::CLIENT, SiteId::server(1), 100, 50_000, 0);
     let rt = e.run();
     assert_eq!(seen.get(), 4000);
-    let (pages, _, bytes) = e.link_stats();
-    assert_eq!(pages, 100);
-    assert_eq!(bytes, 100 * 4096);
+    let wire = e.link_stats();
+    assert_eq!(wire.data_pages_sent, 100);
+    assert_eq!(wire.bytes_sent, 100 * 4096);
     // Producer CPU: 100 × 1ms = 100 ms. Wire: 100 × 0.328 ms = 33 ms.
     // Pipelined, the run should take ~producer time + small tail, not
     // the 233 ms a serial schedule would need.

@@ -46,6 +46,7 @@ pub mod process;
 mod kernel_tests;
 
 pub use build::{ExecutionBuilder, ServerLoad};
+pub use csqp_net::LinkStats;
 pub use kernel::{Engine, ProcReport, WaitBreakdown};
 pub use metrics::{ExecutionMetrics, MultiQueryMetrics, QueryOutcome};
 pub use process::{Action, OperatorProc, Page, ResumeInput};

@@ -2,6 +2,7 @@
 
 use csqp_catalog::SiteId;
 use csqp_disk::disk::DiskStats;
+use csqp_net::LinkStats;
 use csqp_simkernel::SimDuration;
 
 use crate::kernel::ProcReport;
@@ -35,6 +36,17 @@ impl ExecutionMetrics {
     /// Response time in seconds.
     pub fn response_secs(&self) -> f64 {
         self.response_time.as_secs_f64()
+    }
+
+    /// Wire-traffic counters as the typed [`LinkStats`] record — the
+    /// accounting surface report writers (figure output, the serving
+    /// layer's STATS frame) consume instead of reaching into the link.
+    pub fn wire(&self) -> LinkStats {
+        LinkStats {
+            data_pages_sent: self.pages_sent,
+            control_msgs_sent: self.control_msgs,
+            bytes_sent: self.bytes_sent,
+        }
     }
 
     /// Disk utilization of a site over the run.
@@ -79,4 +91,15 @@ pub struct MultiQueryMetrics {
     pub cpu_busy: Vec<SimDuration>,
     /// Per-operator wait breakdowns, all queries combined.
     pub operators: Vec<ProcReport>,
+}
+
+impl MultiQueryMetrics {
+    /// Wire-traffic counters as the typed [`LinkStats`] record.
+    pub fn wire(&self) -> LinkStats {
+        LinkStats {
+            data_pages_sent: self.pages_sent,
+            control_msgs_sent: self.control_msgs,
+            bytes_sent: self.bytes_sent,
+        }
+    }
 }

@@ -1,5 +1,5 @@
 //! The hybrid-hash join operator ("All joins are processed using hybrid
-//! hashing [Sha86]", §3.2.2).
+//! hashing \[Sha86\]", §3.2.2).
 //!
 //! With the **maximum** allocation the whole inner hash table is resident:
 //! build consumes the inner input, probe streams the outer input and emits

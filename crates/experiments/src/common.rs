@@ -1,14 +1,14 @@
 //! Shared experiment plumbing.
 
-use csqp_catalog::{Catalog, QuerySpec, SiteId, SystemConfig};
-use csqp_core::{bind, BindContext, Plan, Policy};
+use csqp_catalog::{Catalog, QuerySpec, SystemConfig};
+use csqp_core::{Plan, Policy};
 use csqp_cost::{CostModel, Objective};
-use csqp_engine::{ExecutionBuilder, ExecutionMetrics, ServerLoad};
+use csqp_engine::{ExecutionMetrics, ServerLoad};
 use csqp_json::Json;
-use csqp_optimizer::{OptConfig, Optimizer};
-use csqp_simkernel::rng::SimRng;
+use csqp_optimizer::OptConfig;
 use csqp_simkernel::stats::Sample;
-use csqp_workload::load_utilization;
+
+use crate::runner;
 
 /// Experiment-wide knobs.
 #[derive(Debug, Clone)]
@@ -217,20 +217,17 @@ pub struct Scenario<'a> {
 impl<'a> Scenario<'a> {
     /// Cost model for this scenario, load-aware.
     pub fn cost_model(&self) -> CostModel<'a> {
-        let mut model = CostModel::new(self.sys, self.catalog, self.query, SiteId::CLIENT);
-        for l in self.loads {
-            model = model.with_disk_load(
-                l.site,
-                load_utilization(l.rate_per_sec, self.sys.disk_rand_page_ms),
-            );
-        }
-        model
+        runner::cost_model(self.sys, self.catalog, self.query, self.loads)
     }
 
     /// Optimize under `policy` for `objective` and simulate the winning
     /// plan. This is the paper's measurement pipeline: "the query
     /// optimizer was configured to generate plans that minimized the
-    /// metric being studied" (§4.1).
+    /// metric being studied" (§4.1). Delegates to [`runner::run_query`],
+    /// the entry point shared with the serving layer.
+    // Invariant panic: optimizer output is checker-verified and therefore
+    // structurally valid and bindable.
+    #[allow(clippy::expect_used)]
     pub fn optimize_and_run(
         &self,
         policy: Policy,
@@ -238,11 +235,18 @@ impl<'a> Scenario<'a> {
         opt: &OptConfig,
         seed: u64,
     ) -> ExecutionMetrics {
-        let model = self.cost_model();
-        let optimizer = Optimizer::new(&model, policy, objective, opt.clone());
-        let mut rng = SimRng::seed_from_u64(seed);
-        let plan = optimizer.optimize(self.query, &mut rng).plan;
-        self.execute(&plan, seed)
+        runner::run_query(
+            self.query,
+            self.catalog,
+            self.sys,
+            self.loads,
+            policy,
+            objective,
+            opt,
+            seed,
+        )
+        .expect("optimized plans are well-formed")
+        .metrics
     }
 
     /// Simulate a given plan in this scenario.
@@ -250,19 +254,8 @@ impl<'a> Scenario<'a> {
     // checker-verified and therefore bindable.
     #[allow(clippy::expect_used)]
     pub fn execute(&self, plan: &Plan, seed: u64) -> ExecutionMetrics {
-        let bound = bind(
-            plan,
-            BindContext {
-                catalog: self.catalog,
-                query_site: SiteId::CLIENT,
-            },
-        )
-        .expect("optimized plans are well-formed");
-        let mut builder = ExecutionBuilder::new(self.query, self.catalog, self.sys).with_seed(seed);
-        for l in self.loads {
-            builder = builder.with_load(l.site, l.rate_per_sec);
-        }
-        builder.execute(&bound)
+        runner::execute_plan(plan, self.query, self.catalog, self.sys, self.loads, seed)
+            .expect("optimized plans are well-formed")
     }
 }
 

@@ -25,9 +25,11 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod runner;
 pub mod tables;
 
 pub use common::{ExpContext, FigResult, Point, Series};
+pub use runner::{execute_plan, run_query, RunError, RunStats};
 
 /// Run an experiment by id (`"fig2"`, `"table1"`, `"calibration"`, …).
 /// Returns `None` for an unknown id.

@@ -3,8 +3,8 @@
 //!
 //! This crate replaces `serde`/`serde_json` for the workspace so the seed
 //! builds with no network access to a registry. It covers exactly what
-//! the workspace needs: plan persistence ([`csqp-core`]'s
-//! `Plan::to_json`/`from_json`), [`SystemConfig`] round-trips, and the
+//! the workspace needs: plan persistence (`csqp-core`'s
+//! `Plan::to_json`/`from_json`), `SystemConfig` round-trips, and the
 //! experiment harness's figure output.
 //!
 //! Numbers are stored as `f64`, which is lossless for every integer the

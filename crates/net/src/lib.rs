@@ -27,14 +27,27 @@ pub enum MsgKind {
     Control,
 }
 
+/// Wire-traffic counters of a [`Link`], as one typed record.
+///
+/// This is the accounting surface consumers (the engine's metrics, the
+/// serving layer's STATS frame) read instead of reaching into the link
+/// for individual counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Full data pages shipped — the paper's "pages sent" metric (§4.1).
+    pub data_pages_sent: u64,
+    /// Small control messages shipped (fault requests etc.).
+    pub control_msgs_sent: u64,
+    /// Total bytes on the wire, data and control combined.
+    pub bytes_sent: u64,
+}
+
 /// The shared network link: one FIFO queue for the whole system.
 #[derive(Debug)]
 pub struct Link<T> {
     server: FifoServer<T>,
     bandwidth_bits_per_sec: f64,
-    data_pages_sent: u64,
-    control_msgs_sent: u64,
-    bytes_sent: u64,
+    stats: LinkStats,
 }
 
 impl<T> Link<T> {
@@ -43,9 +56,7 @@ impl<T> Link<T> {
         Link {
             server: FifoServer::new(),
             bandwidth_bits_per_sec: config.net_bw_mbit as f64 * 1e6,
-            data_pages_sent: 0,
-            control_msgs_sent: 0,
-            bytes_sent: 0,
+            stats: LinkStats::default(),
         }
     }
 
@@ -59,10 +70,10 @@ impl<T> Link<T> {
     /// when queued behind earlier messages.
     pub fn submit(&mut self, now: SimTime, token: T, bytes: u64, kind: MsgKind) -> Option<SimTime> {
         match kind {
-            MsgKind::DataPage => self.data_pages_sent += 1,
-            MsgKind::Control => self.control_msgs_sent += 1,
+            MsgKind::DataPage => self.stats.data_pages_sent += 1,
+            MsgKind::Control => self.stats.control_msgs_sent += 1,
         }
-        self.bytes_sent += bytes;
+        self.stats.bytes_sent += bytes;
         let service = self.wire_time(bytes);
         self.server.submit(now, token, service)
     }
@@ -73,21 +84,26 @@ impl<T> Link<T> {
         self.server.finish_current(now)
     }
 
+    /// Snapshot of the wire-traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
     /// Data pages shipped so far — the paper's "pages sent" metric counts
     /// exactly these (§4.1: "the number of pages sent … the average amount
     /// of data sent over the network").
     pub fn data_pages_sent(&self) -> u64 {
-        self.data_pages_sent
+        self.stats.data_pages_sent
     }
 
     /// Small control messages shipped so far (fault requests etc.).
     pub fn control_msgs_sent(&self) -> u64 {
-        self.control_msgs_sent
+        self.stats.control_msgs_sent
     }
 
     /// Total bytes shipped.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.stats.bytes_sent
     }
 
     /// Wire utilization over `[0, now]`.
@@ -163,6 +179,14 @@ mod tests {
         assert_eq!(l.data_pages_sent(), 2);
         assert_eq!(l.control_msgs_sent(), 1);
         assert_eq!(l.bytes_sent(), 8448);
+        assert_eq!(
+            l.stats(),
+            LinkStats {
+                data_pages_sent: 2,
+                control_msgs_sent: 1,
+                bytes_sent: 8448,
+            }
+        );
         assert!(l.is_idle());
     }
 

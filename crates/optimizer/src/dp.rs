@@ -1,7 +1,7 @@
 //! System-R-style dynamic-programming join ordering.
 //!
 //! §5 lists the compile-time half of 2-step optimization as "e.g., using
-//! a randomized [IK90] or System-R-style [S+79] optimizer". This module
+//! a randomized \[IK90\] or System-R-style \[S+79\] optimizer". This module
 //! provides the Selinger alternative: exact dynamic programming over
 //! connected relation subsets, minimizing the classic surrogate cost —
 //! the total size (in pages) of all intermediate results. Unlike the

@@ -1,5 +1,5 @@
 //! Randomized two-phase query optimization (§3.1.1), after Ioannidis and
-//! Kang [IK90].
+//! Kang \[IK90\].
 //!
 //! "The optimizer first chooses a random plan from the desired search
 //! space (i.e., data, query, or hybrid-shipping) and then tries to improve

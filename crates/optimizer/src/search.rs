@@ -1,8 +1,8 @@
 //! Two-phase randomized search: iterative improvement followed by
-//! simulated annealing, after Ioannidis and Kang [IK90].
+//! simulated annealing, after Ioannidis and Kang \[IK90\].
 //!
 //! "This study uses the same parameter settings to control the II and SA
-//! phases as used in [IK90]" (§3.1.1, footnote 6): II restarts from
+//! phases as used in \[IK90\]" (§3.1.1, footnote 6): II restarts from
 //! random plans and walks downhill to local minima; SA starts from the
 //! best II plan at a temperature proportional to its cost, accepts uphill
 //! moves with probability `exp(-Δ/T)`, runs a number of moves per stage

@@ -5,7 +5,7 @@
 //!     orderings but no site annotations …
 //!  2. At execution time, carry out site selection and determine where to
 //!     execute every operator of the plan (e.g., using simulated
-//!     annealing [MLR90])."
+//!     annealing \[MLR90\])."
 //!
 //! A *static* optimizer, by contrast, fixes both the join order and the
 //! annotations at compile time; at runtime the annotated plan is merely

@@ -1,0 +1,388 @@
+//! The `csqp-load` client: N concurrent connections driving a seeded
+//! workload mix against a server, with a throughput/latency report.
+//!
+//! Two arrival disciplines:
+//!
+//! - **closed loop** (default): each connection issues its next query the
+//!   moment the previous reply lands;
+//! - **open loop** (`rate` set): each connection issues on a fixed
+//!   arrival schedule, sleeping until the next slot (a paced
+//!   approximation — a single connection still awaits its reply).
+//!
+//! Everything a client sends is derived from `(seed, client, query
+//! index)`, so two runs with the same seed issue byte-identical requests
+//! and — because the server is deterministic too — receive byte-identical
+//! results. [`LoadReport::digest`] folds every RESULT payload into an
+//! order-independent checksum for exactly that comparison.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_simkernel::rng::SimRng;
+use csqp_workload::{WorkloadSpec, HISEL_SEL, MODERATE_SEL};
+
+use crate::metrics::percentile_us;
+use crate::proto::{ErrorCode, Frame, Hello, OptimizerMode, QueryRequest, ResultRecord, WireError};
+use crate::server::{fnv1a, roundtrip};
+
+/// What the load generator should do.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub clients: usize,
+    /// Stop issuing new queries after this long (ignored when
+    /// `queries_per_client` is set).
+    pub duration: Duration,
+    /// Fixed per-connection query count (exact, deterministic runs).
+    pub queries_per_client: Option<u64>,
+    /// Master seed for the workload mix and all per-query seeds.
+    pub seed: u64,
+    /// Fixed policy, or `None` for a seeded DS/QS/HY mix.
+    pub policy: Option<Policy>,
+    /// Optimization objective for every request.
+    pub objective: Objective,
+    /// Per-request or precompiled planning.
+    pub optimizer: OptimizerMode,
+    /// Open-loop arrival rate per connection (queries/sec); `None` is
+    /// closed-loop.
+    pub rate: Option<f64>,
+    /// On a saturation reject, honor the retry-after hint and resend the
+    /// same query (otherwise count it and move on).
+    pub retry_rejected: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            clients: 4,
+            duration: Duration::from_secs(2),
+            queries_per_client: None,
+            seed: 0xC59D,
+            policy: None,
+            objective: Objective::ResponseTime,
+            optimizer: OptimizerMode::TwoPhase,
+            rate: None,
+            retry_rejected: false,
+        }
+    }
+}
+
+/// What a load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries answered with a RESULT frame.
+    pub queries: u64,
+    /// Saturation rejects observed (including retried ones).
+    pub rejected: u64,
+    /// Non-reject ERROR frames observed.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Client-observed median latency, ms.
+    pub p50_ms: f64,
+    /// Client-observed 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// Client-observed 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// RESULT frames per second of wall clock.
+    pub throughput_qps: f64,
+    /// Order-independent checksum over `(client, index, result payload)`
+    /// triples: equal seeds ⇒ equal digests, independent of timing.
+    pub digest: u64,
+    /// RESULTs per policy, in `[DS, QS, HY]` order.
+    pub per_policy: [u64; 3],
+}
+
+impl LoadReport {
+    /// Render the human report printed by `csqp-load`.
+    pub fn render(&self) -> String {
+        format!(
+            "queries   {}\nrejected  {}\nerrors    {}\nelapsed   {:.2}s\nthroughput {:.1} q/s\nlatency   p50 {:.1} ms   p95 {:.1} ms   p99 {:.1} ms\nper-policy DS {}  QS {}  HY {}\ndigest    {:016x}",
+            self.queries,
+            self.rejected,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput_qps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.per_policy[0],
+            self.per_policy[1],
+            self.per_policy[2],
+            self.digest
+        )
+    }
+}
+
+/// Deterministic per-query seed: mixes the master seed, client index, and
+/// query index through FNV so streams never collide. Masked into the
+/// protocol's JSON-exact integer range so the seed survives the wire
+/// byte-for-byte.
+fn query_seed(master: u64, client: u64, index: u64) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[0..8].copy_from_slice(&master.to_be_bytes());
+    bytes[8..16].copy_from_slice(&client.to_be_bytes());
+    bytes[16..24].copy_from_slice(&index.to_be_bytes());
+    fnv1a(&bytes) & (crate::proto::MAX_SAFE_INT - 1)
+}
+
+/// The seeded workload mix: query shape, cache state, and policy for one
+/// request. Pure in `(cfg.seed, client, index)`.
+pub fn nth_request(cfg: &LoadConfig, client: u64, index: u64) -> QueryRequest {
+    let seed = query_seed(cfg.seed, client, index);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let n = rng.range(2, 6) as u32;
+    // The paper's benchmark shapes: size-preserving moderate selectivity
+    // or the HiSel variant (§5.2) — anything hotter overflows the
+    // simulated disks with join spill.
+    let spec = match rng.below(3) {
+        0 => WorkloadSpec::Chain {
+            n,
+            selectivity: *rng.pick(&[MODERATE_SEL, HISEL_SEL]),
+        },
+        1 => WorkloadSpec::Star {
+            n,
+            selectivity: MODERATE_SEL,
+        },
+        _ => WorkloadSpec::Spj {
+            n,
+            join_sel: MODERATE_SEL,
+            selection: 0.2,
+            every_k: 2,
+        },
+    };
+    // Declared client cache: each relation 0%, 25% or 50% resident.
+    let cache = (0..spec.num_relations())
+        .map(|_| *rng.pick(&[0.0, 0.25, 0.5]))
+        .collect();
+    let policy = cfg.policy.unwrap_or_else(|| {
+        *rng.pick(&[
+            Policy::DataShipping,
+            Policy::QueryShipping,
+            Policy::HybridShipping,
+        ])
+    });
+    QueryRequest {
+        id: index + 1,
+        spec,
+        cache,
+        policy,
+        objective: cfg.objective,
+        optimizer: cfg.optimizer,
+        seed,
+        loads: vec![],
+    }
+}
+
+struct ClientTally {
+    queries: u64,
+    rejected: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    digest: u64,
+    per_policy: [u64; 3],
+}
+
+fn policy_slot(p: Policy) -> usize {
+    match p {
+        Policy::DataShipping => 0,
+        Policy::QueryShipping => 1,
+        Policy::HybridShipping => 2,
+    }
+}
+
+/// Fold one result into the order-independent digest: hash the triple,
+/// combine with a commutative wrapping add.
+fn fold_digest(digest: u64, client: u64, index: u64, record: &ResultRecord) -> u64 {
+    let payload = Frame::Result(record.clone()).encode();
+    let mut keyed = Vec::with_capacity(16 + payload.len());
+    keyed.extend_from_slice(&client.to_be_bytes());
+    keyed.extend_from_slice(&index.to_be_bytes());
+    keyed.extend_from_slice(&payload);
+    digest.wrapping_add(fnv1a(&keyed))
+}
+
+fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<ClientTally, WireError> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let hello = roundtrip(
+        &mut stream,
+        &Frame::Hello(Hello {
+            client: format!("csqp-load-{client}"),
+        }),
+    )?;
+    if !matches!(hello, Frame::HelloAck(_)) {
+        return Err(WireError::Io(std::io::Error::other(
+            "expected HELLO-ACK to open the session",
+        )));
+    }
+    let mut tally = ClientTally {
+        queries: 0,
+        rejected: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+        digest: 0,
+        per_policy: [0; 3],
+    };
+    let start = Instant::now();
+    let interval = cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
+    let mut index = 0u64;
+    loop {
+        match cfg.queries_per_client {
+            Some(count) => {
+                if index >= count {
+                    break;
+                }
+            }
+            None => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+        // Open loop: wait for this query's arrival slot.
+        if let Some(step) = interval {
+            let slot = start + step.mul_f64(index as f64);
+            let now = Instant::now();
+            if slot > now {
+                std::thread::sleep(slot - now);
+            }
+        }
+        let req = nth_request(cfg, client, index);
+        let policy = req.policy;
+        let issued = Instant::now();
+        let mut reply = roundtrip(&mut stream, &Frame::Query(req.clone()))?;
+        // Honor retry-after on saturation if asked to.
+        if cfg.retry_rejected {
+            while let Frame::Error(e) = &reply {
+                if e.code != ErrorCode::Saturated {
+                    break;
+                }
+                tally.rejected += 1;
+                std::thread::sleep(Duration::from_millis(e.retry_after_ms.unwrap_or(10)));
+                reply = roundtrip(&mut stream, &Frame::Query(req.clone()))?;
+            }
+        }
+        match reply {
+            Frame::Result(record) => {
+                let lat = issued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                tally.queries += 1;
+                tally.per_policy[policy_slot(policy)] += 1;
+                tally.latencies_us.push(lat);
+                tally.digest = fold_digest(tally.digest, client, index, &record);
+            }
+            Frame::Error(e) if e.code == ErrorCode::Saturated => tally.rejected += 1,
+            Frame::Error(_) => tally.errors += 1,
+            other => {
+                return Err(WireError::Io(std::io::Error::other(format!(
+                    "unexpected reply frame {:?}",
+                    other.kind()
+                ))));
+            }
+        }
+        index += 1;
+    }
+    let _ = roundtrip(&mut stream, &Frame::Bye)
+        .map(|_| ())
+        .or::<()>(Ok(()));
+    Ok(tally)
+}
+
+/// Run the load: spawn `clients` connection threads, drive the seeded
+/// mix, and aggregate the report. Connection-level failures surface as
+/// `Err`; protocol-level errors are counted in the report.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, WireError> {
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for client in 0..cfg.clients.max(1) as u64 {
+        let cfg = cfg.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("csqp-load-{client}"))
+                .spawn(move || run_client(&cfg, client, deadline))
+                .map_err(WireError::Io)?,
+        );
+    }
+    let mut queries = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    let mut digest = 0u64;
+    let mut per_policy = [0u64; 3];
+    let mut latencies = Vec::new();
+    for h in handles {
+        let tally = h
+            .join()
+            .map_err(|_| WireError::Io(std::io::Error::other("load client panicked")))??;
+        queries += tally.queries;
+        rejected += tally.rejected;
+        errors += tally.errors;
+        digest = digest.wrapping_add(tally.digest);
+        for (total, n) in per_policy.iter_mut().zip(tally.per_policy) {
+            *total += n;
+        }
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    Ok(LoadReport {
+        queries,
+        rejected,
+        errors,
+        elapsed,
+        p50_ms: percentile_us(&latencies, 0.50) / 1000.0,
+        p95_ms: percentile_us(&latencies, 0.95) / 1000.0,
+        p99_ms: percentile_us(&latencies, 0.99) / 1000.0,
+        throughput_qps: if elapsed.as_secs_f64() > 0.0 {
+            queries as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        digest,
+        per_policy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_deterministic_and_valid() {
+        let cfg = LoadConfig::default();
+        for client in 0..4 {
+            for index in 0..16 {
+                let a = nth_request(&cfg, client, index);
+                let b = nth_request(&cfg, client, index);
+                assert_eq!(a, b, "pure in (seed, client, index)");
+                a.spec.validate().expect("generated specs are valid");
+                assert_eq!(a.cache.len(), a.spec.num_relations() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn request_mix_varies_across_clients_and_indices() {
+        let cfg = LoadConfig::default();
+        let a = nth_request(&cfg, 0, 0);
+        let b = nth_request(&cfg, 1, 0);
+        let c = nth_request(&cfg, 0, 1);
+        assert!(a.seed != b.seed && a.seed != c.seed && b.seed != c.seed);
+    }
+
+    #[test]
+    fn fixed_policy_overrides_the_mix() {
+        let cfg = LoadConfig {
+            policy: Some(Policy::QueryShipping),
+            ..LoadConfig::default()
+        };
+        for index in 0..8 {
+            assert_eq!(nth_request(&cfg, 0, index).policy, Policy::QueryShipping);
+        }
+    }
+}

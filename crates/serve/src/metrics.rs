@@ -1,0 +1,210 @@
+//! Thread-safe server-side metrics.
+//!
+//! Every worker thread records into one shared [`ServerMetrics`];
+//! [`ServerMetrics::snapshot`] produces the STATS frame payload. Counters
+//! are atomics; the latency reservoir is a mutex-guarded vector (bounded,
+//! so a long-lived server cannot grow without limit).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use csqp_core::Policy;
+use csqp_engine::LinkStats;
+
+use crate::proto::StatsSnapshot;
+
+/// Cap on retained latency samples; past this the reservoir keeps every
+/// k-th sample so percentiles stay representative without unbounded
+/// memory.
+const MAX_SAMPLES: usize = 65_536;
+
+/// Lock a mutex, recovering from poisoning (a panicked worker must not
+/// take the metrics down with it).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn policy_slot(p: Policy) -> usize {
+    match p {
+        Policy::DataShipping => 0,
+        Policy::QueryShipping => 1,
+        Policy::HybridShipping => 2,
+    }
+}
+
+/// Shared, thread-safe service counters.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    queries_served: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    per_policy: [AtomicU64; 3],
+    lint_checks: AtomicU64,
+    wire_pages: AtomicU64,
+    wire_msgs: AtomicU64,
+    wire_bytes: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    sample_stride: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// Record one successfully served query: its policy, service latency
+    /// (queue wait + planning + simulation), and simulated wire traffic.
+    pub fn record_served(&self, policy: Policy, latency_us: u64, wire: LinkStats) {
+        let n = self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.per_policy[policy_slot(policy)].fetch_add(1, Ordering::Relaxed);
+        self.wire_pages
+            .fetch_add(wire.data_pages_sent, Ordering::Relaxed);
+        self.wire_msgs
+            .fetch_add(wire.control_msgs_sent, Ordering::Relaxed);
+        self.wire_bytes
+            .fetch_add(wire.bytes_sent, Ordering::Relaxed);
+        let stride = self.sample_stride.load(Ordering::Relaxed).max(1);
+        if n.is_multiple_of(stride) {
+            let mut samples = lock(&self.latencies_us);
+            if samples.len() >= MAX_SAMPLES {
+                // Decimate: keep every other sample and double the stride.
+                let kept: Vec<u64> = samples.iter().copied().step_by(2).collect();
+                *samples = kept;
+                self.sample_stride.store(stride * 2, Ordering::Relaxed);
+            }
+            samples.push(latency_us);
+        }
+    }
+
+    /// Record one admission-control rejection.
+    pub fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request that failed with a non-reject error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that the Table-1 conformance lint ran on a plan before
+    /// execution (the serve-path invariant checked by the loopback test).
+    pub fn record_lint(&self) {
+        self.lint_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Admission rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Non-reject errors so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Conformance-lint executions so far. On a healthy server this
+    /// equals queries served plus policy-violation errors: every plan is
+    /// linted exactly once, before execution.
+    pub fn lint_checks(&self) -> u64 {
+        self.lint_checks.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot for the STATS frame.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let sorted = {
+            let samples = lock(&self.latencies_us);
+            let mut s = samples.clone();
+            s.sort_unstable();
+            s
+        };
+        StatsSnapshot {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            per_policy: [
+                self.per_policy[0].load(Ordering::Relaxed),
+                self.per_policy[1].load(Ordering::Relaxed),
+                self.per_policy[2].load(Ordering::Relaxed),
+            ],
+            p50_ms: percentile_us(&sorted, 0.50) / 1000.0,
+            p95_ms: percentile_us(&sorted, 0.95) / 1000.0,
+            p99_ms: percentile_us(&sorted, 0.99) / 1000.0,
+            wire: LinkStats {
+                data_pages_sent: self.wire_pages.load(Ordering::Relaxed),
+                control_msgs_sent: self.wire_msgs.load(Ordering::Relaxed),
+                bytes_sent: self.wire_bytes.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile of a *sorted* sample, in the sample's unit.
+/// Empty samples report 0.
+pub fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&s, 0.50), 50.0);
+        assert_eq!(percentile_us(&s, 0.95), 95.0);
+        assert_eq!(percentile_us(&s, 0.99), 99.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7], 0.99), 7.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = ServerMetrics::new();
+        let wire = LinkStats {
+            data_pages_sent: 10,
+            control_msgs_sent: 3,
+            bytes_sent: 4096,
+        };
+        m.record_served(Policy::QueryShipping, 2_000, wire);
+        m.record_served(Policy::QueryShipping, 4_000, wire);
+        m.record_served(Policy::HybridShipping, 6_000, wire);
+        m.record_reject();
+        m.record_error();
+        m.record_lint();
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.per_policy, [0, 2, 1]);
+        assert_eq!(s.wire.data_pages_sent, 30);
+        assert_eq!(s.wire.bytes_sent, 3 * 4096);
+        assert_eq!(s.p50_ms, 4.0);
+        assert_eq!(m.lint_checks(), 1);
+    }
+
+    #[test]
+    fn reservoir_decimates_instead_of_growing() {
+        let m = ServerMetrics::new();
+        let wire = LinkStats::default();
+        for i in 0..(MAX_SAMPLES as u64 + 10_000) {
+            m.record_served(Policy::DataShipping, i, wire);
+        }
+        let kept = lock(&m.latencies_us).len();
+        assert!(kept <= MAX_SAMPLES, "reservoir stayed bounded: {kept}");
+        assert!(kept > MAX_SAMPLES / 4, "reservoir still representative");
+    }
+}

@@ -1,0 +1,751 @@
+//! The multi-threaded TCP query service.
+//!
+//! Threading model (documented in DESIGN.md §8):
+//!
+//! - one *accept* thread owns the listener;
+//! - one *connection* thread per accepted socket runs the session state
+//!   machine (HELLO → QUERY* → BYE) with a short read timeout so it can
+//!   observe shutdown;
+//! - a fixed *worker pool* drains a bounded admission queue
+//!   (`std::sync::mpsc::sync_channel`) and executes queries against the
+//!   shared [`QueryService`].
+//!
+//! Backpressure: a QUERY that finds the admission queue full is rejected
+//! immediately with an ERROR frame (`code = saturated`) carrying a
+//! `retry_after_ms` hint — the connection thread never blocks on a full
+//! queue, so slow workers cannot stall the protocol.
+//!
+//! Determinism: the hosted catalog for a query shape is derived from
+//! `placement_seed ^ fnv1a(spec.canonical())`, compiled join orders use a
+//! fixed per-shape compile seed, and the optimizer/simulator stream is
+//! seeded by the request's own `seed` — so identical requests produce
+//! byte-identical results regardless of thread interleaving or which
+//! worker runs them.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use csqp_catalog::{Catalog, SiteId, SystemConfig};
+use csqp_core::Plan;
+use csqp_engine::ServerLoad;
+use csqp_experiments::runner;
+use csqp_optimizer::{CompileTimeAssumption, OptConfig, Optimizer, TwoStepPlanner};
+use csqp_simkernel::rng::SimRng;
+use csqp_workload::{random_placement, WorkloadSpec};
+
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, OptimizerMode,
+    QueryRequest, ReadStep, ResultRecord, WireError,
+};
+
+/// FNV-1a over a byte string; the deterministic mixer used for catalog
+/// and compile seeds.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed stream for compile-time (join-order) optimization, mixed with the
+/// query-shape hash so different shapes compile independently.
+const COMPILE_SEED: u64 = 0x2_57EB;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port.
+    pub addr: String,
+    /// Number of data servers in the hosted topology. Queries with fewer
+    /// relations than this run on a topology shrunk to their relation
+    /// count (the placement invariant gives every server a relation).
+    pub num_servers: u32,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission-queue depth; a QUERY arriving when the queue holds this
+    /// many pending jobs is rejected with a retry-after hint.
+    pub queue_depth: usize,
+    /// Seed for the hosted data placement.
+    pub placement_seed: u64,
+    /// Optimizer search parameters used for every request.
+    pub opt: OptConfig,
+    /// Connection read timeout; also bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// Server name echoed in HELLO-ACK frames.
+    pub name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            num_servers: 4,
+            workers: 4,
+            queue_depth: 64,
+            placement_seed: 0xC59D,
+            opt: OptConfig::fast(),
+            read_timeout: Duration::from_millis(200),
+            name: "csqp-serve".to_string(),
+        }
+    }
+}
+
+/// The retry-after hint attached to saturation rejects.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// The shared query-execution service: Table 2 system parameters, the
+/// deterministic hosted placement, the compiled-plan cache, and the
+/// metrics sink.
+pub struct QueryService {
+    config: ServerConfig,
+    sys: SystemConfig,
+    /// Compiled join orders for 2-step requests, keyed by
+    /// `canonical-spec | policy | objective`.
+    plan_cache: Mutex<HashMap<String, Plan>>,
+    metrics: Arc<ServerMetrics>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl QueryService {
+    /// A service with the default Table 2 system parameters.
+    pub fn new(config: ServerConfig) -> QueryService {
+        QueryService {
+            config,
+            sys: SystemConfig::default(),
+            plan_cache: Mutex::new(HashMap::new()),
+            metrics: Arc::new(ServerMetrics::new()),
+        }
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Effective topology size for a spec: every server must receive at
+    /// least one relation, so small queries shrink the topology.
+    pub fn topology_for(&self, spec: &WorkloadSpec) -> u32 {
+        self.config.num_servers.min(spec.num_relations()).max(1)
+    }
+
+    /// The hosted placement for a query shape: deterministic in
+    /// `(placement_seed, spec)`, independent of request order. Exposed so
+    /// tests and tools can reconstruct the exact scenario a request ran
+    /// against.
+    pub fn catalog_for(&self, spec: &WorkloadSpec) -> Catalog {
+        let query = spec.build();
+        let seed = self.config.placement_seed ^ fnv1a(spec.canonical().as_bytes());
+        let mut rng = SimRng::seed_from_u64(seed);
+        random_placement(&query, self.topology_for(spec), &mut rng)
+    }
+
+    /// Execute one request end to end: materialize the scenario, plan
+    /// (two-phase or cached-compile + runtime site selection), lint the
+    /// plan against Table 1, simulate, and report the figure-style
+    /// record. Every failure is a typed ERROR frame; this never panics on
+    /// any decodable request.
+    pub fn handle_query(&self, req: &QueryRequest) -> Result<ResultRecord, ErrorFrame> {
+        let bad = |msg: String| ErrorFrame {
+            id: req.id,
+            code: ErrorCode::BadRequest,
+            message: msg,
+            retry_after_ms: None,
+        };
+        let query = req.spec.build();
+        let servers = self.topology_for(&req.spec);
+        if req.cache.len() > query.relations.len() {
+            return Err(bad(format!(
+                "cache declares {} relations but the query has {}",
+                req.cache.len(),
+                query.relations.len()
+            )));
+        }
+        let mut catalog = self.catalog_for(&req.spec);
+        for (rel, &fraction) in query.relations.iter().zip(&req.cache) {
+            catalog.set_cached_fraction(rel.id, fraction);
+        }
+        let mut loads = Vec::with_capacity(req.loads.len());
+        for &(site, rate) in &req.loads {
+            if site == 0 || site > servers {
+                return Err(bad(format!(
+                    "load names server {site}, topology has servers 1..={servers}"
+                )));
+            }
+            loads.push(ServerLoad {
+                site: SiteId::server(site),
+                rate_per_sec: rate,
+            });
+        }
+
+        let plan = match req.optimizer {
+            OptimizerMode::TwoPhase => {
+                // Mirrors runner::run_query exactly (same seed stream)
+                // with the lint inserted between planning and execution.
+                let model = runner::cost_model(&self.sys, &catalog, &query, &loads);
+                let optimizer =
+                    Optimizer::new(&model, req.policy, req.objective, self.config.opt.clone());
+                let mut rng = SimRng::seed_from_u64(req.seed);
+                optimizer.optimize(&query, &mut rng).plan
+            }
+            OptimizerMode::TwoStep => {
+                let planner = TwoStepPlanner {
+                    policy: req.policy,
+                    objective: req.objective,
+                    config: self.config.opt.clone(),
+                };
+                let key = format!(
+                    "{}|{}|{:?}",
+                    req.spec.canonical(),
+                    req.policy.short(),
+                    req.objective
+                );
+                let compiled = {
+                    let cached = lock(&self.plan_cache).get(&key).cloned();
+                    match cached {
+                        Some(p) => p,
+                        None => {
+                            // Compile outside the lock (it is expensive);
+                            // a racing duplicate compile is harmless
+                            // because the seed makes it identical.
+                            let mut rng =
+                                SimRng::seed_from_u64(COMPILE_SEED ^ fnv1a(key.as_bytes()));
+                            let p = planner.compile(
+                                &query,
+                                &self.sys,
+                                CompileTimeAssumption::Centralized,
+                                &mut rng,
+                            );
+                            lock(&self.plan_cache).insert(key, p.clone());
+                            p
+                        }
+                    }
+                };
+                let mut rng = SimRng::seed_from_u64(req.seed);
+                planner.site_select(&compiled, &query, &self.sys, &catalog, &mut rng)
+            }
+        };
+
+        // Table-1 conformance lint, always before execution: a plan that
+        // breaks the policy contract is a server-side optimizer bug and
+        // must never reach the simulator. The loopback test asserts (in
+        // debug builds) that this counter tracks every served query.
+        let diags = csqp_verify::conformance::check_policy(&plan, req.policy);
+        self.metrics.record_lint();
+        if !diags.is_empty() {
+            debug_assert!(
+                false,
+                "optimizer emitted a policy-violating plan: {:?}",
+                diags[0]
+            );
+            return Err(ErrorFrame {
+                id: req.id,
+                code: ErrorCode::PolicyViolation,
+                message: format!("plan violates {} rules: {}", req.policy.short(), diags[0]),
+                retry_after_ms: None,
+            });
+        }
+
+        let metrics = runner::execute_plan(&plan, &query, &catalog, &self.sys, &loads, req.seed)
+            .map_err(|e| ErrorFrame {
+                id: req.id,
+                code: ErrorCode::ExecutionFailed,
+                message: e.to_string(),
+                retry_after_ms: None,
+            })?;
+
+        let sites = metrics.disk.len();
+        Ok(ResultRecord {
+            id: req.id,
+            response_secs: metrics.response_secs(),
+            pages_sent: metrics.pages_sent,
+            control_msgs: metrics.control_msgs,
+            bytes_sent: metrics.bytes_sent,
+            link_utilization: metrics.link_utilization,
+            disk_utilization: (0..sites)
+                .map(|i| metrics.disk_utilization(SiteId(i as u32)))
+                .collect(),
+            cpu_secs: metrics.cpu_busy.iter().map(|d| d.as_secs_f64()).collect(),
+            result_tuples: metrics.result_tuples,
+        })
+    }
+}
+
+/// One admitted query, waiting for a worker.
+struct Job {
+    req: QueryRequest,
+    reply: mpsc::Sender<Result<ResultRecord, ErrorFrame>>,
+    enqueued: Instant,
+}
+
+/// A bound server, ready to run.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+}
+
+impl Server {
+    /// Bind the listen socket (without accepting yet).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            service: Arc::new(QueryService::new(config)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared query service.
+    pub fn service(&self) -> Arc<QueryService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Start the accept loop and worker pool on background threads and
+    /// return a handle for shutdown.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let service = Arc::clone(&self.service);
+        let cfg = service.config().clone();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (submit, jobs) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        let jobs = Arc::new(Mutex::new(jobs));
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers.max(1) {
+            let jobs = Arc::clone(&jobs);
+            let service = Arc::clone(&service);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("csqp-worker-{i}"))
+                    .spawn(move || worker_loop(&jobs, &service))?,
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_submit = submit.clone();
+        let accept_service = Arc::clone(&service);
+        let accept = std::thread::Builder::new()
+            .name("csqp-accept".to_string())
+            .spawn(move || {
+                accept_loop(
+                    &self.listener,
+                    &accept_service,
+                    &accept_submit,
+                    &accept_shutdown,
+                )
+            })?;
+
+        Ok(ServerHandle {
+            addr,
+            service,
+            shutdown,
+            submit: Some(submit),
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Handle to a running server: address, metrics, and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+    submit: Option<SyncSender<Job>>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared query service (metrics, configuration, catalogs).
+    pub fn service(&self) -> Arc<QueryService> {
+        Arc::clone(&self.service)
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        self.service.metrics()
+    }
+
+    /// Graceful shutdown: stop accepting, let connection threads observe
+    /// the flag within one read timeout, drain queued jobs, and join the
+    /// pool.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Drop the master sender; workers exit once every connection
+        // thread (each holding a clone) has drained and disconnected.
+        self.submit = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
+    loop {
+        // Hold the lock only while waiting; processing happens unlocked
+        // so the pool executes queries concurrently.
+        let job = match lock(jobs).recv() {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        let outcome = service.handle_query(&job.req);
+        let latency_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        match &outcome {
+            Ok(record) => {
+                service
+                    .metrics()
+                    .record_served(job.req.policy, latency_us, record.wire());
+            }
+            Err(_) => service.metrics().record_error(),
+        }
+        // A vanished requester (connection closed mid-flight) is fine.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<QueryService>,
+    submit: &SyncSender<Job>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let service = Arc::clone(service);
+        let submit = submit.clone();
+        let shutdown = Arc::clone(shutdown);
+        // Connection threads are detached: they observe the shutdown flag
+        // within one read timeout and exit, dropping their queue sender.
+        let _ = std::thread::Builder::new()
+            .name("csqp-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &service, &submit, &shutdown);
+            });
+    }
+}
+
+/// The per-connection session loop. Returns on BYE, peer close, shutdown,
+/// or a session-fatal protocol error (after a best-effort ERROR frame).
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &QueryService,
+    submit: &SyncSender<Job>,
+    shutdown: &AtomicBool,
+) -> Result<(), WireError> {
+    stream.set_read_timeout(Some(service.config().read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error(ErrorFrame {
+                    id: 0,
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shutting down".to_string(),
+                    retry_after_ms: None,
+                }),
+            );
+            return Ok(());
+        }
+        let frame = match reader.step(&mut stream) {
+            Ok(ReadStep::Pending) => continue,
+            Ok(ReadStep::Closed) => return Ok(()),
+            Ok(ReadStep::Frame(f)) => f,
+            Err(e) => {
+                // Protocol garbage: answer with a typed error, then hang
+                // up — the byte stream can no longer be trusted.
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error(ErrorFrame {
+                        id: 0,
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                        retry_after_ms: None,
+                    }),
+                );
+                return Err(e);
+            }
+        };
+        match frame {
+            Frame::Hello(_) => {
+                write_frame(
+                    &mut stream,
+                    &Frame::HelloAck(HelloAck {
+                        server: service.config().name.clone(),
+                        num_servers: service.config().num_servers,
+                    }),
+                )?;
+            }
+            Frame::Query(req) => {
+                let id = req.id;
+                let (reply, result) = mpsc::channel();
+                let job = Job {
+                    req,
+                    reply,
+                    enqueued: Instant::now(),
+                };
+                match submit.try_send(job) {
+                    Ok(()) => {
+                        let outcome = result.recv().map_err(|_| {
+                            WireError::Io(std::io::Error::other("worker pool hung up"))
+                        })?;
+                        let frame = match outcome {
+                            Ok(record) => Frame::Result(record),
+                            Err(err) => Frame::Error(err),
+                        };
+                        write_frame(&mut stream, &frame)?;
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        service.metrics().record_reject();
+                        write_frame(
+                            &mut stream,
+                            &Frame::Error(ErrorFrame {
+                                id,
+                                code: ErrorCode::Saturated,
+                                message: "admission queue full".to_string(),
+                                retry_after_ms: Some(RETRY_AFTER_MS),
+                            }),
+                        )?;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        write_frame(
+                            &mut stream,
+                            &Frame::Error(ErrorFrame {
+                                id,
+                                code: ErrorCode::ShuttingDown,
+                                message: "server shutting down".to_string(),
+                                retry_after_ms: None,
+                            }),
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+            Frame::StatsRequest => {
+                write_frame(&mut stream, &Frame::Stats(service.metrics().snapshot()))?;
+            }
+            Frame::Bye => {
+                stream.flush()?;
+                return Ok(());
+            }
+            // Server-to-client frames arriving at the server are a
+            // client bug, not a stream corruption: report and continue.
+            Frame::HelloAck(_) | Frame::Result(_) | Frame::Error(_) | Frame::Stats(_) => {
+                write_frame(
+                    &mut stream,
+                    &Frame::Error(ErrorFrame {
+                        id: 0,
+                        code: ErrorCode::BadRequest,
+                        message: "unexpected server-to-client frame".to_string(),
+                        retry_after_ms: None,
+                    }),
+                )?;
+            }
+        }
+    }
+}
+
+/// Blocking client helper: send one frame and read the next reply frame.
+/// Used by `csqp-load` and tests; lives here so the request/reply pairing
+/// logic exists once.
+pub fn roundtrip(stream: &mut TcpStream, frame: &Frame) -> Result<Frame, WireError> {
+    write_frame(stream, frame)?;
+    match read_frame(stream)? {
+        Some(f) => Ok(f),
+        None => Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_core::Policy;
+    use csqp_cost::Objective;
+
+    fn request(spec: WorkloadSpec, policy: Policy, optimizer: OptimizerMode) -> QueryRequest {
+        QueryRequest {
+            id: 7,
+            spec,
+            cache: vec![],
+            policy,
+            objective: Objective::Communication,
+            optimizer,
+            seed: 42,
+            loads: vec![],
+        }
+    }
+
+    #[test]
+    fn handle_query_is_deterministic() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 4,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let a = service.handle_query(&request(
+            spec.clone(),
+            Policy::HybridShipping,
+            OptimizerMode::TwoPhase,
+        ));
+        let b = service.handle_query(&request(
+            spec,
+            Policy::HybridShipping,
+            OptimizerMode::TwoPhase,
+        ));
+        let (a, b) = (a.expect("runs"), b.expect("runs"));
+        assert_eq!(a, b, "same request, same record");
+        assert!(a.response_secs > 0.0);
+        assert!(a.result_tuples > 0);
+        assert_eq!(service.metrics().lint_checks(), 2);
+    }
+
+    #[test]
+    fn two_phase_matches_the_figure_pipeline() {
+        // The service must measure exactly what the harness measures:
+        // same catalog, same seeds, same metrics.
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Star {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec.clone(), Policy::QueryShipping, OptimizerMode::TwoPhase);
+        let record = service.handle_query(&req).expect("runs");
+        let query = spec.build();
+        let catalog = service.catalog_for(&spec);
+        let direct = csqp_experiments::run_query(
+            &query,
+            &catalog,
+            &SystemConfig::default(),
+            &[],
+            Policy::QueryShipping,
+            Objective::Communication,
+            &OptConfig::fast(),
+            req.seed,
+        )
+        .expect("runs");
+        assert_eq!(record.pages_sent, direct.metrics.pages_sent);
+        assert_eq!(record.bytes_sent, direct.metrics.bytes_sent);
+        assert_eq!(record.result_tuples, direct.metrics.result_tuples);
+        assert_eq!(record.response_secs, direct.metrics.response_secs());
+    }
+
+    #[test]
+    fn two_step_uses_the_plan_cache() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let a = service
+            .handle_query(&request(
+                spec.clone(),
+                Policy::HybridShipping,
+                OptimizerMode::TwoStep,
+            ))
+            .expect("runs");
+        assert_eq!(lock(&service.plan_cache).len(), 1);
+        let b = service
+            .handle_query(&request(
+                spec,
+                Policy::HybridShipping,
+                OptimizerMode::TwoStep,
+            ))
+            .expect("runs");
+        // Cache hit and cache miss must be indistinguishable.
+        assert_eq!(a, b);
+        assert_eq!(lock(&service.plan_cache).len(), 1);
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let mut req = request(spec.clone(), Policy::DataShipping, OptimizerMode::TwoPhase);
+        req.cache = vec![0.5; 10]; // more cache entries than relations
+        let err = service.handle_query(&req).expect_err("rejected");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.id, 7);
+
+        let mut req = request(spec, Policy::DataShipping, OptimizerMode::TwoPhase);
+        req.loads = vec![(9, 50.0)]; // server 9 does not exist (topology 2)
+        let err = service.handle_query(&req).expect_err("rejected");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn topology_shrinks_to_small_queries() {
+        let service = QueryService::new(ServerConfig {
+            num_servers: 4,
+            ..ServerConfig::default()
+        });
+        let small = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        assert_eq!(service.topology_for(&small), 2);
+        let big = WorkloadSpec::Chain {
+            n: 10,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        assert_eq!(service.topology_for(&big), 4);
+        assert_eq!(service.catalog_for(&small).num_servers(), 2);
+    }
+}

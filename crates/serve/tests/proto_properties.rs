@@ -1,0 +1,296 @@
+//! Property tests for the wire protocol: every frame type round-trips
+//! through encode/decode, and every corruption — truncation, oversizing,
+//! bad magic/version/kind, garbage payloads — produces a typed
+//! [`WireError`], never a panic.
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_engine::LinkStats;
+use csqp_serve::proto::{
+    decode_header, ErrorCode, ErrorFrame, Frame, Hello, HelloAck, OptimizerMode, QueryRequest,
+    ResultRecord, StatsSnapshot, WireError, HEADER_LEN, MAX_PAYLOAD,
+};
+use csqp_workload::WorkloadSpec;
+use proptest::prelude::*;
+
+/// Build a workload spec from drawn integers (kind, n, parameter knobs),
+/// guaranteed valid.
+fn spec_from(kind: u64, n: u32, sel_step: u64, k: u32) -> WorkloadSpec {
+    let sel = [1e-4, 2e-5, 0.5, 1.0][(sel_step % 4) as usize];
+    match kind % 3 {
+        0 => WorkloadSpec::Chain {
+            n: n.max(1),
+            selectivity: sel,
+        },
+        1 => WorkloadSpec::Star {
+            n: n.max(2),
+            selectivity: sel,
+        },
+        _ => WorkloadSpec::Spj {
+            n: n.max(1),
+            join_sel: sel,
+            selection: 0.25,
+            every_k: k.max(1),
+        },
+    }
+}
+
+fn policy_from(i: u64) -> Policy {
+    [
+        Policy::DataShipping,
+        Policy::QueryShipping,
+        Policy::HybridShipping,
+    ][(i % 3) as usize]
+}
+
+fn objective_from(i: u64) -> Objective {
+    [
+        Objective::Communication,
+        Objective::ResponseTime,
+        Objective::TotalCost,
+    ][(i % 3) as usize]
+}
+
+fn error_code_from(i: u64) -> ErrorCode {
+    [
+        ErrorCode::BadFrame,
+        ErrorCode::BadRequest,
+        ErrorCode::Saturated,
+        ErrorCode::PolicyViolation,
+        ErrorCode::ExecutionFailed,
+        ErrorCode::ShuttingDown,
+    ][(i % 6) as usize]
+}
+
+proptest! {
+    #[test]
+    fn hello_frames_round_trip(name in proptest::collection::vec(32u8..127, 0..40)) {
+        let f = Frame::Hello(Hello {
+            client: String::from_utf8(name).unwrap(),
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn hello_ack_frames_round_trip(server_sel in 0u64..3, n in 1u32..64) {
+        let f = Frame::HelloAck(HelloAck {
+            server: format!("srv-{server_sel}"),
+            num_servers: n,
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn query_frames_round_trip(
+        // ids and seeds live in the JSON-exact integer range (< 2^53).
+        ids in (0u64..(1u64 << 53), 0u64..(1u64 << 53)),
+        shape in (0u64..3, 0u64..4),
+        n in 2u32..16,
+        k in 1u32..4,
+        cache_steps in proptest::collection::vec(0u64..5, 0..8),
+        knobs in (0u64..3, 0u64..3, 0u64..2),
+        loads in proptest::collection::vec((1u32..8, 0.0f64..100.0), 0..4),
+    ) {
+        let (id, seed) = ids;
+        let (kind, sel_step) = shape;
+        let (pol, objv, opt) = knobs;
+        let spec = spec_from(kind, n, sel_step, k);
+        let cache: Vec<f64> = cache_steps
+            .iter()
+            .take(spec.num_relations() as usize)
+            .map(|&s| s as f64 * 0.25)
+            .collect();
+        let f = Frame::Query(QueryRequest {
+            id,
+            spec,
+            cache,
+            policy: policy_from(pol),
+            objective: objective_from(objv),
+            optimizer: if opt == 0 { OptimizerMode::TwoPhase } else { OptimizerMode::TwoStep },
+            seed,
+            loads,
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn result_frames_round_trip(
+        counters in (0u64..1000, 0u64..100_000, 0u64..100_000, 0u64..1_000_000_000),
+        timing in (0.0f64..5_000.0, 0.0f64..1.0),
+        disk in proptest::collection::vec(0.0f64..1.0, 1..6),
+        cpu in proptest::collection::vec(0.0f64..100.0, 1..6),
+        tuples in 0u64..10_000_000,
+    ) {
+        let (id, pages, msgs, bytes) = counters;
+        let (response, link) = timing;
+        let f = Frame::Result(ResultRecord {
+            id,
+            response_secs: response,
+            pages_sent: pages,
+            control_msgs: msgs,
+            bytes_sent: bytes,
+            link_utilization: link,
+            disk_utilization: disk,
+            cpu_secs: cpu,
+            result_tuples: tuples,
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn error_frames_round_trip(
+        id_code in (0u64..1000, 0u64..6),
+        retry in 0u64..10_000,
+        with_retry in proptest::bool::ANY,
+        msg_bytes in proptest::collection::vec(32u8..127, 0..60),
+    ) {
+        let (id, code) = id_code;
+        let f = Frame::Error(ErrorFrame {
+            id,
+            code: error_code_from(code),
+            message: String::from_utf8(msg_bytes).unwrap(),
+            retry_after_ms: with_retry.then_some(retry),
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn stats_frames_round_trip(
+        outcomes in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        per_policy in proptest::collection::vec(0u64..1_000_000, 3..4),
+        pcts in (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..10_000.0),
+        wire in (0u64..u32::MAX as u64, 0u64..u32::MAX as u64, 0u64..(1u64 << 53)),
+    ) {
+        let (served, rejected, errors) = outcomes;
+        let (p50, p95, p99) = pcts;
+        let (pages, msgs, bytes) = wire;
+        let f = Frame::Stats(StatsSnapshot {
+            queries_served: served,
+            rejected,
+            errors,
+            per_policy: [per_policy[0], per_policy[1], per_policy[2]],
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            wire: LinkStats {
+                data_pages_sent: pages,
+                control_msgs_sent: msgs,
+                bytes_sent: bytes,
+            },
+        });
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn control_frames_round_trip(which in proptest::bool::ANY) {
+        let f = if which { Frame::StatsRequest } else { Frame::Bye };
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    /// Any truncation of a valid frame decodes to a typed error (or, for
+    /// header-only prefixes, reports Truncated) — never panics, never
+    /// succeeds.
+    #[test]
+    fn truncations_never_panic_or_succeed(
+        keep_fraction in 0.0f64..1.0,
+        name in proptest::collection::vec(32u8..127, 0..30),
+    ) {
+        let full = Frame::Hello(Hello {
+            client: String::from_utf8(name).unwrap(),
+        })
+        .encode();
+        let keep = ((full.len() as f64) * keep_fraction) as usize;
+        if keep < full.len() {
+            match Frame::decode(&full[..keep]) {
+                Err(WireError::Truncated { expected, got }) => {
+                    prop_assert_eq!(got, keep.max(HEADER_LEN.min(keep)));
+                    prop_assert!(expected > got);
+                }
+                Err(WireError::Payload(_)) => {
+                    // A truncated JSON document is also an acceptable
+                    // typed failure if the header happened to survive.
+                    prop_assert!(keep >= HEADER_LEN);
+                }
+                other => prop_assert!(false, "truncated decode must fail typed: {other:?}"),
+            }
+        }
+    }
+
+    /// Single-byte corruptions of a valid frame either still decode (the
+    /// byte landed in a string) or produce a typed error — never a panic.
+    #[test]
+    fn single_byte_corruption_is_total(
+        pos_seed in 0u64..u64::MAX,
+        xor in 1u8..=255,
+    ) {
+        let full = Frame::Error(ErrorFrame {
+            id: 3,
+            code: ErrorCode::Saturated,
+            message: "queue full".to_string(),
+            retry_after_ms: Some(50),
+        })
+        .encode();
+        let mut corrupt = full.clone();
+        let pos = (pos_seed % full.len() as u64) as usize;
+        corrupt[pos] ^= xor;
+        let _ = Frame::decode(&corrupt); // must not panic
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let _ = Frame::decode(&bytes);
+        let _ = decode_header(&bytes);
+    }
+
+    /// Oversized declared lengths are rejected from the header alone —
+    /// no allocation of attacker-controlled size happens.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u32..u32::MAX - MAX_PAYLOAD) {
+        let mut frame = Frame::Bye.encode();
+        frame[8..12].copy_from_slice(&(MAX_PAYLOAD + extra).to_be_bytes());
+        prop_assert!(matches!(
+            Frame::decode(&frame),
+            Err(WireError::Oversized(n)) if n == MAX_PAYLOAD + extra
+        ));
+    }
+
+    /// Unknown versions and kinds report the offending value.
+    #[test]
+    fn bad_version_and_kind_are_typed(version in 2u16..u16::MAX, kind in 9u8..=255) {
+        let mut bad_version = Frame::Bye.encode();
+        bad_version[4..6].copy_from_slice(&version.to_be_bytes());
+        prop_assert!(matches!(
+            Frame::decode(&bad_version),
+            Err(WireError::BadVersion(v)) if v == version
+        ));
+        let mut bad_kind = Frame::Bye.encode();
+        bad_kind[6] = kind;
+        prop_assert!(matches!(
+            Frame::decode(&bad_kind),
+            Err(WireError::UnknownKind(k)) if k == kind
+        ));
+    }
+
+    /// Valid header + garbage JSON payload is a typed payload error.
+    #[test]
+    fn garbage_payloads_are_typed(payload in proptest::collection::vec(0u8..=255, 1..50)) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"CSQP");
+        frame.extend_from_slice(&1u16.to_be_bytes());
+        frame.push(8); // Bye expects an object payload
+        frame.push(0);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        // Either it parsed into some JSON document (Bye ignores the
+        // payload) or it is a typed payload error.
+        match Frame::decode(&frame) {
+            Ok(Frame::Bye) => {}
+            Err(WireError::Payload(_)) => {}
+            other => prop_assert!(false, "expected Bye or Payload error, got {other:?}"),
+        }
+    }
+}

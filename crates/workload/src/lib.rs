@@ -19,6 +19,10 @@
 use csqp_catalog::{Catalog, JoinEdge, QuerySpec, RelId, Relation, SiteId};
 use csqp_simkernel::rng::SimRng;
 
+pub mod spec;
+
+pub use spec::WorkloadSpec;
+
 /// Moderate selectivity: |A ⋈ B| = |A| = |B| for 10k-tuple relations.
 pub const MODERATE_SEL: f64 = 1e-4;
 

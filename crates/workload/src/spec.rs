@@ -1,0 +1,258 @@
+//! Declarative, serializable workload specifications.
+//!
+//! A [`WorkloadSpec`] names one of the benchmark query shapes of §3.3 (and
+//! the extensions) by its parameters instead of by a materialized
+//! [`QuerySpec`]. It round-trips through JSON, which is what the serving
+//! layer's QUERY frame carries on the wire: the client declares *what* to
+//! run, the server materializes the query against its own catalog.
+//!
+//! Validation happens at decode time ([`WorkloadSpec::from_json`] returns
+//! typed errors for out-of-range parameters) so that a server can never be
+//! panicked by a malformed or hostile frame — [`WorkloadSpec::build`] on a
+//! decoded spec is total.
+
+use csqp_catalog::QuerySpec;
+use csqp_json::{obj, Json, JsonError};
+
+use crate::{chain_query, spj_query, star_query};
+
+/// The largest relation count a spec may request. Matches the `RelSet`
+/// bitset limit (64) that caps every query in the workspace.
+pub const MAX_RELATIONS: u32 = 64;
+
+/// A benchmark query shape, by parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// An `n`-way chain join (§3.3) with the given per-edge selectivity.
+    Chain {
+        /// Number of relations (≥ 1).
+        n: u32,
+        /// Per-edge join selectivity in `(0, 1]`.
+        selectivity: f64,
+    },
+    /// An `n`-way star join around hub relation 0.
+    Star {
+        /// Number of relations (≥ 2).
+        n: u32,
+        /// Per-edge join selectivity in `(0, 1]`.
+        selectivity: f64,
+    },
+    /// A select-project-join chain: a chain query with a selection of the
+    /// given selectivity on every `k`-th relation (§2.1).
+    Spj {
+        /// Number of relations (≥ 1).
+        n: u32,
+        /// Per-edge join selectivity in `(0, 1]`.
+        join_sel: f64,
+        /// Selection selectivity in `(0, 1]`.
+        selection: f64,
+        /// A selection lands on relations `0, k, 2k, …` (≥ 1).
+        every_k: u32,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialize the query. Total on validated specs (anything decoded
+    /// by [`WorkloadSpec::from_json`] or accepted by
+    /// [`WorkloadSpec::validate`]).
+    pub fn build(&self) -> QuerySpec {
+        match *self {
+            WorkloadSpec::Chain { n, selectivity } => chain_query(n, selectivity),
+            WorkloadSpec::Star { n, selectivity } => star_query(n, selectivity),
+            WorkloadSpec::Spj {
+                n,
+                join_sel,
+                selection,
+                every_k,
+            } => spj_query(n, join_sel, selection, every_k),
+        }
+    }
+
+    /// Number of relations the materialized query will have.
+    pub fn num_relations(&self) -> u32 {
+        match *self {
+            WorkloadSpec::Chain { n, .. }
+            | WorkloadSpec::Star { n, .. }
+            | WorkloadSpec::Spj { n, .. } => n,
+        }
+    }
+
+    /// Check every parameter range [`build`](WorkloadSpec::build) relies
+    /// on; the error names the offending field.
+    pub fn validate(&self) -> Result<(), JsonError> {
+        let sel_ok = |s: f64| s > 0.0 && s <= 1.0;
+        let check = |ok: bool, path: &str, msg: &str| -> Result<(), JsonError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(JsonError::decode(path, msg))
+            }
+        };
+        check(
+            self.num_relations() >= 1 && self.num_relations() <= MAX_RELATIONS,
+            "n",
+            "relation count must be in 1..=64",
+        )?;
+        match *self {
+            WorkloadSpec::Chain { selectivity, .. } => check(
+                sel_ok(selectivity),
+                "selectivity",
+                "selectivity must be in (0, 1]",
+            ),
+            WorkloadSpec::Star { n, selectivity } => {
+                check(n >= 2, "n", "a star join needs at least 2 relations")?;
+                check(
+                    sel_ok(selectivity),
+                    "selectivity",
+                    "selectivity must be in (0, 1]",
+                )
+            }
+            WorkloadSpec::Spj {
+                join_sel,
+                selection,
+                every_k,
+                ..
+            } => {
+                check(sel_ok(join_sel), "join_sel", "join_sel must be in (0, 1]")?;
+                check(
+                    sel_ok(selection),
+                    "selection",
+                    "selection must be in (0, 1]",
+                )?;
+                check(every_k >= 1, "every_k", "every_k must be at least 1")
+            }
+        }
+    }
+
+    /// Serialize as a JSON value (the QUERY frame embeds this).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            WorkloadSpec::Chain { n, selectivity } => obj(vec![
+                ("kind", Json::from("chain")),
+                ("n", Json::from(n)),
+                ("selectivity", Json::from(selectivity)),
+            ]),
+            WorkloadSpec::Star { n, selectivity } => obj(vec![
+                ("kind", Json::from("star")),
+                ("n", Json::from(n)),
+                ("selectivity", Json::from(selectivity)),
+            ]),
+            WorkloadSpec::Spj {
+                n,
+                join_sel,
+                selection,
+                every_k,
+            } => obj(vec![
+                ("kind", Json::from("spj")),
+                ("n", Json::from(n)),
+                ("join_sel", Json::from(join_sel)),
+                ("selection", Json::from(selection)),
+                ("every_k", Json::from(every_k)),
+            ]),
+        }
+    }
+
+    /// Decode and validate a spec serialized by
+    /// [`WorkloadSpec::to_json`].
+    pub fn from_json(doc: &Json) -> Result<WorkloadSpec, JsonError> {
+        let u32_of = |k: &str| -> Result<u32, JsonError> {
+            doc.field(k)?
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| JsonError::decode(k, "expected a non-negative integer"))
+        };
+        let f64_of = |k: &str| -> Result<f64, JsonError> {
+            doc.field(k)?
+                .as_f64()
+                .ok_or_else(|| JsonError::decode(k, "expected a number"))
+        };
+        let spec = match doc.field("kind")?.as_str() {
+            Some("chain") => WorkloadSpec::Chain {
+                n: u32_of("n")?,
+                selectivity: f64_of("selectivity")?,
+            },
+            Some("star") => WorkloadSpec::Star {
+                n: u32_of("n")?,
+                selectivity: f64_of("selectivity")?,
+            },
+            Some("spj") => WorkloadSpec::Spj {
+                n: u32_of("n")?,
+                join_sel: f64_of("join_sel")?,
+                selection: f64_of("selection")?,
+                every_k: u32_of("every_k")?,
+            },
+            _ => {
+                return Err(JsonError::decode(
+                    "kind",
+                    "expected \"chain\", \"star\" or \"spj\"",
+                ))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Canonical string form — a stable cache/placement key.
+    pub fn canonical(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_kind() {
+        for spec in [
+            WorkloadSpec::Chain {
+                n: 10,
+                selectivity: 1e-4,
+            },
+            WorkloadSpec::Star {
+                n: 5,
+                selectivity: 2e-5,
+            },
+            WorkloadSpec::Spj {
+                n: 6,
+                join_sel: 1e-4,
+                selection: 0.2,
+                every_k: 2,
+            },
+        ] {
+            let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back);
+            let q = back.build();
+            assert_eq!(q.num_relations() as u32, spec.num_relations());
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        let bad = [
+            r#"{"kind":"chain","n":0,"selectivity":1e-4}"#,
+            r#"{"kind":"chain","n":65,"selectivity":1e-4}"#,
+            r#"{"kind":"chain","n":2,"selectivity":0}"#,
+            r#"{"kind":"chain","n":2,"selectivity":1.5}"#,
+            r#"{"kind":"star","n":1,"selectivity":1e-4}"#,
+            r#"{"kind":"spj","n":4,"join_sel":1e-4,"selection":0.2,"every_k":0}"#,
+            r#"{"kind":"spj","n":4,"join_sel":1e-4,"selection":-0.1,"every_k":2}"#,
+            r#"{"kind":"nope","n":4}"#,
+            r#"{"n":4}"#,
+        ];
+        for text in bad {
+            let doc = Json::parse(text).unwrap();
+            assert!(WorkloadSpec::from_json(&doc).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable() {
+        let spec = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: 1e-4,
+        };
+        assert_eq!(spec.canonical(), spec.canonical());
+        assert!(spec.canonical().contains("\"chain\""));
+    }
+}

@@ -20,4 +20,10 @@ echo "==> csqp-check: example workloads (more servers, alternate seeds)"
 cargo run --release --bin csqp-check -- --plans 250 --servers 4 --seed 17
 cargo run --release --bin csqp-check -- --plans 250 --servers 8 --seed 42
 
+echo "==> serve-smoke: 2-second loopback load against csqp-serve"
+cargo run --release --bin csqp-load -- --serve --clients 8 --seconds 2 --fail-on-rejects
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "All checks passed."

@@ -1,0 +1,169 @@
+//! `csqp-load` — drive a seeded workload mix against a `csqp-serve`
+//! instance and report throughput and latency percentiles.
+//!
+//! ```text
+//! cargo run --release --bin csqp-load -- [--addr HOST:PORT] [--clients N]
+//!     [--seconds T | --queries N] [--seed S] [--policy DS|QS|HY|mix]
+//!     [--objective communication|response-time|total-cost]
+//!     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected]
+//!     [--serve] [--fail-on-rejects]
+//! ```
+//!
+//! `--serve` spins up an in-process server on a free port and loads it —
+//! the one-command loopback smoke CI runs. `--queries N` issues exactly N
+//! queries per client (deterministic runs: the printed digest is
+//! identical for identical seeds). `--rate` switches from closed-loop to
+//! paced open-loop arrivals.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csqp::core::Policy;
+use csqp::cost::Objective;
+use csqp::serve::proto::OptimizerMode;
+use csqp::serve::{run_load, LoadConfig, Server, ServerConfig};
+
+struct Args {
+    load: LoadConfig,
+    serve_inline: bool,
+    fail_on_rejects: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        load: LoadConfig::default(),
+        serve_inline: false,
+        fail_on_rejects: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut raw = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match flag.as_str() {
+            "--addr" => args.load.addr = raw("--addr"),
+            "--clients" => args.load.clients = num(&raw("--clients"), "--clients") as usize,
+            "--seconds" => {
+                let v = raw("--seconds")
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| die("--seconds needs a numeric argument".to_string()));
+                args.load.duration = Duration::from_secs_f64(v);
+            }
+            "--queries" => args.load.queries_per_client = Some(num(&raw("--queries"), "--queries")),
+            "--seed" => args.load.seed = num(&raw("--seed"), "--seed"),
+            "--policy" => {
+                args.load.policy = match raw("--policy").as_str() {
+                    "DS" => Some(Policy::DataShipping),
+                    "QS" => Some(Policy::QueryShipping),
+                    "HY" => Some(Policy::HybridShipping),
+                    "mix" => None,
+                    other => die(format!("unknown policy {other} (want DS|QS|HY|mix)")),
+                }
+            }
+            "--objective" => {
+                args.load.objective = match raw("--objective").as_str() {
+                    "communication" => Objective::Communication,
+                    "response-time" => Objective::ResponseTime,
+                    "total-cost" => Objective::TotalCost,
+                    other => die(format!("unknown objective {other}")),
+                }
+            }
+            "--optimizer" => {
+                args.load.optimizer = match raw("--optimizer").as_str() {
+                    "two-phase" => OptimizerMode::TwoPhase,
+                    "two-step" => OptimizerMode::TwoStep,
+                    other => die(format!(
+                        "unknown optimizer {other} (want two-phase|two-step)"
+                    )),
+                }
+            }
+            "--rate" => {
+                let v = raw("--rate")
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| die("--rate needs a numeric argument".to_string()));
+                args.load.rate = Some(v);
+            }
+            "--retry-rejected" => args.load.retry_rejected = true,
+            "--serve" => args.serve_inline = true,
+            "--fail-on-rejects" => args.fail_on_rejects = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: csqp-load [--addr HOST:PORT] [--clients N] [--seconds T | --queries N] \
+                     [--seed S] [--policy DS|QS|HY|mix] [--objective O] \
+                     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected] \
+                     [--serve] [--fail-on-rejects]"
+                );
+                std::process::exit(0);
+            }
+            other => die(format!("unknown flag {other}")),
+        }
+    }
+    if args.load.clients == 0 {
+        die("--clients must be at least 1".to_string());
+    }
+    args
+}
+
+fn num(v: &str, name: &str) -> u64 {
+    v.parse::<u64>()
+        .unwrap_or_else(|_| die(format!("{name} needs a numeric argument")))
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("csqp-load: {msg}");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+
+    // In-process loopback server for one-command smokes.
+    let inline = if args.serve_inline {
+        let server = match Server::bind(ServerConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("csqp-load: inline server bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let handle = match server.spawn() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("csqp-load: inline server spawn failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.load.addr = handle.addr().to_string();
+        println!("csqp-load: inline server on {}", handle.addr());
+        Some(handle)
+    } else {
+        None
+    };
+
+    let report = match run_load(&args.load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("csqp-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.render());
+
+    if let Some(handle) = inline {
+        handle.shutdown();
+    }
+
+    if report.errors > 0 {
+        eprintln!("csqp-load: {} queries failed", report.errors);
+        return ExitCode::FAILURE;
+    }
+    if args.fail_on_rejects && report.rejected > 0 {
+        eprintln!(
+            "csqp-load: {} queries rejected by admission control",
+            report.rejected
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

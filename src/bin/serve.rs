@@ -1,0 +1,126 @@
+//! `csqp-serve` — host the catalog, optimizers, and simulated engine as a
+//! TCP query service.
+//!
+//! ```text
+//! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
+//!     [--workers N] [--queue N] [--placement-seed S] [--seconds T]
+//! ```
+//!
+//! Without `--seconds` the server runs until killed, printing a metrics
+//! line every 10 seconds; with it, the server shuts down gracefully after
+//! `T` seconds and prints the final STATS snapshot (the mode the CI smoke
+//! test uses).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csqp::serve::{Server, ServerConfig};
+
+struct Args {
+    config: ServerConfig,
+    seconds: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: ServerConfig::default(),
+        seconds: None,
+    };
+    args.config.addr = "127.0.0.1:7878".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut raw = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match flag.as_str() {
+            "--addr" => args.config.addr = raw("--addr"),
+            "--servers" => args.config.num_servers = num(&raw("--servers"), "--servers") as u32,
+            "--workers" => args.config.workers = num(&raw("--workers"), "--workers") as usize,
+            "--queue" => args.config.queue_depth = num(&raw("--queue"), "--queue") as usize,
+            "--placement-seed" => {
+                args.config.placement_seed = num(&raw("--placement-seed"), "--placement-seed")
+            }
+            "--seconds" => {
+                let v = raw("--seconds");
+                args.seconds = Some(
+                    v.parse::<f64>()
+                        .unwrap_or_else(|_| die("--seconds needs a numeric argument".to_string())),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
+                     [--queue N] [--placement-seed S] [--seconds T]"
+                );
+                std::process::exit(0);
+            }
+            other => die(format!("unknown flag {other}")),
+        }
+    }
+    if args.config.num_servers == 0 {
+        die("--servers must be at least 1".to_string());
+    }
+    if args.config.workers == 0 {
+        die("--workers must be at least 1".to_string());
+    }
+    args
+}
+
+fn num(v: &str, name: &str) -> u64 {
+    v.parse::<u64>()
+        .unwrap_or_else(|_| die(format!("{name} needs a numeric argument")))
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("csqp-serve: {msg}");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let server = match Server::bind(args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("csqp-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match server.spawn() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("csqp-serve: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("csqp-serve: listening on {}", handle.addr());
+
+    match args.seconds {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            let snap = handle.metrics().snapshot();
+            handle.shutdown();
+            println!(
+                "csqp-serve: served {} queries ({} rejected, {} errors), \
+                 p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms, {} pages / {} bytes shipped",
+                snap.queries_served,
+                snap.rejected,
+                snap.errors,
+                snap.p50_ms,
+                snap.p95_ms,
+                snap.p99_ms,
+                snap.wire.data_pages_sent,
+                snap.wire.bytes_sent
+            );
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(10));
+            let snap = handle.metrics().snapshot();
+            println!(
+                "csqp-serve: {} served, {} rejected, {} errors, p50 {:.1} ms, p99 {:.1} ms",
+                snap.queries_served, snap.rejected, snap.errors, snap.p50_ms, snap.p99_ms
+            );
+        },
+    }
+    ExitCode::SUCCESS
+}

@@ -46,6 +46,7 @@ pub use csqp_experiments as experiments;
 pub use csqp_json as json;
 pub use csqp_net as net;
 pub use csqp_optimizer as optimizer;
+pub use csqp_serve as serve;
 pub use csqp_simkernel as simkernel;
 pub use csqp_verify as verify;
 pub use csqp_workload as workload;
