@@ -20,7 +20,10 @@
 //!   ("the logical annotations are bound to actual sites in the network",
 //!   §2.1);
 //! * [`builder`] — convenience constructors (left-deep, balanced-bushy,
-//!   explicit join trees) used by the optimizer and the tests.
+//!   explicit join trees) used by the optimizer and the tests;
+//! * [`cancel`] — cooperative cancellation tokens with optional deadlines,
+//!   probed by the optimizer and runner loops so the serving stack can
+//!   abandon dead work promptly.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -28,6 +31,7 @@
 pub mod annotation;
 pub mod bind;
 pub mod builder;
+pub mod cancel;
 pub mod diag;
 pub mod plan;
 pub mod policy;
@@ -36,6 +40,7 @@ pub mod wellformed;
 pub use annotation::Annotation;
 pub use bind::{bind, BindContext, BindError, BoundPlan};
 pub use builder::JoinTree;
+pub use cancel::{CancelToken, StopReason};
 pub use diag::{DiagCode, Diagnostic};
 pub use plan::{LogicalOp, NodeId, Plan};
 pub use policy::Policy;

@@ -254,6 +254,32 @@ impl Plan {
     /// * select nodes sit over the scan of their own relation;
     /// * join children cover disjoint relation sets.
     pub fn validate_structure(&self, query: &QuerySpec) -> Result<(), Diagnostic> {
+        // Out-of-arena references would panic the arena walks below;
+        // catch them on the raw node vector before dereferencing any id.
+        if self.root.index() >= self.nodes.len() {
+            return Err(Diagnostic::new(
+                DiagCode::DanglingChild,
+                format!(
+                    "root id {} is outside the {}-node arena",
+                    self.root.0,
+                    self.nodes.len()
+                ),
+            ));
+        }
+        for (idx, n) in self.nodes.iter().enumerate() {
+            for c in n.child_ids() {
+                if c.index() >= self.nodes.len() {
+                    return Err(Diagnostic::new(
+                        DiagCode::DanglingChild,
+                        format!(
+                            "node {idx} references child {} outside the {}-node arena",
+                            c.0,
+                            self.nodes.len()
+                        ),
+                    ));
+                }
+            }
+        }
         let root = self.node(self.root);
         if root.op != LogicalOp::Display {
             return Err(Diagnostic::new(

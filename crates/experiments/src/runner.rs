@@ -13,6 +13,7 @@
 //! frames instead of dying.
 
 use csqp_catalog::{Catalog, QuerySpec, SiteId, SystemConfig};
+use csqp_core::cancel::{CancelToken, StopReason};
 use csqp_core::{bind, BindContext, BindError, Diagnostic, Plan, Policy};
 use csqp_cost::{CostModel, Objective};
 use csqp_engine::{ExecutionBuilder, ExecutionMetrics, ServerLoad};
@@ -27,6 +28,9 @@ pub enum RunError {
     Structure(Diagnostic),
     /// Site annotations could not be resolved against the catalog.
     Bind(BindError),
+    /// A cancel token stopped the run between phases (client disconnect
+    /// or expired deadline).
+    Interrupted(StopReason),
 }
 
 impl std::fmt::Display for RunError {
@@ -34,6 +38,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Structure(d) => write!(f, "invalid plan structure: {d}"),
             RunError::Bind(e) => write!(f, "plan does not bind: {e}"),
+            RunError::Interrupted(r) => write!(f, "run interrupted: {r}"),
         }
     }
 }
@@ -81,8 +86,39 @@ pub fn execute_plan(
     loads: &[ServerLoad],
     seed: u64,
 ) -> Result<ExecutionMetrics, RunError> {
+    execute_plan_guarded(
+        plan,
+        query,
+        catalog,
+        sys,
+        loads,
+        seed,
+        &CancelToken::inert(),
+    )
+}
+
+/// [`execute_plan`] with a cancel probe between the simulated-engine
+/// phases (validate → bind → execute), so a serving worker abandons dead
+/// work at the next phase boundary instead of simulating a plan nobody
+/// will read.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_guarded(
+    plan: &Plan,
+    query: &QuerySpec,
+    catalog: &Catalog,
+    sys: &SystemConfig,
+    loads: &[ServerLoad],
+    seed: u64,
+    guard: &CancelToken,
+) -> Result<ExecutionMetrics, RunError> {
+    if let Some(reason) = guard.stop_reason() {
+        return Err(RunError::Interrupted(reason));
+    }
     plan.validate_structure(query)
         .map_err(RunError::Structure)?;
+    if let Some(reason) = guard.stop_reason() {
+        return Err(RunError::Interrupted(reason));
+    }
     let bound = bind(
         plan,
         BindContext {
@@ -91,6 +127,9 @@ pub fn execute_plan(
         },
     )
     .map_err(RunError::Bind)?;
+    if let Some(reason) = guard.stop_reason() {
+        return Err(RunError::Interrupted(reason));
+    }
     let mut builder = ExecutionBuilder::new(query, catalog, sys).with_seed(seed);
     for l in loads {
         builder = builder.with_load(l.site, l.rate_per_sec);

@@ -11,9 +11,16 @@
 //! service time is `bytes × 8 / bandwidth`. The CPU costs of sending and
 //! receiving are charged by the engine on the sender's and receiver's CPU
 //! queues (they are site costs, not wire costs); [`MsgCost`] computes them.
+//!
+//! The [`chaos`] module is the other face of the same concern: where
+//! [`Link`] models the wire's *cost*, [`chaos::FaultPlan`] models its
+//! *failures* — deterministic, seeded fault schedules the serving stack's
+//! chaos harness injects at the client edge.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
 
 use csqp_catalog::SystemConfig;
 use csqp_simkernel::{FifoServer, SimDuration, SimTime};

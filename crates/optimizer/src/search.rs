@@ -11,6 +11,7 @@
 //! improvement. The parameters are configurable ([`OptConfig`]) with an
 //! IK90-flavoured default and a `fast` preset for tests and benches.
 
+use csqp_core::cancel::{CancelToken, StopReason};
 use csqp_core::{Plan, Policy};
 use csqp_cost::{CostModel, Objective};
 use csqp_simkernel::rng::SimRng;
@@ -168,14 +169,33 @@ impl<'a> Optimizer<'a> {
 
     /// Run two-phase optimization (II then SA).
     pub fn optimize(&self, query: &csqp_catalog::QuerySpec, rng: &mut SimRng) -> OptResult {
+        let inert = CancelToken::inert();
+        match self.optimize_guarded(query, rng, &inert) {
+            Ok(r) => r,
+            // An inert token never reports a stop reason.
+            Err(_) => unreachable!("inert cancel token cannot stop the search"),
+        }
+    }
+
+    /// Run two-phase optimization (II then SA), probing `guard` between
+    /// search steps. Returns `Err` the moment the token reports a stop
+    /// reason — the serving layer uses this to abandon dead work (a
+    /// vanished client, an expired deadline) within a few cost-model
+    /// evaluations instead of finishing the whole search.
+    pub fn optimize_guarded(
+        &self,
+        query: &csqp_catalog::QuerySpec,
+        rng: &mut SimRng,
+        guard: &CancelToken,
+    ) -> Result<OptResult, StopReason> {
         let mut evals = 0;
-        let (plan, cost) = self.iterative_improvement(query, rng, &mut evals);
-        let (plan, cost) = self.simulated_annealing(plan, cost, rng, &mut evals);
-        OptResult {
+        let (plan, cost) = self.iterative_improvement(query, rng, &mut evals, guard)?;
+        let (plan, cost) = self.simulated_annealing(plan, cost, rng, &mut evals, guard)?;
+        Ok(OptResult {
             plan,
             cost,
             evaluations: evals,
-        }
+        })
     }
 
     /// Run only the site-selection half of the search (annotation moves)
@@ -185,20 +205,39 @@ impl<'a> Optimizer<'a> {
     /// # Panics
     /// Panics when `start` does not bind: 2-step hands this function the
     /// compile-time plan, which bound when it was produced.
-    #[allow(clippy::expect_used)]
     pub fn site_selection(&self, start: Plan, rng: &mut SimRng) -> OptResult {
+        let inert = CancelToken::inert();
+        match self.site_selection_guarded(start, rng, &inert) {
+            Ok(r) => r,
+            // An inert token never reports a stop reason.
+            Err(_) => unreachable!("inert cancel token cannot stop the search"),
+        }
+    }
+
+    /// Cancellable [`Optimizer::site_selection`]: probes `guard` between
+    /// annotation moves and stops with the token's reason.
+    ///
+    /// # Panics
+    /// Panics when `start` does not bind, exactly like `site_selection`.
+    #[allow(clippy::expect_used)]
+    pub fn site_selection_guarded(
+        &self,
+        start: Plan,
+        rng: &mut SimRng,
+        guard: &CancelToken,
+    ) -> Result<OptResult, StopReason> {
         let mut evals = 0;
         let cost = self
             .eval(&start, &mut evals)
             .expect("starting plan must be bindable");
         let set = MoveSet::site_selection_only();
-        let (plan, cost) = self.descend(start, cost, set, rng, &mut evals);
-        let (plan, cost) = self.anneal(plan, cost, set, rng, &mut evals);
-        OptResult {
+        let (plan, cost) = self.descend(start, cost, set, rng, &mut evals, guard)?;
+        let (plan, cost) = self.anneal(plan, cost, set, rng, &mut evals, guard)?;
+        Ok(OptResult {
             plan,
             cost,
             evaluations: evals,
-        }
+        })
     }
 
     /// Phase 1: iterative improvement over random restarts.
@@ -217,7 +256,8 @@ impl<'a> Optimizer<'a> {
         query: &csqp_catalog::QuerySpec,
         rng: &mut SimRng,
         evals: &mut u64,
-    ) -> (Plan, f64) {
+        guard: &CancelToken,
+    ) -> Result<(Plan, f64), StopReason> {
         let set = self.move_set();
         let start_spaces: &[Policy] = match self.policy {
             Policy::HybridShipping => &[
@@ -240,6 +280,11 @@ impl<'a> Optimizer<'a> {
         };
         let mut best: Option<(Plan, f64)> = None;
         for i in 0..starts {
+            if let Some(reason) = guard.stop_reason() {
+                // Stop between restarts only if nothing usable exists yet;
+                // otherwise the caller still prefers a stop to a stale plan.
+                return Err(reason);
+            }
             let space = start_spaces[i % start_spaces.len()];
             let start = random_plan(query, space, rng);
             let Some(mut cost) = self.eval(&start, evals) else {
@@ -250,17 +295,18 @@ impl<'a> Optimizer<'a> {
                 // First converge inside the pure space (cheap, small
                 // neighborhood), then refine with the full hybrid moves.
                 let pure_set = MoveSet::for_policy(space);
-                (plan, cost) = self.descend_in(space, plan, cost, pure_set, rng, evals);
+                (plan, cost) = self.descend_in(space, plan, cost, pure_set, rng, evals, guard)?;
             }
-            let (plan, cost) = self.descend(plan, cost, set, rng, evals);
+            let (plan, cost) = self.descend(plan, cost, set, rng, evals, guard)?;
             if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((plan, cost));
             }
         }
-        best.expect("at least one random start must bind")
+        Ok(best.expect("at least one random start must bind"))
     }
 
     /// Greedy descent to a local minimum (in this optimizer's policy).
+    #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
         plan: Plan,
@@ -268,8 +314,9 @@ impl<'a> Optimizer<'a> {
         set: MoveSet,
         rng: &mut SimRng,
         evals: &mut u64,
-    ) -> (Plan, f64) {
-        self.descend_in(self.policy, plan, cost, set, rng, evals)
+        guard: &CancelToken,
+    ) -> Result<(Plan, f64), StopReason> {
+        self.descend_in(self.policy, plan, cost, set, rng, evals, guard)
     }
 
     /// Greedy descent restricted to `space`'s moves.
@@ -279,6 +326,7 @@ impl<'a> Optimizer<'a> {
     /// fixed small patience would declare a "local minimum" long before
     /// the neighborhood was sampled (IK90 define a local minimum by the
     /// neighborhood, not by a fixed number of draws).
+    #[allow(clippy::too_many_arguments)]
     fn descend_in(
         &self,
         space: Policy,
@@ -287,13 +335,17 @@ impl<'a> Optimizer<'a> {
         set: MoveSet,
         rng: &mut SimRng,
         evals: &mut u64,
-    ) -> (Plan, f64) {
+        guard: &CancelToken,
+    ) -> Result<(Plan, f64), StopReason> {
         let mut stuck = 0;
         let mut patience = self
             .config
             .ii_patience
             .max(3 * crate::moves::applicable_moves(&plan, space, set).len());
         while stuck < patience {
+            if let Some(reason) = guard.stop_reason() {
+                return Err(reason);
+            }
             match random_neighbor(&plan, self.model.query(), space, set, rng) {
                 Some((cand, _)) => match self.eval(&cand, evals) {
                     Some(c) if c < cost => {
@@ -310,7 +362,7 @@ impl<'a> Optimizer<'a> {
                 None => stuck += 1,
             }
         }
-        (plan, cost)
+        Ok((plan, cost))
     }
 
     /// Phase 2: simulated annealing from the II-best plan.
@@ -320,10 +372,12 @@ impl<'a> Optimizer<'a> {
         cost: f64,
         rng: &mut SimRng,
         evals: &mut u64,
-    ) -> (Plan, f64) {
-        self.anneal(plan, cost, self.move_set(), rng, evals)
+        guard: &CancelToken,
+    ) -> Result<(Plan, f64), StopReason> {
+        self.anneal(plan, cost, self.move_set(), rng, evals, guard)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn anneal(
         &self,
         start: Plan,
@@ -331,7 +385,8 @@ impl<'a> Optimizer<'a> {
         set: MoveSet,
         rng: &mut SimRng,
         evals: &mut u64,
-    ) -> (Plan, f64) {
+        guard: &CancelToken,
+    ) -> Result<(Plan, f64), StopReason> {
         let joins = start.join_nodes().len().max(1);
         let moves_per_stage = self.config.sa_moves_per_join * joins;
         let t0 = self.config.sa_t0_factor * start_cost.max(f64::MIN_POSITIVE);
@@ -345,6 +400,9 @@ impl<'a> Optimizer<'a> {
         {
             let mut improved = false;
             for _ in 0..moves_per_stage {
+                if let Some(reason) = guard.stop_reason() {
+                    return Err(reason);
+                }
                 let Some((cand, _)) =
                     random_neighbor(&cur, self.model.query(), self.policy, set, rng)
                 else {
@@ -371,7 +429,7 @@ impl<'a> Optimizer<'a> {
             }
             t *= self.config.sa_alpha;
         }
-        (best, best_cost)
+        Ok((best, best_cost))
     }
 }
 
@@ -510,6 +568,65 @@ mod tests {
                 .collect()
         };
         assert_eq!(leaves(&start), leaves(&res.plan));
+    }
+
+    #[test]
+    fn cancelled_token_stops_search_immediately() {
+        let q = chain(4);
+        let cat = catalog(4, 2);
+        let cfg = SystemConfig::default();
+        let model = CostModel::new(&cfg, &cat, &q, SiteId::CLIENT);
+        let opt = Optimizer::new(
+            &model,
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            OptConfig::fast(),
+        );
+        let token = CancelToken::inert();
+        token.cancel();
+        let mut rng = SimRng::seed_from_u64(42);
+        let res = opt.optimize_guarded(&q, &mut rng, &token);
+        assert_eq!(res.err(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_stops_search_with_typed_reason() {
+        let q = chain(4);
+        let cat = catalog(4, 2);
+        let cfg = SystemConfig::default();
+        let model = CostModel::new(&cfg, &cat, &q, SiteId::CLIENT);
+        let opt = Optimizer::new(
+            &model,
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            OptConfig::fast(),
+        );
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let mut rng = SimRng::seed_from_u64(42);
+        let res = opt.optimize_guarded(&q, &mut rng, &token);
+        assert_eq!(res.err(), Some(StopReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn guarded_search_matches_unguarded_with_inert_token() {
+        let q = chain(4);
+        let cat = catalog(4, 2);
+        let cfg = SystemConfig::default();
+        let model = CostModel::new(&cfg, &cat, &q, SiteId::CLIENT);
+        let opt = Optimizer::new(
+            &model,
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            OptConfig::fast(),
+        );
+        let a = opt.optimize(&q, &mut SimRng::seed_from_u64(7));
+        let token = CancelToken::inert();
+        let b = opt
+            .optimize_guarded(&q, &mut SimRng::seed_from_u64(7), &token)
+            .unwrap();
+        assert_eq!(a.plan.render_compact(), b.plan.render_compact());
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

@@ -139,6 +139,24 @@ impl TwoStepPlanner {
         let start = clamp_to_topology(compiled, query, runtime_catalog);
         opt.site_selection(start, rng).plan
     }
+
+    /// Cancellable [`TwoStepPlanner::site_select`]: probes `guard` between
+    /// annotation moves so the serving layer can abandon dead work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn site_select_guarded(
+        &self,
+        compiled: &Plan,
+        query: &QuerySpec,
+        sys: &SystemConfig,
+        runtime_catalog: &Catalog,
+        rng: &mut SimRng,
+        guard: &csqp_core::CancelToken,
+    ) -> Result<Plan, csqp_core::StopReason> {
+        let model = CostModel::new(sys, runtime_catalog, query, SiteId::CLIENT);
+        let opt = Optimizer::new(&model, self.policy, self.objective, self.config.clone());
+        let start = clamp_to_topology(compiled, query, runtime_catalog);
+        Ok(opt.site_selection_guarded(start, rng, guard)?.plan)
+    }
 }
 
 /// A compiled plan can reference placements that no longer exist; binding

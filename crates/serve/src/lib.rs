@@ -16,16 +16,21 @@
 //!   worker pool, and the deterministic [`server::QueryService`];
 //! - [`metrics`] — thread-safe counters behind the STATS frame;
 //! - [`load`] — the `csqp-load` client: concurrent seeded load with a
-//!   latency-percentile report.
+//!   latency-percentile report;
+//! - [`chaos`] — the seeded fault-injection soak harness behind
+//!   `csqp-load --chaos`, asserting the no-panic / no-leak /
+//!   conservation / same-seed-same-digest invariants.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 pub mod load;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use metrics::ServerMetrics;
 pub use proto::{Frame, OptimizerMode, QueryRequest, ResultRecord, WireError};

@@ -50,9 +50,17 @@ pub struct LoadConfig {
     /// Open-loop arrival rate per connection (queries/sec); `None` is
     /// closed-loop.
     pub rate: Option<f64>,
-    /// On a saturation reject, honor the retry-after hint and resend the
-    /// same query (otherwise count it and move on).
+    /// On a saturation reject, honor the retry-after hint — with capped
+    /// exponential backoff and seeded jitter — and resend the same query
+    /// (otherwise count it and move on).
     pub retry_rejected: bool,
+    /// Retry attempts per query before giving up on a saturated server.
+    pub max_retries: u32,
+    /// Upper bound on a single backoff sleep, in milliseconds; the
+    /// exponential doubling saturates here.
+    pub backoff_cap_ms: u64,
+    /// Per-query deadline forwarded to the server, in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -68,6 +76,9 @@ impl Default for LoadConfig {
             optimizer: OptimizerMode::TwoPhase,
             rate: None,
             retry_rejected: false,
+            max_retries: 8,
+            backoff_cap_ms: 1_000,
+            deadline_ms: None,
         }
     }
 }
@@ -81,6 +92,12 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Non-reject ERROR frames observed.
     pub errors: u64,
+    /// Queries resent after a saturation reject (each resend counts).
+    pub retries: u64,
+    /// Deadline-exceeded ERROR frames observed.
+    pub timed_out: u64,
+    /// RESULT frames served under a degraded (QS-fallback) policy.
+    pub degraded: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-observed median latency, ms.
@@ -102,10 +119,13 @@ impl LoadReport {
     /// Render the human report printed by `csqp-load`.
     pub fn render(&self) -> String {
         format!(
-            "queries   {}\nrejected  {}\nerrors    {}\nelapsed   {:.2}s\nthroughput {:.1} q/s\nlatency   p50 {:.1} ms   p95 {:.1} ms   p99 {:.1} ms\nper-policy DS {}  QS {}  HY {}\ndigest    {:016x}",
+            "queries   {}\nrejected  {}\nerrors    {}\nretries   {}\ntimed-out {}\ndegraded  {}\nelapsed   {:.2}s\nthroughput {:.1} q/s\nlatency   p50 {:.1} ms   p95 {:.1} ms   p99 {:.1} ms\nper-policy DS {}  QS {}  HY {}\ndigest    {:016x}",
             self.queries,
             self.rejected,
             self.errors,
+            self.retries,
+            self.timed_out,
+            self.degraded,
             self.elapsed.as_secs_f64(),
             self.throughput_qps,
             self.p50_ms,
@@ -176,13 +196,27 @@ pub fn nth_request(cfg: &LoadConfig, client: u64, index: u64) -> QueryRequest {
         optimizer: cfg.optimizer,
         seed,
         loads: vec![],
+        deadline_ms: cfg.deadline_ms,
     }
+}
+
+/// Backoff before retry `attempt` (0-based): the server's hint doubled
+/// per attempt, capped, plus seeded jitter of up to one hint interval so
+/// synchronized clients do not re-stampede the queue in lockstep.
+fn retry_backoff(hint_ms: u64, attempt: u32, cap_ms: u64, rng: &mut SimRng) -> Duration {
+    let base = hint_ms.max(1);
+    let doubled = base.saturating_mul(1u64 << attempt.min(20));
+    let jitter = rng.below((base + 1) as usize) as u64;
+    Duration::from_millis(doubled.min(cap_ms.max(base)) + jitter)
 }
 
 struct ClientTally {
     queries: u64,
     rejected: u64,
     errors: u64,
+    retries: u64,
+    timed_out: u64,
+    degraded: u64,
     latencies_us: Vec<u64>,
     digest: u64,
     per_policy: [u64; 3],
@@ -225,6 +259,9 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
         queries: 0,
         rejected: 0,
         errors: 0,
+        retries: 0,
+        timed_out: 0,
+        degraded: 0,
         latencies_us: Vec::new(),
         digest: 0,
         per_policy: [0; 3],
@@ -257,14 +294,27 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
         let policy = req.policy;
         let issued = Instant::now();
         let mut reply = roundtrip(&mut stream, &Frame::Query(req.clone()))?;
-        // Honor retry-after on saturation if asked to.
+        // Honor retry-after on saturation if asked to: back off by the
+        // server's hint, doubling per attempt up to the configured cap,
+        // with seeded jitter so the retry schedule stays deterministic
+        // per (seed, client, index) yet desynchronized across clients.
         if cfg.retry_rejected {
+            let mut retry_rng = SimRng::seed_from_u64(req.seed ^ 0x52_45_54_52_59); // "RETRY"
+            let mut attempt = 0u32;
             while let Frame::Error(e) = &reply {
-                if e.code != ErrorCode::Saturated {
+                if e.code != ErrorCode::Saturated || attempt >= cfg.max_retries {
                     break;
                 }
                 tally.rejected += 1;
-                std::thread::sleep(Duration::from_millis(e.retry_after_ms.unwrap_or(10)));
+                let hint = e.retry_after_ms.unwrap_or(10);
+                std::thread::sleep(retry_backoff(
+                    hint,
+                    attempt,
+                    cfg.backoff_cap_ms,
+                    &mut retry_rng,
+                ));
+                attempt += 1;
+                tally.retries += 1;
                 reply = roundtrip(&mut stream, &Frame::Query(req.clone()))?;
             }
         }
@@ -274,9 +324,13 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
                 tally.queries += 1;
                 tally.per_policy[policy_slot(policy)] += 1;
                 tally.latencies_us.push(lat);
+                if record.degraded_from.is_some() {
+                    tally.degraded += 1;
+                }
                 tally.digest = fold_digest(tally.digest, client, index, &record);
             }
             Frame::Error(e) if e.code == ErrorCode::Saturated => tally.rejected += 1,
+            Frame::Error(e) if e.code == ErrorCode::DeadlineExceeded => tally.timed_out += 1,
             Frame::Error(_) => tally.errors += 1,
             other => {
                 return Err(WireError::Io(std::io::Error::other(format!(
@@ -312,6 +366,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, WireError> {
     let mut queries = 0u64;
     let mut rejected = 0u64;
     let mut errors = 0u64;
+    let mut retries = 0u64;
+    let mut timed_out = 0u64;
+    let mut degraded = 0u64;
     let mut digest = 0u64;
     let mut per_policy = [0u64; 3];
     let mut latencies = Vec::new();
@@ -322,6 +379,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, WireError> {
         queries += tally.queries;
         rejected += tally.rejected;
         errors += tally.errors;
+        retries += tally.retries;
+        timed_out += tally.timed_out;
+        degraded += tally.degraded;
         digest = digest.wrapping_add(tally.digest);
         for (total, n) in per_policy.iter_mut().zip(tally.per_policy) {
             *total += n;
@@ -334,6 +394,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, WireError> {
         queries,
         rejected,
         errors,
+        retries,
+        timed_out,
+        degraded,
         elapsed,
         p50_ms: percentile_us(&latencies, 0.50) / 1000.0,
         p95_ms: percentile_us(&latencies, 0.95) / 1000.0,
@@ -373,6 +436,24 @@ mod tests {
         let b = nth_request(&cfg, 1, 0);
         let c = nth_request(&cfg, 0, 1);
         assert!(a.seed != b.seed && a.seed != c.seed && b.seed != c.seed);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_stays_seeded() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for attempt in 0..12 {
+            let x = retry_backoff(50, attempt, 1_000, &mut a);
+            let y = retry_backoff(50, attempt, 1_000, &mut b);
+            assert_eq!(x, y, "same seed, same schedule");
+            // Doubled hint capped at 1 s, plus at most one hint of jitter.
+            let doubled = 50u64.saturating_mul(1 << attempt.min(20)).min(1_000);
+            assert!(x >= Duration::from_millis(doubled));
+            assert!(x <= Duration::from_millis(doubled + 50));
+        }
+        // A zero hint still sleeps a little and never divides by zero.
+        let z = retry_backoff(0, 0, 1_000, &mut a);
+        assert!(z >= Duration::from_millis(1) && z <= Duration::from_millis(2));
     }
 
     #[test]

@@ -36,11 +36,20 @@ fn policy_slot(p: Policy) -> usize {
 }
 
 /// Shared, thread-safe service counters.
+///
+/// The accounting invariant ([`ServerMetrics::conservation_holds`]):
+/// every submitted query lands in exactly one terminal bucket, so
+/// `submitted == served + rejected + errors + aborted + timed_out` once
+/// the pipeline drains. The chaos harness asserts this after every soak.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
+    submitted: AtomicU64,
     queries_served: AtomicU64,
     rejected: AtomicU64,
     errors: AtomicU64,
+    aborted: AtomicU64,
+    timed_out: AtomicU64,
+    degraded: AtomicU64,
     per_policy: [AtomicU64; 3],
     lint_checks: AtomicU64,
     wire_pages: AtomicU64,
@@ -80,6 +89,13 @@ impl ServerMetrics {
         }
     }
 
+    /// Record one decoded QUERY frame entering admission control. Every
+    /// submit must later be matched by exactly one terminal record
+    /// (served / reject / error / aborted / timed-out).
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one admission-control rejection.
     pub fn record_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -88,6 +104,22 @@ impl ServerMetrics {
     /// Record one request that failed with a non-reject error.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request abandoned mid-flight (client vanished, server
+    /// shut down before the worker picked it up).
+    pub fn record_aborted(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request whose deadline expired before completion.
+    pub fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request served after degrading its policy to QS.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record that the Table-1 conformance lint ran on a plan before
@@ -111,6 +143,39 @@ impl ServerMetrics {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// QUERY frames submitted to admission control so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests abandoned mid-flight so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Requests that hit their deadline so far.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Requests served after policy degradation so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// True when every submitted query has reached exactly one terminal
+    /// bucket. Only meaningful once the pipeline has drained (no query
+    /// in the queue or on a worker); the chaos harness polls STATS until
+    /// this settles.
+    pub fn conservation_holds(&self) -> bool {
+        self.submitted()
+            == self.queries_served()
+                + self.rejected()
+                + self.errors()
+                + self.aborted()
+                + self.timed_out()
+    }
+
     /// Conformance-lint executions so far. On a healthy server this
     /// equals queries served plus policy-violation errors: every plan is
     /// linted exactly once, before execution.
@@ -127,9 +192,13 @@ impl ServerMetrics {
             s
         };
         StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
             queries_served: self.queries_served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             per_policy: [
                 self.per_policy[0].load(Ordering::Relaxed),
                 self.per_policy[1].load(Ordering::Relaxed),
@@ -179,21 +248,41 @@ mod tests {
             control_msgs_sent: 3,
             bytes_sent: 4096,
         };
+        for _ in 0..7 {
+            m.record_submitted();
+        }
         m.record_served(Policy::QueryShipping, 2_000, wire);
         m.record_served(Policy::QueryShipping, 4_000, wire);
         m.record_served(Policy::HybridShipping, 6_000, wire);
         m.record_reject();
         m.record_error();
+        m.record_aborted();
+        m.record_timed_out();
+        m.record_degraded();
         m.record_lint();
         let s = m.snapshot();
+        assert_eq!(s.submitted, 7);
         assert_eq!(s.queries_served, 3);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.errors, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.degraded, 1);
         assert_eq!(s.per_policy, [0, 2, 1]);
         assert_eq!(s.wire.data_pages_sent, 30);
         assert_eq!(s.wire.bytes_sent, 3 * 4096);
         assert_eq!(s.p50_ms, 4.0);
         assert_eq!(m.lint_checks(), 1);
+        assert!(m.conservation_holds(), "7 in, 3+1+1+1+1 out");
+    }
+
+    #[test]
+    fn conservation_detects_leaks() {
+        let m = ServerMetrics::new();
+        m.record_submitted();
+        assert!(!m.conservation_holds(), "one query still in flight");
+        m.record_aborted();
+        assert!(m.conservation_holds());
     }
 
     #[test]

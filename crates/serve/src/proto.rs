@@ -115,6 +115,11 @@ pub enum WireError {
     },
     /// The payload is not the JSON document the frame kind requires.
     Payload(JsonError),
+    /// The stream's read timeout fired and no frame is in progress (or a
+    /// partial frame stayed stalled past the resume budget). Unlike
+    /// [`WireError::Io`], this is not fatal: the caller may simply try
+    /// again.
+    TimedOut,
 }
 
 impl fmt::Display for WireError {
@@ -136,6 +141,7 @@ impl fmt::Display for WireError {
                 write!(f, "truncated frame: need {expected} bytes, have {got}")
             }
             WireError::Payload(e) => write!(f, "bad payload: {e}"),
+            WireError::TimedOut => write!(f, "read timed out with no complete frame"),
         }
     }
 }
@@ -303,6 +309,46 @@ pub struct QueryRequest {
     pub seed: u64,
     /// External random-read loads: `(server index ≥ 1, requests/sec)`.
     pub loads: Vec<(u32, f64)>,
+    /// Wall-clock budget for the whole request (queue wait + planning +
+    /// simulation), in milliseconds. `None` means no deadline. Omitted
+    /// from the wire when absent, so un-deadlined requests encode exactly
+    /// as in protocol version 1's first release.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Why the server degraded a request's policy to query shipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The admission queue was past its high-water mark; QS plans ship
+    /// the least state and free the worker fastest.
+    Saturated,
+    /// The declared client cache was unusable (e.g. longer than the
+    /// query's relation list), so cache-dependent DS/HY plans had
+    /// nothing sound to bind against.
+    CacheUnusable,
+}
+
+impl DegradeReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::Saturated => "saturated",
+            DegradeReason::CacheUnusable => "cache-unusable",
+        }
+    }
+
+    fn parse(s: &str) -> Result<DegradeReason, JsonError> {
+        Ok(match s {
+            "saturated" => DegradeReason::Saturated,
+            "cache-unusable" => DegradeReason::CacheUnusable,
+            _ => return Err(JsonError::decode("degrade_reason", "unknown reason")),
+        })
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// The figure-style record of one executed query: response time,
@@ -327,6 +373,13 @@ pub struct ResultRecord {
     pub cpu_secs: Vec<f64>,
     /// Tuples displayed at the client.
     pub result_tuples: u64,
+    /// When the server degraded the requested policy to query shipping
+    /// (Table 1 makes QS legal for every query), the policy originally
+    /// requested. Omitted from the wire when the request ran as asked.
+    pub degraded_from: Option<Policy>,
+    /// Why the policy was degraded; present exactly when
+    /// `degraded_from` is.
+    pub degrade_reason: Option<DegradeReason>,
 }
 
 impl ResultRecord {
@@ -356,6 +409,12 @@ pub enum ErrorCode {
     ExecutionFailed,
     /// The server is shutting down.
     ShuttingDown,
+    /// The request's `deadline_ms` budget expired before the result was
+    /// ready; the work was abandoned at the next cancellation probe.
+    DeadlineExceeded,
+    /// The request was abandoned for a non-deadline reason (the client
+    /// vanished, the server shut down mid-flight).
+    Aborted,
 }
 
 impl ErrorCode {
@@ -367,6 +426,8 @@ impl ErrorCode {
             ErrorCode::PolicyViolation => "policy-violation",
             ErrorCode::ExecutionFailed => "execution-failed",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Aborted => "aborted",
         }
     }
 
@@ -378,6 +439,8 @@ impl ErrorCode {
             "policy-violation" => ErrorCode::PolicyViolation,
             "execution-failed" => ErrorCode::ExecutionFailed,
             "shutting-down" => ErrorCode::ShuttingDown,
+            "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+            "aborted" => ErrorCode::Aborted,
             _ => return Err(JsonError::decode("code", "unknown error code")),
         })
     }
@@ -397,14 +460,26 @@ pub struct ErrorFrame {
 }
 
 /// A point-in-time server metrics snapshot (the STATS frame).
+///
+/// The accounting invariant the chaos harness asserts after every soak:
+/// `submitted == queries_served + rejected + errors + aborted +
+/// timed_out` — every admitted query ends in exactly one bucket.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
+    /// QUERY frames decoded and handed to admission control.
+    pub submitted: u64,
     /// Queries executed to completion.
     pub queries_served: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
     /// Requests that failed with a non-reject error.
     pub errors: u64,
+    /// Requests abandoned mid-flight (client vanished, server shut down).
+    pub aborted: u64,
+    /// Requests whose `deadline_ms` expired before completion.
+    pub timed_out: u64,
+    /// Requests served after a policy downgrade to query shipping.
+    pub degraded: u64,
     /// Served queries per policy, in `[DS, QS, HY]` order.
     pub per_policy: [u64; 3],
     /// Median service latency (queue wait + planning + simulation), ms.
@@ -461,49 +536,64 @@ impl Frame {
                 ("server", Json::from(a.server.clone())),
                 ("num_servers", Json::from(a.num_servers)),
             ]),
-            Frame::Query(q) => obj(vec![
-                ("id", Json::from(q.id)),
-                ("spec", q.spec.to_json()),
-                (
-                    "cache",
-                    Json::Arr(q.cache.iter().map(|&f| Json::from(f)).collect()),
-                ),
-                ("policy", Json::from(policy_to_str(q.policy))),
-                ("objective", Json::from(objective_to_str(q.objective))),
-                ("optimizer", Json::from(q.optimizer.as_str())),
-                ("seed", Json::from(q.seed)),
-                (
-                    "loads",
-                    Json::Arr(
-                        q.loads
-                            .iter()
-                            .map(|&(site, rate)| {
-                                obj(vec![
-                                    ("server", Json::from(site)),
-                                    ("rate_per_sec", Json::from(rate)),
-                                ])
-                            })
-                            .collect(),
+            Frame::Query(q) => {
+                let mut fields = vec![
+                    ("id", Json::from(q.id)),
+                    ("spec", q.spec.to_json()),
+                    (
+                        "cache",
+                        Json::Arr(q.cache.iter().map(|&f| Json::from(f)).collect()),
                     ),
-                ),
-            ]),
-            Frame::Result(r) => obj(vec![
-                ("id", Json::from(r.id)),
-                ("response_secs", Json::from(r.response_secs)),
-                ("pages_sent", Json::from(r.pages_sent)),
-                ("control_msgs", Json::from(r.control_msgs)),
-                ("bytes_sent", Json::from(r.bytes_sent)),
-                ("link_utilization", Json::from(r.link_utilization)),
-                (
-                    "disk_utilization",
-                    Json::Arr(r.disk_utilization.iter().map(|&v| Json::from(v)).collect()),
-                ),
-                (
-                    "cpu_secs",
-                    Json::Arr(r.cpu_secs.iter().map(|&v| Json::from(v)).collect()),
-                ),
-                ("result_tuples", Json::from(r.result_tuples)),
-            ]),
+                    ("policy", Json::from(policy_to_str(q.policy))),
+                    ("objective", Json::from(objective_to_str(q.objective))),
+                    ("optimizer", Json::from(q.optimizer.as_str())),
+                    ("seed", Json::from(q.seed)),
+                    (
+                        "loads",
+                        Json::Arr(
+                            q.loads
+                                .iter()
+                                .map(|&(site, rate)| {
+                                    obj(vec![
+                                        ("server", Json::from(site)),
+                                        ("rate_per_sec", Json::from(rate)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Some(ms) = q.deadline_ms {
+                    fields.push(("deadline_ms", Json::from(ms)));
+                }
+                obj(fields)
+            }
+            Frame::Result(r) => {
+                let mut fields = vec![
+                    ("id", Json::from(r.id)),
+                    ("response_secs", Json::from(r.response_secs)),
+                    ("pages_sent", Json::from(r.pages_sent)),
+                    ("control_msgs", Json::from(r.control_msgs)),
+                    ("bytes_sent", Json::from(r.bytes_sent)),
+                    ("link_utilization", Json::from(r.link_utilization)),
+                    (
+                        "disk_utilization",
+                        Json::Arr(r.disk_utilization.iter().map(|&v| Json::from(v)).collect()),
+                    ),
+                    (
+                        "cpu_secs",
+                        Json::Arr(r.cpu_secs.iter().map(|&v| Json::from(v)).collect()),
+                    ),
+                    ("result_tuples", Json::from(r.result_tuples)),
+                ];
+                if let Some(p) = r.degraded_from {
+                    fields.push(("degraded_from", Json::from(policy_to_str(p))));
+                }
+                if let Some(reason) = r.degrade_reason {
+                    fields.push(("degrade_reason", Json::from(reason.as_str())));
+                }
+                obj(fields)
+            }
             Frame::Error(e) => {
                 let mut fields = vec![
                     ("id", Json::from(e.id)),
@@ -517,9 +607,13 @@ impl Frame {
             }
             Frame::StatsRequest | Frame::Bye => obj(vec![]),
             Frame::Stats(s) => obj(vec![
+                ("submitted", Json::from(s.submitted)),
                 ("queries_served", Json::from(s.queries_served)),
                 ("rejected", Json::from(s.rejected)),
                 ("errors", Json::from(s.errors)),
+                ("aborted", Json::from(s.aborted)),
+                ("timed_out", Json::from(s.timed_out)),
+                ("degraded", Json::from(s.degraded)),
                 (
                     "per_policy",
                     Json::Arr(s.per_policy.iter().map(|&v| Json::from(v)).collect()),
@@ -582,6 +676,10 @@ impl Frame {
                     optimizer: OptimizerMode::parse(str_of(doc, "optimizer")?)?,
                     seed: safe_u64_of(doc, "seed")?,
                     loads,
+                    deadline_ms: match doc.get("deadline_ms") {
+                        None => None,
+                        Some(_) => Some(safe_u64_of(doc, "deadline_ms")?),
+                    },
                 })
             }
             FrameKind::Result => Frame::Result(ResultRecord {
@@ -594,6 +692,14 @@ impl Frame {
                 disk_utilization: f64_arr_of(doc, "disk_utilization")?,
                 cpu_secs: f64_arr_of(doc, "cpu_secs")?,
                 result_tuples: u64_of(doc, "result_tuples")?,
+                degraded_from: match doc.get("degraded_from") {
+                    None => None,
+                    Some(_) => Some(policy_parse(str_of(doc, "degraded_from")?)?),
+                },
+                degrade_reason: match doc.get("degrade_reason") {
+                    None => None,
+                    Some(_) => Some(DegradeReason::parse(str_of(doc, "degrade_reason")?)?),
+                },
             }),
             FrameKind::Error => Frame::Error(ErrorFrame {
                 id: safe_u64_of(doc, "id")?,
@@ -608,9 +714,13 @@ impl Frame {
             }),
             FrameKind::StatsRequest => Frame::StatsRequest,
             FrameKind::Stats => Frame::Stats(StatsSnapshot {
+                submitted: u64_of(doc, "submitted")?,
                 queries_served: u64_of(doc, "queries_served")?,
                 rejected: u64_of(doc, "rejected")?,
                 errors: u64_of(doc, "errors")?,
+                aborted: u64_of(doc, "aborted")?,
+                timed_out: u64_of(doc, "timed_out")?,
+                degraded: u64_of(doc, "degraded")?,
                 per_policy: {
                     let arr = doc
                         .field("per_policy")?
@@ -707,39 +817,84 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Consecutive mid-frame read timeouts [`read_frame`] rides out before
+/// giving up on a stalled peer. With the serving stack's 200 ms read
+/// timeout this bounds a wedged partial frame to about a minute instead
+/// of hanging the caller forever.
+pub const MID_FRAME_TIMEOUT_BUDGET: u32 = 300;
+
+/// True for the transient read errors a blocking-stream reader should
+/// ride out rather than treat as a dead connection: a fired read
+/// timeout (`WouldBlock` on Unix, `TimedOut` on Windows) or a signal
+/// interruption.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
 /// Read one complete frame from a blocking stream. An EOF before the
 /// first header byte returns `Ok(None)`; an EOF mid-frame is
 /// [`WireError::Truncated`].
+///
+/// Transient read errors do not tear the stream down: `Interrupted` is
+/// always retried; a read timeout *between* frames surfaces as the
+/// non-fatal [`WireError::TimedOut`] (try again later); a timeout in the
+/// middle of a frame resumes the partial read — the bytes already
+/// buffered stay buffered — for up to [`MID_FRAME_TIMEOUT_BUDGET`]
+/// consecutive timeouts before reporting `TimedOut`.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    let mut filled = 0usize;
-    while filled < HEADER_LEN {
-        let n = r.read(&mut header[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(None);
+    let mut timeouts = 0u32;
+    let mut fill = |r: &mut R, buf: &mut [u8], mut at: usize| -> Result<usize, WireError> {
+        while at < buf.len() {
+            match r.read(&mut buf[at..]) {
+                Ok(0) => return Ok(at),
+                Ok(n) => {
+                    at += n;
+                    timeouts = 0;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if is_transient(&e) => {
+                    // A timeout before the first byte means "no frame in
+                    // progress"; mid-frame it means "resume, the rest is
+                    // still coming" — up to the stall budget.
+                    if at == 0 {
+                        return Err(WireError::TimedOut);
+                    }
+                    timeouts += 1;
+                    if timeouts >= MID_FRAME_TIMEOUT_BUDGET {
+                        return Err(WireError::TimedOut);
+                    }
+                }
+                Err(e) => return Err(WireError::Io(e)),
             }
-            return Err(WireError::Truncated {
-                expected: HEADER_LEN,
-                got: filled,
-            });
         }
-        filled += n;
+        Ok(at)
+    };
+    let mut header = [0u8; HEADER_LEN];
+    let filled = fill(r, &mut header, 0)?;
+    if filled == 0 {
+        return Ok(None);
+    }
+    if filled < HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN,
+            got: filled,
+        });
     }
     let (_, payload_len) = decode_header(&header)?;
     let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
     buf.extend_from_slice(&header);
     buf.resize(HEADER_LEN + payload_len, 0);
-    let mut at = HEADER_LEN;
-    while at < buf.len() {
-        let n = r.read(&mut buf[at..])?;
-        if n == 0 {
-            return Err(WireError::Truncated {
-                expected: HEADER_LEN + payload_len,
-                got: at,
-            });
-        }
-        at += n;
+    let at = fill(r, &mut buf, HEADER_LEN)?;
+    if at < buf.len() {
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN + payload_len,
+            got: at,
+        });
     }
     Frame::decode(&buf).map(Some)
 }
@@ -768,8 +923,11 @@ impl FrameReader {
         FrameReader::default()
     }
 
-    /// Pull bytes from `r` once and return at most one frame. Timeouts
-    /// (`WouldBlock` / `TimedOut`) surface as [`ReadStep::Pending`].
+    /// Pull bytes from `r` once and return at most one frame. Transient
+    /// read errors — a fired read timeout (`WouldBlock` / `TimedOut`) or
+    /// a signal interruption (`Interrupted`) — surface as
+    /// [`ReadStep::Pending`]: the bytes already buffered stay buffered
+    /// and the next step resumes the partial frame.
     pub fn step<R: Read>(&mut self, r: &mut R) -> Result<ReadStep, WireError> {
         if let Some(frame) = self.try_take()? {
             return Ok(ReadStep::Frame(frame));
@@ -793,14 +951,14 @@ impl FrameReader {
                     None => Ok(ReadStep::Pending),
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(ReadStep::Pending)
-            }
+            Err(e) if is_transient(&e) => Ok(ReadStep::Pending),
             Err(e) => Err(WireError::Io(e)),
         }
+    }
+
+    /// True when a frame is partially buffered (the stream is mid-frame).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
     }
 
     /// Extract a complete frame from the front of the buffer, if one is

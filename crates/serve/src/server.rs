@@ -25,13 +25,14 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csqp_catalog::{Catalog, SiteId, SystemConfig};
-use csqp_core::Plan;
+use csqp_core::cancel::{CancelToken, StopReason};
+use csqp_core::{Plan, Policy};
 use csqp_engine::ServerLoad;
 use csqp_experiments::runner;
 use csqp_optimizer::{CompileTimeAssumption, OptConfig, Optimizer, TwoStepPlanner};
@@ -40,8 +41,8 @@ use csqp_workload::{random_placement, WorkloadSpec};
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, OptimizerMode,
-    QueryRequest, ReadStep, ResultRecord, WireError,
+    read_frame, write_frame, DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck,
+    OptimizerMode, QueryRequest, ReadStep, ResultRecord, WireError,
 };
 
 /// FNV-1a over a byte string; the deterministic mixer used for catalog
@@ -81,6 +82,11 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Server name echoed in HELLO-ACK frames.
     pub name: String,
+    /// In-flight queries (queued + executing) past which new admissions
+    /// are served *degraded* to query shipping instead of at the
+    /// requested policy. `None` derives `3 · queue_depth / 4` (min 1).
+    /// The hard reject still happens when the queue itself is full.
+    pub high_water: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -94,12 +100,26 @@ impl Default for ServerConfig {
             opt: OptConfig::fast(),
             read_timeout: Duration::from_millis(200),
             name: "csqp-serve".to_string(),
+            high_water: None,
         }
     }
 }
 
-/// The retry-after hint attached to saturation rejects.
+impl ServerConfig {
+    /// The effective degradation high-water mark (see
+    /// [`ServerConfig::high_water`]).
+    pub fn effective_high_water(&self) -> usize {
+        self.high_water.unwrap_or(3 * self.queue_depth / 4).max(1)
+    }
+}
+
+/// The retry-after hint attached to saturation rejects and deadline
+/// errors.
 const RETRY_AFTER_MS: u64 = 50;
+
+/// The retry-after hint attached to shutdown errors: long enough for a
+/// restart supervisor to bring a replacement up.
+const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
 
 /// The shared query-execution service: Table 2 system parameters, the
 /// deterministic hosted placement, the compiled-plan cache, and the
@@ -111,6 +131,9 @@ pub struct QueryService {
     /// `canonical-spec | policy | objective`.
     plan_cache: Mutex<HashMap<String, Plan>>,
     metrics: Arc<ServerMetrics>,
+    /// Queries admitted but not yet finished (queued + executing); the
+    /// degradation high-water mark compares against this.
+    inflight: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -128,12 +151,27 @@ impl QueryService {
             sys: SystemConfig::default(),
             plan_cache: Mutex::new(HashMap::new()),
             metrics: Arc::new(ServerMetrics::new()),
+            inflight: AtomicU64::new(0),
         }
     }
 
     /// The shared metrics sink.
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Queries admitted but not yet finished (queued + executing).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    fn begin_inflight(&self) -> u64 {
+        self.inflight.fetch_add(1, Ordering::AcqRel)
+    }
+
+    fn end_inflight(&self) {
+        let prev = self.inflight.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "inflight counter underflow");
     }
 
     /// The server configuration.
@@ -164,24 +202,69 @@ impl QueryService {
     /// record. Every failure is a typed ERROR frame; this never panics on
     /// any decodable request.
     pub fn handle_query(&self, req: &QueryRequest) -> Result<ResultRecord, ErrorFrame> {
+        self.handle_query_ctx(req, &CancelToken::inert(), None)
+    }
+
+    /// [`QueryService::handle_query`] with the serving context attached:
+    /// a cancel token probed between search steps and simulated-engine
+    /// phases, and an admission-time degradation verdict (queue past the
+    /// high-water mark). A stopped token yields a typed
+    /// `deadline-exceeded` or `aborted` ERROR; a degraded request runs
+    /// under query shipping — Table 1 makes QS legal for every query —
+    /// and says so in the RESULT record.
+    pub fn handle_query_ctx(
+        &self,
+        req: &QueryRequest,
+        guard: &CancelToken,
+        admission_degrade: Option<DegradeReason>,
+    ) -> Result<ResultRecord, ErrorFrame> {
         let bad = |msg: String| ErrorFrame {
             id: req.id,
             code: ErrorCode::BadRequest,
             message: msg,
             retry_after_ms: None,
         };
+        let stopped = |r: StopReason, at: &str| ErrorFrame {
+            id: req.id,
+            code: match r {
+                StopReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+                StopReason::Cancelled => ErrorCode::Aborted,
+            },
+            message: format!("query abandoned during {at}: {r}"),
+            retry_after_ms: match r {
+                // A fresh attempt with a larger budget can succeed.
+                StopReason::DeadlineExceeded => Some(RETRY_AFTER_MS),
+                // The requester is gone; nobody reads this hint.
+                StopReason::Cancelled => None,
+            },
+        };
         let query = req.spec.build();
         let servers = self.topology_for(&req.spec);
-        if req.cache.len() > query.relations.len() {
-            return Err(bad(format!(
-                "cache declares {} relations but the query has {}",
-                req.cache.len(),
-                query.relations.len()
-            )));
-        }
+
+        // An unusable cache declaration (more entries than the query has
+        // relations) cannot be bound soundly, so cache-dependent DS/HY
+        // planning degrades to QS — which never reads the client cache —
+        // and the declaration is ignored. Admission-time saturation
+        // outranks it: the reason reported is the first one that forced
+        // the downgrade.
+        let cache_unusable = req.cache.len() > query.relations.len();
+        let degrade = admission_degrade.or(if cache_unusable {
+            Some(DegradeReason::CacheUnusable)
+        } else {
+            None
+        });
+        let (policy, degraded_from, degrade_reason) = match degrade {
+            Some(reason) if req.policy != Policy::QueryShipping => {
+                (Policy::QueryShipping, Some(req.policy), Some(reason))
+            }
+            _ => (req.policy, None, None),
+        };
+
         let mut catalog = self.catalog_for(&req.spec);
-        for (rel, &fraction) in query.relations.iter().zip(&req.cache) {
-            catalog.set_cached_fraction(rel.id, fraction);
+        if !cache_unusable {
+            for (rel, &fraction) in query.relations.iter().zip(&req.cache) {
+                catalog.set_cached_fraction(rel.id, fraction);
+            }
         }
         let mut loads = Vec::with_capacity(req.loads.len());
         for &(site, rate) in &req.loads {
@@ -202,20 +285,23 @@ impl QueryService {
                 // with the lint inserted between planning and execution.
                 let model = runner::cost_model(&self.sys, &catalog, &query, &loads);
                 let optimizer =
-                    Optimizer::new(&model, req.policy, req.objective, self.config.opt.clone());
+                    Optimizer::new(&model, policy, req.objective, self.config.opt.clone());
                 let mut rng = SimRng::seed_from_u64(req.seed);
-                optimizer.optimize(&query, &mut rng).plan
+                optimizer
+                    .optimize_guarded(&query, &mut rng, guard)
+                    .map_err(|r| stopped(r, "planning"))?
+                    .plan
             }
             OptimizerMode::TwoStep => {
                 let planner = TwoStepPlanner {
-                    policy: req.policy,
+                    policy,
                     objective: req.objective,
                     config: self.config.opt.clone(),
                 };
                 let key = format!(
                     "{}|{}|{:?}",
                     req.spec.canonical(),
-                    req.policy.short(),
+                    policy.short(),
                     req.objective
                 );
                 let compiled = {
@@ -240,15 +326,19 @@ impl QueryService {
                     }
                 };
                 let mut rng = SimRng::seed_from_u64(req.seed);
-                planner.site_select(&compiled, &query, &self.sys, &catalog, &mut rng)
+                planner
+                    .site_select_guarded(&compiled, &query, &self.sys, &catalog, &mut rng, guard)
+                    .map_err(|r| stopped(r, "site selection"))?
             }
         };
 
         // Table-1 conformance lint, always before execution: a plan that
         // breaks the policy contract is a server-side optimizer bug and
-        // must never reach the simulator. The loopback test asserts (in
-        // debug builds) that this counter tracks every served query.
-        let diags = csqp_verify::conformance::check_policy(&plan, req.policy);
+        // must never reach the simulator. Degraded plans are linted
+        // against QS — the policy they actually ran under. The loopback
+        // test asserts (in debug builds) that this counter tracks every
+        // served query.
+        let diags = csqp_verify::conformance::check_policy(&plan, policy);
         self.metrics.record_lint();
         if !diags.is_empty() {
             debug_assert!(
@@ -259,18 +349,23 @@ impl QueryService {
             return Err(ErrorFrame {
                 id: req.id,
                 code: ErrorCode::PolicyViolation,
-                message: format!("plan violates {} rules: {}", req.policy.short(), diags[0]),
+                message: format!("plan violates {} rules: {}", policy.short(), diags[0]),
                 retry_after_ms: None,
             });
         }
 
-        let metrics = runner::execute_plan(&plan, &query, &catalog, &self.sys, &loads, req.seed)
-            .map_err(|e| ErrorFrame {
+        let metrics = runner::execute_plan_guarded(
+            &plan, &query, &catalog, &self.sys, &loads, req.seed, guard,
+        )
+        .map_err(|e| match e {
+            runner::RunError::Interrupted(r) => stopped(r, "execution"),
+            other => ErrorFrame {
                 id: req.id,
                 code: ErrorCode::ExecutionFailed,
-                message: e.to_string(),
+                message: other.to_string(),
                 retry_after_ms: None,
-            })?;
+            },
+        })?;
 
         let sites = metrics.disk.len();
         Ok(ResultRecord {
@@ -285,6 +380,8 @@ impl QueryService {
                 .collect(),
             cpu_secs: metrics.cpu_busy.iter().map(|d| d.as_secs_f64()).collect(),
             result_tuples: metrics.result_tuples,
+            degraded_from,
+            degrade_reason,
         })
     }
 }
@@ -294,6 +391,12 @@ struct Job {
     req: QueryRequest,
     reply: mpsc::Sender<Result<ResultRecord, ErrorFrame>>,
     enqueued: Instant,
+    /// Shared with the connection thread: carries the request deadline
+    /// and is cancelled when the client vanishes, so the worker abandons
+    /// the query at its next probe.
+    guard: Arc<CancelToken>,
+    /// Admission-time degradation verdict (queue past high water).
+    degrade: Option<DegradeReason>,
 }
 
 /// A bound server, ready to run.
@@ -433,16 +536,30 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
             Ok(j) => j,
             Err(_) => return,
         };
-        let outcome = service.handle_query(&job.req);
+        let outcome = service.handle_query_ctx(&job.req, &job.guard, job.degrade);
         let latency_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        // Exactly one terminal bucket per job — the conservation
+        // invariant the chaos harness asserts.
         match &outcome {
             Ok(record) => {
+                // Count the policy the plan actually ran under.
+                let executed = if record.degraded_from.is_some() {
+                    service.metrics().record_degraded();
+                    Policy::QueryShipping
+                } else {
+                    job.req.policy
+                };
                 service
                     .metrics()
-                    .record_served(job.req.policy, latency_us, record.wire());
+                    .record_served(executed, latency_us, record.wire());
             }
-            Err(_) => service.metrics().record_error(),
+            Err(e) => match e.code {
+                ErrorCode::DeadlineExceeded => service.metrics().record_timed_out(),
+                ErrorCode::Aborted => service.metrics().record_aborted(),
+                _ => service.metrics().record_error(),
+            },
         }
+        service.end_inflight();
         // A vanished requester (connection closed mid-flight) is fine.
         let _ = job.reply.send(outcome);
     }
@@ -494,7 +611,7 @@ fn serve_connection(
                     id: 0,
                     code: ErrorCode::ShuttingDown,
                     message: "server shutting down".to_string(),
-                    retry_after_ms: None,
+                    retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
                 }),
             );
             return Ok(());
@@ -529,16 +646,42 @@ fn serve_connection(
                 )?;
             }
             Frame::Query(req) => {
+                service.metrics().record_submitted();
                 let id = req.id;
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let guard = Arc::new(CancelToken::new(deadline));
+                // Degradation verdict is taken at admission, against the
+                // pre-admission in-flight count: past the high-water mark
+                // new queries run degraded (QS) so the backlog drains
+                // with the cheapest-to-release plans.
+                let degrade =
+                    if service.begin_inflight() >= service.config().effective_high_water() as u64 {
+                        Some(DegradeReason::Saturated)
+                    } else {
+                        None
+                    };
                 let (reply, result) = mpsc::channel();
                 let job = Job {
                     req,
                     reply,
                     enqueued: Instant::now(),
+                    guard: Arc::clone(&guard),
+                    degrade,
                 };
                 match submit.try_send(job) {
                     Ok(()) => {
-                        let outcome = result.recv().map_err(|_| {
+                        // The worker owns the in-flight decrement and the
+                        // terminal metrics record from here on.
+                        let outcome = await_outcome(
+                            &stream,
+                            &result,
+                            &guard,
+                            shutdown,
+                            service.config().read_timeout,
+                        )
+                        .ok_or_else(|| {
                             WireError::Io(std::io::Error::other("worker pool hung up"))
                         })?;
                         let frame = match outcome {
@@ -548,6 +691,7 @@ fn serve_connection(
                         write_frame(&mut stream, &frame)?;
                     }
                     Err(TrySendError::Full(_)) => {
+                        service.end_inflight();
                         service.metrics().record_reject();
                         write_frame(
                             &mut stream,
@@ -560,13 +704,17 @@ fn serve_connection(
                         )?;
                     }
                     Err(TrySendError::Disconnected(_)) => {
+                        // The pool is gone (shutdown); this query never
+                        // reaches a worker, so account it here.
+                        service.end_inflight();
+                        service.metrics().record_aborted();
                         write_frame(
                             &mut stream,
                             &Frame::Error(ErrorFrame {
                                 id,
                                 code: ErrorCode::ShuttingDown,
                                 message: "server shutting down".to_string(),
-                                retry_after_ms: None,
+                                retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
                             }),
                         )?;
                         return Ok(());
@@ -597,17 +745,82 @@ fn serve_connection(
     }
 }
 
+/// Wait for the worker's outcome while watching the requester: every
+/// poll tick (one read timeout), probe the socket with a short `peek`;
+/// a closed peer or server shutdown cancels the guard, and the worker —
+/// probing the same token between search steps — releases within a few
+/// cost-model evaluations. Returns `None` only if the worker pool
+/// vanished without replying.
+fn await_outcome(
+    stream: &TcpStream,
+    result: &Receiver<Result<ResultRecord, ErrorFrame>>,
+    guard: &CancelToken,
+    shutdown: &AtomicBool,
+    poll: Duration,
+) -> Option<Result<ResultRecord, ErrorFrame>> {
+    loop {
+        match result.recv_timeout(poll) {
+            Ok(outcome) => return Some(outcome),
+            Err(RecvTimeoutError::Timeout) => {
+                if guard.is_cancelled() {
+                    // Already cancelled; just keep waiting for the
+                    // worker's (typed, prompt) reply.
+                    continue;
+                }
+                if shutdown.load(Ordering::SeqCst) || stream_closed(stream, poll) {
+                    guard.cancel();
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// True when the peer has closed its end of `stream`: a zero-byte
+/// `peek`. `peek` does not consume pipelined bytes, so probing is safe
+/// mid-session. A short temporary read timeout keeps the probe from
+/// stalling the wait loop; `restore` is re-armed before returning.
+fn stream_closed(stream: &TcpStream, restore: Duration) -> bool {
+    let mut byte = [0u8; 1];
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .is_err()
+    {
+        return true;
+    }
+    let closed = match stream.peek(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => !matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted
+        ),
+    };
+    let _ = stream.set_read_timeout(Some(restore));
+    closed
+}
+
 /// Blocking client helper: send one frame and read the next reply frame.
 /// Used by `csqp-load` and tests; lives here so the request/reply pairing
 /// logic exists once.
 pub fn roundtrip(stream: &mut TcpStream, frame: &Frame) -> Result<Frame, WireError> {
     write_frame(stream, frame)?;
-    match read_frame(stream)? {
-        Some(f) => Ok(f),
-        None => Err(WireError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "server closed the connection",
-        ))),
+    loop {
+        match read_frame(stream) {
+            // A read timeout between frames just means the server is
+            // still computing; keep the blocking semantics and wait.
+            Err(WireError::TimedOut) => continue,
+            Ok(Some(f)) => return Ok(f),
+            Ok(None) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -627,6 +840,7 @@ mod tests {
             optimizer,
             seed: 42,
             loads: vec![],
+            deadline_ms: None,
         }
     }
 
@@ -718,16 +932,109 @@ mod tests {
             n: 2,
             selectivity: csqp_workload::MODERATE_SEL,
         };
-        let mut req = request(spec.clone(), Policy::DataShipping, OptimizerMode::TwoPhase);
-        req.cache = vec![0.5; 10]; // more cache entries than relations
-        let err = service.handle_query(&req).expect_err("rejected");
-        assert_eq!(err.code, ErrorCode::BadRequest);
-        assert_eq!(err.id, 7);
-
         let mut req = request(spec, Policy::DataShipping, OptimizerMode::TwoPhase);
         req.loads = vec![(9, 50.0)]; // server 9 does not exist (topology 2)
         let err = service.handle_query(&req).expect_err("rejected");
         assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.id, 7);
+    }
+
+    #[test]
+    fn unusable_cache_degrades_to_query_shipping() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let mut req = request(spec.clone(), Policy::DataShipping, OptimizerMode::TwoPhase);
+        req.cache = vec![0.5; 10]; // more cache entries than relations
+        let record = service.handle_query(&req).expect("served degraded");
+        assert_eq!(record.degraded_from, Some(Policy::DataShipping));
+        assert_eq!(record.degrade_reason, Some(DegradeReason::CacheUnusable));
+
+        // The degraded run is byte-identical to an honest QS request
+        // with no cache declaration (the unusable one is ignored).
+        let mut qs = request(spec.clone(), Policy::QueryShipping, OptimizerMode::TwoPhase);
+        qs.cache = vec![];
+        let honest = service.handle_query(&qs).expect("runs");
+        assert_eq!(record.pages_sent, honest.pages_sent);
+        assert_eq!(record.response_secs, honest.response_secs);
+
+        // A QS request with an unusable cache needs no downgrade: the
+        // declaration is dropped but the policy is already minimal.
+        let mut req = request(spec, Policy::QueryShipping, OptimizerMode::TwoPhase);
+        req.cache = vec![0.5; 10];
+        let record = service.handle_query(&req).expect("runs");
+        assert_eq!(record.degraded_from, None);
+        assert_eq!(record.degrade_reason, None);
+    }
+
+    #[test]
+    fn admission_degrade_runs_qs_and_lints_clean() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoPhase);
+        let record = service
+            .handle_query_ctx(&req, &CancelToken::inert(), Some(DegradeReason::Saturated))
+            .expect("served degraded");
+        assert_eq!(record.degraded_from, Some(Policy::HybridShipping));
+        assert_eq!(record.degrade_reason, Some(DegradeReason::Saturated));
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_error() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 4,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoPhase);
+        let guard = CancelToken::with_deadline(Instant::now());
+        let err = service
+            .handle_query_ctx(&req, &guard, None)
+            .expect_err("deadline already gone");
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(err.retry_after_ms, Some(RETRY_AFTER_MS));
+    }
+
+    #[test]
+    fn cancelled_guard_yields_aborted() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 4,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoStep);
+        let guard = CancelToken::inert();
+        guard.cancel();
+        let err = service
+            .handle_query_ctx(&req, &guard, None)
+            .expect_err("requester is gone");
+        assert_eq!(err.code, ErrorCode::Aborted);
+        assert_eq!(err.retry_after_ms, None);
+    }
+
+    #[test]
+    fn high_water_defaults_scale_with_queue_depth() {
+        let cfg = ServerConfig {
+            queue_depth: 64,
+            ..ServerConfig::default()
+        };
+        assert_eq!(cfg.effective_high_water(), 48);
+        let tiny = ServerConfig {
+            queue_depth: 1,
+            ..ServerConfig::default()
+        };
+        assert_eq!(tiny.effective_high_water(), 1);
+        let explicit = ServerConfig {
+            queue_depth: 64,
+            high_water: Some(2),
+            ..ServerConfig::default()
+        };
+        assert_eq!(explicit.effective_high_water(), 2);
     }
 
     #[test]

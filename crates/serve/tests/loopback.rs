@@ -199,6 +199,152 @@ fn saturated_server_rejects_with_retry_hint() {
 }
 
 #[test]
+fn zero_deadline_gets_typed_error_and_releases_the_worker() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let cfg = load_config(&server.addr().to_string(), 42);
+
+    // An already-expired deadline comes back as a typed, retryable
+    // deadline-exceeded error — promptly, not after a hang.
+    let mut doomed = nth_request(&cfg, 0, 0);
+    doomed.deadline_ms = Some(0);
+    let started = std::time::Instant::now();
+    let reply = roundtrip(&mut stream, &Frame::Query(doomed)).expect("query");
+    let waited = started.elapsed();
+    match reply {
+        Frame::Error(e) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+            assert!(
+                e.retry_after_ms.is_some(),
+                "deadline errors are retryable: {e:?}"
+            );
+        }
+        other => panic!("expected deadline error, got {:?}", other.kind()),
+    }
+    assert!(
+        waited < Duration::from_secs(2),
+        "worker released within ~one read timeout, not {waited:?}"
+    );
+
+    // The same connection and worker pool still serve clean traffic.
+    let reply = roundtrip(&mut stream, &Frame::Query(nth_request(&cfg, 0, 1))).expect("follow-up");
+    assert!(matches!(reply, Frame::Result(_)), "worker was released");
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.timed_out(), 1);
+    assert_eq!(metrics.queries_served(), 1);
+    assert!(metrics.conservation_holds(), "2 in, 1 served + 1 timed out");
+    let _ = roundtrip(&mut stream, &Frame::Bye);
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_query_never_leaks_accounting() {
+    let server = start_server();
+    let cfg = load_config(&server.addr().to_string(), 77);
+
+    // Send a valid query and slam the connection shut without reading
+    // the reply. The conn thread must notice, the worker must finish its
+    // job, and every counter must land in a terminal bucket.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    csqp_serve::proto::write_frame(&mut stream, &Frame::Query(nth_request(&cfg, 0, 0)))
+        .expect("send query");
+    drop(stream);
+
+    // Settle within a few read-timeout ticks (the default is 200 ms).
+    let metrics = server.metrics();
+    let give_up = std::time::Instant::now() + Duration::from_secs(3);
+    while !(metrics.conservation_holds() && metrics.submitted() == 1) {
+        assert!(
+            std::time::Instant::now() < give_up,
+            "accounting never settled: submitted {} served {} aborted {}",
+            metrics.submitted(),
+            metrics.queries_served(),
+            metrics.aborted()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.service().inflight(), 0, "no leaked worker slot");
+
+    // The pool still serves a fresh connection afterwards.
+    let mut probe = TcpStream::connect(server.addr()).expect("reconnect");
+    let reply = roundtrip(&mut probe, &Frame::Query(nth_request(&cfg, 1, 0))).expect("probe query");
+    assert!(matches!(reply, Frame::Result(_)));
+    server.shutdown();
+}
+
+#[test]
+fn unusable_cache_degrades_on_the_wire_and_passes_the_lint() {
+    // A declared client cache with more entries than the query has
+    // relations is unusable; the server degrades to query shipping,
+    // marks the RESULT, and the degraded plan still passes the Table-1
+    // conformance lint (a lint failure would surface as PolicyViolation).
+    let server = start_server();
+    let cfg = load_config(&server.addr().to_string(), 5);
+    let mut req = nth_request(&cfg, 0, 0);
+    req.policy = Policy::DataShipping;
+    req.cache = vec![0.5; 12]; // far more entries than any mix query has
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let reply = roundtrip(&mut stream, &Frame::Query(req)).expect("query");
+    match reply {
+        Frame::Result(r) => {
+            assert_eq!(r.degraded_from, Some(Policy::DataShipping));
+            assert_eq!(
+                r.degrade_reason,
+                Some(csqp_serve::proto::DegradeReason::CacheUnusable)
+            );
+        }
+        other => panic!("expected degraded RESULT, got {:?}", other.kind()),
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.degraded(), 1);
+    assert_eq!(
+        metrics.lint_checks(),
+        1,
+        "the degraded plan went through the conformance lint"
+    );
+    assert!(metrics.conservation_holds());
+    let _ = roundtrip(&mut stream, &Frame::Bye);
+    server.shutdown();
+}
+
+#[test]
+fn saturation_degrades_to_query_shipping_under_burst() {
+    // High-water mark of 1 with a single worker: any admission overlap
+    // downgrades HY/DS to QS instead of queueing expensive work. Zero
+    // errors proves every degraded plan passed the Table-1 lint (a
+    // violation would come back as a PolicyViolation error).
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        high_water: Some(1),
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+
+    let report = run_load(&LoadConfig {
+        addr: server.addr().to_string(),
+        clients: 8,
+        queries_per_client: Some(4),
+        seed: 3,
+        retry_rejected: true,
+        ..LoadConfig::default()
+    })
+    .expect("load");
+    assert_eq!(report.queries, 32, "retries drain the burst: {report:?}");
+    assert_eq!(report.errors, 0, "every degraded plan passed the lint");
+    assert!(
+        report.degraded > 0,
+        "an 8-client burst over high-water 1 must overlap: {report:?}"
+    );
+    assert_eq!(server.metrics().degraded(), report.degraded);
+    assert!(server.metrics().conservation_holds());
+    server.shutdown();
+}
+
+#[test]
 fn two_step_mode_works_over_the_wire() {
     let server = start_server();
     let cfg = LoadConfig {

@@ -10,8 +10,8 @@ use csqp_core::Policy;
 use csqp_cost::Objective;
 use csqp_engine::LinkStats;
 use csqp_serve::proto::{
-    decode_header, ErrorCode, ErrorFrame, Frame, Hello, HelloAck, OptimizerMode, QueryRequest,
-    ResultRecord, StatsSnapshot, WireError, HEADER_LEN, MAX_PAYLOAD,
+    decode_header, DegradeReason, ErrorCode, ErrorFrame, Frame, Hello, HelloAck, OptimizerMode,
+    QueryRequest, ResultRecord, StatsSnapshot, WireError, HEADER_LEN, MAX_PAYLOAD,
 };
 use csqp_workload::WorkloadSpec;
 use proptest::prelude::*;
@@ -62,7 +62,9 @@ fn error_code_from(i: u64) -> ErrorCode {
         ErrorCode::PolicyViolation,
         ErrorCode::ExecutionFailed,
         ErrorCode::ShuttingDown,
-    ][(i % 6) as usize]
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Aborted,
+    ][(i % 8) as usize]
 }
 
 proptest! {
@@ -93,7 +95,9 @@ proptest! {
         cache_steps in proptest::collection::vec(0u64..5, 0..8),
         knobs in (0u64..3, 0u64..3, 0u64..2),
         loads in proptest::collection::vec((1u32..8, 0.0f64..100.0), 0..4),
+        deadline in (proptest::bool::ANY, 0u64..(1u64 << 53)),
     ) {
+        let deadline = deadline.0.then_some(deadline.1);
         let (id, seed) = ids;
         let (kind, sel_step) = shape;
         let (pol, objv, opt) = knobs;
@@ -112,6 +116,7 @@ proptest! {
             optimizer: if opt == 0 { OptimizerMode::TwoPhase } else { OptimizerMode::TwoStep },
             seed,
             loads,
+            deadline_ms: deadline,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }
@@ -123,7 +128,9 @@ proptest! {
         disk in proptest::collection::vec(0.0f64..1.0, 1..6),
         cpu in proptest::collection::vec(0.0f64..100.0, 1..6),
         tuples in 0u64..10_000_000,
+        degrade in (proptest::bool::ANY, 0u64..3, proptest::bool::ANY),
     ) {
+        let degrade = degrade.0.then_some((degrade.1, degrade.2));
         let (id, pages, msgs, bytes) = counters;
         let (response, link) = timing;
         let f = Frame::Result(ResultRecord {
@@ -136,6 +143,12 @@ proptest! {
             disk_utilization: disk,
             cpu_secs: cpu,
             result_tuples: tuples,
+            degraded_from: degrade.map(|(p, _)| policy_from(p)),
+            degrade_reason: degrade.map(|(_, sat)| if sat {
+                DegradeReason::Saturated
+            } else {
+                DegradeReason::CacheUnusable
+            }),
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }
@@ -160,17 +173,23 @@ proptest! {
     #[test]
     fn stats_frames_round_trip(
         outcomes in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        extra in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         per_policy in proptest::collection::vec(0u64..1_000_000, 3..4),
         pcts in (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..10_000.0),
         wire in (0u64..u32::MAX as u64, 0u64..u32::MAX as u64, 0u64..(1u64 << 53)),
     ) {
         let (served, rejected, errors) = outcomes;
+        let (submitted, aborted, timed_out, degraded) = extra;
         let (p50, p95, p99) = pcts;
         let (pages, msgs, bytes) = wire;
         let f = Frame::Stats(StatsSnapshot {
+            submitted,
             queries_served: served,
             rejected,
             errors,
+            aborted,
+            timed_out,
+            degraded,
             per_policy: [per_policy[0], per_policy[1], per_policy[2]],
             p50_ms: p50,
             p95_ms: p95,

@@ -23,6 +23,11 @@ cargo run --release --bin csqp-check -- --plans 250 --servers 8 --seed 42
 echo "==> serve-smoke: 2-second loopback load against csqp-serve"
 cargo run --release --bin csqp-load -- --serve --clients 8 --seconds 2 --fail-on-rejects
 
+echo "==> chaos-smoke: seeded fault-injection soak (digest must reproduce)"
+for seed in 1 2 3 5 8 13 21 34; do
+  cargo run --release --bin csqp-load -- --serve --chaos "$seed" --schedules 2 --chaos-queries 10 --intensity 0.5
+done
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

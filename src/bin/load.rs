@@ -6,7 +6,8 @@
 //!     [--seconds T | --queries N] [--seed S] [--policy DS|QS|HY|mix]
 //!     [--objective communication|response-time|total-cost]
 //!     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected]
-//!     [--serve] [--fail-on-rejects]
+//!     [--deadline-ms D] [--serve] [--fail-on-rejects]
+//!     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]
 //! ```
 //!
 //! `--serve` spins up an in-process server on a free port and loads it —
@@ -14,17 +15,25 @@
 //! queries per client (deterministic runs: the printed digest is
 //! identical for identical seeds). `--rate` switches from closed-loop to
 //! paced open-loop arrivals.
+//!
+//! `--chaos SEED` switches from load generation to the fault-injection
+//! soak: the seeded fault schedule runs **twice** and the run fails if
+//! the reply digests differ, if accounting conservation is violated, or
+//! if a post-soak probe shows a leaked worker. Combine with `--serve`
+//! for a self-contained chaos smoke.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use csqp::core::Policy;
 use csqp::cost::Objective;
+use csqp::serve::chaos::{run_chaos, ChaosConfig};
 use csqp::serve::proto::OptimizerMode;
 use csqp::serve::{run_load, LoadConfig, Server, ServerConfig};
 
 struct Args {
     load: LoadConfig,
+    chaos: Option<ChaosConfig>,
     serve_inline: bool,
     fail_on_rejects: bool,
 }
@@ -32,9 +41,12 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         load: LoadConfig::default(),
+        chaos: None,
         serve_inline: false,
         fail_on_rejects: false,
     };
+    let mut chaos = ChaosConfig::default();
+    let mut chaos_seed = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut raw = |name: &str| {
@@ -85,6 +97,21 @@ fn parse_args() -> Args {
                 args.load.rate = Some(v);
             }
             "--retry-rejected" => args.load.retry_rejected = true,
+            "--deadline-ms" => {
+                let v = num(&raw("--deadline-ms"), "--deadline-ms");
+                args.load.deadline_ms = Some(v);
+                chaos.deadline_ms = Some(v);
+            }
+            "--chaos" => chaos_seed = Some(num(&raw("--chaos"), "--chaos")),
+            "--schedules" => chaos.schedules = num(&raw("--schedules"), "--schedules"),
+            "--chaos-queries" => {
+                chaos.queries_per_schedule = num(&raw("--chaos-queries"), "--chaos-queries")
+            }
+            "--intensity" => {
+                chaos.intensity = raw("--intensity")
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| die("--intensity needs a numeric argument".to_string()));
+            }
             "--serve" => args.serve_inline = true,
             "--fail-on-rejects" => args.fail_on_rejects = true,
             "--help" | "-h" => {
@@ -92,7 +119,8 @@ fn parse_args() -> Args {
                     "usage: csqp-load [--addr HOST:PORT] [--clients N] [--seconds T | --queries N] \
                      [--seed S] [--policy DS|QS|HY|mix] [--objective O] \
                      [--optimizer two-phase|two-step] [--rate R] [--retry-rejected] \
-                     [--serve] [--fail-on-rejects]"
+                     [--deadline-ms D] [--serve] [--fail-on-rejects] \
+                     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]"
                 );
                 std::process::exit(0);
             }
@@ -101,6 +129,11 @@ fn parse_args() -> Args {
     }
     if args.load.clients == 0 {
         die("--clients must be at least 1".to_string());
+    }
+    if let Some(seed) = chaos_seed {
+        chaos.seed = seed;
+        chaos.addr = args.load.addr.clone();
+        args.chaos = Some(chaos);
     }
     args
 }
@@ -113,6 +146,36 @@ fn num(v: &str, name: &str) -> u64 {
 fn die(msg: String) -> ! {
     eprintln!("csqp-load: {msg}");
     std::process::exit(2)
+}
+
+/// Run the soak twice with the same seed: the second run must reproduce
+/// the first one's reply digest, and both must hold the robustness
+/// invariants.
+fn run_chaos_twice(cfg: &ChaosConfig) -> Result<(), String> {
+    println!(
+        "csqp-load: chaos soak, seed {} ({} schedules x {} queries, intensity {:.2})",
+        cfg.seed, cfg.schedules, cfg.queries_per_schedule, cfg.intensity
+    );
+    let first = run_chaos(cfg).map_err(|e| format!("chaos soak failed: {e}"))?;
+    println!("{}", first.render());
+    if !first.healthy() {
+        return Err("chaos soak violated a robustness invariant".to_string());
+    }
+    let second = run_chaos(cfg).map_err(|e| format!("chaos soak (repeat) failed: {e}"))?;
+    if second.digest != first.digest {
+        return Err(format!(
+            "chaos digest mismatch: {:016x} then {:016x} for seed {}",
+            first.digest, second.digest, cfg.seed
+        ));
+    }
+    if !second.healthy() {
+        return Err("chaos soak repeat violated a robustness invariant".to_string());
+    }
+    println!(
+        "csqp-load: chaos repeat digest matches ({:016x})",
+        first.digest
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -135,11 +198,30 @@ fn main() -> ExitCode {
             }
         };
         args.load.addr = handle.addr().to_string();
+        if let Some(chaos) = args.chaos.as_mut() {
+            chaos.addr = handle.addr().to_string();
+        }
         println!("csqp-load: inline server on {}", handle.addr());
         Some(handle)
     } else {
         None
     };
+
+    // Chaos mode: run the seeded fault schedule twice; fail on any
+    // invariant violation or a digest mismatch between the two runs.
+    if let Some(chaos) = &args.chaos {
+        let code = match run_chaos_twice(chaos) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("csqp-load: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+        if let Some(handle) = inline {
+            handle.shutdown();
+        }
+        return code;
+    }
 
     let report = match run_load(&args.load) {
         Ok(r) => r,

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
-//!     [--workers N] [--queue N] [--placement-seed S] [--seconds T]
+//!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
+//!     [--seconds T]
 //! ```
+//!
+//! `--high-water N` sets the admission high-water mark: past N in-flight
+//! queries, HY/DS requests degrade to query shipping instead of queueing
+//! expensive work (defaults to 3/4 of the queue depth).
 //!
 //! Without `--seconds` the server runs until killed, printing a metrics
 //! line every 10 seconds; with it, the server shuts down gracefully after
@@ -38,6 +43,9 @@ fn parse_args() -> Args {
             "--servers" => args.config.num_servers = num(&raw("--servers"), "--servers") as u32,
             "--workers" => args.config.workers = num(&raw("--workers"), "--workers") as usize,
             "--queue" => args.config.queue_depth = num(&raw("--queue"), "--queue") as usize,
+            "--high-water" => {
+                args.config.high_water = Some(num(&raw("--high-water"), "--high-water") as usize)
+            }
             "--placement-seed" => {
                 args.config.placement_seed = num(&raw("--placement-seed"), "--placement-seed")
             }
@@ -51,7 +59,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
-                     [--queue N] [--placement-seed S] [--seconds T]"
+                     [--queue N] [--high-water N] [--placement-seed S] [--seconds T]"
                 );
                 std::process::exit(0);
             }
@@ -101,11 +109,16 @@ fn main() -> ExitCode {
             let snap = handle.metrics().snapshot();
             handle.shutdown();
             println!(
-                "csqp-serve: served {} queries ({} rejected, {} errors), \
+                "csqp-serve: {} submitted, served {} queries ({} rejected, {} errors, \
+                 {} aborted, {} timed out, {} degraded), \
                  p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms, {} pages / {} bytes shipped",
+                snap.submitted,
                 snap.queries_served,
                 snap.rejected,
                 snap.errors,
+                snap.aborted,
+                snap.timed_out,
+                snap.degraded,
                 snap.p50_ms,
                 snap.p95_ms,
                 snap.p99_ms,
@@ -117,8 +130,16 @@ fn main() -> ExitCode {
             std::thread::sleep(Duration::from_secs(10));
             let snap = handle.metrics().snapshot();
             println!(
-                "csqp-serve: {} served, {} rejected, {} errors, p50 {:.1} ms, p99 {:.1} ms",
-                snap.queries_served, snap.rejected, snap.errors, snap.p50_ms, snap.p99_ms
+                "csqp-serve: {} served, {} rejected, {} errors, {} aborted, \
+                 {} timed out, {} degraded, p50 {:.1} ms, p99 {:.1} ms",
+                snap.queries_served,
+                snap.rejected,
+                snap.errors,
+                snap.aborted,
+                snap.timed_out,
+                snap.degraded,
+                snap.p50_ms,
+                snap.p99_ms
             );
         },
     }
