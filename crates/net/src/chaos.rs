@@ -49,11 +49,16 @@ pub enum QueryFault {
     /// Send normally but pause before consuming the reply, backing the
     /// peer's write up against the socket buffer.
     SlowConsume,
+    /// Send the complete frame, then close the connection without ever
+    /// reading the reply: the query is fully submitted, so the server
+    /// executes it (or aborts it at a cancellation probe) with nobody
+    /// left to answer — the abort-accounting path under load.
+    DisconnectAfterSubmit,
 }
 
 impl QueryFault {
     /// All injectable faults (everything but `None`).
-    pub const ALL: [QueryFault; 7] = [
+    pub const ALL: [QueryFault; 8] = [
         QueryFault::DropBeforeSend,
         QueryFault::DropMidFrame,
         QueryFault::TruncateFrame,
@@ -61,6 +66,7 @@ impl QueryFault {
         QueryFault::ShortWrites,
         QueryFault::PauseBeforeSend,
         QueryFault::SlowConsume,
+        QueryFault::DisconnectAfterSubmit,
     ];
 
     /// True when the server receives a complete, decodable-or-not frame
@@ -82,7 +88,10 @@ impl QueryFault {
     pub fn drops_connection(self) -> bool {
         matches!(
             self,
-            QueryFault::DropBeforeSend | QueryFault::DropMidFrame | QueryFault::TruncateFrame
+            QueryFault::DropBeforeSend
+                | QueryFault::DropMidFrame
+                | QueryFault::TruncateFrame
+                | QueryFault::DisconnectAfterSubmit
         )
     }
 
@@ -97,9 +106,42 @@ impl QueryFault {
             QueryFault::ShortWrites => "short_writes",
             QueryFault::PauseBeforeSend => "pause_before_send",
             QueryFault::SlowConsume => "slow_consume",
+            QueryFault::DisconnectAfterSubmit => "disconnect_after_submit",
         }
     }
 }
+
+/// What the *server* does to its own reply frame — the reply-path half of
+/// the fault model. Where [`QueryFault`] is injected at the client edge,
+/// a `ReplyFault` is applied by the serving stack itself (when configured
+/// with a fault plan) to the RESULT/ERROR frame answering a decoded
+/// QUERY, exercising the client's handling of damaged responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyFault {
+    /// Send the reply unchanged.
+    None,
+    /// Send a strict prefix of the reply frame, then close the session —
+    /// the client sees EOF in the middle of a declared frame.
+    TruncateReply,
+    /// Flip one payload byte of the reply before sending; the frame
+    /// arrives complete but semantically damaged.
+    CorruptReply,
+}
+
+impl ReplyFault {
+    /// Short stable name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplyFault::None => "none",
+            ReplyFault::TruncateReply => "truncate_reply",
+            ReplyFault::CorruptReply => "corrupt_reply",
+        }
+    }
+}
+
+/// Domain separator mixed into the reply-fault derivation so request and
+/// reply schedules never correlate.
+const REPLY_FAULT_SALT: u64 = 0x5250_4C59_464C_5421; // "RPLYFLT!"
 
 /// FNV-1a over a byte slice — the same mixing the serving layer uses for
 /// per-query seeds, duplicated here so `csqp-net` stays dependency-light.
@@ -167,6 +209,28 @@ impl FaultPlan {
     /// The first `n` faults of connection `client`, in order.
     pub fn schedule(&self, client: u64, n: u64) -> Vec<QueryFault> {
         (0..n).map(|i| self.fault_for(client, i)).collect()
+    }
+
+    /// The reply-path RNG for the query whose request carried
+    /// `query_seed`. Keyed on the request's own seed — which both sides
+    /// of the wire know — instead of connection counters, so server and
+    /// harness agree on the schedule without sharing any session state.
+    pub fn reply_rng_for(&self, query_seed: u64) -> SimRng {
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.master_seed.to_be_bytes());
+        bytes[8..16].copy_from_slice(&REPLY_FAULT_SALT.to_be_bytes());
+        bytes[16..].copy_from_slice(&query_seed.to_be_bytes());
+        SimRng::seed_from_u64(fnv1a(&bytes))
+    }
+
+    /// The fault the server injects on its reply to the query whose
+    /// request carried `query_seed`. Pure in `(master seed, query_seed)`.
+    pub fn reply_fault_for(&self, query_seed: u64) -> ReplyFault {
+        let mut rng = self.reply_rng_for(query_seed);
+        if !rng.chance(self.intensity) {
+            return ReplyFault::None;
+        }
+        *rng.pick(&[ReplyFault::TruncateReply, ReplyFault::CorruptReply])
     }
 }
 
@@ -335,6 +399,36 @@ mod tests {
         for f in QueryFault::ALL {
             assert!(seen.contains(&f), "{} never scheduled", f.name());
         }
+    }
+
+    #[test]
+    fn reply_schedule_is_deterministic_and_independent_of_requests() {
+        let plan = FaultPlan::new(42, 0.7);
+        let again = FaultPlan::new(42, 0.7);
+        for seed in 0..256u64 {
+            assert_eq!(plan.reply_fault_for(seed), again.reply_fault_for(seed));
+        }
+        // A different master seed reshuffles the reply schedule.
+        let other = FaultPlan::new(43, 0.7);
+        let differs = (0..256u64).any(|s| plan.reply_fault_for(s) != other.reply_fault_for(s));
+        assert!(differs, "reply schedule must depend on the master seed");
+        // Both reply faults eventually appear, and intensity 0 never
+        // injects.
+        let seen: std::collections::HashSet<_> =
+            (0..512u64).map(|s| plan.reply_fault_for(s)).collect();
+        assert!(seen.contains(&ReplyFault::TruncateReply));
+        assert!(seen.contains(&ReplyFault::CorruptReply));
+        let never = FaultPlan::new(42, 0.0);
+        assert!((0..128u64).all(|s| never.reply_fault_for(s) == ReplyFault::None));
+    }
+
+    #[test]
+    fn disconnect_after_submit_is_schedulable_and_terminal() {
+        let plan = FaultPlan::new(11, 1.0);
+        let seen: std::collections::HashSet<_> = plan.schedule(0, 256).into_iter().collect();
+        assert!(seen.contains(&QueryFault::DisconnectAfterSubmit));
+        assert!(QueryFault::DisconnectAfterSubmit.drops_connection());
+        assert!(!QueryFault::DisconnectAfterSubmit.expects_reply());
     }
 
     #[test]

@@ -16,11 +16,17 @@
 //! [`Link`] models the wire's *cost*, [`chaos::FaultPlan`] models its
 //! *failures* — deterministic, seeded fault schedules the serving stack's
 //! chaos harness injects at the client edge.
+//!
+//! The [`poll`] module is the third face: where [`Link`] models the wire
+//! and [`chaos`] models its failures, [`poll`] touches the real wire — a
+//! dependency-free `poll(2)` readiness wrapper the serving stack's
+//! event-driven session engine multiplexes live sockets on.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chaos;
+pub mod poll;
 
 use csqp_catalog::SystemConfig;
 use csqp_simkernel::{FifoServer, SimDuration, SimTime};

@@ -1,0 +1,318 @@
+//! Thin, dependency-free readiness polling over `poll(2)`.
+//!
+//! The serving stack's event-driven session engine multiplexes every
+//! connected socket on a fixed set of event-loop threads; this module is
+//! the only place it touches the operating system's readiness interface.
+//! It binds `poll(2)` directly through the C library the Rust standard
+//! library already links — no `libc` crate, no async runtime — and keeps
+//! the surface tiny: a `#[repr(C)]` [`PollFd`] mirroring `struct pollfd`,
+//! one [`poll_fds`] call, and a [`Waker`] built on a non-blocking
+//! `UnixStream` pair so other threads can interrupt a sleeping poller.
+//!
+//! Why `poll(2)` and not `epoll(7)`: the engine re-registers interest on
+//! every loop iteration anyway (interest depends on the per-session state
+//! machine), so the O(n) scan `poll` performs is the same work an
+//! `epoll_ctl` storm would do — and `poll` is portable across Unixes and
+//! needs no extra kernel object lifetime management. At the scale the
+//! idle-session test pins (thousands of sockets per shard), one `poll`
+//! sweep is microseconds.
+
+use std::io::{self, Read, Write};
+use std::os::fd::RawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Readiness: data can be read without blocking (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Readiness: data can be written without blocking (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Condition: an error is pending on the descriptor (`POLLERR`).
+pub const POLLERR: i16 = 0x008;
+/// Condition: the peer hung up (`POLLHUP`).
+pub const POLLHUP: i16 = 0x010;
+/// Condition: the descriptor is not open (`POLLNVAL`).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set: a file descriptor, the events the
+/// caller is interested in, and the events the kernel reported. Layout
+/// matches `struct pollfd` exactly (three naturally-aligned fields, no
+/// padding), so a `&mut [PollFd]` can be handed to the system call
+/// directly.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for readability and/or writability.
+    /// `POLLERR`/`POLLHUP` are always reported by the kernel and need no
+    /// registration.
+    pub fn new(fd: RawFd, read: bool, write: bool) -> PollFd {
+        let mut events = 0i16;
+        if read {
+            events |= POLLIN;
+        }
+        if write {
+            events |= POLLOUT;
+        }
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The descriptor this entry watches.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// True when the kernel reported any event at all on this entry.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+
+    /// True when a read will not block — includes hangup and error, which
+    /// a read must observe (as EOF or a hard error) to make progress.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// True when a write will not block.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// True when the descriptor is in an error or invalid state and the
+    /// connection should be torn down.
+    pub fn error(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+
+    /// True when the peer hung up its end.
+    pub fn hangup(&self) -> bool {
+        self.revents & POLLHUP != 0
+    }
+}
+
+// `poll(2)` from the C library the standard library already links. The
+// signature matches POSIX: `int poll(struct pollfd *fds, nfds_t nfds,
+// int timeout)`; `nfds_t` is `unsigned long` on every supported Unix.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Wait until at least one entry is ready or the timeout passes. Returns
+/// the number of ready entries (0 on timeout). `EINTR` is retried
+/// transparently; the timeout is re-armed in full on retry, which biases
+/// long — acceptable for an event loop that re-checks its work queues on
+/// every wakeup anyway.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let millis = timeout.as_millis().min(std::ffi::c_int::MAX as u128) as std::ffi::c_int;
+    loop {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only the
+        // `revents` fields within bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, millis) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+/// A cross-thread wakeup channel for a poller: the receiving half joins
+/// the poll set, senders write a byte to interrupt the sleep.
+///
+/// Built on a non-blocking `UnixStream` pair instead of a pipe so the
+/// whole module stays inside `std`. The socket buffer bounds queued
+/// wakeups; a full buffer means a wakeup is already pending, so the
+/// `WouldBlock` on [`WakeHandle::wake`] is ignored by design.
+#[derive(Debug)]
+pub struct Waker {
+    rx: UnixStream,
+    tx: Arc<UnixStream>,
+}
+
+/// The sending half of a [`Waker`]; cheap to clone and share across
+/// worker threads.
+#[derive(Debug, Clone)]
+pub struct WakeHandle {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// A fresh waker pair, both halves non-blocking.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker {
+            rx,
+            tx: Arc::new(tx),
+        })
+    }
+
+    /// The descriptor to include (readable) in the poll set.
+    pub fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// A sending handle for other threads.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle {
+            tx: Arc::clone(&self.tx),
+        }
+    }
+
+    /// Consume every pending wakeup byte so the poll set goes quiet
+    /// until the next [`WakeHandle::wake`].
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut buf) {
+                Ok(0) => return, // sender half gone; nothing more to drain
+                Ok(_) => continue,
+                Err(_) => return, // WouldBlock (drained) or a dead pair
+            }
+        }
+    }
+}
+
+impl WakeHandle {
+    /// Interrupt the poller. A full socket buffer means a wakeup is
+    /// already pending, so every error is ignorable.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// `struct rlimit` for [`raise_nofile_limit`]; `rlim_t` is 64-bit on
+/// every supported Unix.
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: std::ffi::c_int = 7;
+#[cfg(not(target_os = "linux"))]
+const RLIMIT_NOFILE: std::ffi::c_int = 8;
+
+extern "C" {
+    fn getrlimit(resource: std::ffi::c_int, rlim: *mut RLimit) -> std::ffi::c_int;
+    fn setrlimit(resource: std::ffi::c_int, rlim: *const RLimit) -> std::ffi::c_int;
+}
+
+/// Raise this process's soft open-file limit to its hard limit and
+/// return the resulting soft limit. The idle-session scale test opens
+/// thousands of sockets; default soft limits (often 1024) would fail the
+/// test for reasons that have nothing to do with the server.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid exclusive borrow of a `#[repr(C)]` rlimit.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        let want = RLimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        // SAFETY: `want` outlives the call; setrlimit only reads it.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        lim.cur = lim.max;
+    }
+    Ok(lim.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let waker = Waker::new().expect("waker");
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        let n = poll_fds(&mut fds, Duration::from_millis(10)).expect("poll");
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready());
+    }
+
+    #[test]
+    fn waker_interrupts_and_drains() {
+        let waker = Waker::new().expect("waker");
+        let handle = waker.handle();
+        handle.wake();
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        let n = poll_fds(&mut fds, Duration::from_secs(5)).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        waker.drain();
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        let n = poll_fds(&mut fds, Duration::from_millis(5)).expect("poll again");
+        assert_eq!(n, 0, "drain consumed the wakeup byte");
+    }
+
+    #[test]
+    fn wake_handle_clones_share_the_channel() {
+        let waker = Waker::new().expect("waker");
+        let a = waker.handle();
+        let b = a.clone();
+        drop(a);
+        b.wake();
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).expect("poll"), 1);
+    }
+
+    #[test]
+    fn tcp_readiness_and_hangup_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        // Nothing sent yet: not readable.
+        let mut fds = [PollFd::new(server.as_raw_fd(), true, false)];
+        assert_eq!(
+            poll_fds(&mut fds, Duration::from_millis(5)).expect("poll"),
+            0
+        );
+
+        // Bytes in flight: readable.
+        client.write_all(b"ping").expect("write");
+        let mut fds = [PollFd::new(server.as_raw_fd(), true, false)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).expect("poll"), 1);
+        assert!(fds[0].readable());
+
+        // Peer gone: readable (EOF) and eventually HUP.
+        drop(client);
+        let mut fds = [PollFd::new(server.as_raw_fd(), true, false)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).expect("poll"), 1);
+        assert!(fds[0].readable(), "EOF counts as readable");
+    }
+
+    #[test]
+    fn nofile_limit_is_raised_or_already_maxed() {
+        let lim = raise_nofile_limit().expect("rlimit");
+        assert!(lim >= 256, "usable descriptor budget: {lim}");
+        // Idempotent.
+        assert_eq!(raise_nofile_limit().expect("rlimit again"), lim);
+    }
+}

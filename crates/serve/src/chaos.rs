@@ -19,13 +19,23 @@
 //! `deadline_ms` is `None` (no deadline) or `Some(0)` (every query
 //! expires at admission). Intermediate deadlines race the actual
 //! planning time and make replies timing-dependent.
+//!
+//! Reply-path faults: when the server under test is configured with
+//! [`crate::ServerConfig::reply_faults`] =
+//! `FaultPlan::new(cfg.seed, cfg.intensity)` and the soak sets
+//! [`ChaosConfig::reply_faults`], the harness expects some replies to
+//! arrive truncated or corrupted. A reply that no longer decodes counts
+//! as *mangled* — folded into the digest as a deterministic marker (the
+//! typed decode error is itself pure in the seed) — and the harness
+//! reconnects. The accounting invariant widens to
+//! `replies + dropped + mangled == sent`.
 
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use csqp_net::chaos::{
-    corrupt_frame, truncate_frame, FaultPlan, FaultyStream, QueryFault, WritePacing,
+    corrupt_frame, truncate_frame, FaultPlan, FaultyStream, QueryFault, ReplyFault, WritePacing,
 };
 use csqp_simkernel::rng::SimRng;
 
@@ -70,6 +80,11 @@ pub struct ChaosConfig {
     /// How long to wait for the server's accounting to settle after the
     /// soak before declaring a leak.
     pub settle_timeout: Duration,
+    /// The server under test injects reply-path faults from
+    /// `FaultPlan::new(seed, intensity)` — the *same* plan this soak
+    /// derives — so undecodable replies are expected, counted as
+    /// mangled, and predicted for the post-soak probes.
+    pub reply_faults: bool,
 }
 
 impl Default for ChaosConfig {
@@ -82,6 +97,7 @@ impl Default for ChaosConfig {
             intensity: 0.4,
             deadline_ms: None,
             settle_timeout: Duration::from_secs(10),
+            reply_faults: false,
         }
     }
 }
@@ -100,6 +116,10 @@ pub struct ChaosReport {
     /// Client-side I/O failures during fault application (the soak
     /// continues past them; a healthy server keeps this at zero).
     pub client_errors: u64,
+    /// Replies the server mangled on purpose (reply-path fault plan):
+    /// the frame arrived truncated or undecodable. Zero unless
+    /// [`ChaosConfig::reply_faults`] is set.
+    pub mangled: u64,
     /// Order-independent checksum over `(schedule, index, reply frame)`.
     pub digest: u64,
     /// Server STATS after the settle loop.
@@ -121,10 +141,11 @@ impl ChaosReport {
     /// Render the human report printed by `csqp-load --chaos`.
     pub fn render(&self) -> String {
         format!(
-            "exchanges {}\nreplies   {}\ndropped   {}\nfaults    {}\nclient-io-errors {}\nserver    submitted {}  served {}  rejected {}  errors {}  aborted {}  timed-out {}  degraded {}\nconservation {}\nprobes    {}\ndigest    {:016x}",
+            "exchanges {}\nreplies   {}\ndropped   {}\nmangled   {}\nfaults    {}\nclient-io-errors {}\nserver    submitted {}  served {}  rejected {}  errors {}  aborted {}  timed-out {}  degraded {}\nconservation {}\nprobes    {}\ndigest    {:016x}",
             self.queries_sent,
             self.replies,
             self.dropped,
+            self.mangled,
             self.faults,
             self.client_errors,
             self.stats.submitted,
@@ -227,6 +248,14 @@ fn apply_fault(
             std::thread::sleep(Duration::from_millis(PAUSE_MS));
             read_reply(stream)
         }
+        QueryFault::DisconnectAfterSubmit => {
+            // The whole frame lands, so the server admits and runs the
+            // query — then the requester vanishes without reading the
+            // reply, exercising abort accounting on the completion path.
+            stream.write_all(frame)?;
+            stream.flush()?;
+            Ok(None)
+        }
     }
 }
 
@@ -238,6 +267,32 @@ fn fold_reply(digest: u64, schedule: u64, index: u64, reply: &Frame) -> u64 {
     keyed.extend_from_slice(&index.to_be_bytes());
     keyed.extend_from_slice(&payload);
     digest.wrapping_add(fnv1a(&keyed))
+}
+
+/// Fold a mangled reply into the digest: the typed decode error is pure
+/// in the seed (same truncation point, same flipped byte), so its
+/// display string is a reproducible stand-in for the frame bytes.
+fn fold_marker(digest: u64, schedule: u64, index: u64, label: &str) -> u64 {
+    let mut keyed = Vec::with_capacity(16 + label.len());
+    keyed.extend_from_slice(&schedule.to_be_bytes());
+    keyed.extend_from_slice(&index.to_be_bytes());
+    keyed.extend_from_slice(label.as_bytes());
+    digest.wrapping_add(fnv1a(&keyed))
+}
+
+/// True when a read failure looks like a server-mangled reply (framing
+/// or payload decode error) rather than a transport failure. Only
+/// consulted when [`ChaosConfig::reply_faults`] is set.
+fn is_mangled(e: &WireError) -> bool {
+    matches!(
+        e,
+        WireError::BadMagic(_)
+            | WireError::BadVersion(_)
+            | WireError::UnknownKind(_)
+            | WireError::Oversized(_)
+            | WireError::Truncated { .. }
+            | WireError::Payload(_)
+    )
 }
 
 /// Poll STATS until the conservation invariant settles (pipeline fully
@@ -285,6 +340,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, WireError> {
     let mut dropped = 0u64;
     let mut faults = 0u64;
     let mut client_errors = 0u64;
+    let mut mangled = 0u64;
     let mut digest = 0u64;
     for schedule in 0..cfg.schedules {
         let mut conn: Option<TcpStream> = None;
@@ -319,6 +375,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, WireError> {
                     dropped += 1;
                     conn = None;
                 }
+                Err(e) if cfg.reply_faults && is_mangled(&e) => {
+                    // The server mangled this reply on purpose. The
+                    // stream may be mid-frame (truncation), so start
+                    // fresh; the typed error is seeded-deterministic
+                    // and stands in for the frame in the digest.
+                    mangled += 1;
+                    digest = fold_marker(digest, schedule, index, &e.to_string());
+                    conn = None;
+                }
                 Err(_) => {
                     client_errors += 1;
                     conn = None;
@@ -339,12 +404,20 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, WireError> {
     };
     let mut probes_ok = true;
     for i in 0..4 {
-        write_frame(
-            &mut stream,
-            &Frame::Query(nth_request(&probe_mix, cfg.schedules, i)),
-        )?;
-        if !matches!(read_reply(&mut stream)?, Some(Frame::Result(_))) {
-            probes_ok = false;
+        let req = nth_request(&probe_mix, cfg.schedules, i);
+        let expect_clean = !cfg.reply_faults || plan.reply_fault_for(req.seed) == ReplyFault::None;
+        write_frame(&mut stream, &Frame::Query(req))?;
+        if expect_clean {
+            if !matches!(read_reply(&mut stream)?, Some(Frame::Result(_))) {
+                probes_ok = false;
+            }
+        } else {
+            // The reply plan predicts a mangled reply for this probe's
+            // seed: any decode failure — or a corrupt frame that still
+            // happens to decode — is the correct outcome. The stream
+            // may be mid-frame afterwards, so probe on a fresh one.
+            let _ = read_reply(&mut stream);
+            stream = open(&cfg.addr)?;
         }
     }
     let _ = write_frame(&mut stream, &Frame::Bye);
@@ -354,6 +427,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, WireError> {
         dropped,
         faults,
         client_errors,
+        mangled,
         digest,
         stats,
         conservation,
@@ -406,6 +480,54 @@ mod tests {
             report.faults > 0,
             "intensity 0.6 over 16 draws injects something"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn reply_fault_soak_accounts_every_exchange() {
+        let seed = 0xFEED_FACE;
+        let intensity = 0.7;
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 8,
+            reply_faults: Some(FaultPlan::new(seed, intensity)),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config)
+            .expect("bind loopback")
+            .spawn()
+            .expect("spawn server");
+        let cfg = ChaosConfig {
+            addr: server.addr().to_string(),
+            seed,
+            intensity,
+            schedules: 2,
+            queries_per_schedule: 10,
+            reply_faults: true,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).expect("soak completes");
+        assert!(
+            report.mangled > 0,
+            "intensity 0.7 mangles something in 20 replies:\n{}",
+            report.render()
+        );
+        assert_eq!(
+            report.replies + report.dropped + report.mangled,
+            report.queries_sent,
+            "every exchange lands in exactly one bucket:\n{}",
+            report.render()
+        );
+        assert!(
+            report.healthy(),
+            "server stays healthy:\n{}",
+            report.render()
+        );
+        // Mangled replies are deterministic too: same seed, same digest.
+        let again = run_chaos(&cfg).expect("second soak");
+        assert_eq!(report.digest, again.digest);
+        assert_eq!(report.mangled, again.mangled);
         server.shutdown();
     }
 

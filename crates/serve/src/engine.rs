@@ -1,0 +1,716 @@
+//! The event-driven session engine (DESIGN.md §10).
+//!
+//! A fixed set of *shard* threads multiplexes every connected socket
+//! with the `poll(2)` wrapper in [`csqp_net::poll`]; the accept thread
+//! routes each new connection to a shard by file descriptor. One shard
+//! owns its sessions exclusively — no locks on the session path — and
+//! drives each as an explicit state machine:
+//!
+//! ```text
+//!              HELLO            QUERY submitted
+//!  Handshake ───────► Idle ◄──────────────────┐
+//!                      │ bytes arrive         │ last reply written
+//!                      ▼                      │
+//!                ReadingFrame ──► AwaitingResult ──► Writing
+//!                      ▲   complete frame        │
+//!                      └─────────────────────────┘
+//!                            more pipelined frames buffered
+//! ```
+//!
+//! Pipelining: a session may have up to
+//! [`crate::ServerConfig::pipeline_depth`] queries outstanding at once.
+//! Each admitted query carries a per-session *serial*; workers post the
+//! outcome to the owning shard's completion queue tagged with `(session,
+//! serial)` and wake its poller, and the shard writes replies in
+//! *completion order* — the client re-associates them by request id. A
+//! QUERY past the window is rejected `saturated` without consuming a
+//! queue slot.
+//!
+//! Teardown keeps the accounting conservation invariant: a vanished
+//! peer cancels every in-flight guard (workers then record `aborted` or
+//! `timed-out` — exactly one terminal bucket per admitted query), and
+//! replies for dead sessions are dropped *after* the worker has
+//! recorded them.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csqp_core::cancel::CancelToken;
+use csqp_net::poll::{poll_fds, PollFd, WakeHandle, Waker};
+
+use crate::proto::{
+    DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, ReadStep, ResultRecord,
+};
+use crate::server::{
+    mangle_reply, Job, QueryService, ReplySink, RETRY_AFTER_MS, SHUTDOWN_RETRY_AFTER_MS,
+};
+
+/// A finished query's outcome, posted by a worker to the shard that owns
+/// the session it arrived on.
+pub(crate) struct Completion {
+    /// Shard-local session id the query arrived on.
+    pub(crate) session: u64,
+    /// The session's serial for this query (see [`Session::inflight`]).
+    pub(crate) serial: u64,
+    /// What the worker produced.
+    pub(crate) outcome: Result<ResultRecord, ErrorFrame>,
+}
+
+/// The accept thread's handle to one shard: a registration queue plus
+/// the waker that interrupts the shard's poll sleep.
+#[derive(Clone)]
+pub(crate) struct Registrar {
+    tx: mpsc::Sender<TcpStream>,
+    wake: WakeHandle,
+}
+
+impl Registrar {
+    /// Hand a fresh connection to the shard.
+    fn register(&self, stream: TcpStream) {
+        if self.tx.send(stream).is_ok() {
+            self.wake.wake();
+        }
+    }
+}
+
+/// Owning handle to a running shard thread.
+pub(crate) struct ShardHandle {
+    reg: mpsc::Sender<TcpStream>,
+    wake: WakeHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// A registration handle for the accept thread.
+    pub(crate) fn registrar(&self) -> Registrar {
+        Registrar {
+            tx: self.reg.clone(),
+            wake: self.wake.clone(),
+        }
+    }
+
+    /// Wake the shard (it observes the shutdown flag) and join it.
+    pub(crate) fn join(self) {
+        self.wake.wake();
+        let _ = self.thread.join();
+    }
+}
+
+/// Route accepted connections to shards by file descriptor. Runs on the
+/// accept thread until the shutdown flag is raised (the handle unblocks
+/// it with a throwaway connection).
+pub(crate) fn accept_into_shards(
+    listener: &TcpListener,
+    registrars: &[Registrar],
+    shutdown: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        registrars[shard_for_fd(stream.as_raw_fd(), registrars.len())].register(stream);
+    }
+}
+
+/// The shard a descriptor lands on: a plain modulus. Descriptors are
+/// dense small integers, so consecutive connections spread evenly.
+fn shard_for_fd(fd: i32, shards: usize) -> usize {
+    (fd.max(0) as usize) % shards.max(1)
+}
+
+/// Explicit session states (the machine in the module diagram). The
+/// shard recomputes the state after every pump; poll interest and
+/// teardown decisions derive from the same fields, so the stored state
+/// is the machine's observable face (tests and debug assertions check
+/// it stays consistent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionState {
+    /// Connected, no HELLO seen yet.
+    Handshake,
+    /// Nothing buffered, nothing in flight.
+    Idle,
+    /// A frame is partially buffered mid-read.
+    ReadingFrame,
+    /// At least one admitted query awaits its worker.
+    AwaitingResult,
+    /// Reply bytes are queued for the socket.
+    Writing,
+}
+
+/// One admitted query the session is waiting on.
+struct InflightQuery {
+    /// Cancelled on disconnect; carries the request deadline.
+    guard: Arc<CancelToken>,
+    /// The request's seed — the reply-fault key (see
+    /// [`crate::server::ServerConfig::reply_faults`]).
+    seed: u64,
+}
+
+/// One connection, owned by exactly one shard.
+struct Session {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Bytes queued for the socket, drained front-first by the write pump.
+    out: Vec<u8>,
+    /// Admitted-but-unanswered queries, keyed by serial.
+    inflight: HashMap<u64, InflightQuery>,
+    next_serial: u64,
+    handshaken: bool,
+    /// Stop reading (BYE seen, stream poisoned, or peer half-closed).
+    read_closed: bool,
+    /// Close once in-flight queries drain and `out` is flushed.
+    draining: bool,
+    /// Framing is broken (truncated reply sent or garbage received):
+    /// drop further completions, close once `out` is flushed.
+    poisoned: bool,
+    state: SessionState,
+}
+
+impl Session {
+    fn new(stream: TcpStream) -> Session {
+        Session {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            inflight: HashMap::new(),
+            next_serial: 0,
+            handshaken: false,
+            read_closed: false,
+            draining: false,
+            poisoned: false,
+            state: SessionState::Handshake,
+        }
+    }
+
+    /// The state the machine is in right now, recomputed from the
+    /// session's fields. Priority order mirrors what the session is
+    /// *blocked on*: the handshake, then outstanding queries, then
+    /// pending output, then a partial frame.
+    fn current_state(&self) -> SessionState {
+        if !self.handshaken {
+            SessionState::Handshake
+        } else if !self.inflight.is_empty() {
+            SessionState::AwaitingResult
+        } else if !self.out.is_empty() {
+            SessionState::Writing
+        } else if self.reader.mid_frame() {
+            SessionState::ReadingFrame
+        } else {
+            SessionState::Idle
+        }
+    }
+
+    /// Queue a frame for the socket, unmodified.
+    fn push_clean(&mut self, frame: &Frame) {
+        self.out.extend_from_slice(&frame.encode());
+    }
+
+    /// Mark the stream unusable and cancel everything outstanding;
+    /// workers record the terminal buckets.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.read_closed = true;
+        self.draining = true;
+        for q in self.inflight.values() {
+            q.guard.cancel();
+        }
+    }
+
+    /// True when the shard should drop the session: a poisoned stream
+    /// with its best-effort error flushed, or a drained BYE.
+    fn finished(&self) -> bool {
+        if self.poisoned {
+            self.out.is_empty()
+        } else {
+            self.draining && self.inflight.is_empty() && self.out.is_empty()
+        }
+    }
+}
+
+/// One event-loop thread: owns a disjoint set of sessions and the only
+/// poll set that watches them.
+pub(crate) struct Shard {
+    service: Arc<QueryService>,
+    submit: SyncSender<Job>,
+    shutdown: Arc<AtomicBool>,
+    waker: Waker,
+    reg_rx: Receiver<TcpStream>,
+    done_rx: Receiver<Completion>,
+    done_tx: mpsc::Sender<Completion>,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+}
+
+impl Shard {
+    /// Spawn one shard thread.
+    pub(crate) fn spawn(
+        index: usize,
+        service: Arc<QueryService>,
+        submit: SyncSender<Job>,
+        shutdown: Arc<AtomicBool>,
+    ) -> io::Result<ShardHandle> {
+        let waker = Waker::new()?;
+        let wake = waker.handle();
+        let (reg_tx, reg_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut shard = Shard {
+            service,
+            submit,
+            shutdown,
+            waker,
+            reg_rx,
+            done_rx,
+            done_tx,
+            sessions: HashMap::new(),
+            next_session: 0,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("csqp-shard-{index}"))
+            .spawn(move || shard.run())?;
+        Ok(ShardHandle {
+            reg: reg_tx,
+            wake,
+            thread,
+        })
+    }
+
+    fn run(&mut self) {
+        let timeout = self.service.config().read_timeout;
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut ids: Vec<u64> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.close_all();
+                return;
+            }
+            fds.clear();
+            ids.clear();
+            fds.push(PollFd::new(self.waker.fd(), true, false));
+            for (&id, s) in &self.sessions {
+                debug_assert_eq!(s.state, s.current_state(), "state retuned after pumps");
+                fds.push(PollFd::new(
+                    s.stream.as_raw_fd(),
+                    !s.read_closed,
+                    !s.out.is_empty(),
+                ));
+                ids.push(id);
+            }
+            if poll_fds(&mut fds, timeout).is_err() {
+                // EINTR is retried inside poll_fds; anything else here
+                // is a broken poll set — re-check shutdown and rebuild.
+                continue;
+            }
+            self.waker.drain();
+            self.adopt_new_sessions();
+            self.drain_completions();
+            for (i, fd) in fds.iter().enumerate().skip(1) {
+                let id = ids[i - 1];
+                if fd.error() {
+                    self.teardown(id);
+                } else if fd.readable() {
+                    self.pump_read(id);
+                }
+            }
+            // Opportunistic write for every session with queued bytes —
+            // replies appended this iteration should not wait a poll
+            // cycle; a non-writable socket answers WouldBlock.
+            let pending: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| !s.out.is_empty())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in pending {
+                self.pump_write(id);
+            }
+            self.sweep();
+        }
+    }
+
+    /// Pull freshly accepted connections off the registration queue.
+    fn adopt_new_sessions(&mut self) {
+        while let Ok(stream) = self.reg_rx.try_recv() {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let id = self.next_session;
+            self.next_session += 1;
+            self.service.metrics().session_opened();
+            self.sessions.insert(id, Session::new(stream));
+        }
+    }
+
+    /// Drain worker completions: re-associate each by `(session,
+    /// serial)`, apply the reply-fault plan, and queue the reply bytes.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let Some(s) = self.sessions.get_mut(&done.session) else {
+                // Session torn down while the query ran; the worker
+                // already recorded the terminal bucket.
+                continue;
+            };
+            if s.poisoned {
+                continue;
+            }
+            let Some(q) = s.inflight.remove(&done.serial) else {
+                continue;
+            };
+            let frame = match done.outcome {
+                Ok(record) => Frame::Result(record),
+                Err(err) => Frame::Error(err),
+            };
+            let wire = mangle_reply(self.service.config(), q.seed, &frame);
+            let closes = wire.closes_session();
+            s.out.extend_from_slice(wire.bytes());
+            if closes {
+                s.poison();
+            } else {
+                s.state = s.current_state();
+            }
+        }
+    }
+
+    /// Read until the socket runs dry, processing every complete frame
+    /// (this is what makes pipelining work: back-to-back frames that
+    /// arrived in one read are all admitted before the next poll).
+    fn pump_read(&mut self, id: u64) {
+        loop {
+            let Some(s) = self.sessions.get_mut(&id) else {
+                return;
+            };
+            if s.read_closed {
+                return;
+            }
+            match s.reader.step(&mut s.stream) {
+                Ok(ReadStep::Frame(frame)) => self.process_frame(id, frame),
+                Ok(ReadStep::Pending) => {
+                    s.state = s.current_state();
+                    return;
+                }
+                Ok(ReadStep::Closed) => {
+                    self.teardown(id);
+                    return;
+                }
+                Err(e) => {
+                    // Protocol garbage: best-effort typed error, then
+                    // the stream can no longer be trusted.
+                    s.push_clean(&Frame::Error(ErrorFrame {
+                        id: 0,
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                        retry_after_ms: None,
+                    }));
+                    s.poison();
+                    s.state = s.current_state();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handle one decoded client frame on session `id`.
+    fn process_frame(&mut self, id: u64, frame: Frame) {
+        let config = self.service.config().clone();
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        match frame {
+            Frame::Hello(_) => {
+                s.handshaken = true;
+                s.push_clean(&Frame::HelloAck(HelloAck {
+                    server: config.name.clone(),
+                    num_servers: config.num_servers,
+                    pipeline_depth: config.effective_pipeline_depth() as u32,
+                }));
+            }
+            Frame::Query(req) => {
+                self.service.metrics().record_submitted();
+                let id_in_req = req.id;
+                let seed = req.seed;
+                if s.inflight.len() >= config.effective_pipeline_depth() {
+                    // Window violation: reject without consuming a
+                    // queue slot or an in-flight count.
+                    self.service.metrics().record_reject();
+                    s.push_clean(&Frame::Error(ErrorFrame {
+                        id: id_in_req,
+                        code: ErrorCode::Saturated,
+                        message: format!(
+                            "pipeline window full ({} outstanding)",
+                            config.effective_pipeline_depth()
+                        ),
+                        retry_after_ms: Some(RETRY_AFTER_MS),
+                    }));
+                    s.state = s.current_state();
+                    return;
+                }
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let guard = Arc::new(CancelToken::new(deadline));
+                let degrade =
+                    if self.service.begin_inflight() >= config.effective_high_water() as u64 {
+                        Some(DegradeReason::Saturated)
+                    } else {
+                        None
+                    };
+                let serial = s.next_serial;
+                s.next_serial += 1;
+                let job = Job {
+                    req,
+                    reply: ReplySink::Shard {
+                        tx: self.done_tx.clone(),
+                        session: id,
+                        serial,
+                        waker: self.waker.handle(),
+                    },
+                    enqueued: Instant::now(),
+                    guard: Arc::clone(&guard),
+                    degrade,
+                };
+                match self.submit.try_send(job) {
+                    Ok(()) => {
+                        s.inflight.insert(serial, InflightQuery { guard, seed });
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        self.service.end_inflight();
+                        self.service.metrics().record_reject();
+                        s.push_clean(&Frame::Error(ErrorFrame {
+                            id: id_in_req,
+                            code: ErrorCode::Saturated,
+                            message: "admission queue full".to_string(),
+                            retry_after_ms: Some(RETRY_AFTER_MS),
+                        }));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.service.end_inflight();
+                        self.service.metrics().record_aborted();
+                        s.push_clean(&Frame::Error(ErrorFrame {
+                            id: id_in_req,
+                            code: ErrorCode::ShuttingDown,
+                            message: "server shutting down".to_string(),
+                            retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
+                        }));
+                        s.read_closed = true;
+                        s.draining = true;
+                    }
+                }
+            }
+            Frame::StatsRequest => {
+                s.push_clean(&Frame::Stats(self.service.metrics().snapshot()));
+            }
+            Frame::Bye => {
+                // Stop reading; pipelined replies still owed are
+                // delivered before the session closes.
+                s.read_closed = true;
+                s.draining = true;
+            }
+            // Server-to-client frames arriving at the server are a
+            // client bug, not stream corruption: report and continue.
+            Frame::HelloAck(_) | Frame::Result(_) | Frame::Error(_) | Frame::Stats(_) => {
+                s.push_clean(&Frame::Error(ErrorFrame {
+                    id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: "unexpected server-to-client frame".to_string(),
+                    retry_after_ms: None,
+                }));
+            }
+        }
+        s.state = s.current_state();
+    }
+
+    /// Write queued bytes until the socket would block or `out` drains.
+    fn pump_write(&mut self, id: u64) {
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        let mut wrote = 0;
+        let dead = loop {
+            if wrote == s.out.len() {
+                break false;
+            }
+            match s.stream.write(&s.out[wrote..]) {
+                Ok(0) => break true,
+                Ok(n) => wrote += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    break false
+                }
+                Err(_) => break true,
+            }
+        };
+        s.out.drain(..wrote);
+        if dead {
+            self.teardown(id);
+        } else if let Some(s) = self.sessions.get_mut(&id) {
+            s.state = s.current_state();
+        }
+    }
+
+    /// Drop a session whose peer vanished: cancel every in-flight guard
+    /// so workers abandon its queries at their next probe.
+    fn teardown(&mut self, id: u64) {
+        if let Some(s) = self.sessions.remove(&id) {
+            for q in s.inflight.values() {
+                q.guard.cancel();
+            }
+            self.service.metrics().session_closed();
+        }
+    }
+
+    /// Remove sessions that finished gracefully (BYE drained, or a
+    /// poisoned stream with its error flushed).
+    fn sweep(&mut self) {
+        let done: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.finished())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            if self.sessions.remove(&id).is_some() {
+                self.service.metrics().session_closed();
+            }
+        }
+    }
+
+    /// Shutdown: best-effort ShuttingDown error to every session, one
+    /// write pass, cancel everything outstanding, release the gauge.
+    fn close_all(&mut self) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for &id in &ids {
+            if let Some(s) = self.sessions.get_mut(&id) {
+                s.push_clean(&Frame::Error(ErrorFrame {
+                    id: 0,
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shutting down".to_string(),
+                    retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
+                }));
+            }
+            self.pump_write(id);
+        }
+        for id in ids {
+            self.teardown(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn loopback_session() -> (Session, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        (Session::new(server), client)
+    }
+
+    #[test]
+    fn state_machine_transitions_in_priority_order() {
+        let (mut s, _client) = loopback_session();
+        assert_eq!(s.current_state(), SessionState::Handshake);
+        s.handshaken = true;
+        assert_eq!(s.current_state(), SessionState::Idle);
+        s.out.extend_from_slice(b"reply bytes");
+        assert_eq!(s.current_state(), SessionState::Writing);
+        s.inflight.insert(
+            0,
+            InflightQuery {
+                guard: Arc::new(CancelToken::inert()),
+                seed: 1,
+            },
+        );
+        // An outstanding query outranks pending output.
+        assert_eq!(s.current_state(), SessionState::AwaitingResult);
+        s.inflight.clear();
+        s.out.clear();
+        assert_eq!(s.current_state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn reading_frame_state_reflects_a_partial_frame() {
+        use std::io::Write as _;
+        let (mut s, mut client) = loopback_session();
+        s.handshaken = true;
+        // First 5 bytes of a real frame: mid-frame after one step.
+        let bytes = Frame::Bye.encode();
+        client.write_all(&bytes[..5]).expect("partial write");
+        loop {
+            match s.reader.step(&mut s.stream) {
+                Ok(ReadStep::Pending) => {
+                    if s.reader.mid_frame() {
+                        break;
+                    }
+                }
+                other => panic!("unexpected step: {other:?}"),
+            }
+        }
+        assert_eq!(s.current_state(), SessionState::ReadingFrame);
+    }
+
+    #[test]
+    fn poison_cancels_inflight_and_finishes_after_flush() {
+        let (mut s, _client) = loopback_session();
+        let guard = Arc::new(CancelToken::inert());
+        s.inflight.insert(
+            7,
+            InflightQuery {
+                guard: Arc::clone(&guard),
+                seed: 9,
+            },
+        );
+        s.out.extend_from_slice(b"partial reply");
+        s.poison();
+        assert!(guard.is_cancelled(), "teardown cancels workers");
+        assert!(!s.finished(), "error bytes still owed");
+        s.out.clear();
+        assert!(s.finished(), "poisoned + flushed = removable");
+    }
+
+    #[test]
+    fn draining_session_waits_for_inflight_and_output() {
+        let (mut s, _client) = loopback_session();
+        s.handshaken = true;
+        s.draining = true;
+        s.inflight.insert(
+            0,
+            InflightQuery {
+                guard: Arc::new(CancelToken::inert()),
+                seed: 1,
+            },
+        );
+        assert!(!s.finished(), "a pipelined reply is still owed");
+        s.inflight.clear();
+        s.out.extend_from_slice(b"the reply");
+        assert!(!s.finished(), "reply not flushed yet");
+        s.out.clear();
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn fd_sharding_spreads_and_never_panics() {
+        assert_eq!(shard_for_fd(10, 4), 2);
+        assert_eq!(shard_for_fd(11, 4), 3);
+        assert_eq!(shard_for_fd(0, 1), 0);
+        assert_eq!(shard_for_fd(-1, 4), 0, "defensive on invalid fds");
+        assert_eq!(shard_for_fd(7, 0), 0, "zero shards clamps");
+    }
+}

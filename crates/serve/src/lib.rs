@@ -12,8 +12,12 @@
 //! Module map:
 //!
 //! - [`proto`] — frames, the versioned header, typed [`proto::WireError`];
-//! - [`server`] — accept loop, session threads, bounded admission queue,
-//!   worker pool, and the deterministic [`server::QueryService`];
+//! - [`server`] — accept loop, bounded admission queue, worker pool, and
+//!   the deterministic [`server::QueryService`];
+//! - `engine` (private) — the event-driven session engine: a fixed set
+//!   of poll-based shard threads multiplexing every connection and
+//!   driving each session as an explicit state machine, with per-session
+//!   query pipelining (DESIGN.md §10);
 //! - [`metrics`] — thread-safe counters behind the STATS frame;
 //! - [`load`] — the `csqp-load` client: concurrent seeded load with a
 //!   latency-percentile report;
@@ -25,13 +29,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chaos;
+mod engine;
 pub mod load;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
-pub use load::{run_load, LoadConfig, LoadReport};
+pub use load::{run_load, IssuedQuery, LoadConfig, LoadReport, PipelineWindow};
 pub use metrics::ServerMetrics;
 pub use proto::{Frame, OptimizerMode, QueryRequest, ResultRecord, WireError};
 pub use server::{QueryService, Server, ServerConfig, ServerHandle};

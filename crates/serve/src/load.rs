@@ -14,7 +14,14 @@
 //! and — because the server is deterministic too — receive byte-identical
 //! results. [`LoadReport::digest`] folds every RESULT payload into an
 //! order-independent checksum for exactly that comparison.
+//!
+//! With [`LoadConfig::pipeline`] > 1 each connection keeps a window of
+//! queries outstanding and re-associates replies by request id with a
+//! [`PipelineWindow`] — replies may complete in any order; the digest is
+//! order-independent, so pipelined and stop-and-wait runs of the same
+//! seed produce the same digest.
 
+use std::collections::HashMap;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -24,7 +31,10 @@ use csqp_simkernel::rng::SimRng;
 use csqp_workload::{WorkloadSpec, HISEL_SEL, MODERATE_SEL};
 
 use crate::metrics::percentile_us;
-use crate::proto::{ErrorCode, Frame, Hello, OptimizerMode, QueryRequest, ResultRecord, WireError};
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, Hello, OptimizerMode, QueryRequest, ResultRecord,
+    WireError,
+};
 use crate::server::{fnv1a, roundtrip};
 
 /// What the load generator should do.
@@ -61,6 +71,11 @@ pub struct LoadConfig {
     pub backoff_cap_ms: u64,
     /// Per-query deadline forwarded to the server, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Queries each connection keeps outstanding before reading replies
+    /// (clamped to the window the server advertises in HELLO-ACK). 1 is
+    /// stop-and-wait. With a window open, `retry_rejected` is ignored —
+    /// rejects are counted, not resent.
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -79,6 +94,7 @@ impl Default for LoadConfig {
             max_retries: 8,
             backoff_cap_ms: 1_000,
             deadline_ms: None,
+            pipeline: 1,
         }
     }
 }
@@ -210,6 +226,66 @@ fn retry_backoff(hint_ms: u64, attempt: u32, cap_ms: u64, rng: &mut SimRng) -> D
     Duration::from_millis(doubled.min(cap_ms.max(base)) + jitter)
 }
 
+/// One query a [`PipelineWindow`] is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedQuery {
+    /// The load generator's query index (digest key).
+    pub index: u64,
+    /// The policy the request asked for.
+    pub policy: Policy,
+}
+
+/// Client-side re-association for pipelined sessions: queries issued but
+/// not yet answered, keyed by request id. Replies may complete in *any*
+/// order — the window matches each back to the query it answers, which
+/// is the property the pipelining proptest shuffles against.
+#[derive(Debug)]
+pub struct PipelineWindow {
+    depth: usize,
+    outstanding: HashMap<u64, (IssuedQuery, Instant)>,
+}
+
+impl PipelineWindow {
+    /// An empty window admitting up to `depth` outstanding queries.
+    pub fn new(depth: usize) -> PipelineWindow {
+        PipelineWindow {
+            depth: depth.max(1),
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// True when another query may be issued without closing the window.
+    pub fn has_room(&self) -> bool {
+        self.outstanding.len() < self.depth
+    }
+
+    /// Record an issued query. Returns `false` (and records nothing) on
+    /// a duplicate id — ids must be unique within the window.
+    pub fn issued(&mut self, id: u64, query: IssuedQuery, at: Instant) -> bool {
+        if self.outstanding.contains_key(&id) {
+            return false;
+        }
+        self.outstanding.insert(id, (query, at));
+        true
+    }
+
+    /// Match a reply back to its query by id. `None` means the server
+    /// answered an id this window never issued (a protocol violation).
+    pub fn complete(&mut self, id: u64) -> Option<(IssuedQuery, Instant)> {
+        self.outstanding.remove(&id)
+    }
+
+    /// Queries currently outstanding.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
 struct ClientTally {
     queries: u64,
     rejected: u64,
@@ -250,11 +326,14 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
             client: format!("csqp-load-{client}"),
         }),
     )?;
-    if !matches!(hello, Frame::HelloAck(_)) {
-        return Err(WireError::Io(std::io::Error::other(
-            "expected HELLO-ACK to open the session",
-        )));
-    }
+    let advertised = match hello {
+        Frame::HelloAck(ack) => ack.pipeline_depth.max(1) as usize,
+        _ => {
+            return Err(WireError::Io(std::io::Error::other(
+                "expected HELLO-ACK to open the session",
+            )))
+        }
+    };
     let mut tally = ClientTally {
         queries: 0,
         rejected: 0,
@@ -266,6 +345,14 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
         digest: 0,
         per_policy: [0; 3],
     };
+    let window_depth = cfg.pipeline.clamp(1, advertised);
+    if window_depth > 1 {
+        run_client_pipelined(cfg, client, deadline, &mut stream, window_depth, &mut tally)?;
+        let _ = roundtrip(&mut stream, &Frame::Bye)
+            .map(|_| ())
+            .or::<()>(Ok(()));
+        return Ok(tally);
+    }
     let start = Instant::now();
     let interval = cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
     let mut index = 0u64;
@@ -345,6 +432,108 @@ fn run_client(cfg: &LoadConfig, client: u64, deadline: Instant) -> Result<Client
         .map(|_| ())
         .or::<()>(Ok(()));
     Ok(tally)
+}
+
+/// Block until the next frame arrives (between-frame read timeouts mean
+/// the server is still computing).
+fn read_next(stream: &mut TcpStream) -> Result<Frame, WireError> {
+    loop {
+        match read_frame(stream) {
+            Err(WireError::TimedOut) => continue,
+            Ok(Some(f)) => return Ok(f),
+            Ok(None) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The pipelined session loop: keep up to `depth` queries outstanding,
+/// re-associate each reply by id through a [`PipelineWindow`], and drain
+/// the window before returning. Saturation rejects are counted, never
+/// retried (a retry would reorder the deterministic issue schedule).
+fn run_client_pipelined(
+    cfg: &LoadConfig,
+    client: u64,
+    deadline: Instant,
+    stream: &mut TcpStream,
+    depth: usize,
+    tally: &mut ClientTally,
+) -> Result<(), WireError> {
+    let start = Instant::now();
+    let interval = cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
+    let mut window = PipelineWindow::new(depth);
+    let mut index = 0u64;
+    let done_issuing = |index: u64| match cfg.queries_per_client {
+        Some(count) => index >= count,
+        None => Instant::now() >= deadline,
+    };
+    loop {
+        while window.has_room() && !done_issuing(index) {
+            if let Some(step) = interval {
+                let slot = start + step.mul_f64(index as f64);
+                let now = Instant::now();
+                if slot > now {
+                    std::thread::sleep(slot - now);
+                }
+            }
+            let req = nth_request(cfg, client, index);
+            let issued = IssuedQuery {
+                index,
+                policy: req.policy,
+            };
+            write_frame(stream, &Frame::Query(req.clone()))?;
+            if !window.issued(req.id, issued, Instant::now()) {
+                return Err(WireError::Io(std::io::Error::other(format!(
+                    "duplicate request id {} in the pipeline window",
+                    req.id
+                ))));
+            }
+            index += 1;
+        }
+        if window.is_empty() {
+            if done_issuing(index) {
+                return Ok(());
+            }
+            continue;
+        }
+        let reply = read_next(stream)?;
+        let id = match &reply {
+            Frame::Result(record) => record.id,
+            Frame::Error(e) => e.id,
+            other => {
+                return Err(WireError::Io(std::io::Error::other(format!(
+                    "unexpected reply frame {:?}",
+                    other.kind()
+                ))));
+            }
+        };
+        let Some((query, at)) = window.complete(id) else {
+            return Err(WireError::Io(std::io::Error::other(format!(
+                "reply for id {id} which is not outstanding"
+            ))));
+        };
+        match reply {
+            Frame::Result(record) => {
+                let lat = at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                tally.queries += 1;
+                tally.per_policy[policy_slot(query.policy)] += 1;
+                tally.latencies_us.push(lat);
+                if record.degraded_from.is_some() {
+                    tally.degraded += 1;
+                }
+                tally.digest = fold_digest(tally.digest, client, query.index, &record);
+            }
+            Frame::Error(e) if e.code == ErrorCode::Saturated => tally.rejected += 1,
+            Frame::Error(e) if e.code == ErrorCode::DeadlineExceeded => tally.timed_out += 1,
+            Frame::Error(_) => tally.errors += 1,
+            _ => unreachable!("non-result/error frames rejected above"),
+        }
+    }
 }
 
 /// Run the load: spawn `clients` connection threads, drive the seeded
@@ -454,6 +643,29 @@ mod tests {
         // A zero hint still sleeps a little and never divides by zero.
         let z = retry_backoff(0, 0, 1_000, &mut a);
         assert!(z >= Duration::from_millis(1) && z <= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn pipeline_window_reassociates_and_bounds() {
+        let mut w = PipelineWindow::new(2);
+        assert!(w.is_empty() && w.has_room());
+        let now = Instant::now();
+        let q = |index| IssuedQuery {
+            index,
+            policy: Policy::QueryShipping,
+        };
+        assert!(w.issued(1, q(0), now));
+        assert!(w.issued(2, q(1), now));
+        assert!(!w.has_room(), "window of 2 is full");
+        assert!(!w.issued(1, q(9), now), "duplicate ids are refused");
+        // Out-of-order completion re-associates by id.
+        assert_eq!(w.complete(2).map(|(p, _)| p.index), Some(1));
+        assert!(w.has_room());
+        assert_eq!(w.complete(2), None, "already answered");
+        assert_eq!(w.complete(7), None, "never issued");
+        assert_eq!(w.complete(1).map(|(p, _)| p.index), Some(0));
+        assert!(w.is_empty());
+        assert!(PipelineWindow::new(0).has_room(), "depth clamps to 1");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub struct ServerMetrics {
     wire_bytes: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     sample_stride: AtomicU64,
+    sessions_open: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -126,6 +127,26 @@ impl ServerMetrics {
     /// execution (the serve-path invariant checked by the loopback test).
     pub fn record_lint(&self) {
         self.lint_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one session opening (a socket registered with a session
+    /// engine or a connection thread starting).
+    pub fn session_opened(&self) {
+        self.sessions_open.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record one session closing. Must pair with
+    /// [`ServerMetrics::session_opened`].
+    pub fn session_closed(&self) {
+        let prev = self.sessions_open.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "sessions_open gauge underflow");
+    }
+
+    /// Sessions currently open — a gauge, not on the STATS wire; the
+    /// idle-session scale test polls it to know when all its sockets are
+    /// registered.
+    pub fn sessions_open(&self) -> u64 {
+        self.sessions_open.load(Ordering::Acquire)
     }
 
     /// Queries served so far.
@@ -274,6 +295,19 @@ mod tests {
         assert_eq!(s.p50_ms, 4.0);
         assert_eq!(m.lint_checks(), 1);
         assert!(m.conservation_holds(), "7 in, 3+1+1+1+1 out");
+    }
+
+    #[test]
+    fn session_gauge_tracks_opens_and_closes() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.sessions_open(), 0);
+        m.session_opened();
+        m.session_opened();
+        assert_eq!(m.sessions_open(), 2);
+        m.session_closed();
+        assert_eq!(m.sessions_open(), 1);
+        m.session_closed();
+        assert_eq!(m.sessions_open(), 0);
     }
 
     #[test]

@@ -283,6 +283,14 @@ pub struct HelloAck {
     pub server: String,
     /// Number of data servers in the hosted topology.
     pub num_servers: u32,
+    /// Largest number of QUERY frames the client may have outstanding on
+    /// this session before reading replies. The event-driven engine
+    /// advertises its configured window; the legacy threaded engine
+    /// advertises 1 (it answers each query before reading the next
+    /// frame). A QUERY past the window is rejected with a `saturated`
+    /// ERROR. Absent on the wire means 1, so pre-pipelining peers
+    /// interoperate.
+    pub pipeline_depth: u32,
 }
 
 /// One query request: the workload spec, the client's declared cache
@@ -535,6 +543,7 @@ impl Frame {
             Frame::HelloAck(a) => obj(vec![
                 ("server", Json::from(a.server.clone())),
                 ("num_servers", Json::from(a.num_servers)),
+                ("pipeline_depth", Json::from(a.pipeline_depth)),
             ]),
             Frame::Query(q) => {
                 let mut fields = vec![
@@ -639,6 +648,15 @@ impl Frame {
                 num_servers: u64_of(doc, "num_servers")?
                     .try_into()
                     .map_err(|_| JsonError::decode("num_servers", "out of u32 range"))?,
+                pipeline_depth: match doc.get("pipeline_depth") {
+                    // Pre-pipelining servers omit the field: one query at
+                    // a time, the stop-and-wait semantics of protocol
+                    // version 1's first release.
+                    None => 1,
+                    Some(_) => u64_of(doc, "pipeline_depth")?
+                        .try_into()
+                        .map_err(|_| JsonError::decode("pipeline_depth", "out of u32 range"))?,
+                },
             }),
             FrameKind::Query => {
                 let loads = doc
@@ -961,6 +979,14 @@ impl FrameReader {
         !self.buf.is_empty()
     }
 
+    /// Extract a complete frame already sitting in the buffer — without
+    /// touching the stream. The event-driven session engine uses this to
+    /// drain back-to-back pipelined frames that arrived in one read
+    /// before issuing another syscall.
+    pub fn take_buffered(&mut self) -> Result<Option<Frame>, WireError> {
+        self.try_take()
+    }
+
     /// Extract a complete frame from the front of the buffer, if one is
     /// already there.
     fn try_take(&mut self) -> Result<Option<Frame>, WireError> {
@@ -1004,6 +1030,44 @@ mod tests {
             reader.step(&mut src).unwrap(),
             ReadStep::Frame(Frame::Bye)
         ));
+    }
+
+    #[test]
+    fn take_buffered_drains_pipelined_frames_without_reading() {
+        // Two frames land in one read; take_buffered hands them over one
+        // at a time with no further stream access.
+        let mut bytes = Frame::StatsRequest.encode();
+        bytes.extend_from_slice(&Frame::Bye.encode());
+        let mut reader = FrameReader::new();
+        let mut src: &[u8] = &bytes;
+        assert!(matches!(
+            reader.step(&mut src).unwrap(),
+            ReadStep::Frame(Frame::StatsRequest)
+        ));
+        assert!(matches!(reader.take_buffered().unwrap(), Some(Frame::Bye)));
+        assert!(reader.take_buffered().unwrap().is_none());
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn hello_ack_defaults_pipeline_depth_for_old_peers() {
+        // An ack encoded without the field (a pre-pipelining server)
+        // decodes to the stop-and-wait window of 1.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.push(FrameKind::HelloAck as u8);
+        frame.push(0);
+        let payload = br#"{"server":"old","num_servers":4}"#;
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        match Frame::decode(&frame).unwrap() {
+            Frame::HelloAck(a) => {
+                assert_eq!(a.pipeline_depth, 1);
+                assert_eq!(a.num_servers, 4);
+            }
+            other => panic!("expected HELLO-ACK, got {:?}", other.kind()),
+        }
     }
 
     #[test]

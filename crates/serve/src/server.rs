@@ -87,6 +87,25 @@ pub struct ServerConfig {
     /// requested policy. `None` derives `3 · queue_depth / 4` (min 1).
     /// The hard reject still happens when the queue itself is full.
     pub high_water: Option<usize>,
+    /// Per-session pipelining window: how many QUERY frames one session
+    /// may have outstanding before reading replies (event-driven engine
+    /// only; the legacy threaded engine is stop-and-wait). Advertised in
+    /// HELLO-ACK; a QUERY past the window is rejected `saturated`.
+    /// Clamped to at least 1.
+    pub pipeline_depth: usize,
+    /// Event-loop threads multiplexing all sessions in the event-driven
+    /// engine (sessions are sharded across them by file descriptor).
+    /// Clamped to at least 1. Ignored in threaded mode.
+    pub event_threads: usize,
+    /// Run the legacy thread-per-connection session layer instead of the
+    /// event-driven engine. Kept for one release as the equivalence
+    /// baseline; see DESIGN.md §10.
+    pub threaded: bool,
+    /// Server-side reply-path fault injection: when set, RESULT/ERROR
+    /// frames produced by query execution are deterministically
+    /// truncated or corrupted per the plan, keyed by the request's own
+    /// seed. Chaos testing only — never enable in real serving.
+    pub reply_faults: Option<csqp_net::chaos::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +120,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(200),
             name: "csqp-serve".to_string(),
             high_water: None,
+            pipeline_depth: 8,
+            event_threads: 2,
+            threaded: false,
+            reply_faults: None,
         }
     }
 }
@@ -111,15 +134,26 @@ impl ServerConfig {
     pub fn effective_high_water(&self) -> usize {
         self.high_water.unwrap_or(3 * self.queue_depth / 4).max(1)
     }
+
+    /// The pipelining window this configuration actually grants a
+    /// session: the configured depth under the event-driven engine,
+    /// 1 (stop-and-wait) under the legacy threaded engine.
+    pub fn effective_pipeline_depth(&self) -> usize {
+        if self.threaded {
+            1
+        } else {
+            self.pipeline_depth.max(1)
+        }
+    }
 }
 
 /// The retry-after hint attached to saturation rejects and deadline
 /// errors.
-const RETRY_AFTER_MS: u64 = 50;
+pub(crate) const RETRY_AFTER_MS: u64 = 50;
 
 /// The retry-after hint attached to shutdown errors: long enough for a
 /// restart supervisor to bring a replacement up.
-const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
+pub(crate) const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
 
 /// The shared query-execution service: Table 2 system parameters, the
 /// deterministic hosted placement, the compiled-plan cache, and the
@@ -165,11 +199,11 @@ impl QueryService {
         self.inflight.load(Ordering::Acquire)
     }
 
-    fn begin_inflight(&self) -> u64 {
+    pub(crate) fn begin_inflight(&self) -> u64 {
         self.inflight.fetch_add(1, Ordering::AcqRel)
     }
 
-    fn end_inflight(&self) {
+    pub(crate) fn end_inflight(&self) {
         let prev = self.inflight.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "inflight counter underflow");
     }
@@ -386,17 +420,114 @@ impl QueryService {
     }
 }
 
+/// Where a worker delivers a finished query's outcome.
+pub(crate) enum ReplySink {
+    /// The legacy threaded engine: the connection thread blocks on the
+    /// receiving half.
+    Channel(mpsc::Sender<Result<ResultRecord, ErrorFrame>>),
+    /// The event-driven engine: the outcome is posted to the owning
+    /// shard's completion queue — tagged with the session and the job
+    /// serial so the shard re-associates it — and the shard's poller is
+    /// woken.
+    Shard {
+        /// The owning shard's completion queue.
+        tx: mpsc::Sender<crate::engine::Completion>,
+        /// Session the query arrived on (shard-local id).
+        session: u64,
+        /// The session's serial for this query.
+        serial: u64,
+        /// Wakes the shard's poll loop after posting.
+        waker: csqp_net::poll::WakeHandle,
+    },
+}
+
+impl ReplySink {
+    /// Deliver the outcome. A vanished receiver (connection closed,
+    /// shard shut down) is fine — the worker has already recorded the
+    /// terminal metrics bucket.
+    fn deliver(self, outcome: Result<ResultRecord, ErrorFrame>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(outcome);
+            }
+            ReplySink::Shard {
+                tx,
+                session,
+                serial,
+                waker,
+            } => {
+                let _ = tx.send(crate::engine::Completion {
+                    session,
+                    serial,
+                    outcome,
+                });
+                waker.wake();
+            }
+        }
+    }
+}
+
 /// One admitted query, waiting for a worker.
-struct Job {
-    req: QueryRequest,
-    reply: mpsc::Sender<Result<ResultRecord, ErrorFrame>>,
-    enqueued: Instant,
-    /// Shared with the connection thread: carries the request deadline
-    /// and is cancelled when the client vanishes, so the worker abandons
-    /// the query at its next probe.
-    guard: Arc<CancelToken>,
+pub(crate) struct Job {
+    pub(crate) req: QueryRequest,
+    pub(crate) reply: ReplySink,
+    pub(crate) enqueued: Instant,
+    /// Shared with the session layer: carries the request deadline and is
+    /// cancelled when the client vanishes, so the worker abandons the
+    /// query at its next probe.
+    pub(crate) guard: Arc<CancelToken>,
     /// Admission-time degradation verdict (queue past high water).
-    degrade: Option<DegradeReason>,
+    pub(crate) degrade: Option<DegradeReason>,
+}
+
+/// How a reply frame leaves the server after the reply-path fault plan
+/// has had its say (see [`ServerConfig::reply_faults`]).
+pub(crate) enum WireReply {
+    /// The encoded frame, unmodified.
+    Clean(Vec<u8>),
+    /// The frame with one payload byte flipped; framing is intact, so
+    /// the session continues.
+    Corrupt(Vec<u8>),
+    /// A strict prefix of the frame; the session must be closed right
+    /// after writing it (the stream alignment is gone).
+    Truncate(Vec<u8>),
+}
+
+impl WireReply {
+    /// The bytes to put on the wire.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            WireReply::Clean(b) | WireReply::Corrupt(b) | WireReply::Truncate(b) => b,
+        }
+    }
+
+    /// True when the session must close after this write.
+    pub(crate) fn closes_session(&self) -> bool {
+        matches!(self, WireReply::Truncate(_))
+    }
+}
+
+/// Encode a completion-path reply (RESULT or ERROR for an executed
+/// query) and apply the configured reply-path fault, keyed by the
+/// request's own seed so the schedule is reproducible without any
+/// session state. Admission rejects and session-level errors are always
+/// sent clean.
+pub(crate) fn mangle_reply(config: &ServerConfig, seed: u64, frame: &Frame) -> WireReply {
+    use csqp_net::chaos::{corrupt_frame, truncate_frame, ReplyFault};
+    let bytes = frame.encode();
+    let Some(plan) = &config.reply_faults else {
+        return WireReply::Clean(bytes);
+    };
+    // Separate derivation stream for the byte mutation, so it does not
+    // replay the draws `reply_fault_for` already consumed.
+    let mut mutate = plan.reply_rng_for(seed).derive(1);
+    match plan.reply_fault_for(seed) {
+        ReplyFault::None => WireReply::Clean(bytes),
+        ReplyFault::CorruptReply => {
+            WireReply::Corrupt(corrupt_frame(&bytes, crate::proto::HEADER_LEN, &mut mutate))
+        }
+        ReplyFault::TruncateReply => WireReply::Truncate(truncate_frame(&bytes, &mut mutate)),
+    }
 }
 
 /// A bound server, ready to run.
@@ -425,8 +556,10 @@ impl Server {
         Arc::clone(&self.service)
     }
 
-    /// Start the accept loop and worker pool on background threads and
-    /// return a handle for shutdown.
+    /// Start the session layer (event-driven shards by default, the
+    /// legacy thread-per-connection loop with
+    /// [`ServerConfig::threaded`]) plus the worker pool on background
+    /// threads, and return a handle for shutdown.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let service = Arc::clone(&self.service);
@@ -449,16 +582,36 @@ impl Server {
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_submit = submit.clone();
         let accept_service = Arc::clone(&service);
-        let accept = std::thread::Builder::new()
-            .name("csqp-accept".to_string())
-            .spawn(move || {
-                accept_loop(
-                    &self.listener,
-                    &accept_service,
-                    &accept_submit,
-                    &accept_shutdown,
-                )
-            })?;
+        let mut shards = Vec::new();
+        let accept = if cfg.threaded {
+            std::thread::Builder::new()
+                .name("csqp-accept".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        &self.listener,
+                        &accept_service,
+                        &accept_submit,
+                        &accept_shutdown,
+                    )
+                })?
+        } else {
+            let mut registrars = Vec::with_capacity(cfg.event_threads.max(1));
+            for i in 0..cfg.event_threads.max(1) {
+                let shard = crate::engine::Shard::spawn(
+                    i,
+                    Arc::clone(&service),
+                    submit.clone(),
+                    Arc::clone(&shutdown),
+                )?;
+                registrars.push(shard.registrar());
+                shards.push(shard);
+            }
+            std::thread::Builder::new()
+                .name("csqp-accept".to_string())
+                .spawn(move || {
+                    crate::engine::accept_into_shards(&self.listener, &registrars, &accept_shutdown)
+                })?
+        };
 
         Ok(ServerHandle {
             addr,
@@ -467,6 +620,7 @@ impl Server {
             submit: Some(submit),
             accept: Some(accept),
             workers,
+            shards,
         })
     }
 }
@@ -479,6 +633,7 @@ pub struct ServerHandle {
     submit: Option<SyncSender<Job>>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    shards: Vec<crate::engine::ShardHandle>,
 }
 
 impl ServerHandle {
@@ -512,6 +667,12 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        // Wake the event shards so they observe the flag, flush a
+        // best-effort shutdown error to their sessions, and exit
+        // (dropping their submit clones).
+        for shard in self.shards.drain(..) {
+            shard.join();
         }
         // Drop the master sender; workers exit once every connection
         // thread (each holding a clone) has drained and disconnected.
@@ -561,7 +722,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
         }
         service.end_inflight();
         // A vanished requester (connection closed mid-flight) is fine.
-        let _ = job.reply.send(outcome);
+        job.reply.deliver(outcome);
     }
 }
 
@@ -587,7 +748,9 @@ fn accept_loop(
         let _ = std::thread::Builder::new()
             .name("csqp-conn".to_string())
             .spawn(move || {
+                service.metrics().session_opened();
                 let _ = serve_connection(stream, &service, &submit, &shutdown);
+                service.metrics().session_closed();
             });
     }
 }
@@ -642,12 +805,16 @@ fn serve_connection(
                     &Frame::HelloAck(HelloAck {
                         server: service.config().name.clone(),
                         num_servers: service.config().num_servers,
+                        // This engine is stop-and-wait: one outstanding
+                        // query per session, whatever the config says.
+                        pipeline_depth: 1,
                     }),
                 )?;
             }
             Frame::Query(req) => {
                 service.metrics().record_submitted();
                 let id = req.id;
+                let seed = req.seed;
                 let deadline = req
                     .deadline_ms
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -665,7 +832,7 @@ fn serve_connection(
                 let (reply, result) = mpsc::channel();
                 let job = Job {
                     req,
-                    reply,
+                    reply: ReplySink::Channel(reply),
                     enqueued: Instant::now(),
                     guard: Arc::clone(&guard),
                     degrade,
@@ -688,7 +855,14 @@ fn serve_connection(
                             Ok(record) => Frame::Result(record),
                             Err(err) => Frame::Error(err),
                         };
-                        write_frame(&mut stream, &frame)?;
+                        // Completion-path reply: subject to the reply
+                        // fault plan, like the event engine's.
+                        let wire = mangle_reply(service.config(), seed, &frame);
+                        stream.write_all(wire.bytes())?;
+                        stream.flush()?;
+                        if wire.closes_session() {
+                            return Ok(());
+                        }
                     }
                     Err(TrySendError::Full(_)) => {
                         service.end_inflight();

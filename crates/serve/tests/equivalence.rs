@@ -1,0 +1,135 @@
+//! Event-driven vs legacy threaded engine equivalence: the same seeded
+//! traffic must produce byte-identical results — equal order-independent
+//! digests — and the same terminal accounting, whichever session layer
+//! is serving. This is the safety net that lets the threaded engine be
+//! removed after one release (ROADMAP).
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_serve::{run_chaos, run_load, ChaosConfig, LoadConfig, Server, ServerConfig};
+
+fn spawn(threaded: bool) -> csqp_serve::ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threaded,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server")
+}
+
+#[test]
+fn seeded_load_digests_are_identical_across_engines() {
+    let event = spawn(false);
+    let threaded = spawn(true);
+    for seed in [7u64, 0xC59D] {
+        let cfg = |addr: String| LoadConfig {
+            addr,
+            clients: 4,
+            queries_per_client: Some(4),
+            seed,
+            ..LoadConfig::default()
+        };
+        let a = run_load(&cfg(event.addr().to_string())).expect("event run");
+        let b = run_load(&cfg(threaded.addr().to_string())).expect("threaded run");
+        assert_eq!(a.queries, 16, "event engine answers everything: {a:?}");
+        assert_eq!(b.queries, 16, "threaded engine answers everything: {b:?}");
+        assert_eq!(
+            a.digest, b.digest,
+            "seed {seed}: digests must be byte-identical across engines"
+        );
+        assert_eq!(a.errors, 0);
+        assert_eq!(b.errors, 0);
+        assert_eq!(a.per_policy, b.per_policy, "same mix, same policy split");
+    }
+    // Both engines conserved every query.
+    for server in [&event, &threaded] {
+        let m = server.metrics();
+        assert!(m.conservation_holds());
+        assert_eq!(m.queries_served(), 32);
+    }
+    event.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn chaos_soak_digests_are_identical_across_engines() {
+    // The soak is sequential (one outstanding query), so every reply is
+    // pure in (seed, schedule, index) on either engine — fault recovery
+    // included.
+    for seed in [1u64, 13] {
+        let event = spawn(false);
+        let threaded = spawn(true);
+        let cfg = |addr: String| ChaosConfig {
+            addr,
+            seed,
+            schedules: 2,
+            queries_per_schedule: 8,
+            intensity: 0.5,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg(event.addr().to_string())).expect("event soak");
+        let b = run_chaos(&cfg(threaded.addr().to_string())).expect("threaded soak");
+        assert!(a.healthy(), "event engine healthy:\n{}", a.render());
+        assert!(b.healthy(), "threaded engine healthy:\n{}", b.render());
+        assert_eq!(
+            a.digest,
+            b.digest,
+            "seed {seed}: chaos digests must match across engines\nevent:\n{}\nthreaded:\n{}",
+            a.render(),
+            b.render()
+        );
+        assert_eq!(a.replies, b.replies);
+        assert_eq!(a.dropped, b.dropped);
+        event.shutdown();
+        threaded.shutdown();
+    }
+}
+
+#[test]
+fn reply_faults_mangle_identically_across_engines() {
+    // Reply-path faults key on the request's own seed, so the two
+    // engines mangle the same replies the same way.
+    let seed = 0xFEED;
+    let intensity = 0.6;
+    let spawn_faulty = |threaded: bool| {
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threaded,
+            reply_faults: Some(csqp_net::chaos::FaultPlan::new(seed, intensity)),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server")
+    };
+    let event = spawn_faulty(false);
+    let threaded = spawn_faulty(true);
+    let cfg = |addr: String| ChaosConfig {
+        addr,
+        seed,
+        schedules: 2,
+        queries_per_schedule: 8,
+        intensity,
+        reply_faults: true,
+        ..ChaosConfig::default()
+    };
+    let a = run_chaos(&cfg(event.addr().to_string())).expect("event soak");
+    let b = run_chaos(&cfg(threaded.addr().to_string())).expect("threaded soak");
+    for (engine, r) in [("event", &a), ("threaded", &b)] {
+        assert!(r.healthy(), "{engine} engine healthy:\n{}", r.render());
+        assert!(r.mangled > 0, "{engine} engine mangled replies");
+        assert_eq!(
+            r.replies + r.dropped + r.mangled,
+            r.queries_sent,
+            "{engine}: every exchange accounted:\n{}",
+            r.render()
+        );
+    }
+    assert_eq!(a.digest, b.digest, "mangled digests match across engines");
+    assert_eq!(a.mangled, b.mangled);
+    event.shutdown();
+    threaded.shutdown();
+}

@@ -77,10 +77,11 @@ proptest! {
     }
 
     #[test]
-    fn hello_ack_frames_round_trip(server_sel in 0u64..3, n in 1u32..64) {
+    fn hello_ack_frames_round_trip(server_sel in 0u64..3, n in 1u32..64, depth in 1u32..256) {
         let f = Frame::HelloAck(HelloAck {
             server: format!("srv-{server_sel}"),
             num_servers: n,
+            pipeline_depth: depth,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }

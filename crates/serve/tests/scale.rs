@@ -1,0 +1,148 @@
+//! Idle-session scale: thousands of concurrent connections multiplexed
+//! on a fixed set of event-loop threads. The point of the event-driven
+//! engine is that sessions are cheap — OS thread count must not grow
+//! with session count, memory stays bounded, and a query on the last
+//! session answers promptly while the other 1,999 sit idle.
+//!
+//! `#[ignore]`d by default (it opens ~4,000 descriptors); CI runs it
+//! explicitly as a smoke job:
+//! `cargo test -p csqp-serve --test scale -- --ignored`.
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use csqp_net::poll::raise_nofile_limit;
+use csqp_serve::load::nth_request;
+use csqp_serve::proto::{read_frame, write_frame, Frame, Hello, WireError};
+use csqp_serve::{LoadConfig, Server, ServerConfig};
+
+const SESSIONS: usize = 2_000;
+
+/// A field from `/proc/self/status`, e.g. `Threads` or `VmRSS` (value in
+/// the field's own unit — thread count, or kB).
+fn proc_status(field: &str) -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            return digits.parse().expect("numeric /proc field");
+        }
+    }
+    panic!("{field} not in /proc/self/status");
+}
+
+fn next_frame(stream: &mut TcpStream) -> Frame {
+    loop {
+        match read_frame(stream) {
+            Err(WireError::TimedOut) => continue,
+            Ok(Some(f)) => return f,
+            other => panic!("stream died: {other:?}"),
+        }
+    }
+}
+
+#[test]
+#[ignore = "opens ~4000 descriptors; run explicitly (CI smoke job)"]
+fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
+    let fd_budget = raise_nofile_limit().expect("raise RLIMIT_NOFILE");
+    assert!(
+        fd_budget >= 2 * SESSIONS as u64 + 64,
+        "descriptor budget {fd_budget} too small for {SESSIONS} loopback sessions"
+    );
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        event_threads: 2,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server");
+    let addr = server.addr();
+    let metrics = server.metrics();
+
+    // Baselines once the fixed thread set (accept + shards + workers)
+    // is up but before any session exists.
+    let threads_before = proc_status("Threads");
+    let rss_before_kb = proc_status("VmRSS");
+
+    let mut sessions: Vec<TcpStream> = Vec::with_capacity(SESSIONS);
+    for _ in 0..SESSIONS {
+        sessions.push(TcpStream::connect(addr).expect("connect idle session"));
+    }
+    // Wait until every socket is registered with a shard.
+    let give_up = Instant::now() + Duration::from_secs(30);
+    while metrics.sessions_open() < SESSIONS as u64 {
+        assert!(
+            Instant::now() < give_up,
+            "only {}/{SESSIONS} sessions registered in 30 s",
+            metrics.sessions_open()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(metrics.sessions_open(), SESSIONS as u64);
+
+    // The engine's core claim: session count does not create threads.
+    let threads_with_sessions = proc_status("Threads");
+    assert_eq!(
+        threads_with_sessions, threads_before,
+        "thread count must be independent of session count"
+    );
+
+    // Memory bound: per-session cost is a socket, a frame buffer, and a
+    // map entry — far under 32 KiB each even with allocator slack.
+    let rss_after_kb = proc_status("VmRSS");
+    let growth_kb = rss_after_kb.saturating_sub(rss_before_kb);
+    assert!(
+        growth_kb < (SESSIONS as u64) * 32,
+        "RSS grew {growth_kb} kB for {SESSIONS} idle sessions"
+    );
+
+    // A query on the last session answers within its deadline while the
+    // other 1,999 sit idle in the same poll sets.
+    let last = sessions.last_mut().expect("sessions exist");
+    last.set_nodelay(true).expect("nodelay");
+    write_frame(
+        last,
+        &Frame::Hello(Hello {
+            client: "scale-test".to_string(),
+        }),
+    )
+    .expect("hello");
+    assert!(matches!(next_frame(last), Frame::HelloAck(_)));
+    let mix = LoadConfig {
+        seed: 0x5CA1E,
+        deadline_ms: Some(30_000),
+        ..LoadConfig::default()
+    };
+    let req = nth_request(&mix, SESSIONS as u64 - 1, 0);
+    let asked = Instant::now();
+    write_frame(last, &Frame::Query(req)).expect("query");
+    match next_frame(last) {
+        Frame::Result(record) => assert_eq!(record.id, 1),
+        other => panic!("the busy session must be served, got {other:?}"),
+    }
+    assert!(
+        asked.elapsed() < Duration::from_secs(30),
+        "deadline honored on a full shard"
+    );
+
+    // Sessions close cleanly; the gauge drains back to zero.
+    drop(sessions);
+    let give_up = Instant::now() + Duration::from_secs(30);
+    while metrics.sessions_open() > 0 {
+        assert!(
+            Instant::now() < give_up,
+            "{} sessions leaked after close",
+            metrics.sessions_open()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(metrics.conservation_holds());
+    server.shutdown();
+}

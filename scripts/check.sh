@@ -28,6 +28,15 @@ for seed in 1 2 3 5 8 13 21 34; do
   cargo run --release --bin csqp-load -- --serve --chaos "$seed" --schedules 2 --chaos-queries 10 --intensity 0.5
 done
 
+echo "==> pipeline-smoke: pipelined digest equality + chaos on one server"
+cargo run --release --bin csqp-load -- --serve --pipeline 8 --chaos 13 --clients 4 --queries 6 --schedules 2 --chaos-queries 10 --intensity 0.5
+
+echo "==> reply-fault smoke: server-side reply truncation/corruption soak"
+cargo run --release --bin csqp-load -- --serve --chaos 21 --reply-faults --schedules 2 --chaos-queries 10 --intensity 0.6
+
+echo "==> idle-session scale: 2,000 sessions on a fixed thread count"
+cargo test --release -p csqp-serve --test scale -- --ignored
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

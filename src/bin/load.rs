@@ -6,27 +6,34 @@
 //!     [--seconds T | --queries N] [--seed S] [--policy DS|QS|HY|mix]
 //!     [--objective communication|response-time|total-cost]
 //!     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected]
-//!     [--deadline-ms D] [--serve] [--fail-on-rejects]
+//!     [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects]
 //!     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]
+//!     [--reply-faults]
 //! ```
 //!
 //! `--serve` spins up an in-process server on a free port and loads it —
 //! the one-command loopback smoke CI runs. `--queries N` issues exactly N
 //! queries per client (deterministic runs: the printed digest is
 //! identical for identical seeds). `--rate` switches from closed-loop to
-//! paced open-loop arrivals.
+//! paced open-loop arrivals. `--pipeline N` keeps up to N queries in
+//! flight per connection (clamped to the window the server advertises);
+//! the digest is unchanged by pipelining.
 //!
 //! `--chaos SEED` switches from load generation to the fault-injection
 //! soak: the seeded fault schedule runs **twice** and the run fails if
 //! the reply digests differ, if accounting conservation is violated, or
 //! if a post-soak probe shows a leaked worker. Combine with `--serve`
-//! for a self-contained chaos smoke.
+//! for a self-contained chaos smoke. `--reply-faults` additionally arms
+//! the reply path: with `--serve` the inline server mangles replies from
+//! the matching seeded plan, and the soak accounts every mangled reply
+//! deterministically.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use csqp::core::Policy;
 use csqp::cost::Objective;
+use csqp::net::chaos::FaultPlan;
 use csqp::serve::chaos::{run_chaos, ChaosConfig};
 use csqp::serve::proto::OptimizerMode;
 use csqp::serve::{run_load, LoadConfig, Server, ServerConfig};
@@ -97,6 +104,7 @@ fn parse_args() -> Args {
                 args.load.rate = Some(v);
             }
             "--retry-rejected" => args.load.retry_rejected = true,
+            "--pipeline" => args.load.pipeline = num(&raw("--pipeline"), "--pipeline") as usize,
             "--deadline-ms" => {
                 let v = num(&raw("--deadline-ms"), "--deadline-ms");
                 args.load.deadline_ms = Some(v);
@@ -112,6 +120,7 @@ fn parse_args() -> Args {
                     .parse::<f64>()
                     .unwrap_or_else(|_| die("--intensity needs a numeric argument".to_string()));
             }
+            "--reply-faults" => chaos.reply_faults = true,
             "--serve" => args.serve_inline = true,
             "--fail-on-rejects" => args.fail_on_rejects = true,
             "--help" | "-h" => {
@@ -119,8 +128,9 @@ fn parse_args() -> Args {
                     "usage: csqp-load [--addr HOST:PORT] [--clients N] [--seconds T | --queries N] \
                      [--seed S] [--policy DS|QS|HY|mix] [--objective O] \
                      [--optimizer two-phase|two-step] [--rate R] [--retry-rejected] \
-                     [--deadline-ms D] [--serve] [--fail-on-rejects] \
-                     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]"
+                     [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects] \
+                     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F] \
+                     [--reply-faults]"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +156,47 @@ fn num(v: &str, name: &str) -> u64 {
 fn die(msg: String) -> ! {
     eprintln!("csqp-load: {msg}");
     std::process::exit(2)
+}
+
+/// With both `--pipeline N` and `--chaos`, a pipelined determinism smoke
+/// precedes the soak: the same seeded mix runs stop-and-wait and then
+/// pipelined, and the two reply digests must be byte-identical.
+fn run_pipeline_smoke(load: &LoadConfig) -> Result<(), String> {
+    let base = LoadConfig {
+        queries_per_client: Some(load.queries_per_client.unwrap_or(8)),
+        pipeline: 1,
+        ..load.clone()
+    };
+    println!(
+        "csqp-load: pipeline smoke, seed {} ({} clients x {} queries, window {})",
+        base.seed,
+        base.clients,
+        base.queries_per_client.unwrap_or(8),
+        load.pipeline
+    );
+    let sequential = run_load(&base).map_err(|e| format!("stop-and-wait load failed: {e}"))?;
+    let pipelined = run_load(&LoadConfig {
+        pipeline: load.pipeline,
+        ..base
+    })
+    .map_err(|e| format!("pipelined load failed: {e}"))?;
+    if sequential.errors > 0 || pipelined.errors > 0 {
+        return Err(format!(
+            "pipeline smoke saw errors ({} stop-and-wait, {} pipelined)",
+            sequential.errors, pipelined.errors
+        ));
+    }
+    if sequential.digest != pipelined.digest {
+        return Err(format!(
+            "pipeline smoke digest mismatch: {:016x} stop-and-wait vs {:016x} at window {}",
+            sequential.digest, pipelined.digest, load.pipeline
+        ));
+    }
+    println!(
+        "csqp-load: pipeline x{} digest matches stop-and-wait ({:016x})",
+        load.pipeline, sequential.digest
+    );
+    Ok(())
 }
 
 /// Run the soak twice with the same seed: the second run must reproduce
@@ -181,9 +232,17 @@ fn run_chaos_twice(cfg: &ChaosConfig) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut args = parse_args();
 
-    // In-process loopback server for one-command smokes.
+    // In-process loopback server for one-command smokes. With
+    // `--reply-faults` it is armed with the plan the soak expects
+    // (seeded from `--chaos SEED` and `--intensity`).
     let inline = if args.serve_inline {
-        let server = match Server::bind(ServerConfig::default()) {
+        let mut config = ServerConfig::default();
+        if let Some(chaos) = &args.chaos {
+            if chaos.reply_faults {
+                config.reply_faults = Some(FaultPlan::new(chaos.seed, chaos.intensity));
+            }
+        }
+        let server = match Server::bind(config) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("csqp-load: inline server bind failed: {e}");
@@ -209,8 +268,16 @@ fn main() -> ExitCode {
 
     // Chaos mode: run the seeded fault schedule twice; fail on any
     // invariant violation or a digest mismatch between the two runs.
+    // With `--pipeline N`, a pipelined determinism smoke runs first
+    // (skipped when the reply path is armed: mangled replies would make
+    // the client-side load generator see wire errors by design).
     if let Some(chaos) = &args.chaos {
-        let code = match run_chaos_twice(chaos) {
+        let smoke = if args.load.pipeline > 1 && !chaos.reply_faults {
+            run_pipeline_smoke(&args.load)
+        } else {
+            Ok(())
+        };
+        let code = match smoke.and_then(|()| run_chaos_twice(chaos)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("csqp-load: {msg}");

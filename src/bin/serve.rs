@@ -4,12 +4,18 @@
 //! ```text
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
-//!     [--seconds T]
+//!     [--pipeline-depth N] [--event-threads N] [--threaded] [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
 //! queries, HY/DS requests degrade to query shipping instead of queueing
 //! expensive work (defaults to 3/4 of the queue depth).
+//!
+//! Sessions are served by the event-driven engine: a fixed set of
+//! poll(2) loops (`--event-threads`) multiplexing every connection, with
+//! up to `--pipeline-depth` queries in flight per session. `--threaded`
+//! falls back to the legacy thread-per-connection, stop-and-wait engine
+//! (kept for one release as an equivalence baseline).
 //!
 //! Without `--seconds` the server runs until killed, printing a metrics
 //! line every 10 seconds; with it, the server shuts down gracefully after
@@ -49,6 +55,14 @@ fn parse_args() -> Args {
             "--placement-seed" => {
                 args.config.placement_seed = num(&raw("--placement-seed"), "--placement-seed")
             }
+            "--pipeline-depth" => {
+                args.config.pipeline_depth =
+                    num(&raw("--pipeline-depth"), "--pipeline-depth") as usize
+            }
+            "--event-threads" => {
+                args.config.event_threads = num(&raw("--event-threads"), "--event-threads") as usize
+            }
+            "--threaded" => args.config.threaded = true,
             "--seconds" => {
                 let v = raw("--seconds");
                 args.seconds = Some(
@@ -59,7 +73,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
-                     [--queue N] [--high-water N] [--placement-seed S] [--seconds T]"
+                     [--queue N] [--high-water N] [--placement-seed S] \
+                     [--pipeline-depth N] [--event-threads N] [--threaded] [--seconds T]"
                 );
                 std::process::exit(0);
             }
@@ -71,6 +86,12 @@ fn parse_args() -> Args {
     }
     if args.config.workers == 0 {
         die("--workers must be at least 1".to_string());
+    }
+    if args.config.pipeline_depth == 0 {
+        die("--pipeline-depth must be at least 1".to_string());
+    }
+    if args.config.event_threads == 0 {
+        die("--event-threads must be at least 1".to_string());
     }
     args
 }
