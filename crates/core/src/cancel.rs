@@ -61,6 +61,14 @@ impl CancelToken {
         CancelToken::new(Some(deadline))
     }
 
+    /// A token whose deadline has already passed: the first probe reports
+    /// [`StopReason::DeadlineExceeded`]. Tests use this instead of
+    /// sampling `Instant::now()` themselves, so the wall clock stays
+    /// confined to this module (see the `csqp-lint` allowlist).
+    pub fn expired() -> CancelToken {
+        CancelToken::with_deadline(Instant::now())
+    }
+
     /// Request cancellation; guarded loops observe it at their next probe.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Release);

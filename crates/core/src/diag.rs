@@ -69,6 +69,38 @@ pub enum DiagCode {
     /// Same-timestamp events are delivered in insertion-order-dependent
     /// order that changes observable statistics.
     TieBreakNondeterminism,
+    // -- protocol model checker (`csqp-verify::protocol`) -------------------
+    /// A reachable non-terminal session state with no enabled event: the
+    /// session can neither progress nor be swept.
+    ProtocolStuck,
+    /// The session machine emitted two replies for one admitted request.
+    ProtocolDoubleReply,
+    /// The pipeline-window invariant broke: more queries in flight than
+    /// the advertised depth, or an admission that never claimed a slot.
+    ProtocolWindowLeak,
+    /// An admitted query reached a terminal session state without being
+    /// answered or cancelled (the worker is leaked).
+    ProtocolWorkerLeak,
+    /// The sweep invariant broke: a session that satisfies its finish
+    /// condition was never closed.
+    ProtocolSweepMissed,
+    // -- source lints (`csqp-lint`) -----------------------------------------
+    /// A wall-clock read (`Instant::now`, `SystemTime::now`) or
+    /// `thread::sleep` outside the justified allowlist.
+    WallClockUse,
+    /// A nondeterministically seeded RNG (`thread_rng`, `from_entropy`,
+    /// OS randomness) anywhere in the workspace.
+    UnseededRng,
+    /// Iteration over a `std::collections` hash container in a file not
+    /// allowlisted with a justification for why the ordering cannot leak
+    /// into digests, metrics snapshots, or wire payloads.
+    HashIterOrder,
+    /// A wire/diagnostic code enum whose variants are not fully covered
+    /// by its encode (`as_str`) and decode (`parse`) tables.
+    WireCodeCoverage,
+    /// An allowlist entry that matched nothing, or carries no
+    /// justification: the allowlist must stay exhaustive and explained.
+    StaleAllow,
 }
 
 impl DiagCode {
@@ -95,6 +127,16 @@ impl DiagCode {
             DiagCode::ConfigInvariant => "config-invariant",
             DiagCode::EventTimeRegression => "event-time-regression",
             DiagCode::TieBreakNondeterminism => "tie-break-nondeterminism",
+            DiagCode::ProtocolStuck => "protocol-stuck",
+            DiagCode::ProtocolDoubleReply => "protocol-double-reply",
+            DiagCode::ProtocolWindowLeak => "protocol-window-leak",
+            DiagCode::ProtocolWorkerLeak => "protocol-worker-leak",
+            DiagCode::ProtocolSweepMissed => "protocol-sweep-missed",
+            DiagCode::WallClockUse => "wall-clock-use",
+            DiagCode::UnseededRng => "unseeded-rng",
+            DiagCode::HashIterOrder => "hash-iter-order",
+            DiagCode::WireCodeCoverage => "wire-code-coverage",
+            DiagCode::StaleAllow => "stale-allow",
         }
     }
 }

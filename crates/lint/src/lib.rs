@@ -1,0 +1,604 @@
+//! `csqp-lint` — source-level determinism lints for the workspace.
+//!
+//! The paper reproduction's core claim is that every number it prints
+//! is a pure function of configuration and seed. The compiler cannot
+//! enforce the conventions that keep that true, so this crate does,
+//! with four token-level rules over the stripped sources (see
+//! [`scan::strip`]):
+//!
+//! * **wall-clock-use** — no `Instant::now` / `SystemTime::now` /
+//!   `thread::sleep` outside the justified [`ALLOWLIST`]. Simulated
+//!   time comes from the cost model; real time is reserved for the
+//!   serving/bench edges where latency *is* the measurement.
+//! * **unseeded-rng** — no `thread_rng` / `from_entropy` / `OsRng` /
+//!   `rand::random` anywhere. All randomness flows through seeded
+//!   `SimRng` streams.
+//! * **hash-iter-order** — `HashMap` / `HashSet` may only appear in
+//!   files with an allowlist entry explaining why their nondeterministic
+//!   iteration order cannot leak into digests, metrics, or the wire.
+//!   New code defaults to `BTreeMap` / `BTreeSet` / arrays.
+//! * **wire-code-coverage** — every variant of a `pub enum ErrorCode`
+//!   must appear in both its encode (`ErrorCode::V => "…"`) and decode
+//!   (`"…" => ErrorCode::V`) tables in the defining file, and every
+//!   `DiagCode` variant in its `as_str` table. A code that cannot be
+//!   decoded or documented is a silent protocol hole.
+//!
+//! Allowlist hygiene is itself checked: an entry that matches nothing,
+//! or carries no justification, is reported as **stale-allow** so the
+//! list cannot rot into a blanket waiver.
+//!
+//! Findings are ordinary [`csqp_core::diag::Diagnostic`]s collected in
+//! a [`csqp_verify::Report`], with `path` set to `file:line`. The
+//! `csqp-lint` binary (and the `workspace_is_lint_clean` test) runs
+//! [`lint_workspace`] over every `.rs` file outside `target/`,
+//! `vendor/`, and `tests/fixtures/`.
+
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use csqp_core::diag::{DiagCode, Diagnostic};
+use csqp_verify::Report;
+
+use scan::{find_token, has_token, is_ident, strip};
+
+/// The rule dimensions an [`Allow`] entry can waive.
+///
+/// `wire-code-coverage` is deliberately absent: a wire code that cannot
+/// be decoded is a bug with no justifiable variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleKind {
+    /// `Instant::now` / `SystemTime::now` / `thread::sleep`.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng` / `rand::random`.
+    UnseededRng,
+    /// Any use of `HashMap` / `HashSet`.
+    HashOrder,
+}
+
+impl RuleKind {
+    /// The diagnostic code a violation of this rule carries.
+    pub fn code(self) -> DiagCode {
+        match self {
+            RuleKind::WallClock => DiagCode::WallClockUse,
+            RuleKind::UnseededRng => DiagCode::UnseededRng,
+            RuleKind::HashOrder => DiagCode::HashIterOrder,
+        }
+    }
+
+    /// The rule's kebab-case name, as printed in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::WallClock => "wall-clock-use",
+            RuleKind::UnseededRng => "unseeded-rng",
+            RuleKind::HashOrder => "hash-iter-order",
+        }
+    }
+}
+
+/// One justified exemption: `path` (workspace-relative, `/`-separated)
+/// may violate `rule` because `why`.
+#[derive(Clone, Copy, Debug)]
+pub struct Allow {
+    /// Workspace-relative path of the exempted file.
+    pub path: &'static str,
+    /// The rule the file is exempt from.
+    pub rule: RuleKind,
+    /// The justification. Empty justifications are reported as
+    /// `stale-allow`.
+    pub why: &'static str,
+}
+
+/// The justified allowlist. Every entry names one file, one rule, and
+/// the reason the rule does not apply there. `csqp-lint` reports any
+/// entry that stops matching, so deleting the last wall-clock call in a
+/// file forces the entry's deletion too.
+pub const ALLOWLIST: &[Allow] = &[
+    // ---- wall-clock-use: the edges where real time is the subject ----
+    Allow {
+        path: "crates/core/src/cancel.rs",
+        rule: RuleKind::WallClock,
+        why: "deadline home: tokens capture an absolute Instant once and every \
+              other crate asks the token instead of the clock",
+    },
+    Allow {
+        path: "crates/serve/src/engine.rs",
+        rule: RuleKind::WallClock,
+        why: "converts each request's relative deadline_ms to an absolute \
+              Instant at admission and stamps enqueue time for latency metrics",
+    },
+    Allow {
+        path: "crates/serve/src/server.rs",
+        rule: RuleKind::WallClock,
+        why: "workers measure real queue-wait and service latency; those \
+              durations are the serving metrics, not simulated results",
+    },
+    Allow {
+        path: "crates/serve/src/chaos.rs",
+        rule: RuleKind::WallClock,
+        why: "the chaos soak budgets fault pauses and reconnect timeouts in \
+              real time against a live server",
+    },
+    Allow {
+        path: "crates/serve/src/load.rs",
+        rule: RuleKind::WallClock,
+        why: "the load generator paces open-loop arrivals and measures \
+              client-observed latency; wall time is the instrument",
+    },
+    Allow {
+        path: "crates/net/src/chaos.rs",
+        rule: RuleKind::WallClock,
+        why: "fault plans inject real pauses (thread::sleep) to simulate \
+              network stalls on live sockets; durations are seed-derived",
+    },
+    Allow {
+        path: "crates/catalog/src/memory.rs",
+        rule: RuleKind::WallClock,
+        why: "test-only perf guard bounding catalog build time; a ceiling on \
+              runtime, never an experiment result",
+    },
+    Allow {
+        path: "crates/bench/src/harness.rs",
+        rule: RuleKind::WallClock,
+        why: "the bench harness exists to measure wall time; Instant::now is \
+              the product, and means never feed experiment digests",
+    },
+    Allow {
+        path: "crates/experiments/src/bin/main.rs",
+        rule: RuleKind::WallClock,
+        why: "progress reporting for long sweeps; timings are printed to \
+              stderr and never enter result files",
+    },
+    Allow {
+        path: "src/bin/check.rs",
+        rule: RuleKind::WallClock,
+        why: "reports model-checker wall time against its explicit <10s \
+              exploration budget; timing never affects the verdict",
+    },
+    Allow {
+        path: "src/bin/serve.rs",
+        rule: RuleKind::WallClock,
+        why: "metrics cadence and the --seconds shutdown timer of the live \
+              server binary",
+    },
+    Allow {
+        path: "crates/serve/tests/loopback.rs",
+        rule: RuleKind::WallClock,
+        why: "integration tests bound waits on a live loopback server",
+    },
+    Allow {
+        path: "crates/serve/tests/pipeline.rs",
+        rule: RuleKind::WallClock,
+        why: "pipeline-window proptest stamps issue times on a live window",
+    },
+    Allow {
+        path: "crates/serve/tests/scale.rs",
+        rule: RuleKind::WallClock,
+        why: "scale test paces a live server and bounds its total runtime",
+    },
+    // ---- hash-iter-order: uses whose ordering provably cannot leak ----
+    Allow {
+        path: "crates/engine/src/layout.rs",
+        rule: RuleKind::HashOrder,
+        why: "extent maps are point-lookups by RelId; page layout order \
+              derives from the sorted catalog, never from map iteration",
+    },
+    Allow {
+        path: "crates/net/src/chaos.rs",
+        rule: RuleKind::HashOrder,
+        why: "test-only HashSet for dedup assertions; only membership and \
+              cardinality are observed",
+    },
+    Allow {
+        path: "crates/optimizer/src/dp.rs",
+        rule: RuleKind::HashOrder,
+        why: "memo table keyed by relation bitmask; lookups only, winners \
+              chosen by deterministic cost comparison",
+    },
+    Allow {
+        path: "crates/optimizer/src/random.rs",
+        rule: RuleKind::HashOrder,
+        why: "test-only HashSet counting distinct sampled shapes",
+    },
+    Allow {
+        path: "crates/optimizer/src/search.rs",
+        rule: RuleKind::HashOrder,
+        why: "test-only HashMap compared per-key against expected results",
+    },
+    Allow {
+        path: "crates/serve/src/engine.rs",
+        rule: RuleKind::HashOrder,
+        why: "shard session table keyed by connection id; poll readiness, not \
+              map order, drives work, and replies go to per-session sockets",
+    },
+    Allow {
+        path: "crates/serve/src/server.rs",
+        rule: RuleKind::HashOrder,
+        why: "plan cache keyed by canonical plan spec; point lookups only",
+    },
+    Allow {
+        path: "crates/serve/src/load.rs",
+        rule: RuleKind::HashOrder,
+        why: "per-client outstanding-query window keyed by query id; replies \
+              re-associate by id and the digest folds order-independently",
+    },
+];
+
+const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now", "thread::sleep"];
+const RNG_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
+const HASH_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
+struct AllowState {
+    allow: Allow,
+    hit: bool,
+}
+
+/// The lint driver: holds the allowlist and its hit-tracking across a
+/// run, so [`Linter::finish`] can report entries that matched nothing.
+pub struct Linter {
+    allows: Vec<AllowState>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter armed with the built-in [`ALLOWLIST`].
+    pub fn new() -> Linter {
+        Linter::with_allows(ALLOWLIST)
+    }
+
+    /// A linter with a custom allowlist (used by the stale-allow tests).
+    pub fn with_allows(allows: &[Allow]) -> Linter {
+        Linter {
+            allows: allows
+                .iter()
+                .map(|&allow| AllowState { allow, hit: false })
+                .collect(),
+        }
+    }
+
+    /// True when `rel` is exempt from `rule`; marks the entry as used.
+    fn allowed(&mut self, rel: &str, rule: RuleKind) -> bool {
+        let mut any = false;
+        for st in &mut self.allows {
+            if st.allow.rule == rule && st.allow.path == rel {
+                st.hit = true;
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Lint one source file. `rel` is the workspace-relative path
+    /// (`/`-separated) used for allowlist matching and diagnostics.
+    pub fn lint_source(&mut self, rel: &str, source: &str) -> Vec<Diagnostic> {
+        let stripped = strip(source);
+        let mut out = Vec::new();
+        for (idx, line) in stripped.lines().enumerate() {
+            let lineno = idx + 1;
+            for &pat in WALL_CLOCK_PATTERNS {
+                if has_token(line, pat) && !self.allowed(rel, RuleKind::WallClock) {
+                    out.push(at(
+                        DiagCode::WallClockUse,
+                        rel,
+                        lineno,
+                        format!("wall-clock call `{pat}` outside the justified allowlist"),
+                    ));
+                }
+            }
+            for &pat in RNG_PATTERNS {
+                if has_token(line, pat) && !self.allowed(rel, RuleKind::UnseededRng) {
+                    out.push(at(
+                        DiagCode::UnseededRng,
+                        rel,
+                        lineno,
+                        format!("unseeded randomness `{pat}`; derive a SimRng stream instead"),
+                    ));
+                }
+            }
+            for &pat in HASH_PATTERNS {
+                if has_token(line, pat) && !self.allowed(rel, RuleKind::HashOrder) {
+                    out.push(at(
+                        DiagCode::HashIterOrder,
+                        rel,
+                        lineno,
+                        format!(
+                            "`{pat}` without a hash-iter-order allowlist entry; \
+                             use a BTree collection or justify the ordering"
+                        ),
+                    ));
+                }
+            }
+        }
+        out.extend(wire_coverage(rel, &stripped));
+        out
+    }
+
+    /// Report allowlist entries that never matched, or carry no
+    /// justification. Call once, after every file has been linted.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for st in self.allows {
+            if st.allow.why.trim().is_empty() {
+                let mut d = Diagnostic::new(
+                    DiagCode::StaleAllow,
+                    format!(
+                        "allowlist entry for rule `{}` has no justification",
+                        st.allow.rule.name()
+                    ),
+                );
+                d.path = Some(st.allow.path.to_string());
+                out.push(d);
+            }
+            if !st.hit {
+                let mut d = Diagnostic::new(
+                    DiagCode::StaleAllow,
+                    format!(
+                        "allowlist entry for rule `{}` matched nothing; delete it",
+                        st.allow.rule.name()
+                    ),
+                );
+                d.path = Some(st.allow.path.to_string());
+                out.push(d);
+            }
+        }
+        out
+    }
+}
+
+/// Build a diagnostic anchored at `rel:lineno`.
+fn at(code: DiagCode, rel: &str, lineno: usize, detail: String) -> Diagnostic {
+    let mut d = Diagnostic::new(code, detail);
+    d.path = Some(format!("{rel}:{lineno}"));
+    d
+}
+
+/// The wire-code-coverage rule: in any file defining `enum ErrorCode`
+/// or `enum DiagCode`, every variant must appear in the encode table
+/// (`Enum::V => "…"`), and `ErrorCode` variants also in the decode
+/// table (`"…" => Enum::V`).
+fn wire_coverage(rel: &str, stripped: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (enum_name, needs_decode) in [("ErrorCode", true), ("DiagCode", false)] {
+        let Some((def_line, variants)) = enum_variants(stripped, enum_name) else {
+            continue;
+        };
+        for v in variants {
+            let qualified = format!("{enum_name}::{v}");
+            let mut encoded = false;
+            let mut decoded = false;
+            for line in stripped.lines() {
+                let Some(pos) = find_token(line, &qualified) else {
+                    continue;
+                };
+                if line[pos + qualified.len()..].contains("=>") {
+                    encoded = true;
+                }
+                if line[..pos].contains("=>") {
+                    decoded = true;
+                }
+            }
+            if !encoded {
+                out.push(at(
+                    DiagCode::WireCodeCoverage,
+                    rel,
+                    def_line,
+                    format!(
+                        "{qualified} has no encode arm (`{qualified} => …`) in its defining file"
+                    ),
+                ));
+            }
+            if needs_decode && !decoded {
+                out.push(at(
+                    DiagCode::WireCodeCoverage,
+                    rel,
+                    def_line,
+                    format!(
+                        "{qualified} has no decode arm (`… => {qualified}`) in its defining file"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Find `enum name { … }` in stripped source; return its 1-based
+/// definition line and the unit-variant identifiers in the body.
+fn enum_variants(stripped: &str, name: &str) -> Option<(usize, Vec<String>)> {
+    let pat = format!("enum {name}");
+    let pos = find_token(stripped, &pat)?;
+    let def_line = stripped[..pos].matches('\n').count() + 1;
+    let open = pos + stripped[pos..].find('{')?;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (off, c) in stripped[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + off;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &stripped[open + 1..end];
+    let mut variants = Vec::new();
+    for chunk in body.split(',') {
+        let t = chunk.trim();
+        // Take the leading identifier; skip attributes and blanks.
+        let ident: String = t.chars().take_while(|&c| is_ident(c)).collect();
+        if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            variants.push(ident);
+        }
+    }
+    Some((def_line, variants))
+}
+
+/// Statistics and findings of a whole-workspace run.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Every finding, including stale-allow hygiene findings.
+    pub report: Report,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint every `.rs` file under `root`, excluding `target/`, `vendor/`,
+/// `.git/`, and `tests/fixtures/` trees (fixtures are intentionally
+/// dirty). Files are visited in sorted order so the report itself is
+/// deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut linter = Linter::new();
+    let mut report = Report::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        report.extend(linter.lint_source(&rel.replace('\\', "/"), &source));
+    }
+    report.extend(linter.finish());
+    Ok(LintRun {
+        report,
+        files_scanned: files.len(),
+    })
+}
+
+/// Directory names whose subtrees are never linted.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.iter().any(|&s| name == s) {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn allowlist_entries_all_carry_justifications() {
+        for a in ALLOWLIST {
+            assert!(
+                !a.why.trim().is_empty(),
+                "{} ({:?}) has an empty justification",
+                a.path,
+                a.rule
+            );
+        }
+    }
+
+    #[test]
+    fn clean_source_yields_no_diagnostics() {
+        let mut l = Linter::with_allows(&[]);
+        let src = "use std::collections::BTreeMap;\npub fn f() -> u32 { 7 }\n";
+        assert!(l.lint_source("x.rs", src).is_empty());
+        assert!(l.finish().is_empty());
+    }
+
+    #[test]
+    fn allowlisted_file_is_suppressed_and_entry_counts_as_used() {
+        let allows = [Allow {
+            path: "a.rs",
+            rule: RuleKind::WallClock,
+            why: "test",
+        }];
+        let mut l = Linter::with_allows(&allows);
+        let src = "let t = Instant::now();";
+        assert!(l.lint_source("a.rs", src).is_empty());
+        assert!(
+            !l.lint_source("b.rs", src).is_empty(),
+            "other files still trip"
+        );
+        assert!(
+            l.finish().is_empty(),
+            "the entry was used, so no stale-allow"
+        );
+    }
+
+    #[test]
+    fn unused_or_bare_allows_are_stale() {
+        let allows = [
+            Allow {
+                path: "never.rs",
+                rule: RuleKind::HashOrder,
+                why: "justified but unused",
+            },
+            Allow {
+                path: "bare.rs",
+                rule: RuleKind::WallClock,
+                why: "  ",
+            },
+        ];
+        let mut l = Linter::with_allows(&allows);
+        assert!(l.lint_source("bare.rs", "Instant::now()").is_empty());
+        let stale = l.finish();
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale.iter().all(|d| d.code == DiagCode::StaleAllow));
+    }
+
+    #[test]
+    fn wire_coverage_finds_missing_decode_arm() {
+        let src = "\
+pub enum ErrorCode {
+    Known,
+    Forgotten,
+}
+impl ErrorCode {
+    fn as_str(&self) -> &str {
+        match self {
+            ErrorCode::Known => \"known\",
+            ErrorCode::Forgotten => \"forgotten\",
+        }
+    }
+    fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            \"known\" => Some(ErrorCode::Known),
+            _ => None,
+        }
+    }
+}
+";
+        let mut l = Linter::with_allows(&[]);
+        let ds = l.lint_source("wire.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, DiagCode::WireCodeCoverage);
+        assert!(ds[0].detail.contains("Forgotten"));
+        assert!(ds[0].detail.contains("decode"));
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let mut l = Linter::with_allows(&[]);
+        let src = "// Instant::now\nlet s = \"HashMap thread_rng\";\n/* OsRng */\n";
+        assert!(l.lint_source("doc.rs", src).is_empty());
+    }
+}

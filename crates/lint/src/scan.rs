@@ -1,0 +1,238 @@
+//! A comment- and literal-stripping scanner for Rust sources.
+//!
+//! The lint rules are token-substring matches, so the only parsing the
+//! crate needs is "which bytes are code?". [`strip`] answers that: it
+//! replaces the *contents* of comments, string literals, and char
+//! literals with spaces while preserving every newline (line numbers in
+//! diagnostics stay exact) and preserving string *delimiters* (so a
+//! match arm like `"bad-frame" => ErrorCode::BadFrame` still shows its
+//! shape after stripping). This deliberately avoids a full parser: the
+//! workspace has no `syn`, and the rules only need token presence, not
+//! syntax trees.
+
+/// True for characters that can appear inside a Rust identifier.
+pub fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Find `pat` in `hay` as a whole token: the match must not be preceded
+/// or followed by an identifier character. Returns the byte offset of
+/// the first such occurrence.
+pub fn find_token(hay: &str, pat: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(pat) {
+        let abs = start + pos;
+        let before_ok = !hay[..abs].chars().next_back().is_some_and(is_ident);
+        let after_ok = !hay[abs + pat.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + pat.len();
+    }
+    None
+}
+
+/// True when `pat` occurs in `hay` as a whole token (see [`find_token`]).
+pub fn has_token(hay: &str, pat: &str) -> bool {
+    find_token(hay, pat).is_some()
+}
+
+/// Replace comment bodies, string-literal contents, and char-literal
+/// contents with spaces.
+///
+/// Handles line comments, nested block comments, escaped strings, raw
+/// strings (`r"…"`, `r#"…"#`, …), and char literals (including `'"'`
+/// and `'\''`, which must not open a string). Lifetimes (`'a`) pass
+/// through untouched. Newlines are preserved everywhere so
+/// `stripped.lines()` lines up with the original source.
+pub fn strip(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => {
+                            out.push(' ');
+                            i += 1;
+                            if i < b.len() {
+                                out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                                i += 1;
+                            }
+                        }
+                        '"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            out.push('\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if !b[..i].last().is_some_and(|&c| is_ident(c) || c == '"') => {
+                // Possible raw string: r", r#", r##", …
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    for &c in b.iter().take(j + 1).skip(i) {
+                        out.push(c);
+                    }
+                    i = j + 1;
+                    while i < b.len() {
+                        if b[i] == '"' && (0..hashes).all(|h| b.get(i + 1 + h) == Some(&'#')) {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if b.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: '\n', '\'', '\u{7f}', …
+                    out.push_str("   ");
+                    i += 3; // quote, backslash, first escaped char
+                    while i < b.len() && b[i] != '\'' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                    // Plain char literal, including '"'.
+                    out.push_str("   ");
+                    i += 3;
+                } else {
+                    // Lifetime tick.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn line_and_block_comments_are_blanked() {
+        let src = "let a = 1; // Instant::now\n/* SystemTime::now\n */ let b = 2;\n";
+        let s = strip(src);
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("SystemTime::now"));
+        assert!(s.contains("let a = 1;"));
+        assert!(s.contains("let b = 2;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "/* outer /* HashMap */ still comment */ let x = 3;";
+        let s = strip(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_stay() {
+        let src = "let p = \"Instant::now\"; let q = \"a \\\" b\";";
+        let s = strip(src);
+        assert!(!s.contains("Instant::now"));
+        assert_eq!(s.matches('"').count(), 4, "delimiters survive: {s}");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let r1 = r\"thread_rng\"; let r2 = r#\"a \" b HashMap\"#; let end = 1;";
+        let s = strip(src);
+        assert!(!s.contains("thread_rng"));
+        assert!(!s.contains("HashMap"));
+        assert!(
+            s.contains("let end = 1;"),
+            "raw string terminators resync: {s}"
+        );
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let src = "let c = '\"'; let d = '\\''; let e = HashMap::new();";
+        let s = strip(src);
+        assert!(
+            s.contains("HashMap"),
+            "code after char literals survives: {s}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_pass_through() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(strip(src), src);
+    }
+
+    #[test]
+    fn token_matching_requires_boundaries() {
+        assert!(has_token("std::time::Instant::now()", "Instant::now"));
+        assert!(!has_token("MyInstant::nowish()", "Instant::now"));
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("FxHashMap::default()", "HashMap"));
+    }
+}

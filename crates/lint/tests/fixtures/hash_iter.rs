@@ -1,0 +1,14 @@
+//! Fixture: trips `hash-iter-order`. Folding a digest over HashMap
+//! iteration order makes the digest depend on the hasher's random keys.
+//! Not compiled; scanned by `tests/lint.rs`.
+
+use std::collections::HashMap;
+
+/// Digests results in whatever order the map yields them.
+pub fn digest(results: &HashMap<u64, u64>) -> u64 {
+    let mut d = 0xcbf29ce484222325u64;
+    for (k, v) in results {
+        d = (d ^ k ^ v).wrapping_mul(0x100000001b3);
+    }
+    d
+}

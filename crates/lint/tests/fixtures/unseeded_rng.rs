@@ -1,0 +1,9 @@
+//! Fixture: trips `unseeded-rng`. Entropy-seeded randomness makes a run
+//! unreproducible; every random stream must derive from the experiment
+//! seed. Not compiled; scanned by `tests/lint.rs`.
+
+/// Picks a "random" placement that can never be replayed.
+pub fn place() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,12 @@
+//! Fixture: trips `wall-clock-use`. A "simulation" that secretly reads
+//! the machine clock — exactly the bug class the rule exists to catch.
+//! Not compiled; scanned by `tests/lint.rs`.
+
+use std::time::Instant;
+
+/// Returns elapsed real time as if it were a simulated cost.
+pub fn simulated_cost() -> f64 {
+    let start = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    start.elapsed().as_secs_f64()
+}

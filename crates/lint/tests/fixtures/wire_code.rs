@@ -1,0 +1,29 @@
+//! Fixture: trips `wire-code-coverage`. `Forgotten` is encoded onto the
+//! wire but the decode table silently drops it, so a peer can receive a
+//! code it cannot interpret. Not compiled; scanned by `tests/lint.rs`.
+
+/// A wire error vocabulary with a hole in its decode table.
+pub enum ErrorCode {
+    /// Round-trips.
+    Known,
+    /// Encoded, never decoded.
+    Forgotten,
+}
+
+impl ErrorCode {
+    /// Encode table: complete.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Known => "known",
+            ErrorCode::Forgotten => "forgotten",
+        }
+    }
+
+    /// Decode table: missing `Forgotten`.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            "known" => Some(ErrorCode::Known),
+            _ => None,
+        }
+    }
+}

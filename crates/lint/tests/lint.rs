@@ -1,0 +1,100 @@
+//! Integration tests: every fixture trips exactly its intended rule,
+//! and the workspace itself is lint-clean (the same gate `csqp-lint`
+//! and CI enforce).
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+
+use csqp_lint::{lint_workspace, Linter};
+use csqp_verify::DiagCode;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint one fixture with an empty allowlist; return the codes found.
+fn codes(name: &str) -> Vec<DiagCode> {
+    let mut l = Linter::with_allows(&[]);
+    let ds = l.lint_source(name, &fixture(name));
+    assert!(l.finish().is_empty(), "no allows, so nothing can go stale");
+    ds.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn wall_clock_fixture_trips_only_wall_clock_use() {
+    let found = codes("wall_clock.rs");
+    assert!(!found.is_empty(), "fixture must trip");
+    assert!(
+        found.iter().all(|&c| c == DiagCode::WallClockUse),
+        "{found:?}"
+    );
+    // Both the Instant::now and the thread::sleep are caught.
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn unseeded_rng_fixture_trips_only_unseeded_rng() {
+    let found = codes("unseeded_rng.rs");
+    assert_eq!(found, vec![DiagCode::UnseededRng], "{found:?}");
+}
+
+#[test]
+fn hash_iter_fixture_trips_only_hash_iter_order() {
+    let found = codes("hash_iter.rs");
+    assert!(!found.is_empty(), "fixture must trip");
+    assert!(
+        found.iter().all(|&c| c == DiagCode::HashIterOrder),
+        "{found:?}"
+    );
+    // The `use` and both HashMap mentions in signatures are caught.
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn wire_code_fixture_trips_only_wire_code_coverage() {
+    let mut l = Linter::with_allows(&[]);
+    let ds = l.lint_source("wire_code.rs", &fixture("wire_code.rs"));
+    assert_eq!(ds.len(), 1, "{ds:?}");
+    assert_eq!(ds[0].code, DiagCode::WireCodeCoverage);
+    assert!(
+        ds[0].detail.contains("Forgotten") && ds[0].detail.contains("decode"),
+        "names the hole: {}",
+        ds[0].detail
+    );
+}
+
+#[test]
+fn diagnostics_carry_file_and_line_anchors() {
+    let mut l = Linter::with_allows(&[]);
+    let ds = l.lint_source("wall_clock.rs", &fixture("wall_clock.rs"));
+    for d in &ds {
+        let path = d.path.as_deref().expect("every finding is anchored");
+        let (file, line) = path.split_once(':').expect("file:line format");
+        assert_eq!(file, "wall_clock.rs");
+        assert!(line.parse::<usize>().expect("numeric line") > 0);
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let run = lint_workspace(&root).expect("scan workspace");
+    assert!(
+        run.files_scanned > 100,
+        "the walker found the workspace ({} files)",
+        run.files_scanned
+    );
+    assert!(
+        run.report.is_clean(),
+        "workspace must stay lint-clean:\n{}",
+        run.report
+    );
+}

@@ -601,7 +601,7 @@ mod tests {
             Objective::ResponseTime,
             OptConfig::fast(),
         );
-        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let token = CancelToken::expired();
         let mut rng = SimRng::seed_from_u64(42);
         let res = opt.optimize_guarded(&q, &mut rng, &token);
         assert_eq!(res.err(), Some(StopReason::DeadlineExceeded));

@@ -17,11 +17,22 @@
 //!                            more pipelined frames buffered
 //! ```
 //!
+//! The machine itself is *not defined here*: every per-session decision
+//! routes through the pure transition function
+//! [`csqp_verify::protocol::step`] — the shard maps socket readiness,
+//! decoded frames, worker completions, and the shutdown sweep onto
+//! [`protocol::Event`]s, applies `step`, and interprets the returned
+//! [`protocol::Action`]s against the real socket, guards, and admission
+//! queue. The model checker in `csqp-verify` explores the same function
+//! exhaustively (`csqp-check --protocol`), so the machine being checked
+//! is the machine being served.
+//!
 //! Pipelining: a session may have up to
-//! [`crate::ServerConfig::pipeline_depth`] queries outstanding at once.
-//! Each admitted query carries a per-session *serial*; workers post the
+//! [`crate::ServerConfig::pipeline_depth`] queries outstanding at once
+//! (capped at [`protocol::MAX_SERIALS`] so the machine stays finite).
+//! Each admitted query occupies a per-session *slot*; workers post the
 //! outcome to the owning shard's completion queue tagged with `(session,
-//! serial)` and wake its poller, and the shard writes replies in
+//! slot)` and wake its poller, and the shard writes replies in
 //! *completion order* — the client re-associates them by request id. A
 //! QUERY past the window is rejected `saturated` without consuming a
 //! queue slot.
@@ -43,9 +54,11 @@ use std::time::{Duration, Instant};
 
 use csqp_core::cancel::CancelToken;
 use csqp_net::poll::{poll_fds, PollFd, WakeHandle, Waker};
+use csqp_verify::protocol::{self, Action, ErrorClass, Event, SessionModel, SubmitOutcome};
 
 use crate::proto::{
-    DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, ReadStep, ResultRecord,
+    DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, QueryRequest, ReadStep,
+    ResultRecord,
 };
 use crate::server::{
     mangle_reply, Job, QueryService, ReplySink, RETRY_AFTER_MS, SHUTDOWN_RETRY_AFTER_MS,
@@ -56,7 +69,7 @@ use crate::server::{
 pub(crate) struct Completion {
     /// Shard-local session id the query arrived on.
     pub(crate) session: u64,
-    /// The session's serial for this query (see [`Session::inflight`]).
+    /// The session's slot for this query (see [`Session::inflight`]).
     pub(crate) serial: u64,
     /// What the worker produced.
     pub(crate) outcome: Result<ResultRecord, ErrorFrame>,
@@ -128,11 +141,11 @@ fn shard_for_fd(fd: i32, shards: usize) -> usize {
     (fd.max(0) as usize) % shards.max(1)
 }
 
-/// Explicit session states (the machine in the module diagram). The
-/// shard recomputes the state after every pump; poll interest and
-/// teardown decisions derive from the same fields, so the stored state
-/// is the machine's observable face (tests and debug assertions check
-/// it stays consistent).
+/// Explicit session states (the machine in the module diagram),
+/// projected from the pure [`SessionModel`]. The shard recomputes the
+/// state after every pump; poll interest and teardown decisions derive
+/// from the same fields, so the stored state is the machine's observable
+/// face (tests and debug assertions check it stays consistent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SessionState {
     /// Connected, no HELLO seen yet.
@@ -156,50 +169,65 @@ struct InflightQuery {
     seed: u64,
 }
 
-/// One connection, owned by exactly one shard.
+/// One connection, owned by exactly one shard. The decision-bearing
+/// fields live in [`Session::model`]; everything else is the real I/O
+/// the model abstracts (socket, byte buffers, cancellation guards).
 struct Session {
     stream: TcpStream,
     reader: FrameReader,
     /// Bytes queued for the socket, drained front-first by the write pump.
     out: Vec<u8>,
-    /// Admitted-but-unanswered queries, keyed by serial.
-    inflight: HashMap<u64, InflightQuery>,
-    next_serial: u64,
-    handshaken: bool,
-    /// Stop reading (BYE seen, stream poisoned, or peer half-closed).
-    read_closed: bool,
-    /// Close once in-flight queries drain and `out` is flushed.
-    draining: bool,
-    /// Framing is broken (truncated reply sent or garbage received):
-    /// drop further completions, close once `out` is flushed.
-    poisoned: bool,
+    /// The pure protocol state; the only place admit/reject/drain/close
+    /// decisions are made.
+    model: SessionModel,
+    /// Guards and fault seeds for admitted queries, indexed by the
+    /// model's slot. The model's `inflight` bitmask says which entries
+    /// are live.
+    inflight: [Option<InflightQuery>; protocol::MAX_SERIALS as usize],
     state: SessionState,
 }
 
+/// The payload an [`Event`] carries into the action interpreter: the
+/// model decides *what* happens, the context supplies the bytes and
+/// handles the decision applies to.
+enum EventCtx {
+    /// No payload (HELLO, BYE, stats, disconnect, sweeps, drains).
+    None,
+    /// The QUERY frame being admitted or rejected.
+    Query(QueryRequest),
+    /// A submit outcome: the guard and fault seed to stash on admit, the
+    /// wire id to cite on rejection.
+    Submit {
+        guard: Arc<CancelToken>,
+        seed: u64,
+        req_id: u64,
+    },
+    /// The already-mangled reply bytes for a completion.
+    Reply(Vec<u8>),
+    /// The decode error text for protocol garbage.
+    Garbage(String),
+}
+
 impl Session {
-    fn new(stream: TcpStream) -> Session {
+    fn new(stream: TcpStream, window: u8) -> Session {
         Session {
             stream,
             reader: FrameReader::new(),
             out: Vec::new(),
-            inflight: HashMap::new(),
-            next_serial: 0,
-            handshaken: false,
-            read_closed: false,
-            draining: false,
-            poisoned: false,
+            model: SessionModel::new(window),
+            inflight: std::array::from_fn(|_| None),
             state: SessionState::Handshake,
         }
     }
 
-    /// The state the machine is in right now, recomputed from the
-    /// session's fields. Priority order mirrors what the session is
-    /// *blocked on*: the handshake, then outstanding queries, then
-    /// pending output, then a partial frame.
+    /// The state the machine is in right now, projected from the model.
+    /// Priority order mirrors what the session is *blocked on*: the
+    /// handshake, then outstanding queries, then pending output, then a
+    /// partial frame.
     fn current_state(&self) -> SessionState {
-        if !self.handshaken {
+        if !self.model.handshaken {
             SessionState::Handshake
-        } else if !self.inflight.is_empty() {
+        } else if self.model.inflight != 0 {
             SessionState::AwaitingResult
         } else if !self.out.is_empty() {
             SessionState::Writing
@@ -213,27 +241,6 @@ impl Session {
     /// Queue a frame for the socket, unmodified.
     fn push_clean(&mut self, frame: &Frame) {
         self.out.extend_from_slice(&frame.encode());
-    }
-
-    /// Mark the stream unusable and cancel everything outstanding;
-    /// workers record the terminal buckets.
-    fn poison(&mut self) {
-        self.poisoned = true;
-        self.read_closed = true;
-        self.draining = true;
-        for q in self.inflight.values() {
-            q.guard.cancel();
-        }
-    }
-
-    /// True when the shard should drop the session: a poisoned stream
-    /// with its best-effort error flushed, or a drained BYE.
-    fn finished(&self) -> bool {
-        if self.poisoned {
-            self.out.is_empty()
-        } else {
-            self.draining && self.inflight.is_empty() && self.out.is_empty()
-        }
     }
 }
 
@@ -300,7 +307,7 @@ impl Shard {
                 debug_assert_eq!(s.state, s.current_state(), "state retuned after pumps");
                 fds.push(PollFd::new(
                     s.stream.as_raw_fd(),
-                    !s.read_closed,
+                    !s.model.read_closed,
                     !s.out.is_empty(),
                 ));
                 ids.push(id);
@@ -316,7 +323,7 @@ impl Shard {
             for (i, fd) in fds.iter().enumerate().skip(1) {
                 let id = ids[i - 1];
                 if fd.error() {
-                    self.teardown(id);
+                    self.advance(id, Event::Disconnect, EventCtx::None);
                 } else if fd.readable() {
                     self.pump_read(id);
                 }
@@ -333,12 +340,12 @@ impl Shard {
             for id in pending {
                 self.pump_write(id);
             }
-            self.sweep();
         }
     }
 
     /// Pull freshly accepted connections off the registration queue.
     fn adopt_new_sessions(&mut self) {
+        let window = self.service.config().effective_pipeline_depth() as u8;
         while let Ok(stream) = self.reg_rx.try_recv() {
             if stream.set_nonblocking(true).is_err() {
                 continue;
@@ -347,23 +354,150 @@ impl Shard {
             let id = self.next_session;
             self.next_session += 1;
             self.service.metrics().session_opened();
-            self.sessions.insert(id, Session::new(stream));
+            self.sessions.insert(id, Session::new(stream, window));
         }
     }
 
-    /// Drain worker completions: re-associate each by `(session,
-    /// serial)`, apply the reply-fault plan, and queue the reply bytes.
+    /// Apply one protocol event to a session and interpret the resulting
+    /// actions against the real world. This is the *only* path that
+    /// mutates a session's decision state.
+    fn advance(&mut self, id: u64, event: Event, ctx: EventCtx) {
+        let service = Arc::clone(&self.service);
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        let (next, actions) = protocol::step(&s.model, event);
+        s.model = next;
+        let mut submit: Option<(u8, QueryRequest)> = None;
+        let mut close = false;
+        for action in actions {
+            match action {
+                Action::SendHelloAck => {
+                    let config = service.config();
+                    s.push_clean(&Frame::HelloAck(HelloAck {
+                        server: config.name.clone(),
+                        num_servers: config.num_servers,
+                        pipeline_depth: config.effective_pipeline_depth() as u32,
+                    }));
+                }
+                Action::SendStats => {
+                    s.push_clean(&Frame::Stats(service.metrics().snapshot()));
+                }
+                Action::SendError(class) => {
+                    if matches!(class, ErrorClass::Saturated) {
+                        service.metrics().record_reject();
+                    }
+                    s.push_clean(&Frame::Error(error_frame(class, &event, &ctx, &service)));
+                }
+                Action::SendReply(_) => {
+                    if let EventCtx::Reply(bytes) = &ctx {
+                        s.out.extend_from_slice(bytes);
+                    }
+                }
+                Action::TrySubmit(slot) => {
+                    // The submit resolves below, outside the session
+                    // borrow, and re-enters `advance` with the outcome.
+                    if let EventCtx::Query(ref req) = ctx {
+                        submit = Some((slot, req.clone()));
+                    }
+                }
+                Action::Admit(slot) => {
+                    if let EventCtx::Submit {
+                        ref guard, seed, ..
+                    } = ctx
+                    {
+                        s.inflight[slot as usize] = Some(InflightQuery {
+                            guard: Arc::clone(guard),
+                            seed,
+                        });
+                    }
+                }
+                Action::Cancel(slot) => {
+                    if let Some(q) = s.inflight[slot as usize].take() {
+                        q.guard.cancel();
+                    }
+                }
+                Action::Close => close = true,
+            }
+        }
+        s.state = s.current_state();
+        if close {
+            self.finish(id);
+            return;
+        }
+        if let Some((slot, req)) = submit {
+            self.resolve_submit(id, slot, req);
+        }
+    }
+
+    /// Hand an admitted-by-the-window query to the admission queue and
+    /// feed the outcome back into the machine as [`Event::Submit`].
+    fn resolve_submit(&mut self, id: u64, slot: u8, req: QueryRequest) {
+        let service = Arc::clone(&self.service);
+        let req_id = req.id;
+        let seed = req.seed;
+        let deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let guard = Arc::new(CancelToken::new(deadline));
+        let degrade = if service.begin_inflight() >= service.config().effective_high_water() as u64
+        {
+            Some(DegradeReason::Saturated)
+        } else {
+            None
+        };
+        let job = Job {
+            req,
+            reply: ReplySink {
+                tx: self.done_tx.clone(),
+                session: id,
+                serial: u64::from(slot),
+                waker: self.waker.handle(),
+            },
+            enqueued: Instant::now(),
+            guard: Arc::clone(&guard),
+            degrade,
+        };
+        let outcome = match self.submit.try_send(job) {
+            Ok(()) => SubmitOutcome::Admitted,
+            Err(TrySendError::Full(_)) => {
+                service.end_inflight();
+                SubmitOutcome::QueueFull
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                service.end_inflight();
+                service.metrics().record_aborted();
+                SubmitOutcome::PoolGone
+            }
+        };
+        self.advance(
+            id,
+            Event::Submit(outcome),
+            EventCtx::Submit {
+                guard,
+                seed,
+                req_id,
+            },
+        );
+    }
+
+    /// Drain worker completions: re-associate each by `(session, slot)`,
+    /// apply the reply-fault plan, and feed the machine a clean or
+    /// truncated completion event.
     fn drain_completions(&mut self) {
         while let Ok(done) = self.done_rx.try_recv() {
+            let slot = (done.serial % u64::from(protocol::MAX_SERIALS)) as u8;
             let Some(s) = self.sessions.get_mut(&done.session) else {
                 // Session torn down while the query ran; the worker
                 // already recorded the terminal bucket.
                 continue;
             };
-            if s.poisoned {
+            if s.model.poisoned || !s.model.is_inflight(slot) {
+                // The model's drop path: a poisoned stream swallows
+                // completions (the guard was already cancelled).
                 continue;
             }
-            let Some(q) = s.inflight.remove(&done.serial) else {
+            let Some(q) = s.inflight[slot as usize].take() else {
                 continue;
             };
             let frame = match done.outcome {
@@ -371,13 +505,13 @@ impl Shard {
                 Err(err) => Frame::Error(err),
             };
             let wire = mangle_reply(self.service.config(), q.seed, &frame);
-            let closes = wire.closes_session();
-            s.out.extend_from_slice(wire.bytes());
-            if closes {
-                s.poison();
+            let event = if wire.closes_session() {
+                Event::CompletionTruncated(slot)
             } else {
-                s.state = s.current_state();
-            }
+                Event::Completion(slot)
+            };
+            let bytes = wire.bytes().to_vec();
+            self.advance(done.session, event, EventCtx::Reply(bytes));
         }
     }
 
@@ -389,147 +523,55 @@ impl Shard {
             let Some(s) = self.sessions.get_mut(&id) else {
                 return;
             };
-            if s.read_closed {
+            if s.model.read_closed {
                 return;
             }
             match s.reader.step(&mut s.stream) {
                 Ok(ReadStep::Frame(frame)) => self.process_frame(id, frame),
                 Ok(ReadStep::Pending) => {
-                    s.state = s.current_state();
+                    if s.reader.mid_frame() {
+                        self.advance(id, Event::BytesPartial, EventCtx::None);
+                    } else if let Some(s) = self.sessions.get_mut(&id) {
+                        s.state = s.current_state();
+                    }
                     return;
                 }
                 Ok(ReadStep::Closed) => {
-                    self.teardown(id);
+                    self.advance(id, Event::Disconnect, EventCtx::None);
                     return;
                 }
                 Err(e) => {
                     // Protocol garbage: best-effort typed error, then
                     // the stream can no longer be trusted.
-                    s.push_clean(&Frame::Error(ErrorFrame {
-                        id: 0,
-                        code: ErrorCode::BadFrame,
-                        message: e.to_string(),
-                        retry_after_ms: None,
-                    }));
-                    s.poison();
-                    s.state = s.current_state();
+                    self.advance(id, Event::FrameGarbage, EventCtx::Garbage(e.to_string()));
                     return;
                 }
             }
         }
     }
 
-    /// Handle one decoded client frame on session `id`.
+    /// Map one decoded client frame on session `id` to its protocol
+    /// event.
     fn process_frame(&mut self, id: u64, frame: Frame) {
-        let config = self.service.config().clone();
-        let Some(s) = self.sessions.get_mut(&id) else {
-            return;
-        };
         match frame {
-            Frame::Hello(_) => {
-                s.handshaken = true;
-                s.push_clean(&Frame::HelloAck(HelloAck {
-                    server: config.name.clone(),
-                    num_servers: config.num_servers,
-                    pipeline_depth: config.effective_pipeline_depth() as u32,
-                }));
-            }
+            Frame::Hello(_) => self.advance(id, Event::FrameHello, EventCtx::None),
             Frame::Query(req) => {
                 self.service.metrics().record_submitted();
-                let id_in_req = req.id;
-                let seed = req.seed;
-                if s.inflight.len() >= config.effective_pipeline_depth() {
-                    // Window violation: reject without consuming a
-                    // queue slot or an in-flight count.
-                    self.service.metrics().record_reject();
-                    s.push_clean(&Frame::Error(ErrorFrame {
-                        id: id_in_req,
-                        code: ErrorCode::Saturated,
-                        message: format!(
-                            "pipeline window full ({} outstanding)",
-                            config.effective_pipeline_depth()
-                        ),
-                        retry_after_ms: Some(RETRY_AFTER_MS),
-                    }));
-                    s.state = s.current_state();
-                    return;
-                }
-                let deadline = req
-                    .deadline_ms
-                    .map(|ms| Instant::now() + Duration::from_millis(ms));
-                let guard = Arc::new(CancelToken::new(deadline));
-                let degrade =
-                    if self.service.begin_inflight() >= config.effective_high_water() as u64 {
-                        Some(DegradeReason::Saturated)
-                    } else {
-                        None
-                    };
-                let serial = s.next_serial;
-                s.next_serial += 1;
-                let job = Job {
-                    req,
-                    reply: ReplySink::Shard {
-                        tx: self.done_tx.clone(),
-                        session: id,
-                        serial,
-                        waker: self.waker.handle(),
-                    },
-                    enqueued: Instant::now(),
-                    guard: Arc::clone(&guard),
-                    degrade,
-                };
-                match self.submit.try_send(job) {
-                    Ok(()) => {
-                        s.inflight.insert(serial, InflightQuery { guard, seed });
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        self.service.end_inflight();
-                        self.service.metrics().record_reject();
-                        s.push_clean(&Frame::Error(ErrorFrame {
-                            id: id_in_req,
-                            code: ErrorCode::Saturated,
-                            message: "admission queue full".to_string(),
-                            retry_after_ms: Some(RETRY_AFTER_MS),
-                        }));
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        self.service.end_inflight();
-                        self.service.metrics().record_aborted();
-                        s.push_clean(&Frame::Error(ErrorFrame {
-                            id: id_in_req,
-                            code: ErrorCode::ShuttingDown,
-                            message: "server shutting down".to_string(),
-                            retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
-                        }));
-                        s.read_closed = true;
-                        s.draining = true;
-                    }
-                }
+                self.advance(id, Event::FrameQuery, EventCtx::Query(req));
             }
-            Frame::StatsRequest => {
-                s.push_clean(&Frame::Stats(self.service.metrics().snapshot()));
-            }
-            Frame::Bye => {
-                // Stop reading; pipelined replies still owed are
-                // delivered before the session closes.
-                s.read_closed = true;
-                s.draining = true;
-            }
+            Frame::StatsRequest => self.advance(id, Event::FrameStats, EventCtx::None),
+            Frame::Bye => self.advance(id, Event::FrameBye, EventCtx::None),
             // Server-to-client frames arriving at the server are a
             // client bug, not stream corruption: report and continue.
             Frame::HelloAck(_) | Frame::Result(_) | Frame::Error(_) | Frame::Stats(_) => {
-                s.push_clean(&Frame::Error(ErrorFrame {
-                    id: 0,
-                    code: ErrorCode::BadRequest,
-                    message: "unexpected server-to-client frame".to_string(),
-                    retry_after_ms: None,
-                }));
+                self.advance(id, Event::FrameUnexpected, EventCtx::None);
             }
         }
-        s.state = s.current_state();
     }
 
-    /// Write queued bytes until the socket would block or `out` drains.
+    /// Write queued bytes until the socket would block or `out` drains;
+    /// a full drain is an event the machine observes (it may finish a
+    /// draining or poisoned session).
     fn pump_write(&mut self, id: u64) {
         let Some(s) = self.sessions.get_mut(&id) else {
             return;
@@ -554,58 +596,98 @@ impl Shard {
             }
         };
         s.out.drain(..wrote);
+        let drained = s.out.is_empty() && s.model.out_pending > 0;
+        s.state = s.current_state();
         if dead {
-            self.teardown(id);
-        } else if let Some(s) = self.sessions.get_mut(&id) {
-            s.state = s.current_state();
+            self.advance(id, Event::Disconnect, EventCtx::None);
+        } else if drained {
+            self.advance(id, Event::WriteDrained, EventCtx::None);
         }
     }
 
-    /// Drop a session whose peer vanished: cancel every in-flight guard
-    /// so workers abandon its queries at their next probe.
-    fn teardown(&mut self, id: u64) {
-        if let Some(s) = self.sessions.remove(&id) {
-            for q in s.inflight.values() {
+    /// Interpret [`Action::Close`]: flush what the machine queued on the
+    /// way out (best effort — the peer may be gone), drop the session,
+    /// record the metric. Guards were cancelled by the [`Action::Cancel`]s
+    /// the machine emitted before closing.
+    fn finish(&mut self, id: u64) {
+        if let Some(mut s) = self.sessions.remove(&id) {
+            if !s.out.is_empty() {
+                let _ = s.stream.write(&s.out);
+            }
+            for q in s.inflight.iter_mut().filter_map(Option::take) {
                 q.guard.cancel();
             }
             self.service.metrics().session_closed();
         }
     }
 
-    /// Remove sessions that finished gracefully (BYE drained, or a
-    /// poisoned stream with its error flushed).
-    fn sweep(&mut self) {
-        let done: Vec<u64> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| s.finished())
-            .map(|(&id, _)| id)
-            .collect();
-        for id in done {
-            if self.sessions.remove(&id).is_some() {
-                self.service.metrics().session_closed();
-            }
-        }
-    }
-
-    /// Shutdown: best-effort ShuttingDown error to every session, one
-    /// write pass, cancel everything outstanding, release the gauge.
+    /// Shutdown: the machine's shutdown sweep for every session — a
+    /// best-effort ShuttingDown error, cancel everything outstanding,
+    /// close.
     fn close_all(&mut self) {
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
-        for &id in &ids {
-            if let Some(s) = self.sessions.get_mut(&id) {
-                s.push_clean(&Frame::Error(ErrorFrame {
-                    id: 0,
-                    code: ErrorCode::ShuttingDown,
-                    message: "server shutting down".to_string(),
-                    retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
-                }));
-            }
-            self.pump_write(id);
-        }
         for id in ids {
-            self.teardown(id);
+            self.advance(id, Event::ShutdownSweep, EventCtx::None);
         }
+    }
+}
+
+/// The wire error frame for a machine-decided [`Action::SendError`]:
+/// the class comes from the model, the message and retry hint from the
+/// event's real-world context.
+fn error_frame(
+    class: ErrorClass,
+    event: &Event,
+    ctx: &EventCtx,
+    service: &QueryService,
+) -> ErrorFrame {
+    match class {
+        ErrorClass::Saturated => match ctx {
+            // Window rejection: the QUERY never reached the queue.
+            EventCtx::Query(req) => ErrorFrame {
+                id: req.id,
+                code: ErrorCode::Saturated,
+                message: format!(
+                    "pipeline window full ({} outstanding)",
+                    service.config().effective_pipeline_depth()
+                ),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            },
+            // Admission-queue rejection.
+            _ => ErrorFrame {
+                id: match ctx {
+                    EventCtx::Submit { req_id, .. } => *req_id,
+                    _ => 0,
+                },
+                code: ErrorCode::Saturated,
+                message: "admission queue full".to_string(),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            },
+        },
+        ErrorClass::BadFrame => ErrorFrame {
+            id: 0,
+            code: ErrorCode::BadFrame,
+            message: match ctx {
+                EventCtx::Garbage(text) => text.clone(),
+                _ => "malformed frame".to_string(),
+            },
+            retry_after_ms: None,
+        },
+        ErrorClass::BadRequest => ErrorFrame {
+            id: 0,
+            code: ErrorCode::BadRequest,
+            message: "unexpected server-to-client frame".to_string(),
+            retry_after_ms: None,
+        },
+        ErrorClass::ShuttingDown => ErrorFrame {
+            id: match (event, ctx) {
+                (Event::Submit(_), EventCtx::Submit { req_id, .. }) => *req_id,
+                _ => 0,
+            },
+            code: ErrorCode::ShuttingDown,
+            message: "server shutting down".to_string(),
+            retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
+        },
     }
 }
 
@@ -620,27 +702,21 @@ mod tests {
         let client = TcpStream::connect(addr).expect("connect");
         let (server, _) = listener.accept().expect("accept");
         server.set_nonblocking(true).expect("nonblocking");
-        (Session::new(server), client)
+        (Session::new(server, 8), client)
     }
 
     #[test]
     fn state_machine_transitions_in_priority_order() {
         let (mut s, _client) = loopback_session();
         assert_eq!(s.current_state(), SessionState::Handshake);
-        s.handshaken = true;
+        s.model.handshaken = true;
         assert_eq!(s.current_state(), SessionState::Idle);
         s.out.extend_from_slice(b"reply bytes");
         assert_eq!(s.current_state(), SessionState::Writing);
-        s.inflight.insert(
-            0,
-            InflightQuery {
-                guard: Arc::new(CancelToken::inert()),
-                seed: 1,
-            },
-        );
+        s.model.inflight = 0b1;
         // An outstanding query outranks pending output.
         assert_eq!(s.current_state(), SessionState::AwaitingResult);
-        s.inflight.clear();
+        s.model.inflight = 0;
         s.out.clear();
         assert_eq!(s.current_state(), SessionState::Idle);
     }
@@ -649,7 +725,7 @@ mod tests {
     fn reading_frame_state_reflects_a_partial_frame() {
         use std::io::Write as _;
         let (mut s, mut client) = loopback_session();
-        s.handshaken = true;
+        s.model.handshaken = true;
         // First 5 bytes of a real frame: mid-frame after one step.
         let bytes = Frame::Bye.encode();
         client.write_all(&bytes[..5]).expect("partial write");
@@ -667,42 +743,39 @@ mod tests {
     }
 
     #[test]
-    fn poison_cancels_inflight_and_finishes_after_flush() {
+    fn garbage_event_poisons_and_cancels_inflight() {
         let (mut s, _client) = loopback_session();
         let guard = Arc::new(CancelToken::inert());
-        s.inflight.insert(
-            7,
-            InflightQuery {
-                guard: Arc::clone(&guard),
-                seed: 9,
-            },
+        s.model.handshaken = true;
+        s.model.inflight = 0b1000; // slot 3
+        s.inflight[3] = Some(InflightQuery {
+            guard: Arc::clone(&guard),
+            seed: 9,
+        });
+        let (next, actions) = protocol::step(&s.model, Event::FrameGarbage);
+        s.model = next;
+        assert!(s.model.poisoned);
+        assert!(
+            actions.contains(&Action::Cancel(3)),
+            "poisoning cancels workers: {actions:?}"
         );
-        s.out.extend_from_slice(b"partial reply");
-        s.poison();
-        assert!(guard.is_cancelled(), "teardown cancels workers");
-        assert!(!s.finished(), "error bytes still owed");
-        s.out.clear();
-        assert!(s.finished(), "poisoned + flushed = removable");
+        assert!(!s.model.finished(), "error bytes still owed");
+        let (next, _) = protocol::step(&s.model, Event::WriteDrained);
+        assert!(next.closed, "poisoned + flushed = removable");
     }
 
     #[test]
     fn draining_session_waits_for_inflight_and_output() {
         let (mut s, _client) = loopback_session();
-        s.handshaken = true;
-        s.draining = true;
-        s.inflight.insert(
-            0,
-            InflightQuery {
-                guard: Arc::new(CancelToken::inert()),
-                seed: 1,
-            },
-        );
-        assert!(!s.finished(), "a pipelined reply is still owed");
-        s.inflight.clear();
-        s.out.extend_from_slice(b"the reply");
-        assert!(!s.finished(), "reply not flushed yet");
-        s.out.clear();
-        assert!(s.finished());
+        s.model.handshaken = true;
+        s.model.draining = true;
+        s.model.inflight = 0b1;
+        assert!(!s.model.finished(), "a pipelined reply is still owed");
+        s.model.inflight = 0;
+        s.model.out_pending = 1;
+        assert!(!s.model.finished(), "reply not flushed yet");
+        s.model.out_pending = 0;
+        assert!(s.model.finished());
     }
 
     #[test]

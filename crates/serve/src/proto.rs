@@ -284,12 +284,11 @@ pub struct HelloAck {
     /// Number of data servers in the hosted topology.
     pub num_servers: u32,
     /// Largest number of QUERY frames the client may have outstanding on
-    /// this session before reading replies. The event-driven engine
-    /// advertises its configured window; the legacy threaded engine
-    /// advertises 1 (it answers each query before reading the next
-    /// frame). A QUERY past the window is rejected with a `saturated`
-    /// ERROR. Absent on the wire means 1, so pre-pipelining peers
-    /// interoperate.
+    /// this session before reading replies (the server's configured
+    /// window, capped so the session machine stays finite — see
+    /// `csqp_verify::protocol::MAX_SERIALS`). A QUERY past the window is
+    /// rejected with a `saturated` ERROR. Absent on the wire means 1, so
+    /// pre-pipelining peers interoperate.
     pub pipeline_depth: u32,
 }
 

@@ -1,11 +1,10 @@
 //! The multi-threaded TCP query service.
 //!
-//! Threading model (documented in DESIGN.md §8):
+//! Threading model (documented in DESIGN.md §8 and §10):
 //!
-//! - one *accept* thread owns the listener;
-//! - one *connection* thread per accepted socket runs the session state
-//!   machine (HELLO → QUERY* → BYE) with a short read timeout so it can
-//!   observe shutdown;
+//! - one *accept* thread owns the listener and routes sockets to shards;
+//! - a fixed set of *shard* event-loop threads multiplexes every session
+//!   (HELLO → QUERY* → BYE) over `poll(2)` — see the `engine` module;
 //! - a fixed *worker pool* drains a bounded admission queue
 //!   (`std::sync::mpsc::sync_channel`) and executes queries against the
 //!   shared [`QueryService`].
@@ -23,10 +22,9 @@
 //! worker runs them.
 
 use std::collections::HashMap;
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,8 +39,8 @@ use csqp_workload::{random_placement, WorkloadSpec};
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    read_frame, write_frame, DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck,
-    OptimizerMode, QueryRequest, ReadStep, ResultRecord, WireError,
+    read_frame, write_frame, DegradeReason, ErrorCode, ErrorFrame, Frame, OptimizerMode,
+    QueryRequest, ResultRecord, WireError,
 };
 
 /// FNV-1a over a byte string; the deterministic mixer used for catalog
@@ -88,19 +86,15 @@ pub struct ServerConfig {
     /// The hard reject still happens when the queue itself is full.
     pub high_water: Option<usize>,
     /// Per-session pipelining window: how many QUERY frames one session
-    /// may have outstanding before reading replies (event-driven engine
-    /// only; the legacy threaded engine is stop-and-wait). Advertised in
+    /// may have outstanding before reading replies. Advertised in
     /// HELLO-ACK; a QUERY past the window is rejected `saturated`.
-    /// Clamped to at least 1.
+    /// Clamped to `1..=`[`csqp_verify::protocol::MAX_SERIALS`] — the cap
+    /// keeps the session machine finite, which is what lets
+    /// `csqp-check --protocol` model-check it exhaustively.
     pub pipeline_depth: usize,
-    /// Event-loop threads multiplexing all sessions in the event-driven
-    /// engine (sessions are sharded across them by file descriptor).
-    /// Clamped to at least 1. Ignored in threaded mode.
+    /// Event-loop threads multiplexing all sessions (sessions are
+    /// sharded across them by file descriptor). Clamped to at least 1.
     pub event_threads: usize,
-    /// Run the legacy thread-per-connection session layer instead of the
-    /// event-driven engine. Kept for one release as the equivalence
-    /// baseline; see DESIGN.md §10.
-    pub threaded: bool,
     /// Server-side reply-path fault injection: when set, RESULT/ERROR
     /// frames produced by query execution are deterministically
     /// truncated or corrupted per the plan, keyed by the request's own
@@ -122,7 +116,6 @@ impl Default for ServerConfig {
             high_water: None,
             pipeline_depth: 8,
             event_threads: 2,
-            threaded: false,
             reply_faults: None,
         }
     }
@@ -136,14 +129,11 @@ impl ServerConfig {
     }
 
     /// The pipelining window this configuration actually grants a
-    /// session: the configured depth under the event-driven engine,
-    /// 1 (stop-and-wait) under the legacy threaded engine.
+    /// session: the configured depth, clamped to the finite-machine cap
+    /// (see [`ServerConfig::pipeline_depth`]).
     pub fn effective_pipeline_depth(&self) -> usize {
-        if self.threaded {
-            1
-        } else {
-            self.pipeline_depth.max(1)
-        }
+        self.pipeline_depth
+            .clamp(1, csqp_verify::protocol::MAX_SERIALS as usize)
     }
 }
 
@@ -420,25 +410,19 @@ impl QueryService {
     }
 }
 
-/// Where a worker delivers a finished query's outcome.
-pub(crate) enum ReplySink {
-    /// The legacy threaded engine: the connection thread blocks on the
-    /// receiving half.
-    Channel(mpsc::Sender<Result<ResultRecord, ErrorFrame>>),
-    /// The event-driven engine: the outcome is posted to the owning
-    /// shard's completion queue — tagged with the session and the job
-    /// serial so the shard re-associates it — and the shard's poller is
-    /// woken.
-    Shard {
-        /// The owning shard's completion queue.
-        tx: mpsc::Sender<crate::engine::Completion>,
-        /// Session the query arrived on (shard-local id).
-        session: u64,
-        /// The session's serial for this query.
-        serial: u64,
-        /// Wakes the shard's poll loop after posting.
-        waker: csqp_net::poll::WakeHandle,
-    },
+/// Where a worker delivers a finished query's outcome: the owning
+/// shard's completion queue — tagged with the session and the job serial
+/// so the shard re-associates it — plus the waker that interrupts the
+/// shard's poll sleep.
+pub(crate) struct ReplySink {
+    /// The owning shard's completion queue.
+    pub(crate) tx: mpsc::Sender<crate::engine::Completion>,
+    /// Session the query arrived on (shard-local id).
+    pub(crate) session: u64,
+    /// The session's slot for this query.
+    pub(crate) serial: u64,
+    /// Wakes the shard's poll loop after posting.
+    pub(crate) waker: csqp_net::poll::WakeHandle,
 }
 
 impl ReplySink {
@@ -446,24 +430,12 @@ impl ReplySink {
     /// shard shut down) is fine — the worker has already recorded the
     /// terminal metrics bucket.
     fn deliver(self, outcome: Result<ResultRecord, ErrorFrame>) {
-        match self {
-            ReplySink::Channel(tx) => {
-                let _ = tx.send(outcome);
-            }
-            ReplySink::Shard {
-                tx,
-                session,
-                serial,
-                waker,
-            } => {
-                let _ = tx.send(crate::engine::Completion {
-                    session,
-                    serial,
-                    outcome,
-                });
-                waker.wake();
-            }
-        }
+        let _ = self.tx.send(crate::engine::Completion {
+            session: self.session,
+            serial: self.serial,
+            outcome,
+        });
+        self.waker.wake();
     }
 }
 
@@ -556,10 +528,9 @@ impl Server {
         Arc::clone(&self.service)
     }
 
-    /// Start the session layer (event-driven shards by default, the
-    /// legacy thread-per-connection loop with
-    /// [`ServerConfig::threaded`]) plus the worker pool on background
-    /// threads, and return a handle for shutdown.
+    /// Start the session layer (the event-driven shard engine) plus the
+    /// worker pool on background threads, and return a handle for
+    /// shutdown.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let service = Arc::clone(&self.service);
@@ -580,38 +551,23 @@ impl Server {
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_submit = submit.clone();
-        let accept_service = Arc::clone(&service);
         let mut shards = Vec::new();
-        let accept = if cfg.threaded {
-            std::thread::Builder::new()
-                .name("csqp-accept".to_string())
-                .spawn(move || {
-                    accept_loop(
-                        &self.listener,
-                        &accept_service,
-                        &accept_submit,
-                        &accept_shutdown,
-                    )
-                })?
-        } else {
-            let mut registrars = Vec::with_capacity(cfg.event_threads.max(1));
-            for i in 0..cfg.event_threads.max(1) {
-                let shard = crate::engine::Shard::spawn(
-                    i,
-                    Arc::clone(&service),
-                    submit.clone(),
-                    Arc::clone(&shutdown),
-                )?;
-                registrars.push(shard.registrar());
-                shards.push(shard);
-            }
-            std::thread::Builder::new()
-                .name("csqp-accept".to_string())
-                .spawn(move || {
-                    crate::engine::accept_into_shards(&self.listener, &registrars, &accept_shutdown)
-                })?
-        };
+        let mut registrars = Vec::with_capacity(cfg.event_threads.max(1));
+        for i in 0..cfg.event_threads.max(1) {
+            let shard = crate::engine::Shard::spawn(
+                i,
+                Arc::clone(&service),
+                submit.clone(),
+                Arc::clone(&shutdown),
+            )?;
+            registrars.push(shard.registrar());
+            shards.push(shard);
+        }
+        let accept = std::thread::Builder::new()
+            .name("csqp-accept".to_string())
+            .spawn(move || {
+                crate::engine::accept_into_shards(&self.listener, &registrars, &accept_shutdown)
+            })?;
 
         Ok(ServerHandle {
             addr,
@@ -724,256 +680,6 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
         // A vanished requester (connection closed mid-flight) is fine.
         job.reply.deliver(outcome);
     }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    service: &Arc<QueryService>,
-    submit: &SyncSender<Job>,
-    shutdown: &Arc<AtomicBool>,
-) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let service = Arc::clone(service);
-        let submit = submit.clone();
-        let shutdown = Arc::clone(shutdown);
-        // Connection threads are detached: they observe the shutdown flag
-        // within one read timeout and exit, dropping their queue sender.
-        let _ = std::thread::Builder::new()
-            .name("csqp-conn".to_string())
-            .spawn(move || {
-                service.metrics().session_opened();
-                let _ = serve_connection(stream, &service, &submit, &shutdown);
-                service.metrics().session_closed();
-            });
-    }
-}
-
-/// The per-connection session loop. Returns on BYE, peer close, shutdown,
-/// or a session-fatal protocol error (after a best-effort ERROR frame).
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &QueryService,
-    submit: &SyncSender<Job>,
-    shutdown: &AtomicBool,
-) -> Result<(), WireError> {
-    stream.set_read_timeout(Some(service.config().read_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            let _ = write_frame(
-                &mut stream,
-                &Frame::Error(ErrorFrame {
-                    id: 0,
-                    code: ErrorCode::ShuttingDown,
-                    message: "server shutting down".to_string(),
-                    retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
-                }),
-            );
-            return Ok(());
-        }
-        let frame = match reader.step(&mut stream) {
-            Ok(ReadStep::Pending) => continue,
-            Ok(ReadStep::Closed) => return Ok(()),
-            Ok(ReadStep::Frame(f)) => f,
-            Err(e) => {
-                // Protocol garbage: answer with a typed error, then hang
-                // up — the byte stream can no longer be trusted.
-                let _ = write_frame(
-                    &mut stream,
-                    &Frame::Error(ErrorFrame {
-                        id: 0,
-                        code: ErrorCode::BadFrame,
-                        message: e.to_string(),
-                        retry_after_ms: None,
-                    }),
-                );
-                return Err(e);
-            }
-        };
-        match frame {
-            Frame::Hello(_) => {
-                write_frame(
-                    &mut stream,
-                    &Frame::HelloAck(HelloAck {
-                        server: service.config().name.clone(),
-                        num_servers: service.config().num_servers,
-                        // This engine is stop-and-wait: one outstanding
-                        // query per session, whatever the config says.
-                        pipeline_depth: 1,
-                    }),
-                )?;
-            }
-            Frame::Query(req) => {
-                service.metrics().record_submitted();
-                let id = req.id;
-                let seed = req.seed;
-                let deadline = req
-                    .deadline_ms
-                    .map(|ms| Instant::now() + Duration::from_millis(ms));
-                let guard = Arc::new(CancelToken::new(deadline));
-                // Degradation verdict is taken at admission, against the
-                // pre-admission in-flight count: past the high-water mark
-                // new queries run degraded (QS) so the backlog drains
-                // with the cheapest-to-release plans.
-                let degrade =
-                    if service.begin_inflight() >= service.config().effective_high_water() as u64 {
-                        Some(DegradeReason::Saturated)
-                    } else {
-                        None
-                    };
-                let (reply, result) = mpsc::channel();
-                let job = Job {
-                    req,
-                    reply: ReplySink::Channel(reply),
-                    enqueued: Instant::now(),
-                    guard: Arc::clone(&guard),
-                    degrade,
-                };
-                match submit.try_send(job) {
-                    Ok(()) => {
-                        // The worker owns the in-flight decrement and the
-                        // terminal metrics record from here on.
-                        let outcome = await_outcome(
-                            &stream,
-                            &result,
-                            &guard,
-                            shutdown,
-                            service.config().read_timeout,
-                        )
-                        .ok_or_else(|| {
-                            WireError::Io(std::io::Error::other("worker pool hung up"))
-                        })?;
-                        let frame = match outcome {
-                            Ok(record) => Frame::Result(record),
-                            Err(err) => Frame::Error(err),
-                        };
-                        // Completion-path reply: subject to the reply
-                        // fault plan, like the event engine's.
-                        let wire = mangle_reply(service.config(), seed, &frame);
-                        stream.write_all(wire.bytes())?;
-                        stream.flush()?;
-                        if wire.closes_session() {
-                            return Ok(());
-                        }
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        service.end_inflight();
-                        service.metrics().record_reject();
-                        write_frame(
-                            &mut stream,
-                            &Frame::Error(ErrorFrame {
-                                id,
-                                code: ErrorCode::Saturated,
-                                message: "admission queue full".to_string(),
-                                retry_after_ms: Some(RETRY_AFTER_MS),
-                            }),
-                        )?;
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        // The pool is gone (shutdown); this query never
-                        // reaches a worker, so account it here.
-                        service.end_inflight();
-                        service.metrics().record_aborted();
-                        write_frame(
-                            &mut stream,
-                            &Frame::Error(ErrorFrame {
-                                id,
-                                code: ErrorCode::ShuttingDown,
-                                message: "server shutting down".to_string(),
-                                retry_after_ms: Some(SHUTDOWN_RETRY_AFTER_MS),
-                            }),
-                        )?;
-                        return Ok(());
-                    }
-                }
-            }
-            Frame::StatsRequest => {
-                write_frame(&mut stream, &Frame::Stats(service.metrics().snapshot()))?;
-            }
-            Frame::Bye => {
-                stream.flush()?;
-                return Ok(());
-            }
-            // Server-to-client frames arriving at the server are a
-            // client bug, not a stream corruption: report and continue.
-            Frame::HelloAck(_) | Frame::Result(_) | Frame::Error(_) | Frame::Stats(_) => {
-                write_frame(
-                    &mut stream,
-                    &Frame::Error(ErrorFrame {
-                        id: 0,
-                        code: ErrorCode::BadRequest,
-                        message: "unexpected server-to-client frame".to_string(),
-                        retry_after_ms: None,
-                    }),
-                )?;
-            }
-        }
-    }
-}
-
-/// Wait for the worker's outcome while watching the requester: every
-/// poll tick (one read timeout), probe the socket with a short `peek`;
-/// a closed peer or server shutdown cancels the guard, and the worker —
-/// probing the same token between search steps — releases within a few
-/// cost-model evaluations. Returns `None` only if the worker pool
-/// vanished without replying.
-fn await_outcome(
-    stream: &TcpStream,
-    result: &Receiver<Result<ResultRecord, ErrorFrame>>,
-    guard: &CancelToken,
-    shutdown: &AtomicBool,
-    poll: Duration,
-) -> Option<Result<ResultRecord, ErrorFrame>> {
-    loop {
-        match result.recv_timeout(poll) {
-            Ok(outcome) => return Some(outcome),
-            Err(RecvTimeoutError::Timeout) => {
-                if guard.is_cancelled() {
-                    // Already cancelled; just keep waiting for the
-                    // worker's (typed, prompt) reply.
-                    continue;
-                }
-                if shutdown.load(Ordering::SeqCst) || stream_closed(stream, poll) {
-                    guard.cancel();
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return None,
-        }
-    }
-}
-
-/// True when the peer has closed its end of `stream`: a zero-byte
-/// `peek`. `peek` does not consume pipelined bytes, so probing is safe
-/// mid-session. A short temporary read timeout keeps the probe from
-/// stalling the wait loop; `restore` is re-armed before returning.
-fn stream_closed(stream: &TcpStream, restore: Duration) -> bool {
-    let mut byte = [0u8; 1];
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(5)))
-        .is_err()
-    {
-        return true;
-    }
-    let closed = match stream.peek(&mut byte) {
-        Ok(0) => true,
-        Ok(_) => false,
-        Err(e) => !matches!(
-            e.kind(),
-            std::io::ErrorKind::WouldBlock
-                | std::io::ErrorKind::TimedOut
-                | std::io::ErrorKind::Interrupted
-        ),
-    };
-    let _ = stream.set_read_timeout(Some(restore));
-    closed
 }
 
 /// Blocking client helper: send one frame and read the next reply frame.

@@ -56,22 +56,23 @@ fn next_frame(stream: &mut TcpStream) -> Frame {
 
 #[test]
 fn hello_ack_advertises_the_configured_window() {
-    let event = spawn(ServerConfig {
+    let server = spawn(ServerConfig {
         pipeline_depth: 5,
         ..ServerConfig::default()
     });
-    let (_stream, depth) = open(&event.addr().to_string());
-    assert_eq!(depth, 5, "event engine advertises its window");
-    event.shutdown();
+    let (_stream, depth) = open(&server.addr().to_string());
+    assert_eq!(depth, 5, "the engine advertises its window");
+    server.shutdown();
 
-    let threaded = spawn(ServerConfig {
-        pipeline_depth: 5,
-        threaded: true,
+    // An absurd configured depth is clamped to the finite-machine cap
+    // the model checker explores (csqp_verify::protocol::MAX_SERIALS).
+    let capped = spawn(ServerConfig {
+        pipeline_depth: 1_000,
         ..ServerConfig::default()
     });
-    let (_stream, depth) = open(&threaded.addr().to_string());
-    assert_eq!(depth, 1, "legacy engine is stop-and-wait");
-    threaded.shutdown();
+    let (_stream, depth) = open(&capped.addr().to_string());
+    assert_eq!(depth, 16, "window is capped so the machine stays finite");
+    capped.shutdown();
 }
 
 #[test]

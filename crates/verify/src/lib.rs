@@ -50,6 +50,7 @@
 pub mod conformance;
 pub mod determinism;
 pub mod invariants;
+pub mod protocol;
 pub mod report;
 pub mod structural;
 

@@ -1,0 +1,894 @@
+//! Bounded exhaustive model checking for the serving session engine.
+//!
+//! The event-driven engine in `csqp-serve` drives every connection as an
+//! explicit state machine (DESIGN.md §10). Its invariants — one reply per
+//! admitted request, the pipeline window never over-admits, teardown
+//! always releases the workers — were previously sampled by seeded chaos
+//! soaks, which only visit the interleavings a seed happens to hit. This
+//! module checks them *exhaustively*: the session transition relation is
+//! the pure function [`step`] (no sockets, no clocks, no threads), and
+//! [`ModelChecker`] enumerates every event interleaving up to a bounded
+//! depth, reporting each violation as a [`Diagnostic`] carrying the
+//! minimal event trace that triggers it (breadth-first search reaches
+//! every state by a shortest path first).
+//!
+//! The engine itself routes its per-session decisions through the same
+//! [`step`] function (`csqp-serve` interprets the returned [`Action`]s
+//! against real sockets and worker queues), so the machine being checked
+//! is the machine being served — not a parallel transcription that can
+//! drift.
+//!
+//! # Event alphabet
+//!
+//! [`Event`] abstracts everything the outside world can do to one
+//! session: frame bytes arriving at arbitrary split points
+//! ([`Event::BytesPartial`] then a complete-frame event), each decodable
+//! client frame, protocol garbage, the admission queue's three submit
+//! outcomes, worker completions (clean or truncated by a reply fault),
+//! per-query deadline expiry, the write pump draining, client
+//! disconnect, and the server's shutdown sweep.
+//!
+//! # Invariants
+//!
+//! - **No stuck state** ([`DiagCode::ProtocolStuck`]): every reachable
+//!   non-terminal state has at least one enabled event.
+//! - **No double reply** ([`DiagCode::ProtocolDoubleReply`]): at most one
+//!   RESULT/ERROR completion reply per admitted serial, and never one
+//!   after the serial's guard was cancelled.
+//! - **Window conservation** ([`DiagCode::ProtocolWindowLeak`]): in-flight
+//!   queries never exceed the advertised pipeline depth, counting the
+//!   submit in progress.
+//! - **No worker leak** ([`DiagCode::ProtocolWorkerLeak`]): when a session
+//!   closes, every admitted serial has been answered or cancelled.
+//! - **Sweep coherence** ([`DiagCode::ProtocolSweepMissed`]): a session
+//!   satisfying its finish condition is closed, not leaked.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::report::Report;
+use csqp_core::diag::{DiagCode, Diagnostic};
+
+/// In-flight queries are tracked as *slots* — bits of a `u16` — and the
+/// pipeline window is capped at this many outstanding queries. A slot is
+/// reused once its reply is queued, so an arbitrarily long-lived session
+/// stays inside the mask: the machine is finite by construction, which
+/// is exactly what makes exhaustive checking tractable. The serving
+/// engine clamps the advertised `pipeline_depth` to this cap.
+pub const MAX_SERIALS: u8 = 16;
+
+/// The reply-frame counter saturates here: the invariants never count
+/// queued output above "some", and an unbounded counter would make the
+/// reachable state space depth-dependent for no verification gain.
+pub const OUT_CAP: u8 = 3;
+
+/// The admission queue's verdict on one submitted job, as the session
+/// layer observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SubmitOutcome {
+    /// The job was queued; a worker will post a completion.
+    Admitted,
+    /// The bounded queue was full; the query is rejected `saturated`.
+    QueueFull,
+    /// The worker pool is gone (shutdown); the session starts draining.
+    PoolGone,
+}
+
+/// One thing the outside world does to a session. This is the model
+/// checker's branching alphabet; the serving engine maps real I/O onto
+/// the same events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// A read delivered bytes that leave the frame reader mid-frame (an
+    /// arbitrary split point). Any complete-frame event may follow.
+    BytesPartial,
+    /// A complete HELLO frame was decoded.
+    FrameHello,
+    /// A complete QUERY frame was decoded.
+    FrameQuery,
+    /// The admission queue answered the submit started by
+    /// [`Action::TrySubmit`].
+    Submit(SubmitOutcome),
+    /// A complete STATS-REQ frame was decoded.
+    FrameStats,
+    /// A complete BYE frame was decoded.
+    FrameBye,
+    /// A server-to-client frame arrived at the server (a client bug,
+    /// answered with a typed error; the session continues).
+    FrameUnexpected,
+    /// Undecodable bytes: the stream can no longer be trusted.
+    FrameGarbage,
+    /// A worker posted the outcome for the given serial; the reply
+    /// encodes clean.
+    Completion(u8),
+    /// A worker posted the outcome for the given serial and the reply
+    /// fault plan truncated the encoded reply: framing is lost, the
+    /// session must poison itself after queueing the partial bytes.
+    CompletionTruncated(u8),
+    /// The given serial's deadline expired (its guard will stop the
+    /// worker at the next probe; the completion still arrives, as an
+    /// error).
+    DeadlineExpiry(u8),
+    /// The write pump flushed every queued reply byte.
+    WriteDrained,
+    /// The peer vanished: the shard tears the session down.
+    Disconnect,
+    /// The server's shutdown sweep reached this session.
+    ShutdownSweep,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::BytesPartial => write!(f, "bytes(partial)"),
+            Event::FrameHello => write!(f, "frame(HELLO)"),
+            Event::FrameQuery => write!(f, "frame(QUERY)"),
+            Event::Submit(SubmitOutcome::Admitted) => write!(f, "submit(admitted)"),
+            Event::Submit(SubmitOutcome::QueueFull) => write!(f, "submit(queue-full)"),
+            Event::Submit(SubmitOutcome::PoolGone) => write!(f, "submit(pool-gone)"),
+            Event::FrameStats => write!(f, "frame(STATS-REQ)"),
+            Event::FrameBye => write!(f, "frame(BYE)"),
+            Event::FrameUnexpected => write!(f, "frame(unexpected-s2c)"),
+            Event::FrameGarbage => write!(f, "frame(garbage)"),
+            Event::Completion(k) => write!(f, "completion(#{k})"),
+            Event::CompletionTruncated(k) => write!(f, "completion-truncated(#{k})"),
+            Event::DeadlineExpiry(k) => write!(f, "deadline-expiry(#{k})"),
+            Event::WriteDrained => write!(f, "write-drained"),
+            Event::Disconnect => write!(f, "disconnect"),
+            Event::ShutdownSweep => write!(f, "shutdown-sweep"),
+        }
+    }
+}
+
+/// The typed error classes a session can queue (the model does not carry
+/// message strings; the engine fills them in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorClass {
+    /// Pipeline window or admission queue full.
+    Saturated,
+    /// Undecodable bytes.
+    BadFrame,
+    /// A decodable frame the server never accepts.
+    BadRequest,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// What the session machine wants done. The engine interprets these
+/// against real sockets, guards, and queues; the checker uses them to
+/// track accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// Queue a HELLO-ACK reply.
+    SendHelloAck,
+    /// Queue the completion reply (RESULT or typed ERROR) for a serial.
+    SendReply(u8),
+    /// Queue a STATS snapshot reply.
+    SendStats,
+    /// Queue a session-level typed error.
+    SendError(ErrorClass),
+    /// Hand the query with this serial to the admission queue. The very
+    /// next event for this session must be [`Event::Submit`].
+    TrySubmit(u8),
+    /// The serial was admitted: remember its guard in the in-flight set.
+    Admit(u8),
+    /// Cancel the serial's guard so its worker releases promptly.
+    Cancel(u8),
+    /// Remove the session (teardown or sweep) and record the metric.
+    Close,
+}
+
+/// The pure state of one session — every field the transition relation
+/// reads or writes, and nothing else (no sockets, no clocks, no byte
+/// buffers). The engine's `Session` owns one of these next to its real
+/// I/O state; the model checker explores it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionModel {
+    /// Advertised pipeline depth (admissions beyond it are rejected).
+    pub window: u8,
+    /// A HELLO has been answered.
+    pub handshaken: bool,
+    /// The frame reader holds a partial frame.
+    pub mid_frame: bool,
+    /// No more reads (BYE, poison, or pool-gone drain).
+    pub read_closed: bool,
+    /// Close once in-flight queries drain and output flushes.
+    pub draining: bool,
+    /// Framing is broken; drop further completions, close after flush.
+    pub poisoned: bool,
+    /// The session has been removed (terminal).
+    pub closed: bool,
+    /// Queued reply frames not yet flushed, saturating at [`OUT_CAP`].
+    pub out_pending: u8,
+    /// Bitmask of admitted-but-unanswered slots.
+    pub inflight: u16,
+    /// Subset of `inflight` whose deadline has expired.
+    pub expired: u16,
+    /// A submit handed to the admission queue, awaiting its outcome.
+    pub pending_submit: Option<u8>,
+}
+
+fn bit(serial: u8) -> u16 {
+    1u16 << (serial as u32 % u16::BITS)
+}
+
+impl SessionModel {
+    /// A freshly accepted session with the given pipeline window
+    /// (clamped to `1..=`[`MAX_SERIALS`]).
+    pub fn new(window: u8) -> SessionModel {
+        SessionModel {
+            window: window.clamp(1, MAX_SERIALS),
+            handshaken: false,
+            mid_frame: false,
+            read_closed: false,
+            draining: false,
+            poisoned: false,
+            closed: false,
+            out_pending: 0,
+            inflight: 0,
+            expired: 0,
+            pending_submit: None,
+        }
+    }
+
+    /// Number of admitted-but-unanswered queries.
+    pub fn inflight_count(&self) -> u32 {
+        self.inflight.count_ones()
+    }
+
+    /// True when `slot` holds an admitted-but-unanswered query.
+    pub fn is_inflight(&self, slot: u8) -> bool {
+        self.inflight & bit(slot) != 0
+    }
+
+    /// The session's finish condition, mirroring the engine's sweep: a
+    /// poisoned stream with its best-effort error flushed, or a drained
+    /// BYE with nothing in flight and nothing buffered.
+    pub fn finished(&self) -> bool {
+        if self.poisoned {
+            self.out_pending == 0
+        } else {
+            self.draining && self.inflight == 0 && self.out_pending == 0
+        }
+    }
+
+    fn push_out(&mut self) {
+        self.out_pending = (self.out_pending + 1).min(OUT_CAP);
+    }
+
+    fn poison(&mut self, actions: &mut Vec<Action>) {
+        self.poisoned = true;
+        self.read_closed = true;
+        self.draining = true;
+        for k in 0..MAX_SERIALS {
+            if self.inflight & bit(k) != 0 {
+                actions.push(Action::Cancel(k));
+            }
+        }
+    }
+}
+
+/// The session transition relation: apply one event to one state,
+/// returning the successor state and the actions the engine must
+/// interpret. Pure — no I/O, no clock, no randomness — so the model
+/// checker and the serving engine share it verbatim.
+///
+/// The sweep is folded in: when the event leaves the session satisfying
+/// [`SessionModel::finished`], the successor is `closed` with an
+/// [`Action::Close`] appended, exactly as the shard's per-tick sweep
+/// would do before any further event could be observed.
+pub fn step(state: &SessionModel, event: Event) -> (SessionModel, Vec<Action>) {
+    let mut s = *state;
+    let mut actions = Vec::new();
+    if s.closed {
+        return (s, actions);
+    }
+    match event {
+        Event::BytesPartial => {
+            if !s.read_closed {
+                s.mid_frame = true;
+            }
+        }
+        Event::FrameHello => {
+            s.mid_frame = false;
+            s.handshaken = true;
+            s.push_out();
+            actions.push(Action::SendHelloAck);
+        }
+        Event::FrameQuery => {
+            s.mid_frame = false;
+            if s.inflight_count() >= u32::from(s.window) {
+                s.push_out();
+                actions.push(Action::SendError(ErrorClass::Saturated));
+            } else {
+                // Lowest free slot. One exists: the window check above
+                // bounds the occupied slots below MAX_SERIALS.
+                let busy = s.inflight | s.pending_submit.map_or(0, bit);
+                if let Some(slot) = (0..MAX_SERIALS).find(|&k| busy & bit(k) == 0) {
+                    s.pending_submit = Some(slot);
+                    actions.push(Action::TrySubmit(slot));
+                }
+            }
+        }
+        Event::Submit(outcome) => {
+            if let Some(serial) = s.pending_submit.take() {
+                match outcome {
+                    SubmitOutcome::Admitted => {
+                        s.inflight |= bit(serial);
+                        s.expired &= !bit(serial);
+                        actions.push(Action::Admit(serial));
+                    }
+                    SubmitOutcome::QueueFull => {
+                        s.push_out();
+                        actions.push(Action::SendError(ErrorClass::Saturated));
+                    }
+                    SubmitOutcome::PoolGone => {
+                        s.push_out();
+                        actions.push(Action::SendError(ErrorClass::ShuttingDown));
+                        s.read_closed = true;
+                        s.draining = true;
+                    }
+                }
+            }
+        }
+        Event::FrameStats => {
+            s.mid_frame = false;
+            s.push_out();
+            actions.push(Action::SendStats);
+        }
+        Event::FrameBye => {
+            s.mid_frame = false;
+            s.read_closed = true;
+            s.draining = true;
+        }
+        Event::FrameUnexpected => {
+            s.mid_frame = false;
+            s.push_out();
+            actions.push(Action::SendError(ErrorClass::BadRequest));
+        }
+        Event::FrameGarbage => {
+            s.mid_frame = false;
+            s.push_out();
+            actions.push(Action::SendError(ErrorClass::BadFrame));
+            s.poison(&mut actions);
+        }
+        Event::Completion(k) => {
+            // A poisoned session drops completions (the worker already
+            // recorded the terminal bucket); so does a stale serial.
+            if !s.poisoned && s.inflight & bit(k) != 0 {
+                s.inflight &= !bit(k);
+                s.expired &= !bit(k);
+                s.push_out();
+                actions.push(Action::SendReply(k));
+            }
+        }
+        Event::CompletionTruncated(k) => {
+            if !s.poisoned && s.inflight & bit(k) != 0 {
+                s.inflight &= !bit(k);
+                s.expired &= !bit(k);
+                s.push_out();
+                actions.push(Action::SendReply(k));
+                // Framing is gone after a truncated reply.
+                s.poison(&mut actions);
+            }
+        }
+        Event::DeadlineExpiry(k) => {
+            if s.inflight & bit(k) != 0 {
+                s.expired |= bit(k);
+            }
+        }
+        Event::WriteDrained => {
+            s.out_pending = 0;
+        }
+        Event::Disconnect => {
+            for k in 0..MAX_SERIALS {
+                if s.inflight & bit(k) != 0 {
+                    actions.push(Action::Cancel(k));
+                }
+            }
+            s.closed = true;
+            actions.push(Action::Close);
+        }
+        Event::ShutdownSweep => {
+            s.push_out();
+            actions.push(Action::SendError(ErrorClass::ShuttingDown));
+            for k in 0..MAX_SERIALS {
+                if s.inflight & bit(k) != 0 {
+                    actions.push(Action::Cancel(k));
+                }
+            }
+            s.closed = true;
+            actions.push(Action::Close);
+        }
+    }
+    if !s.closed && s.finished() {
+        s.closed = true;
+        actions.push(Action::Close);
+    }
+    (s, actions)
+}
+
+/// The events enabled in `state` — the checker's branching, and the
+/// contract the engine honors (it never feeds a disabled event).
+pub fn enabled_events(state: &SessionModel) -> Vec<Event> {
+    let mut events = Vec::new();
+    if state.closed {
+        return events;
+    }
+    if state.pending_submit.is_some() {
+        // The engine resolves a submit before anything else can happen
+        // to the session (try_send is synchronous in the frame pump).
+        return vec![
+            Event::Submit(SubmitOutcome::Admitted),
+            Event::Submit(SubmitOutcome::QueueFull),
+            Event::Submit(SubmitOutcome::PoolGone),
+        ];
+    }
+    if !state.read_closed {
+        events.extend([
+            Event::BytesPartial,
+            Event::FrameHello,
+            Event::FrameQuery,
+            Event::FrameStats,
+            Event::FrameBye,
+            Event::FrameUnexpected,
+            Event::FrameGarbage,
+        ]);
+    }
+    for k in 0..MAX_SERIALS {
+        if state.inflight & bit(k) != 0 {
+            events.push(Event::Completion(k));
+            if !state.poisoned {
+                events.push(Event::CompletionTruncated(k));
+            }
+            if state.expired & bit(k) == 0 {
+                events.push(Event::DeadlineExpiry(k));
+            }
+        }
+    }
+    if state.out_pending > 0 {
+        events.push(Event::WriteDrained);
+    }
+    events.push(Event::Disconnect);
+    events.push(Event::ShutdownSweep);
+    events
+}
+
+/// A transition function the checker explores — [`step`] for the real
+/// machine, or a seeded mutant in the checker's own tests.
+pub type Stepper = fn(&SessionModel, Event) -> (SessionModel, Vec<Action>);
+
+/// One violation: the diagnostic plus the minimal event trace reaching
+/// it (breadth-first search finds each offending state by a shortest
+/// event sequence first).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What broke.
+    pub diagnostic: Diagnostic,
+    /// The events, in order, that drive a fresh session into the
+    /// violation.
+    pub trace: Vec<Event>,
+}
+
+impl Violation {
+    /// Render the trace as ` -> `-joined events.
+    pub fn render_trace(&self) -> String {
+        self.trace
+            .iter()
+            .map(Event::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Statistics of one bounded exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct states reached (after dedup).
+    pub states: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// The depth bound the search ran to.
+    pub depth: usize,
+    /// Depth of the deepest newly discovered state.
+    pub deepest_new_state: usize,
+}
+
+/// Bookkeeping carried alongside the model state during search: which
+/// serials were admitted, answered, and cancelled. Part of the search
+/// node so accounting violations dedup correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+struct Accounting {
+    admitted: u16,
+    replied: u16,
+    cancelled: u16,
+}
+
+/// Bounded exhaustive explorer over the session event alphabet.
+#[derive(Debug, Clone)]
+pub struct ModelChecker {
+    /// Pipeline window of the explored sessions.
+    pub window: u8,
+    /// Depth bound (events per trace).
+    pub depth: usize,
+    /// Stop after this many violations (the first is minimal; later ones
+    /// mostly repeat it in longer clothing).
+    pub max_violations: usize,
+}
+
+impl ModelChecker {
+    /// A checker for sessions with the given pipeline window, exploring
+    /// to `depth` events.
+    pub fn new(window: u8, depth: usize) -> ModelChecker {
+        ModelChecker {
+            window,
+            depth,
+            max_violations: 8,
+        }
+    }
+
+    /// Explore `stepper` exhaustively from a fresh session. Returns the
+    /// violations (empty for a correct machine) and the search stats.
+    pub fn run(&self, stepper: Stepper) -> (Vec<Violation>, SearchStats) {
+        let init = SessionModel::new(self.window);
+        let mut stats = SearchStats {
+            depth: self.depth,
+            ..SearchStats::default()
+        };
+        let mut violations: Vec<Violation> = Vec::new();
+        // BFS frontier: (state, accounting, trace). The visited set keys
+        // on (state, accounting) — a BTreeSet for deterministic behavior
+        // (membership only, but ordered structures keep the whole
+        // checker independent of hasher state on principle).
+        let mut visited: BTreeSet<(SessionModel, Accounting)> = BTreeSet::new();
+        let mut frontier: Vec<(SessionModel, Accounting, Vec<Event>)> = Vec::new();
+        visited.insert((init, Accounting::default()));
+        frontier.push((init, Accounting::default(), Vec::new()));
+        stats.states = 1;
+
+        for level in 0..self.depth {
+            if frontier.is_empty() || violations.len() >= self.max_violations {
+                break;
+            }
+            let mut next: Vec<(SessionModel, Accounting, Vec<Event>)> = Vec::new();
+            for (state, acct, trace) in frontier {
+                let events = enabled_events(&state);
+                if events.is_empty() && !state.closed {
+                    violations.push(Violation {
+                        diagnostic: Diagnostic::new(
+                            DiagCode::ProtocolStuck,
+                            format!(
+                                "non-terminal state has no enabled event after [{}]",
+                                render(&trace)
+                            ),
+                        ),
+                        trace: trace.clone(),
+                    });
+                    continue;
+                }
+                for event in events {
+                    let (succ, actions) = stepper(&state, event);
+                    stats.transitions += 1;
+                    let mut trace2 = trace.clone();
+                    trace2.push(event);
+                    let mut acct2 = acct;
+                    self.apply_actions(&succ, &actions, &mut acct2, &trace2, &mut violations);
+                    self.check_state(&succ, &acct2, &trace2, &mut violations);
+                    if visited.insert((succ, acct2)) {
+                        stats.states += 1;
+                        stats.deepest_new_state = level + 1;
+                        next.push((succ, acct2, trace2));
+                    }
+                    if violations.len() >= self.max_violations {
+                        break;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        (violations, stats)
+    }
+
+    /// Explore the real machine ([`step`]). Convenience for callers that
+    /// only care about the shipped transition function.
+    pub fn check_real(&self) -> (Report, SearchStats) {
+        let (violations, stats) = self.run(step);
+        let mut report = Report::new();
+        for v in violations {
+            report.push(v.diagnostic);
+        }
+        (report, stats)
+    }
+
+    fn apply_actions(
+        &self,
+        succ: &SessionModel,
+        actions: &[Action],
+        acct: &mut Accounting,
+        trace: &[Event],
+        violations: &mut Vec<Violation>,
+    ) {
+        for action in actions {
+            match *action {
+                Action::Admit(k) => {
+                    // Slot reuse starts a fresh generation: the old
+                    // reply/cancel record must not vouch for it.
+                    acct.replied &= !bit(k);
+                    acct.cancelled &= !bit(k);
+                    acct.admitted |= bit(k);
+                    if succ.inflight_count() > u32::from(self.window) {
+                        violations.push(Violation {
+                            diagnostic: Diagnostic::new(
+                                DiagCode::ProtocolWindowLeak,
+                                format!(
+                                    "admitting serial #{k} puts {} queries in a window of {} \
+                                     after [{}]",
+                                    succ.inflight_count(),
+                                    self.window,
+                                    render(trace)
+                                ),
+                            ),
+                            trace: trace.to_vec(),
+                        });
+                    }
+                }
+                Action::SendReply(k) => {
+                    if acct.replied & bit(k) != 0 {
+                        violations.push(Violation {
+                            diagnostic: Diagnostic::new(
+                                DiagCode::ProtocolDoubleReply,
+                                format!("serial #{k} answered twice after [{}]", render(trace)),
+                            ),
+                            trace: trace.to_vec(),
+                        });
+                    }
+                    if acct.cancelled & bit(k) != 0 {
+                        violations.push(Violation {
+                            diagnostic: Diagnostic::new(
+                                DiagCode::ProtocolDoubleReply,
+                                format!(
+                                    "serial #{k} answered after its guard was cancelled \
+                                     after [{}]",
+                                    render(trace)
+                                ),
+                            ),
+                            trace: trace.to_vec(),
+                        });
+                    }
+                    acct.replied |= bit(k);
+                }
+                Action::Cancel(k) => {
+                    acct.cancelled |= bit(k);
+                }
+                Action::SendHelloAck
+                | Action::SendStats
+                | Action::SendError(_)
+                | Action::TrySubmit(_)
+                | Action::Close => {}
+            }
+        }
+    }
+
+    fn check_state(
+        &self,
+        state: &SessionModel,
+        acct: &Accounting,
+        trace: &[Event],
+        violations: &mut Vec<Violation>,
+    ) {
+        if state.inflight_count() > u32::from(self.window) {
+            violations.push(Violation {
+                diagnostic: Diagnostic::new(
+                    DiagCode::ProtocolWindowLeak,
+                    format!(
+                        "{} queries in flight exceeds the window of {} after [{}]",
+                        state.inflight_count(),
+                        self.window,
+                        render(trace)
+                    ),
+                ),
+                trace: trace.to_vec(),
+            });
+        }
+        // Conservation: every admitted serial is answered, cancelled, or
+        // still legitimately in flight.
+        let accounted = acct.replied | acct.cancelled | state.inflight;
+        if acct.admitted & !accounted != 0 {
+            violations.push(Violation {
+                diagnostic: Diagnostic::new(
+                    DiagCode::ProtocolWindowLeak,
+                    format!(
+                        "admitted serial mask {:#06x} lost from flight/reply/cancel \
+                         accounting after [{}]",
+                        acct.admitted & !accounted,
+                        render(trace)
+                    ),
+                ),
+                trace: trace.to_vec(),
+            });
+        }
+        if state.closed {
+            // Terminal accounting: the worker of every admitted query was
+            // released by a reply or a cancellation.
+            let released = acct.replied | acct.cancelled;
+            if acct.admitted & !released != 0 {
+                violations.push(Violation {
+                    diagnostic: Diagnostic::new(
+                        DiagCode::ProtocolWorkerLeak,
+                        format!(
+                            "session closed with serial mask {:#06x} neither answered nor \
+                             cancelled after [{}]",
+                            acct.admitted & !released,
+                            render(trace)
+                        ),
+                    ),
+                    trace: trace.to_vec(),
+                });
+            }
+        } else if state.finished() {
+            violations.push(Violation {
+                diagnostic: Diagnostic::new(
+                    DiagCode::ProtocolSweepMissed,
+                    format!(
+                        "finished session left unswept (open, nothing owed) after [{}]",
+                        render(trace)
+                    ),
+                ),
+                trace: trace.to_vec(),
+            });
+        }
+    }
+}
+
+fn render(trace: &[Event]) -> String {
+    trace
+        .iter()
+        .map(Event::to_string)
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_machine_is_clean_to_depth_8() {
+        for window in [1u8, 2, 4] {
+            let checker = ModelChecker::new(window, 8);
+            let (report, stats) = checker.check_real();
+            assert!(
+                report.is_clean(),
+                "window {window}: {report}\nstats {stats:?}"
+            );
+            assert!(stats.states > 100, "exploration actually ran: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn every_state_reaches_terminal() {
+        // Disconnect is always enabled, so closure is always reachable;
+        // assert the checker agrees by confirming no stuck states and
+        // that closed states are reached.
+        let checker = ModelChecker::new(2, 6);
+        let (violations, stats) = checker.run(step);
+        assert!(violations.is_empty());
+        assert!(stats.transitions > stats.states);
+    }
+
+    /// Mutant: completion forgets to clear the in-flight bit, so a second
+    /// completion for the same serial answers twice.
+    fn mutant_double_reply(state: &SessionModel, event: Event) -> (SessionModel, Vec<Action>) {
+        let (mut s, actions) = step(state, event);
+        if let Event::Completion(k) = event {
+            if actions.contains(&Action::SendReply(k)) {
+                s.inflight |= 1u16 << k; // the forgotten `remove`
+                s.closed = false;
+            }
+        }
+        (s, actions)
+    }
+
+    /// Mutant: the window check is off by one (`>` instead of `>=`), so
+    /// one extra query slips into the pipeline window.
+    fn mutant_window_leak(state: &SessionModel, event: Event) -> (SessionModel, Vec<Action>) {
+        if event == Event::FrameQuery
+            && state.inflight_count() == u32::from(state.window)
+            && state.pending_submit.is_none()
+            && !state.closed
+        {
+            // The buggy branch: admit instead of rejecting saturated.
+            let mut s = *state;
+            if let Some(slot) = (0..MAX_SERIALS).find(|&k| s.inflight & (1u16 << k) == 0) {
+                s.pending_submit = Some(slot);
+                return (s, vec![Action::TrySubmit(slot)]);
+            }
+        }
+        step(state, event)
+    }
+
+    /// Mutant: teardown forgets to cancel in-flight guards — the classic
+    /// leaked-worker bug.
+    fn mutant_worker_leak(state: &SessionModel, event: Event) -> (SessionModel, Vec<Action>) {
+        if event == Event::Disconnect && !state.closed {
+            let mut s = *state;
+            s.closed = true;
+            return (s, vec![Action::Close]);
+        }
+        step(state, event)
+    }
+
+    #[test]
+    fn double_reply_mutant_caught_within_depth_6() {
+        let checker = ModelChecker::new(2, 6);
+        let (violations, _) = checker.run(mutant_double_reply);
+        let v = violations
+            .iter()
+            .find(|v| v.diagnostic.code == DiagCode::ProtocolDoubleReply)
+            .expect("double reply found");
+        assert!(
+            v.trace.len() <= 6,
+            "minimal trace expected, got {}",
+            v.render_trace()
+        );
+        // Shortest possible: QUERY -> admit -> completion -> completion.
+        assert!(v.trace.len() >= 4, "{}", v.render_trace());
+    }
+
+    #[test]
+    fn window_leak_mutant_caught_within_depth_6() {
+        let checker = ModelChecker::new(1, 6);
+        let (violations, _) = checker.run(mutant_window_leak);
+        let v = violations
+            .iter()
+            .find(|v| v.diagnostic.code == DiagCode::ProtocolWindowLeak)
+            .expect("window leak found");
+        assert!(v.trace.len() <= 6, "{}", v.render_trace());
+    }
+
+    #[test]
+    fn worker_leak_mutant_caught_within_depth_6() {
+        let checker = ModelChecker::new(2, 6);
+        let (violations, _) = checker.run(mutant_worker_leak);
+        let v = violations
+            .iter()
+            .find(|v| v.diagnostic.code == DiagCode::ProtocolWorkerLeak)
+            .expect("worker leak found");
+        assert!(v.trace.len() <= 6, "{}", v.render_trace());
+        assert!(v.render_trace().contains("disconnect"));
+    }
+
+    #[test]
+    fn traces_render_for_humans() {
+        let v = Violation {
+            diagnostic: Diagnostic::new(DiagCode::ProtocolStuck, "x"),
+            trace: vec![Event::FrameHello, Event::FrameQuery],
+        };
+        assert_eq!(v.render_trace(), "frame(HELLO) -> frame(QUERY)");
+    }
+
+    #[test]
+    fn truncated_reply_poisons_and_cancels_survivors() {
+        let mut s = SessionModel::new(4);
+        s.handshaken = true;
+        s.inflight = 0b11; // slots 0 and 1 in flight
+        let (s2, actions) = step(&s, Event::CompletionTruncated(0));
+        assert!(s2.poisoned);
+        assert!(actions.contains(&Action::SendReply(0)));
+        assert!(actions.contains(&Action::Cancel(1)), "{actions:?}");
+        assert!(
+            !actions.contains(&Action::Cancel(0)),
+            "answered, not cancelled"
+        );
+    }
+
+    #[test]
+    fn bye_then_drain_closes_cleanly() {
+        let s = SessionModel::new(2);
+        let (s, _) = step(&s, Event::FrameHello);
+        let (s, _) = step(&s, Event::WriteDrained);
+        let (s, actions) = step(&s, Event::FrameBye);
+        assert!(s.closed, "drained BYE sweeps immediately: {s:?}");
+        assert!(actions.contains(&Action::Close));
+    }
+}

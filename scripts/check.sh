@@ -20,6 +20,13 @@ echo "==> csqp-check: example workloads (more servers, alternate seeds)"
 cargo run --release --bin csqp-check -- --plans 250 --servers 4 --seed 17
 cargo run --release --bin csqp-check -- --plans 250 --servers 8 --seed 42
 
+echo "==> csqp-lint: source-level determinism lints"
+cargo run --release --bin csqp-lint
+
+echo "==> csqp-check --protocol: exhaustive session-protocol model check"
+cargo run --release --bin csqp-check -- --protocol
+cargo run --release --bin csqp-check -- --protocol --depth 12
+
 echo "==> serve-smoke: 2-second loopback load against csqp-serve"
 cargo run --release --bin csqp-load -- --serve --clients 8 --seconds 2 --fail-on-rejects
 

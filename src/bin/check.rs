@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! cargo run --release --bin csqp-check -- [--plans N] [--servers M] [--seed S]
+//!     [--protocol] [--depth D]
 //! ```
 //!
-//! Three stages, any failure exits non-zero:
+//! Four stages, any failure exits non-zero (`--protocol` runs only
+//! stage 4, the mode the CI `lint-and-model` job uses):
 //!
 //! 1. **Positive sweep** — `--plans` (default 1000) random plans per
 //!    policy, drawn across the paper's 2-way, 10-way, and SPJ benchmark
@@ -21,6 +23,14 @@
 //!    vectors, inverted cost scaling, a selectivity above one, inverted
 //!    disk timings, same-timestamp event ties, a regressing trace). Each
 //!    must be flagged with the expected diagnostic code.
+//! 4. **Protocol model check** — bounded-exhaustive exploration of the
+//!    serving engine's session machine (`csqp_verify::protocol::step`,
+//!    the exact transition function the event engine interprets) over
+//!    every client/worker/fault interleaving to `--depth` events
+//!    (default 8), across a spread of pipeline windows. Asserts no
+//!    stuck state, no double reply, window conservation, and that
+//!    cancellation releases workers; any violation prints its minimal
+//!    event trace.
 
 use std::process::ExitCode;
 
@@ -30,6 +40,7 @@ use csqp::cost::{CostModel, Objective, ResourceUsage};
 use csqp::optimizer::{random_neighbor, random_plan, MoveSet, OptConfig, Optimizer};
 use csqp::simkernel::rng::SimRng;
 use csqp::simkernel::SimTime;
+use csqp::verify::protocol::ModelChecker;
 use csqp::verify::{determinism, invariants, structural, Checker, DiagCode, Report};
 use csqp::workload::{random_placement, spj_query, ten_way, two_way, MODERATE_SEL};
 
@@ -37,6 +48,8 @@ struct Args {
     plans: usize,
     servers: u32,
     seed: u64,
+    depth: usize,
+    protocol_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +57,8 @@ fn parse_args() -> Args {
         plans: 1000,
         servers: 4,
         seed: 20260806,
+        depth: 8,
+        protocol_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,8 +71,13 @@ fn parse_args() -> Args {
             "--plans" => args.plans = val("--plans") as usize,
             "--servers" => args.servers = val("--servers") as u32,
             "--seed" => args.seed = val("--seed"),
+            "--depth" => args.depth = val("--depth") as usize,
+            "--protocol" => args.protocol_only = true,
             "--help" | "-h" => {
-                println!("usage: csqp-check [--plans N] [--servers M] [--seed S]");
+                println!(
+                    "usage: csqp-check [--plans N] [--servers M] [--seed S] \
+                     [--protocol] [--depth D]"
+                );
                 std::process::exit(0);
             }
             other => die(format!("unknown flag {other}")),
@@ -78,9 +98,12 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut failures = 0usize;
 
-    failures += positive_sweep(&args);
-    failures += optimizer_traces(&args);
-    failures += negative_fixtures(&args);
+    if !args.protocol_only {
+        failures += positive_sweep(&args);
+        failures += optimizer_traces(&args);
+        failures += negative_fixtures(&args);
+    }
+    failures += protocol_model_check(&args);
 
     if failures == 0 {
         println!("\ncsqp-check: all checks passed");
@@ -362,5 +385,35 @@ fn negative_fixtures(args: &Args) -> usize {
         );
     }
 
+    failures
+}
+
+/// Stage 4: bounded-exhaustive model check of the session protocol.
+///
+/// Explores `csqp_verify::protocol::step` — the same transition function
+/// `csqp-serve`'s event engine interprets — from a fresh session over
+/// every enabled event interleaving, across a spread of pipeline
+/// windows. The wall time is printed because the exploration carries an
+/// explicit budget: depth 8 must finish well under ten seconds.
+fn protocol_model_check(args: &Args) -> usize {
+    let mut failures = 0;
+    for window in [1u8, 2, 4, 16] {
+        let start = std::time::Instant::now();
+        let (report, stats) = ModelChecker::new(window, args.depth).check_real();
+        let secs = start.elapsed().as_secs_f64();
+        if report.is_clean() {
+            println!(
+                "protocol [window {window}]: {} states, {} transitions, \
+                 depth {} (deepest new state {}) explored in {secs:.2}s — clean",
+                stats.states, stats.transitions, stats.depth, stats.deepest_new_state
+            );
+        } else {
+            eprintln!(
+                "FAIL protocol [window {window}] after {} states / {} transitions:\n{report}",
+                stats.states, stats.transitions
+            );
+            failures += report.len();
+        }
+    }
     failures
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
-//!     [--pipeline-depth N] [--event-threads N] [--threaded] [--seconds T]
+//!     [--pipeline-depth N] [--event-threads N] [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
@@ -13,9 +13,9 @@
 //!
 //! Sessions are served by the event-driven engine: a fixed set of
 //! poll(2) loops (`--event-threads`) multiplexing every connection, with
-//! up to `--pipeline-depth` queries in flight per session. `--threaded`
-//! falls back to the legacy thread-per-connection, stop-and-wait engine
-//! (kept for one release as an equivalence baseline).
+//! up to `--pipeline-depth` queries in flight per session (capped at 16
+//! so the session machine stays finite and model-checkable — see
+//! `csqp-check --protocol`).
 //!
 //! Without `--seconds` the server runs until killed, printing a metrics
 //! line every 10 seconds; with it, the server shuts down gracefully after
@@ -62,7 +62,6 @@ fn parse_args() -> Args {
             "--event-threads" => {
                 args.config.event_threads = num(&raw("--event-threads"), "--event-threads") as usize
             }
-            "--threaded" => args.config.threaded = true,
             "--seconds" => {
                 let v = raw("--seconds");
                 args.seconds = Some(
@@ -74,7 +73,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
                      [--queue N] [--high-water N] [--placement-seed S] \
-                     [--pipeline-depth N] [--event-threads N] [--threaded] [--seconds T]"
+                     [--pipeline-depth N] [--event-threads N] [--seconds T]"
                 );
                 std::process::exit(0);
             }
