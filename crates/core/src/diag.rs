@@ -84,6 +84,22 @@ pub enum DiagCode {
     /// The sweep invariant broke: a session that satisfies its finish
     /// condition was never closed.
     ProtocolSweepMissed,
+    // -- system model checker (`csqp-verify::system`) ------------------------
+    /// Cross-session starvation: a queued admission was overtaken by more
+    /// than the bounded number of other sessions' jobs before a worker
+    /// picked it up.
+    SystemStarvation,
+    /// Global worker conservation broke: an admitted query of a live
+    /// session has no backing job in the admission queue, the worker
+    /// pool, or the completion channel (or has more than one).
+    SystemWorkerLeak,
+    /// A completion was posted while the shard was polling and can sit in
+    /// the channel forever: delivery is disabled along a reachable lasso,
+    /// so the reply never reaches a write.
+    SystemLostWakeup,
+    /// The shutdown sweep left a session open (or an outstanding serial
+    /// neither replied nor cancelled) after the pool closed.
+    SystemSweepIncomplete,
     // -- source lints (`csqp-lint`) -----------------------------------------
     /// A wall-clock read (`Instant::now`, `SystemTime::now`) or
     /// `thread::sleep` outside the justified allowlist.
@@ -101,6 +117,10 @@ pub enum DiagCode {
     /// An allowlist entry that matched nothing, or carries no
     /// justification: the allowlist must stay exhaustive and explained.
     StaleAllow,
+    /// An unbounded `mpsc::channel()` (backpressure hole), or a lock
+    /// guard held across a blocking I/O call, in a file not allowlisted
+    /// with a justification for why it cannot stall the serving path.
+    UnboundedChannel,
 }
 
 impl DiagCode {
@@ -132,11 +152,16 @@ impl DiagCode {
             DiagCode::ProtocolWindowLeak => "protocol-window-leak",
             DiagCode::ProtocolWorkerLeak => "protocol-worker-leak",
             DiagCode::ProtocolSweepMissed => "protocol-sweep-missed",
+            DiagCode::SystemStarvation => "system-starvation",
+            DiagCode::SystemWorkerLeak => "system-worker-leak",
+            DiagCode::SystemLostWakeup => "system-lost-wakeup",
+            DiagCode::SystemSweepIncomplete => "system-sweep-incomplete",
             DiagCode::WallClockUse => "wall-clock-use",
             DiagCode::UnseededRng => "unseeded-rng",
             DiagCode::HashIterOrder => "hash-iter-order",
             DiagCode::WireCodeCoverage => "wire-code-coverage",
             DiagCode::StaleAllow => "stale-allow",
+            DiagCode::UnboundedChannel => "unbounded-channel",
         }
     }
 }

@@ -23,7 +23,10 @@
 //!   explicit join trees) used by the optimizer and the tests;
 //! * [`cancel`] — cooperative cancellation tokens with optional deadlines,
 //!   probed by the optimizer and runner loops so the serving stack can
-//!   abandon dead work promptly.
+//!   abandon dead work promptly;
+//! * [`limits`] — protocol limits shared by the serving engine and the
+//!   model checkers, defined once so the machine checked can never be
+//!   narrower than the machine served.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -33,6 +36,7 @@ pub mod bind;
 pub mod builder;
 pub mod cancel;
 pub mod diag;
+pub mod limits;
 pub mod plan;
 pub mod policy;
 pub mod wellformed;

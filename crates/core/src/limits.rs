@@ -1,0 +1,35 @@
+//! Workspace-wide protocol limits.
+//!
+//! These constants are load-bearing in *two* places at once: the serving
+//! engine clamps what it advertises and enforces on the wire, and the
+//! model checkers in `csqp-verify` bound the state they explore. If the
+//! two ever diverged — the engine granting a wider window than the model
+//! masks — the checker's exhaustiveness claim would silently
+//! under-approximate the machine actually served. Defining the limit
+//! once, below every consumer, makes that drift unrepresentable; the
+//! `window_cap` test in `csqp-serve` pins the agreement end to end
+//! (config clamp, HELLO-ACK advertisement, model serial mask).
+
+/// The per-session pipelining cap: the maximum number of queries one
+/// session may have admitted-but-unanswered at once.
+///
+/// In-flight queries are tracked as *slots* — bits of a `u16` — so this
+/// cap keeps the session machine finite by construction, which is what
+/// makes exhaustive model checking (`csqp-check --protocol` /
+/// `--system`) tractable. `ServerConfig::effective_pipeline_depth`
+/// clamps the configured and HELLO-ACK-advertised window to this value,
+/// and `csqp_verify::protocol::SessionModel` sizes its serial mask from
+/// it, so the window the engine grants can never exceed the window the
+/// model checks.
+pub const MAX_SERIALS: u8 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_cap_fits_the_slot_mask() {
+        // Slots live in a u16 bitmask; the cap must not overflow it.
+        assert!(u32::from(MAX_SERIALS) <= u16::BITS);
+    }
+}

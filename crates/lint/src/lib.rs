@@ -17,6 +17,11 @@
 //!   files with an allowlist entry explaining why their nondeterministic
 //!   iteration order cannot leak into digests, metrics, or the wire.
 //!   New code defaults to `BTreeMap` / `BTreeSet` / arrays.
+//! * **unbounded-channel** — no unbounded `mpsc::channel()` (an
+//!   admission path with no backpressure is how a serving stack falls
+//!   over at load), and no lock guard held across a blocking I/O call
+//!   (`.recv()`, frame reads/writes, `accept`) on the same expression —
+//!   unless the file carries a justified allowlist entry.
 //! * **wire-code-coverage** — every variant of a `pub enum ErrorCode`
 //!   must appear in both its encode (`ErrorCode::V => "…"`) and decode
 //!   (`"…" => ErrorCode::V`) tables in the defining file, and every
@@ -56,6 +61,8 @@ pub enum RuleKind {
     UnseededRng,
     /// Any use of `HashMap` / `HashSet`.
     HashOrder,
+    /// Unbounded `mpsc::channel()`, or a lock held across blocking I/O.
+    UnboundedChannel,
 }
 
 impl RuleKind {
@@ -65,6 +72,7 @@ impl RuleKind {
             RuleKind::WallClock => DiagCode::WallClockUse,
             RuleKind::UnseededRng => DiagCode::UnseededRng,
             RuleKind::HashOrder => DiagCode::HashIterOrder,
+            RuleKind::UnboundedChannel => DiagCode::UnboundedChannel,
         }
     }
 
@@ -74,6 +82,7 @@ impl RuleKind {
             RuleKind::WallClock => "wall-clock-use",
             RuleKind::UnseededRng => "unseeded-rng",
             RuleKind::HashOrder => "hash-iter-order",
+            RuleKind::UnboundedChannel => "unbounded-channel",
         }
     }
 }
@@ -224,11 +233,41 @@ pub const ALLOWLIST: &[Allow] = &[
         why: "per-client outstanding-query window keyed by query id; replies \
               re-associate by id and the digest folds order-independently",
     },
+    // ---- unbounded-channel: bounds established elsewhere --------------
+    Allow {
+        path: "crates/serve/src/engine.rs",
+        rule: RuleKind::UnboundedChannel,
+        why: "registration and completion channels are bounded by \
+              construction: registrations by the accept loop's session cap, \
+              completions by queue_depth plus the per-session windows the \
+              system model checker explores",
+    },
+    Allow {
+        path: "crates/serve/src/server.rs",
+        rule: RuleKind::UnboundedChannel,
+        why: "a worker holds the shared receiver lock only while parked in \
+              recv() with no other state held; query processing runs after \
+              the guard drops, so the park cannot stall another worker's \
+              processing",
+    },
 ];
 
 const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now", "thread::sleep"];
 const RNG_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
 const HASH_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+/// The unbounded constructor. `mpsc::sync_channel` (bounded) does not
+/// contain this as a substring, so it never trips.
+const UNBOUNDED_CHANNEL_PATTERNS: &[&str] = &["mpsc::channel"];
+/// Blocking calls that must not run under a held lock (same-expression
+/// heuristic: `lock` and one of these on one line). A worker parked in
+/// `recv()` while holding a shared mutex serializes the whole pool.
+const BLOCKING_CALL_PATTERNS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "read_frame",
+    "write_frame",
+    "accept",
+];
 
 struct AllowState {
     allow: Allow,
@@ -314,6 +353,34 @@ impl Linter {
                         ),
                     ));
                 }
+            }
+            for &pat in UNBOUNDED_CHANNEL_PATTERNS {
+                if has_token(line, pat) && !self.allowed(rel, RuleKind::UnboundedChannel) {
+                    out.push(at(
+                        DiagCode::UnboundedChannel,
+                        rel,
+                        lineno,
+                        format!(
+                            "unbounded `{pat}()` gives the producer no backpressure; \
+                             use `mpsc::sync_channel` or justify the bound elsewhere"
+                        ),
+                    ));
+                }
+            }
+            if has_token(line, "lock")
+                && BLOCKING_CALL_PATTERNS
+                    .iter()
+                    .any(|&pat| has_token(line, pat))
+                && !self.allowed(rel, RuleKind::UnboundedChannel)
+            {
+                out.push(at(
+                    DiagCode::UnboundedChannel,
+                    rel,
+                    lineno,
+                    "lock held across a blocking call stalls every other holder; \
+                     drop the guard first or justify why the wait is the point"
+                        .to_string(),
+                ));
             }
         }
         out.extend(wire_coverage(rel, &stripped));

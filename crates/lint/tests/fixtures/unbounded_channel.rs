@@ -1,0 +1,24 @@
+//! Fixture: trips only the `unbounded-channel` rule — once for the
+//! unbounded constructor, once for a lock held across a blocking recv.
+//! The bounded constructor and the unlocked recv below must NOT trip.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn leaky() {
+    // Finding 1: no backpressure.
+    let (tx, rx) = mpsc::channel::<u32>();
+    tx.send(1).unwrap();
+
+    // Finding 2: guard held while parked in recv.
+    let shared = Mutex::new(rx);
+    let _v = shared.lock().unwrap().recv().unwrap();
+}
+
+pub fn fine() {
+    // Bounded: carries its own backpressure, must not trip.
+    let (tx, rx) = mpsc::sync_channel::<u32>(4);
+    tx.send(2).unwrap();
+    // Blocking recv without a lock on the line: must not trip.
+    let _v = rx.recv().unwrap();
+}

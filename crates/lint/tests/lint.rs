@@ -56,6 +56,19 @@ fn hash_iter_fixture_trips_only_hash_iter_order() {
 }
 
 #[test]
+fn unbounded_channel_fixture_trips_only_unbounded_channel() {
+    let found = codes("unbounded_channel.rs");
+    assert!(!found.is_empty(), "fixture must trip");
+    assert!(
+        found.iter().all(|&c| c == DiagCode::UnboundedChannel),
+        "{found:?}"
+    );
+    // Exactly the unbounded constructor and the lock-across-recv; the
+    // sync_channel and the unlocked recv stay quiet.
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
 fn wire_code_fixture_trips_only_wire_code_coverage() {
     let mut l = Linter::with_allows(&[]);
     let ds = l.lint_source("wire_code.rs", &fixture("wire_code.rs"));

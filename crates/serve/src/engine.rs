@@ -54,7 +54,8 @@ use std::time::{Duration, Instant};
 
 use csqp_core::cancel::CancelToken;
 use csqp_net::poll::{poll_fds, PollFd, WakeHandle, Waker};
-use csqp_verify::protocol::{self, Action, ErrorClass, Event, SessionModel, SubmitOutcome};
+use csqp_verify::protocol::{self, Action, ErrorClass, Event, SessionModel};
+use csqp_verify::system::{completion_disposition, submit_outcome, CompletionDisposition};
 
 use crate::proto::{
     DegradeReason, ErrorCode, ErrorFrame, Frame, FrameReader, HelloAck, QueryRequest, ReadStep,
@@ -458,16 +459,19 @@ impl Shard {
             guard: Arc::clone(&guard),
             degrade,
         };
+        // The verdict itself comes from the shared arbitration layer
+        // (`csqp_verify::system`), so the priority the checker explores
+        // — pool-gone beats queue-full — is the one served here.
         let outcome = match self.submit.try_send(job) {
-            Ok(()) => SubmitOutcome::Admitted,
+            Ok(()) => submit_outcome(false, false),
             Err(TrySendError::Full(_)) => {
                 service.end_inflight();
-                SubmitOutcome::QueueFull
+                submit_outcome(true, false)
             }
             Err(TrySendError::Disconnected(_)) => {
                 service.end_inflight();
                 service.metrics().record_aborted();
-                SubmitOutcome::PoolGone
+                submit_outcome(false, true)
             }
         };
         self.advance(
@@ -492,9 +496,10 @@ impl Shard {
                 // already recorded the terminal bucket.
                 continue;
             };
-            if s.model.poisoned || !s.model.is_inflight(slot) {
-                // The model's drop path: a poisoned stream swallows
-                // completions (the guard was already cancelled).
+            if completion_disposition(&s.model, slot) == CompletionDisposition::DropStale {
+                // The model's drop path: a closed or poisoned stream
+                // swallows completions, as does a slot retired by
+                // cancel or deadline (the guard was already cancelled).
                 continue;
             }
             let Some(q) = s.inflight[slot as usize].take() else {

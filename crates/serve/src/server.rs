@@ -88,7 +88,7 @@ pub struct ServerConfig {
     /// Per-session pipelining window: how many QUERY frames one session
     /// may have outstanding before reading replies. Advertised in
     /// HELLO-ACK; a QUERY past the window is rejected `saturated`.
-    /// Clamped to `1..=`[`csqp_verify::protocol::MAX_SERIALS`] — the cap
+    /// Clamped to `1..=`[`csqp_core::limits::MAX_SERIALS`] — the cap
     /// keeps the session machine finite, which is what lets
     /// `csqp-check --protocol` model-check it exhaustively.
     pub pipeline_depth: usize,
@@ -133,7 +133,7 @@ impl ServerConfig {
     /// (see [`ServerConfig::pipeline_depth`]).
     pub fn effective_pipeline_depth(&self) -> usize {
         self.pipeline_depth
-            .clamp(1, csqp_verify::protocol::MAX_SERIALS as usize)
+            .clamp(1, csqp_core::limits::MAX_SERIALS as usize)
     }
 }
 

@@ -1,0 +1,80 @@
+//! The checked/served window-cap agreement (satellite of the system
+//! model checker PR): the pipeline window the engine advertises in
+//! HELLO-ACK and the serial mask the model checker explores must come
+//! from the *same* constant, `csqp_core::limits::MAX_SERIALS` — so the
+//! model can never under-approximate the machine.
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use csqp_serve::proto::{Frame, Hello};
+use csqp_serve::server::roundtrip;
+use csqp_serve::{Server, ServerConfig};
+
+/// The model's serial mask and the engine's clamp are literally the
+/// same constant. A divergence here means the exhaustiveness claim of
+/// `csqp-check --protocol` / `--system` is silently void.
+#[test]
+fn model_serial_cap_is_the_shared_limit() {
+    assert_eq!(
+        csqp_verify::protocol::MAX_SERIALS,
+        csqp_core::limits::MAX_SERIALS,
+        "the model must mask exactly the window the engine can grant"
+    );
+}
+
+/// The config clamp can never grant a window wider than the model
+/// masks, and never a zero window.
+#[test]
+fn effective_depth_clamps_into_the_model_window() {
+    let cap = csqp_core::limits::MAX_SERIALS as usize;
+    let mut cfg = ServerConfig::default();
+
+    cfg.pipeline_depth = 1000;
+    assert_eq!(cfg.effective_pipeline_depth(), cap);
+
+    cfg.pipeline_depth = 0;
+    assert_eq!(cfg.effective_pipeline_depth(), 1);
+
+    cfg.pipeline_depth = cap;
+    assert_eq!(cfg.effective_pipeline_depth(), cap);
+}
+
+/// End to end: a live server configured with an absurd window
+/// advertises exactly the shared cap on the wire.
+#[test]
+fn hello_ack_advertises_the_clamped_window() {
+    let cfg = ServerConfig {
+        pipeline_depth: 100_000,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg)
+        .expect("bind on 127.0.0.1:0")
+        .spawn()
+        .expect("spawn server threads");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("read timeout");
+    let ack = roundtrip(
+        &mut stream,
+        &Frame::Hello(Hello {
+            client: "window-cap-test".to_string(),
+        }),
+    )
+    .expect("HELLO round-trip");
+    match ack {
+        Frame::HelloAck(a) => assert_eq!(
+            a.pipeline_depth,
+            u32::from(csqp_core::limits::MAX_SERIALS),
+            "advertised window must be the shared cap, not the raw config"
+        ),
+        other => panic!("expected HELLO-ACK, got {other:?}"),
+    }
+
+    server.shutdown();
+}

@@ -43,6 +43,12 @@
 //! under `debug_assertions`; the engine verifies plans the same way
 //! before executing them; the `csqp-check` binary drives all four passes
 //! over generated workloads, optimizer traces, and negative fixtures.
+//!
+//! Alongside the plan passes, two model checkers cover the serving
+//! stack: [`protocol`] explores one session machine exhaustively, and
+//! [`system`] composes N of them with a shared admission-queue /
+//! worker-pool model (symmetry-reduced BFS plus a bounded-lasso
+//! liveness pass) — `csqp-check --protocol` / `--system`.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -53,6 +59,7 @@ pub mod invariants;
 pub mod protocol;
 pub mod report;
 pub mod structural;
+pub mod system;
 
 pub use csqp_core::diag::{DiagCode, Diagnostic};
 pub use report::Report;

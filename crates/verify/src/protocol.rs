@@ -54,8 +54,11 @@ use csqp_core::diag::{DiagCode, Diagnostic};
 /// reused once its reply is queued, so an arbitrarily long-lived session
 /// stays inside the mask: the machine is finite by construction, which
 /// is exactly what makes exhaustive checking tractable. The serving
-/// engine clamps the advertised `pipeline_depth` to this cap.
-pub const MAX_SERIALS: u8 = 16;
+/// engine clamps the advertised `pipeline_depth` to this cap. The
+/// constant itself lives in [`csqp_core::limits`] so the engine and the
+/// model can never drift apart; it is re-exported here because the model
+/// is its defining consumer.
+pub use csqp_core::limits::MAX_SERIALS;
 
 /// The reply-frame counter saturates here: the invariants never count
 /// queued output above "some", and an unbounded counter would make the

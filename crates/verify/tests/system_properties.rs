@@ -1,0 +1,143 @@
+//! Soundness of the system checker's symmetry reduction, by property
+//! test: [`system_step`] commutes with session permutation
+//! (permute-then-step == step-then-permute), and canonicalization is
+//! permutation-invariant. Together these are exactly what makes it
+//! sound to key the visited set on canonical forms — the reduction can
+//! never hide a reachable violation, because every orbit member reaches
+//! the same orbits.
+
+// Tests panic on broken setup by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_verify::system::{
+    apply_permutation, canonicalize, enabled_events, system_step, Job, SysAction, SysEvent,
+    SystemState,
+};
+use proptest::prelude::*;
+
+const N: u8 = 3;
+
+/// All 6 permutations of 3 sessions.
+const PERMS: [[u8; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Drive the machine down a drawn path of enabled events, so every
+/// state the property sees is *reachable* — the only states the
+/// checker's reduction ever keys on.
+fn reachable_state(path: &[u8]) -> SystemState {
+    let mut st = SystemState::new(N, 1, 2, 2);
+    for &choice in path {
+        let evs = enabled_events(&st);
+        if evs.is_empty() {
+            break;
+        }
+        let ev = evs[usize::from(choice) % evs.len()];
+        let (next, _) = system_step(&st, ev);
+        st = next;
+    }
+    st
+}
+
+/// Rewrite the session indices inside an event through `perm`.
+fn permute_event(ev: SysEvent, perm: &[u8; 3]) -> SysEvent {
+    match ev {
+        SysEvent::Client(i, e) => SysEvent::Client(perm[usize::from(i)], e),
+        SysEvent::Finish(j) => SysEvent::Finish(Job {
+            session: perm[usize::from(j.session)],
+            slot: j.slot,
+        }),
+        other => other,
+    }
+}
+
+/// Rewrite the session indices inside an action through `perm`.
+fn permute_action(a: SysAction, perm: &[u8; 3]) -> SysAction {
+    let remap = |j: Job| Job {
+        session: perm[usize::from(j.session)],
+        slot: j.slot,
+    };
+    match a {
+        SysAction::Session(i, act) => SysAction::Session(perm[usize::from(i)], act),
+        SysAction::Lease(j) => SysAction::Lease(remap(j)),
+        SysAction::Post(j) => SysAction::Post(remap(j)),
+        SysAction::Drop(j) => SysAction::Drop(remap(j)),
+    }
+}
+
+proptest! {
+    /// The reduction's soundness core: stepping and permuting commute,
+    /// on states *and* on the emitted actions (as multisets — action
+    /// order within one step is an emission detail).
+    #[test]
+    fn system_step_commutes_with_session_permutation(
+        path in proptest::collection::vec(0u8..=255, 0..12),
+        perm_idx in 0usize..6,
+        choice in 0u8..=255,
+    ) {
+        let perm = PERMS[perm_idx];
+        let st = reachable_state(&path);
+        let evs = enabled_events(&st);
+        if evs.is_empty() {
+            // Terminal state (post-shutdown, fully drained): vacuous.
+            return Ok(());
+        }
+        let ev = evs[usize::from(choice) % evs.len()];
+
+        // step, then permute
+        let (stepped, actions) = system_step(&st, ev);
+        let stepped_then_permuted = apply_permutation(&stepped, &perm);
+
+        // permute, then step (with the event's indices rewritten)
+        let permuted = apply_permutation(&st, &perm);
+        let (permuted_then_stepped, actions_p) =
+            system_step(&permuted, permute_event(ev, &perm));
+
+        prop_assert_eq!(stepped_then_permuted, permuted_then_stepped);
+
+        let mut lhs: Vec<SysAction> =
+            actions.iter().map(|a| permute_action(*a, &perm)).collect();
+        let mut rhs = actions_p;
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Permuting an event's enabledness matches: the permuted state
+    /// enables exactly the permuted events.
+    #[test]
+    fn enabledness_commutes_with_permutation(
+        path in proptest::collection::vec(0u8..=255, 0..12),
+        perm_idx in 0usize..6,
+    ) {
+        let perm = PERMS[perm_idx];
+        let st = reachable_state(&path);
+        let mut lhs: Vec<SysEvent> = enabled_events(&st)
+            .into_iter()
+            .map(|e| permute_event(e, &perm))
+            .collect();
+        let mut rhs = enabled_events(&apply_permutation(&st, &perm));
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Every member of an orbit canonicalizes to the same
+    /// representative, and canonicalization is idempotent.
+    #[test]
+    fn canonicalization_is_orbit_invariant(
+        path in proptest::collection::vec(0u8..=255, 0..12),
+        perm_idx in 0usize..6,
+    ) {
+        let perm = PERMS[perm_idx];
+        let st = reachable_state(&path);
+        let canon = canonicalize(&st);
+        prop_assert_eq!(canonicalize(&apply_permutation(&st, &perm)), canon.clone());
+        prop_assert_eq!(canonicalize(&canon), canon);
+    }
+}

@@ -27,6 +27,12 @@ echo "==> csqp-check --protocol: exhaustive session-protocol model check"
 cargo run --release --bin csqp-check -- --protocol
 cargo run --release --bin csqp-check -- --protocol --depth 12
 
+echo "==> csqp-check --system: composed-system model check (budgeted)"
+cargo run --release --bin csqp-check -- --system --sessions 3 --depth 10 --budget-secs 5
+
+echo "==> mutant suite: seeded bugs must be caught with minimal traces"
+cargo test --release -p csqp-verify mutant
+
 echo "==> serve-smoke: 2-second loopback load against csqp-serve"
 cargo run --release --bin csqp-load -- --serve --clients 8 --seconds 2 --fail-on-rejects
 

@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! cargo run --release --bin csqp-check -- [--plans N] [--servers M] [--seed S]
-//!     [--protocol] [--depth D]
+//!     [--protocol] [--system] [--sessions N] [--depth D] [--budget-secs S]
 //! ```
 //!
-//! Four stages, any failure exits non-zero (`--protocol` runs only
-//! stage 4, the mode the CI `lint-and-model` job uses):
+//! Five stages, any failure exits non-zero (`--protocol` runs only
+//! stage 4 and `--system` only stage 5, the modes the CI
+//! `lint-and-model` job uses):
 //!
 //! 1. **Positive sweep** — `--plans` (default 1000) random plans per
 //!    policy, drawn across the paper's 2-way, 10-way, and SPJ benchmark
@@ -31,16 +32,28 @@
 //!    stuck state, no double reply, window conservation, and that
 //!    cancellation releases workers; any violation prints its minimal
 //!    event trace.
+//! 5. **System model check** — bounded-exhaustive exploration of
+//!    `--sessions` composed session machines over a shared admission
+//!    queue, worker pool, and completion channel
+//!    (`csqp_verify::system::system_step`, whose arbitration the engine
+//!    interprets), with symmetry reduction and a bounded-lasso liveness
+//!    pass. Asserts worker conservation, bounded overtake, no lost
+//!    wakeup, and shutdown-sweep completeness; emits `BENCH_check.json`
+//!    (states, states/sec, peak frontier, wall time, symmetry shrink)
+//!    so checker-throughput regressions stay visible across PRs.
+//!    `--budget-secs` turns the wall-time budget into a hard failure.
 
 use std::process::ExitCode;
 
 use csqp::catalog::{QuerySpec, RelId, SiteId, SystemConfig};
 use csqp::core::{Annotation, JoinTree, NodeId, Plan, Policy};
 use csqp::cost::{CostModel, Objective, ResourceUsage};
+use csqp::json::{obj, Json};
 use csqp::optimizer::{random_neighbor, random_plan, MoveSet, OptConfig, Optimizer};
 use csqp::simkernel::rng::SimRng;
 use csqp::simkernel::SimTime;
 use csqp::verify::protocol::ModelChecker;
+use csqp::verify::system::{system_step, SystemChecker};
 use csqp::verify::{determinism, invariants, structural, Checker, DiagCode, Report};
 use csqp::workload::{random_placement, spj_query, ten_way, two_way, MODERATE_SEL};
 
@@ -49,7 +62,10 @@ struct Args {
     servers: u32,
     seed: u64,
     depth: usize,
+    sessions: u8,
     protocol_only: bool,
+    system_only: bool,
+    budget_secs: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -58,7 +74,10 @@ fn parse_args() -> Args {
         servers: 4,
         seed: 20260806,
         depth: 8,
+        sessions: 3,
         protocol_only: false,
+        system_only: false,
+        budget_secs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,11 +91,21 @@ fn parse_args() -> Args {
             "--servers" => args.servers = val("--servers") as u32,
             "--seed" => args.seed = val("--seed"),
             "--depth" => args.depth = val("--depth") as usize,
+            "--sessions" => args.sessions = val("--sessions") as u8,
             "--protocol" => args.protocol_only = true,
+            "--system" => args.system_only = true,
+            "--budget-secs" => {
+                args.budget_secs = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or_else(|| die("--budget-secs needs a number".to_string())),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-check [--plans N] [--servers M] [--seed S] \
-                     [--protocol] [--depth D]"
+                     [--protocol] [--system] [--sessions N] [--depth D] \
+                     [--budget-secs S]"
                 );
                 std::process::exit(0);
             }
@@ -85,6 +114,11 @@ fn parse_args() -> Args {
     }
     if args.servers == 0 {
         die("--servers must be at least 1".to_string());
+    }
+    if args.sessions == 0 || args.sessions > 5 {
+        // Canonicalization enumerates sessions! permutations; 5 is
+        // already far past the symmetric saturation point.
+        die("--sessions must be in 1..=5".to_string());
     }
     args
 }
@@ -98,12 +132,17 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut failures = 0usize;
 
-    if !args.protocol_only {
+    if !args.protocol_only && !args.system_only {
         failures += positive_sweep(&args);
         failures += optimizer_traces(&args);
         failures += negative_fixtures(&args);
     }
-    failures += protocol_model_check(&args);
+    if !args.system_only {
+        failures += protocol_model_check(&args);
+    }
+    if !args.protocol_only {
+        failures += system_model_check(&args);
+    }
 
     if failures == 0 {
         println!("\ncsqp-check: all checks passed");
@@ -413,6 +452,79 @@ fn protocol_model_check(args: &Args) -> usize {
                 stats.states, stats.transitions
             );
             failures += report.len();
+        }
+    }
+    failures
+}
+
+/// Stage 5: bounded-exhaustive model check of the composed system —
+/// `--sessions` session machines over the shared admission queue,
+/// worker pool, and completion channel — then the same search without
+/// symmetry reduction, to measure (and record) how much the reduction
+/// shrinks the visited set. Emits `BENCH_check.json` as the checker's
+/// perf-trajectory record.
+fn system_model_check(args: &Args) -> usize {
+    let mut checker = SystemChecker::default();
+    checker.sessions = args.sessions;
+    checker.depth = args.depth as u32;
+    let mut failures = 0;
+
+    let start = std::time::Instant::now();
+    let (report, stats) = checker.report();
+    let secs = start.elapsed().as_secs_f64();
+    if report.is_clean() {
+        println!(
+            "system [{} sessions, depth {}]: {} states, {} transitions, \
+             peak frontier {} explored in {secs:.2}s — clean",
+            args.sessions, args.depth, stats.states, stats.transitions, stats.peak_frontier
+        );
+    } else {
+        eprintln!(
+            "FAIL system [{} sessions, depth {}] after {} states:\n{report}",
+            args.sessions, args.depth, stats.states
+        );
+        failures += report.len();
+    }
+    if let Some(budget) = args.budget_secs {
+        if secs > budget {
+            eprintln!("FAIL system check blew its wall-time budget: {secs:.2}s > {budget}s");
+            failures += 1;
+        }
+    }
+
+    // The same search keyed on raw (uncanonicalized) states: the
+    // denominator of the symmetry-shrink figure.
+    let mut raw = checker;
+    raw.symmetry = false;
+    let (_, raw_stats) = raw.run(system_step);
+    let shrink = raw_stats.states as f64 / stats.states.max(1) as f64;
+    println!(
+        "symmetry reduction: {} raw states -> {} canonical ({shrink:.2}x smaller)",
+        raw_stats.states, stats.states
+    );
+
+    let states_per_sec = if secs > 0.0 {
+        stats.states as f64 / secs
+    } else {
+        0.0
+    };
+    let bench = obj(vec![
+        ("bench", Json::from("csqp-check --system")),
+        ("sessions", Json::from(u64::from(args.sessions))),
+        ("depth", Json::from(args.depth as u64)),
+        ("states", Json::from(stats.states)),
+        ("transitions", Json::from(stats.transitions)),
+        ("peak_frontier", Json::from(stats.peak_frontier)),
+        ("wall_secs", Json::from(secs)),
+        ("states_per_sec", Json::from(states_per_sec)),
+        ("states_no_symmetry", Json::from(raw_stats.states)),
+        ("symmetry_shrink", Json::from(shrink)),
+    ]);
+    match std::fs::write("BENCH_check.json", bench.render_pretty() + "\n") {
+        Ok(()) => println!("wrote BENCH_check.json"),
+        Err(e) => {
+            eprintln!("FAIL writing BENCH_check.json: {e}");
+            failures += 1;
         }
     }
     failures
