@@ -1,0 +1,318 @@
+//! `csqp-bench` — the pinned, seeded memo bench suite.
+//!
+//! ```text
+//! cargo run --release --bin csqp-bench -- [--queries N] [--seed S]
+//!     [--servers M] [--out PATH] [--min-speedup X]
+//! ```
+//!
+//! Draws a fixed `--queries` (default 1000) mix from a bounded pool of
+//! (spec × policy × objective × cache-bucket) planning scenarios, then
+//! times the two-step planning path twice over the identical mix:
+//!
+//! * **cold** — memo disabled: every query pays compile + full
+//!   simulated-annealing site selection;
+//! * **warm** — one shared memo table across the whole mix: the first
+//!   occurrence of each distinct scenario misses and installs, every
+//!   repeat hits.
+//!
+//! Emits `BENCH_optimizer.json` (cold plans/sec, warm plans/sec, memo
+//! hit rate, speedup) so the optimizer-throughput trajectory is tracked
+//! across PRs — ROADMAP's "continuous perf trajectory" item for the
+//! planning path. `--min-speedup X` turns the warm/cold ratio into a
+//! hard exit-code assertion (CI passes 5).
+//!
+//! Wall-clock time here is the measurement, never an experiment result:
+//! plans produced under timing are additionally cross-checked
+//! cold-vs-warm for byte equality, which is a correctness gate, not a
+//! timing.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use csqp_catalog::{Catalog, SiteId, SystemConfig};
+use csqp_core::{CancelToken, Policy};
+use csqp_cost::Objective;
+use csqp_json::{obj, Json};
+use csqp_memo::{bucket_fraction, CacheBuckets, Env, MemoConfig, MemoTable};
+use csqp_optimizer::{CompileTimeAssumption, MemoOutcome, OptConfig, TwoStepPlanner};
+use csqp_simkernel::rng::SimRng;
+use csqp_workload::{WorkloadSpec, MODERATE_SEL};
+
+struct Args {
+    queries: usize,
+    seed: u64,
+    servers: u32,
+    out: String,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 1000,
+        seed: 0xB_E7C4,
+        servers: 4,
+        out: "BENCH_optimizer.json".to_string(),
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut raw = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match flag.as_str() {
+            "--queries" => args.queries = num(&raw("--queries"), "--queries") as usize,
+            "--seed" => args.seed = num(&raw("--seed"), "--seed"),
+            "--servers" => args.servers = num(&raw("--servers"), "--servers") as u32,
+            "--out" => args.out = raw("--out"),
+            "--min-speedup" => {
+                let v = raw("--min-speedup");
+                args.min_speedup =
+                    Some(v.parse::<f64>().unwrap_or_else(|_| {
+                        die("--min-speedup needs a numeric argument".to_string())
+                    }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csqp-bench [--queries N] [--seed S] [--servers M] \
+                     [--out PATH] [--min-speedup X]"
+                );
+                std::process::exit(0);
+            }
+            other => die(format!("unknown flag {other}")),
+        }
+    }
+    if args.queries == 0 {
+        die("--queries must be at least 1".to_string());
+    }
+    if args.servers == 0 {
+        die("--servers must be at least 1".to_string());
+    }
+    args
+}
+
+fn num(v: &str, name: &str) -> u64 {
+    v.parse::<u64>()
+        .unwrap_or_else(|_| die(format!("{name} needs a numeric argument")))
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("csqp-bench: {msg}");
+    std::process::exit(2)
+}
+
+/// One planning scenario from the bounded pool: everything the two-step
+/// path needs, pre-built so the timed loop measures planning alone.
+struct Cell {
+    spec: WorkloadSpec,
+    query: csqp_catalog::QuerySpec,
+    catalog: Catalog,
+    buckets: CacheBuckets,
+    env: Env,
+    planner: TwoStepPlanner,
+}
+
+/// The bounded scenario pool: every combination of a small spec set,
+/// all three policies, all three objectives, and two cache states —
+/// the repeated-workload shape a production memo exists for.
+fn scenario_pool(servers: u32) -> Vec<Cell> {
+    let specs = [
+        WorkloadSpec::Chain {
+            n: 3,
+            selectivity: MODERATE_SEL,
+        },
+        WorkloadSpec::Chain {
+            n: 5,
+            selectivity: MODERATE_SEL,
+        },
+        WorkloadSpec::Star {
+            n: 4,
+            selectivity: MODERATE_SEL,
+        },
+        WorkloadSpec::Spj {
+            n: 5,
+            join_sel: MODERATE_SEL,
+            selection: 0.2,
+            every_k: 2,
+        },
+    ];
+    let objectives = [
+        Objective::Communication,
+        Objective::ResponseTime,
+        Objective::TotalCost,
+    ];
+    let mut pool = Vec::new();
+    for spec in &specs {
+        let query = spec.build();
+        let topo = servers.min(spec.num_relations()).max(1);
+        let env = Env {
+            placement_seed: 0xC59D,
+            num_servers: topo,
+        };
+        for policy in Policy::ALL {
+            for objective in objectives {
+                for bucket in [0u8, 4] {
+                    let buckets = CacheBuckets::quantize(&vec![
+                        bucket_fraction(bucket);
+                        spec.num_relations() as usize
+                    ]);
+                    let mut catalog = Catalog::new(topo);
+                    for (i, r) in query.relations.iter().enumerate() {
+                        catalog.place(r.id, SiteId::server(1 + (i as u32 % topo)));
+                    }
+                    for (rel_index, fraction) in buckets.planning_fractions() {
+                        if (rel_index as usize) < query.relations.len() {
+                            catalog.set_cached_fraction(
+                                query.relations[rel_index as usize].id,
+                                fraction,
+                            );
+                        }
+                    }
+                    pool.push(Cell {
+                        spec: spec.clone(),
+                        query: query.clone(),
+                        catalog,
+                        buckets: buckets.clone(),
+                        env,
+                        planner: TwoStepPlanner {
+                            policy,
+                            objective,
+                            config: OptConfig::fast(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    pool
+}
+
+/// Plan one cell end to end (compile + site selection) against an
+/// optional memo, returning the plan and whether site selection hit.
+fn plan_cell(cell: &Cell, sys: &SystemConfig, memo: Option<&MemoTable>) -> (csqp_core::Plan, bool) {
+    let guard = CancelToken::inert();
+    let (compiled, _) = cell.planner.compile_memoized(
+        &cell.spec,
+        &cell.query,
+        sys,
+        CompileTimeAssumption::Centralized,
+        cell.env,
+        memo,
+    );
+    let (plan, outcome) = cell
+        .planner
+        .site_select_memoized(
+            &cell.spec,
+            &compiled,
+            &cell.query,
+            sys,
+            &cell.catalog,
+            &cell.buckets,
+            cell.env,
+            memo,
+            &guard,
+        )
+        .unwrap_or_else(|r| die(format!("inert guard stopped planning: {r}")));
+    (plan, outcome == MemoOutcome::Hit)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let sys = SystemConfig::default();
+    let pool = scenario_pool(args.servers);
+
+    // The pinned mix: `--queries` draws from the pool by seeded index.
+    let mut rng = SimRng::seed_from_u64(args.seed);
+    let mix: Vec<usize> = (0..args.queries)
+        .map(|_| rng.range(0, pool.len()))
+        .collect();
+    println!(
+        "csqp-bench: {} queries over a pool of {} planning scenarios (seed {:#x})",
+        args.queries,
+        pool.len(),
+        args.seed
+    );
+
+    // Cold pass: no memo, every query pays full planning.
+    let start = Instant::now();
+    let cold_plans: Vec<_> = mix
+        .iter()
+        .map(|&i| plan_cell(&pool[i], &sys, None).0)
+        .collect();
+    let cold_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let cold_rate = args.queries as f64 / cold_secs;
+    println!("cold: {cold_secs:.3}s — {cold_rate:.0} plans/sec");
+
+    // Warm pass: one shared table across the identical mix.
+    let table = MemoTable::new(MemoConfig::default());
+    let start = Instant::now();
+    let mut warm_hits = 0u64;
+    let warm_plans: Vec<_> = mix
+        .iter()
+        .map(|&i| {
+            let (plan, hit) = plan_cell(&pool[i], &sys, Some(&table));
+            if hit {
+                warm_hits += 1;
+            }
+            plan
+        })
+        .collect();
+    let warm_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let warm_rate = args.queries as f64 / warm_secs;
+    let hit_rate = warm_hits as f64 / args.queries as f64;
+    let speedup = warm_rate / cold_rate;
+    println!(
+        "warm: {warm_secs:.3}s — {warm_rate:.0} plans/sec, hit rate {:.1}%, speedup {speedup:.1}x",
+        hit_rate * 100.0
+    );
+
+    // Correctness gate before any timing is reported as a win: warm
+    // plans must be byte-identical to cold ones, query by query.
+    for (i, (cold, warm)) in cold_plans.iter().zip(&warm_plans).enumerate() {
+        if cold != warm {
+            eprintln!("csqp-bench: FAIL query #{i} warm plan diverged from cold");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "verified: all {} warm plans byte-identical to cold",
+        args.queries
+    );
+
+    let snap = table.snapshot();
+    let bench = obj(vec![
+        ("bench", Json::from("csqp-bench memo suite")),
+        ("seed", Json::from(args.seed)),
+        ("queries", Json::from(args.queries as u64)),
+        ("pool", Json::from(pool.len() as u64)),
+        ("cold_secs", Json::from(cold_secs)),
+        ("cold_plans_per_sec", Json::from(cold_rate)),
+        ("warm_secs", Json::from(warm_secs)),
+        ("warm_plans_per_sec", Json::from(warm_rate)),
+        ("hit_rate", Json::from(hit_rate)),
+        ("speedup", Json::from(speedup)),
+        ("memo_hits", Json::from(snap.hits)),
+        ("memo_misses", Json::from(snap.misses)),
+        ("memo_entries", Json::from(snap.entries)),
+        ("memo_bytes", Json::from(snap.bytes)),
+    ]);
+    match std::fs::write(&args.out, bench.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("csqp-bench: FAIL writing {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!(
+                "csqp-bench: FAIL warm/cold speedup {speedup:.2}x below the \
+                 {min}x regression threshold"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("speedup {speedup:.1}x meets the {min}x threshold");
+    }
+    ExitCode::SUCCESS
+}

@@ -100,6 +100,17 @@ pub enum DiagCode {
     /// The shutdown sweep left a session open (or an outstanding serial
     /// neither replied nor cancelled) after the pool closed.
     SystemSweepIncomplete,
+    // -- memo-consistency pass (`csqp-verify::memo`) -------------------------
+    /// A memo entry's stored fingerprint does not re-derive from its
+    /// witness bytes, or a compiled entry's witness is not the canonical
+    /// preimage of its structured key: the collision guard is broken.
+    MemoFingerprint,
+    /// A memo entry carries a generation the table has never issued:
+    /// invalidation bookkeeping is corrupt.
+    MemoGeneration,
+    /// A winner-layer memo entry has a missing, non-finite, or negative
+    /// proved cost.
+    MemoCost,
     // -- source lints (`csqp-lint`) -----------------------------------------
     /// A wall-clock read (`Instant::now`, `SystemTime::now`) or
     /// `thread::sleep` outside the justified allowlist.
@@ -156,6 +167,9 @@ impl DiagCode {
             DiagCode::SystemWorkerLeak => "system-worker-leak",
             DiagCode::SystemLostWakeup => "system-lost-wakeup",
             DiagCode::SystemSweepIncomplete => "system-sweep-incomplete",
+            DiagCode::MemoFingerprint => "memo-fingerprint",
+            DiagCode::MemoGeneration => "memo-generation",
+            DiagCode::MemoCost => "memo-cost",
             DiagCode::WallClockUse => "wall-clock-use",
             DiagCode::UnseededRng => "unseeded-rng",
             DiagCode::HashIterOrder => "hash-iter-order",

@@ -46,6 +46,6 @@ pub use bind::{bind, BindContext, BindError, BoundPlan};
 pub use builder::JoinTree;
 pub use cancel::{CancelToken, StopReason};
 pub use diag::{DiagCode, Diagnostic};
-pub use plan::{LogicalOp, NodeId, Plan};
+pub use plan::{LogicalOp, NodeId, Plan, PlanNode};
 pub use policy::Policy;
 pub use wellformed::{check_well_formed, is_well_formed};

@@ -155,6 +155,12 @@ pub const ALLOWLIST: &[Allow] = &[
               the product, and means never feed experiment digests",
     },
     Allow {
+        path: "crates/bench/src/bin/memo_bench.rs",
+        rule: RuleKind::WallClock,
+        why: "csqp-bench times cold-vs-warm planning throughput; wall time is \
+              the measurement and plans are cross-checked for byte equality",
+    },
+    Allow {
         path: "crates/experiments/src/bin/main.rs",
         rule: RuleKind::WallClock,
         why: "progress reporting for long sweeps; timings are printed to \
@@ -222,11 +228,9 @@ pub const ALLOWLIST: &[Allow] = &[
         why: "shard session table keyed by connection id; poll readiness, not \
               map order, drives work, and replies go to per-session sockets",
     },
-    Allow {
-        path: "crates/serve/src/server.rs",
-        rule: RuleKind::HashOrder,
-        why: "plan cache keyed by canonical plan spec; point lookups only",
-    },
+    // (crates/serve/src/server.rs once held a HashOrder entry for its
+    // plan cache; the cache is now the csqp-memo table, which is
+    // BTree-ordered by construction and needs no exemption.)
     Allow {
         path: "crates/serve/src/load.rs",
         rule: RuleKind::HashOrder,

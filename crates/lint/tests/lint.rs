@@ -7,7 +7,7 @@
 
 use std::path::{Path, PathBuf};
 
-use csqp_lint::{lint_workspace, Linter};
+use csqp_lint::{lint_workspace, Linter, ALLOWLIST};
 use csqp_verify::DiagCode;
 
 fn fixture(name: &str) -> String {
@@ -91,6 +91,43 @@ fn diagnostics_carry_file_and_line_anchors() {
         assert_eq!(file, "wall_clock.rs");
         assert!(line.parse::<usize>().expect("numeric line") > 0);
     }
+}
+
+#[test]
+fn memo_crate_is_clean_with_no_exemptions() {
+    // Memo hits feed served plans (and thus digests) directly, so the
+    // memo crate must satisfy every determinism lint — no wall clock,
+    // no unseeded RNG, no hash-ordered collections — without a single
+    // allowlist waiver, and must never quietly acquire one.
+    assert!(
+        ALLOWLIST
+            .iter()
+            .all(|a| !a.path.starts_with("crates/memo/")),
+        "the memo crate must not carry lint exemptions"
+    );
+    let src_dir: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../memo/src");
+    let mut linter = Linter::with_allows(&[]);
+    let mut scanned = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&src_dir)
+        .expect("memo crate sources exist")
+        .collect::<Result<_, _>>()
+        .expect("readable");
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".rs") {
+            continue;
+        }
+        scanned += 1;
+        let source = std::fs::read_to_string(entry.path()).expect("readable source");
+        let diags = linter.lint_source(&format!("crates/memo/src/{name}"), &source);
+        assert!(
+            diags.is_empty(),
+            "crates/memo/src/{name} must be clean: {diags:?}"
+        );
+    }
+    assert!(scanned >= 4, "found the memo sources ({scanned} files)");
+    assert!(linter.finish().is_empty());
 }
 
 #[test]

@@ -1,0 +1,39 @@
+//! `csqp-memo` — a cascades-style memo table for runtime site selection.
+//!
+//! The paper's two-step architecture (§5) re-runs site selection per query;
+//! at production QPS, structurally identical queries from different clients
+//! repeat the same annealing work. This crate memoizes that work over
+//! *logical-plan groups*: one group per (workload spec × placement
+//! environment), each storing the compiled join-order plan per (policy ×
+//! objective) and the best site-selected plan per (policy × objective ×
+//! quantized client-cache state) together with the cost the optimizer
+//! proved.
+//!
+//! Design pillars (DESIGN.md §13):
+//!
+//! * **Structural fingerprints, not strings.** Keys are 128-bit hashes of a
+//!   typed byte preimage ([`Preimage`]); the preimage is retained as a
+//!   witness and compared on every probe, so a fingerprint collision is
+//!   counted and misses — a foreign plan is structurally impossible to
+//!   serve.
+//! * **Determinism.** No wall clocks, no RNG, no hash-order iteration
+//!   (every map is a `BTreeMap`). Optimizer seeds derive from the
+//!   fingerprint ([`Fingerprint::seed`]), so a memo hit is byte-identical
+//!   to what a cold optimization of the same key would produce.
+//! * **Bounded.** LRU-with-cost-protection eviction under a configurable
+//!   byte budget ([`MemoConfig::max_bytes`]), sharded for concurrency.
+//! * **Invalidation.** A table-wide generation ([`MemoTable::bump_generation`])
+//!   lazily drops entries installed before any catalog mutation the
+//!   fingerprint does not capture; stale entries miss, never serve.
+
+pub mod fingerprint;
+pub mod stats;
+pub mod table;
+
+pub use fingerprint::{
+    bucket_fraction, group_fingerprint, objective_tag, policy_tag, quantize_fraction, CacheBuckets,
+    CompiledProbe, Env, Fingerprint, Preimage, SelectProbe, CACHE_QUANT_STEPS, SEED_SALT_COMPILE,
+    SEED_SALT_SELECT,
+};
+pub use stats::{MemoSnapshot, MemoStats};
+pub use table::{MemoConfig, MemoEntryView, MemoTable, SelectedHit};

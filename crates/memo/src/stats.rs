@@ -1,0 +1,94 @@
+//! Memo counters, exported into the serving STATS frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic memo counters. All relaxed: the counters are observability,
+/// not synchronization — entry visibility is guarded by the shard mutexes.
+#[derive(Debug, Default)]
+pub struct MemoStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    installs: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+    collisions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl MemoStats {
+    pub(crate) fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn install(&self) {
+        self.installs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn evict(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn invalidate(&self) {
+        self.invalidated.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn collide(&self) {
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Misses so far (includes collision and stale-generation misses).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Entries installed.
+    pub fn installs(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+    /// Entries evicted under byte-budget pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+    /// Entries dropped because their generation was stale.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+    /// Probes whose fingerprint matched but whose witness bytes did not.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+    /// Installs refused because a single entry exceeded the shard budget.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of the memo counters plus table occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoSnapshot {
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses (any cause).
+    pub misses: u64,
+    /// Entries installed.
+    pub installs: u64,
+    /// Entries evicted under budget pressure.
+    pub evictions: u64,
+    /// Entries lazily dropped after a generation bump.
+    pub invalidated: u64,
+    /// Witness mismatches on fingerprint-equal probes.
+    pub collisions: u64,
+    /// Installs refused outright (entry larger than a shard budget).
+    pub rejected: u64,
+    /// Estimated resident bytes across all shards.
+    pub bytes: u64,
+    /// Live entries (compiled + winner) across all shards.
+    pub entries: u64,
+    /// Current invalidation generation.
+    pub generation: u64,
+}

@@ -1,0 +1,736 @@
+//! The sharded memo table.
+//!
+//! Two-level cascades-style shape: a *group* per (workload spec ×
+//! placement environment), each holding the compiled join-order plan per
+//! (policy × objective) and the site-selected *winner* plan per (policy ×
+//! objective × quantized cache-state) with the cost the optimizer proved.
+//!
+//! Concurrency: groups are distributed over `shards` independent
+//! mutex-guarded maps; all maps are `BTreeMap`, so iteration order is the
+//! key order and never the hash order. Safety: a probe only hits when the
+//! stored witness bytes equal the probe's preimage *and* the entry's
+//! generation is current — fingerprint collisions and stale entries are
+//! counted and treated as misses, never served.
+//!
+//! Determinism: the table never consults wall clocks or RNGs. Under
+//! concurrent serving, *which* probes hit depends on thread interleaving
+//! (as does any cache), but a hit returns exactly the plan a cold
+//! optimization of the same key would produce, so served results are
+//! interleaving-independent.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use csqp_core::{Plan, PlanNode};
+use csqp_workload::WorkloadSpec;
+
+use crate::fingerprint::{CacheBuckets, CompiledProbe, Env, Fingerprint, SelectProbe};
+use crate::stats::{MemoSnapshot, MemoStats};
+
+/// Fixed per-entry bookkeeping estimate (keys, map nodes, ticks) added to
+/// the witness and plan bytes when charging the byte budget.
+const ENTRY_OVERHEAD: usize = 128;
+
+/// Eviction protection bonus for compiled entries: one compiled plan feeds
+/// every cache-state winner in its group, so it is worth roughly this many
+/// ticks of extra residency.
+const COMPILED_BONUS: u64 = 8;
+
+/// Cap on the cost-derived protection bonus of winner entries.
+const MAX_COST_BONUS: u64 = 16;
+
+/// Configuration for a [`MemoTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Total byte budget across the table (split evenly over shards).
+    pub max_bytes: usize,
+    /// Number of independent shards (≥ 1; callers typically match their
+    /// event-loop shard count).
+    pub shards: usize,
+}
+
+impl Default for MemoConfig {
+    fn default() -> MemoConfig {
+        MemoConfig {
+            max_bytes: 64 << 20,
+            shards: 8,
+        }
+    }
+}
+
+/// Key of a compiled entry within its group: (policy tag, objective tag).
+type CompiledKey = (u8, u8);
+
+/// Key of a winner entry within its group.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct WinnerKey {
+    policy: u8,
+    objective: u8,
+    buckets: CacheBuckets,
+}
+
+#[derive(Debug, Clone)]
+struct StoredEntry {
+    fingerprint: Fingerprint,
+    witness: Vec<u8>,
+    plan: Plan,
+    /// Proved cost — `None` for compiled entries (cost is proved at site
+    /// selection, not at compile).
+    cost: Option<f64>,
+    generation: u64,
+    last_used: u64,
+    bytes: usize,
+    hits: u64,
+}
+
+impl StoredEntry {
+    /// Eviction protection score: LRU recency plus a deterministic bonus
+    /// for entries that were expensive to prove. Lower is evicted first.
+    fn protection(&self) -> u64 {
+        let bonus = match self.cost {
+            None => COMPILED_BONUS,
+            Some(c) if c.is_finite() && c > 0.0 => (c.ln_1p() as u64).min(MAX_COST_BONUS),
+            Some(_) => 0,
+        };
+        self.last_used.saturating_add(bonus)
+    }
+}
+
+#[derive(Debug)]
+struct Group {
+    spec: WorkloadSpec,
+    env: Env,
+    compiled: BTreeMap<CompiledKey, StoredEntry>,
+    winners: BTreeMap<WinnerKey, StoredEntry>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    groups: BTreeMap<Fingerprint, Group>,
+    /// Logical clock: advanced on every probe or install that touches the
+    /// shard. Entry recency is measured in these ticks, not wall time.
+    tick: u64,
+    bytes: usize,
+}
+
+/// Which layer an evictable entry lives in (used by the victim scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EntryAddr {
+    Compiled(Fingerprint, CompiledKey),
+    Winner(Fingerprint, WinnerKey),
+}
+
+/// The memo table: deterministic, bounded, concurrency-safe.
+#[derive(Debug)]
+pub struct MemoTable {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: usize,
+    generation: AtomicU64,
+    stats: MemoStats,
+}
+
+/// Recover the guard from a poisoned mutex: the protected state is a plain
+/// cache map that stays structurally valid across any panic point, and
+/// serving must not dead-end because one worker died mid-probe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A winner-layer hit: the memoized plan and the cost proved when it was
+/// first optimized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedHit {
+    /// The site-selected plan, byte-identical to a cold optimization.
+    pub plan: Plan,
+    /// The cost the optimizer proved at install time.
+    pub cost: f64,
+}
+
+/// One live entry, exported for the `csqp-verify` memo-consistency pass.
+#[derive(Debug, Clone)]
+pub struct MemoEntryView {
+    /// The group's workload spec.
+    pub spec: WorkloadSpec,
+    /// The group's placement environment.
+    pub env: Env,
+    /// Policy index ([`crate::fingerprint::policy_tag`]).
+    pub policy: u8,
+    /// Objective index ([`crate::fingerprint::objective_tag`]).
+    pub objective: u8,
+    /// Winner-layer cache state; `None` for compiled-layer entries.
+    pub buckets: Option<CacheBuckets>,
+    /// The stored plan.
+    pub plan: Plan,
+    /// The proved cost (winner layer only).
+    pub cost: Option<f64>,
+    /// Generation the entry was installed under.
+    pub generation: u64,
+    /// The entry fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The preimage witness bytes the fingerprint was computed over.
+    pub witness: Vec<u8>,
+}
+
+impl MemoTable {
+    /// Create a table with the given budget and shard count.
+    pub fn new(config: MemoConfig) -> MemoTable {
+        let shards = config.shards.max(1);
+        MemoTable {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            budget_per_shard: config.max_bytes / shards,
+            generation: AtomicU64::new(0),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &MemoStats {
+        &self.stats
+    }
+
+    /// Current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Invalidate every entry installed so far: subsequent probes miss
+    /// (never serve a stale plan) and drop stale entries lazily. Call on
+    /// any catalog mutation the fingerprint does not capture.
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn shard_for(&self, group: Fingerprint) -> &Mutex<Shard> {
+        let idx = (group.0[0] % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Probe the compiled layer. `None` is a miss (not present, stale
+    /// generation, or witness collision — all counted).
+    pub fn probe_compiled(&self, probe: &CompiledProbe) -> Option<Plan> {
+        let generation = self.generation();
+        let mut shard = lock(self.shard_for(probe.group));
+        shard.tick += 1;
+        let tick = shard.tick;
+        let key = (probe.policy, probe.objective);
+        let Some(group) = shard.groups.get_mut(&probe.group) else {
+            self.stats.miss();
+            return None;
+        };
+        if group.spec != probe.spec || group.env != probe.env {
+            self.stats.collide();
+            self.stats.miss();
+            return None;
+        }
+        match group.compiled.get_mut(&key) {
+            Some(entry) if entry.generation != generation => {
+                let bytes = entry.bytes;
+                group.compiled.remove(&key);
+                shard.bytes -= bytes;
+                self.stats.invalidate();
+                self.stats.miss();
+                None
+            }
+            Some(entry)
+                if entry.fingerprint != probe.fingerprint || entry.witness != probe.witness =>
+            {
+                self.stats.collide();
+                self.stats.miss();
+                None
+            }
+            Some(entry) => {
+                entry.last_used = tick;
+                entry.hits += 1;
+                self.stats.hit();
+                Some(entry.plan.clone())
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Install a compiled plan for the probe's key.
+    pub fn install_compiled(&self, probe: &CompiledProbe, plan: &Plan) {
+        let entry = StoredEntry {
+            fingerprint: probe.fingerprint,
+            witness: probe.witness.clone(),
+            plan: plan.clone(),
+            cost: None,
+            generation: self.generation(),
+            last_used: 0,
+            bytes: entry_bytes(&probe.witness, plan),
+            hits: 0,
+        };
+        let mut shard = lock(self.shard_for(probe.group));
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !self.make_room(&mut shard, entry.bytes) {
+            self.stats.reject();
+            return;
+        }
+        let group = shard.groups.entry(probe.group).or_insert_with(|| Group {
+            spec: probe.spec.clone(),
+            env: probe.env,
+            compiled: BTreeMap::new(),
+            winners: BTreeMap::new(),
+        });
+        let key = (probe.policy, probe.objective);
+        let mut entry = entry;
+        entry.last_used = tick;
+        let delta = entry.bytes;
+        if let Some(old) = group.compiled.insert(key, entry) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += delta;
+        self.stats.install();
+    }
+
+    /// Probe the winner layer. `None` is a miss (not present, stale
+    /// generation, or witness collision — all counted).
+    pub fn probe_selected(&self, probe: &SelectProbe) -> Option<SelectedHit> {
+        let generation = self.generation();
+        let mut shard = lock(self.shard_for(probe.group));
+        shard.tick += 1;
+        let tick = shard.tick;
+        let key = WinnerKey {
+            policy: probe.policy,
+            objective: probe.objective,
+            buckets: probe.buckets.clone(),
+        };
+        let Some(group) = shard.groups.get_mut(&probe.group) else {
+            self.stats.miss();
+            return None;
+        };
+        if group.spec != probe.spec || group.env != probe.env {
+            self.stats.collide();
+            self.stats.miss();
+            return None;
+        }
+        match group.winners.get_mut(&key) {
+            Some(entry) if entry.generation != generation => {
+                let bytes = entry.bytes;
+                group.winners.remove(&key);
+                shard.bytes -= bytes;
+                self.stats.invalidate();
+                self.stats.miss();
+                None
+            }
+            Some(entry)
+                if entry.fingerprint != probe.fingerprint || entry.witness != probe.witness =>
+            {
+                self.stats.collide();
+                self.stats.miss();
+                None
+            }
+            Some(entry) => {
+                entry.last_used = tick;
+                entry.hits += 1;
+                self.stats.hit();
+                // Cost is finite at install time; the unwrap-free default
+                // keeps the accessor total anyway.
+                Some(SelectedHit {
+                    plan: entry.plan.clone(),
+                    cost: entry.cost.unwrap_or(f64::INFINITY),
+                })
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Install a site-selected winner with its proved cost.
+    pub fn install_selected(&self, probe: &SelectProbe, plan: &Plan, cost: f64) {
+        let entry = StoredEntry {
+            fingerprint: probe.fingerprint,
+            witness: probe.witness.clone(),
+            plan: plan.clone(),
+            cost: Some(cost),
+            generation: self.generation(),
+            last_used: 0,
+            bytes: entry_bytes(&probe.witness, plan),
+            hits: 0,
+        };
+        let mut shard = lock(self.shard_for(probe.group));
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !self.make_room(&mut shard, entry.bytes) {
+            self.stats.reject();
+            return;
+        }
+        let group = shard.groups.entry(probe.group).or_insert_with(|| Group {
+            spec: probe.spec.clone(),
+            env: probe.env,
+            compiled: BTreeMap::new(),
+            winners: BTreeMap::new(),
+        });
+        let key = WinnerKey {
+            policy: probe.policy,
+            objective: probe.objective,
+            buckets: probe.buckets.clone(),
+        };
+        let mut entry = entry;
+        entry.last_used = tick;
+        let delta = entry.bytes;
+        if let Some(old) = group.winners.insert(key, entry) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += delta;
+        self.stats.install();
+    }
+
+    /// Evict lowest-protection entries until `incoming` fits the shard
+    /// budget. Returns false when the entry can never fit (larger than the
+    /// whole shard budget).
+    fn make_room(&self, shard: &mut Shard, incoming: usize) -> bool {
+        if incoming > self.budget_per_shard {
+            return false;
+        }
+        while shard.bytes + incoming > self.budget_per_shard {
+            let Some(victim) = lowest_protection(shard) else {
+                return shard.bytes + incoming <= self.budget_per_shard;
+            };
+            let removed = match &victim {
+                EntryAddr::Compiled(g, key) => shard
+                    .groups
+                    .get_mut(g)
+                    .and_then(|grp| grp.compiled.remove(key)),
+                EntryAddr::Winner(g, key) => shard
+                    .groups
+                    .get_mut(g)
+                    .and_then(|grp| grp.winners.remove(key)),
+            };
+            let Some(removed) = removed else {
+                return false;
+            };
+            shard.bytes -= removed.bytes;
+            self.stats.evict();
+            let g = match victim {
+                EntryAddr::Compiled(g, _) | EntryAddr::Winner(g, _) => g,
+            };
+            let empty = shard
+                .groups
+                .get(&g)
+                .is_some_and(|grp| grp.compiled.is_empty() && grp.winners.is_empty());
+            if empty {
+                shard.groups.remove(&g);
+            }
+        }
+        true
+    }
+
+    /// Point-in-time counters plus occupancy.
+    pub fn snapshot(&self) -> MemoSnapshot {
+        let mut bytes = 0u64;
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let s = lock(shard);
+            bytes += s.bytes as u64;
+            entries += s
+                .groups
+                .values()
+                .map(|g| (g.compiled.len() + g.winners.len()) as u64)
+                .sum::<u64>();
+        }
+        MemoSnapshot {
+            hits: self.stats.hits(),
+            misses: self.stats.misses(),
+            installs: self.stats.installs(),
+            evictions: self.stats.evictions(),
+            invalidated: self.stats.invalidated(),
+            collisions: self.stats.collisions(),
+            rejected: self.stats.rejected(),
+            bytes,
+            entries,
+            generation: self.generation(),
+        }
+    }
+
+    /// Clone out every live entry, in deterministic (shard, group, key)
+    /// order — the input to the `csqp-verify` memo-consistency pass.
+    pub fn export_entries(&self) -> Vec<MemoEntryView> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = lock(shard);
+            for (gfp, group) in &s.groups {
+                let _ = gfp;
+                for ((policy, objective), e) in &group.compiled {
+                    out.push(MemoEntryView {
+                        spec: group.spec.clone(),
+                        env: group.env,
+                        policy: *policy,
+                        objective: *objective,
+                        buckets: None,
+                        plan: e.plan.clone(),
+                        cost: e.cost,
+                        generation: e.generation,
+                        fingerprint: e.fingerprint,
+                        witness: e.witness.clone(),
+                    });
+                }
+                for (key, e) in &group.winners {
+                    out.push(MemoEntryView {
+                        spec: group.spec.clone(),
+                        env: group.env,
+                        policy: key.policy,
+                        objective: key.objective,
+                        buckets: Some(key.buckets.clone()),
+                        plan: e.plan.clone(),
+                        cost: e.cost,
+                        generation: e.generation,
+                        fingerprint: e.fingerprint,
+                        witness: e.witness.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Estimated resident bytes of one entry.
+fn entry_bytes(witness: &[u8], plan: &Plan) -> usize {
+    witness.len() + std::mem::size_of::<PlanNode>() * plan.arena_len() + ENTRY_OVERHEAD
+}
+
+/// The shard's lowest-protection entry, scanning groups in key order so
+/// ties break deterministically.
+fn lowest_protection(shard: &Shard) -> Option<EntryAddr> {
+    let mut best: Option<(u64, EntryAddr)> = None;
+    let mut consider = |score: u64, addr: EntryAddr| match &best {
+        Some((s, _)) if *s <= score => {}
+        _ => best = Some((score, addr)),
+    };
+    for (gfp, group) in &shard.groups {
+        for (key, e) in &group.compiled {
+            consider(e.protection(), EntryAddr::Compiled(*gfp, *key));
+        }
+        for (key, e) in &group.winners {
+            consider(e.protection(), EntryAddr::Winner(*gfp, key.clone()));
+        }
+    }
+    best.map(|(_, addr)| addr)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::fingerprint::{CacheBuckets, CompiledProbe, SelectProbe};
+    use csqp_catalog::RelId;
+    use csqp_core::{Annotation, JoinTree, Policy};
+    use csqp_cost::Objective;
+
+    fn env() -> Env {
+        Env {
+            placement_seed: 42,
+            num_servers: 4,
+        }
+    }
+
+    fn spec(n: u32) -> WorkloadSpec {
+        WorkloadSpec::Chain {
+            n,
+            selectivity: 1e-4,
+        }
+    }
+
+    fn plan_for(spec: &WorkloadSpec) -> Plan {
+        let q = spec.build();
+        let rels: Vec<RelId> = (0..spec.num_relations()).map(RelId).collect();
+        JoinTree::left_deep(&rels).into_plan(&q, Annotation::InnerRel, Annotation::PrimaryCopy)
+    }
+
+    fn winner_probe(n: u32, bucket: f64) -> (SelectProbe, Plan) {
+        let s = spec(n);
+        let plan = plan_for(&s);
+        let probe = SelectProbe::new(
+            &s,
+            &plan,
+            Policy::HybridShipping,
+            Objective::ResponseTime,
+            CacheBuckets::quantize(&[bucket]),
+            env(),
+        );
+        (probe, plan)
+    }
+
+    #[test]
+    fn probe_install_probe_round_trips() {
+        let table = MemoTable::new(MemoConfig::default());
+        let (probe, plan) = winner_probe(3, 0.25);
+        assert!(table.probe_selected(&probe).is_none());
+        table.install_selected(&probe, &plan, 12.5);
+        let hit = table.probe_selected(&probe).unwrap();
+        assert_eq!(hit.plan, plan);
+        assert_eq!(hit.cost, 12.5);
+        let snap = table.snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.installs, 1);
+        assert_eq!(snap.entries, 1);
+        assert!(snap.bytes > 0);
+    }
+
+    #[test]
+    fn compiled_layer_round_trips() {
+        let table = MemoTable::new(MemoConfig::default());
+        let s = spec(4);
+        let plan = plan_for(&s);
+        let probe = CompiledProbe::new(&s, Policy::QueryShipping, Objective::TotalCost, env());
+        assert!(table.probe_compiled(&probe).is_none());
+        table.install_compiled(&probe, &plan);
+        assert_eq!(table.probe_compiled(&probe).unwrap(), plan);
+    }
+
+    #[test]
+    fn generation_bump_yields_miss_never_stale() {
+        let table = MemoTable::new(MemoConfig::default());
+        let (probe, plan) = winner_probe(3, 0.5);
+        table.install_selected(&probe, &plan, 1.0);
+        assert!(table.probe_selected(&probe).is_some());
+        table.bump_generation();
+        // The stale entry is dropped, not served.
+        assert!(table.probe_selected(&probe).is_none());
+        let snap = table.snapshot();
+        assert_eq!(snap.invalidated, 1);
+        assert_eq!(snap.entries, 0);
+        // Reinstall under the new generation hits again.
+        table.install_selected(&probe, &plan, 1.0);
+        assert!(table.probe_selected(&probe).is_some());
+    }
+
+    #[test]
+    fn witness_mismatch_is_a_counted_miss() {
+        let table = MemoTable::new(MemoConfig::default());
+        let (probe, plan) = winner_probe(3, 0.25);
+        table.install_selected(&probe, &plan, 1.0);
+        // Forge a probe that claims the same fingerprints but carries a
+        // different witness — the shape of a 128-bit collision.
+        let mut forged = SelectProbe::new(
+            &probe.spec,
+            &plan,
+            Policy::HybridShipping,
+            Objective::TotalCost,
+            CacheBuckets::quantize(&[0.25]),
+            env(),
+        );
+        forged.group = probe.group;
+        forged.fingerprint = probe.fingerprint;
+        forged.policy = probe.policy;
+        forged.objective = probe.objective;
+        forged.buckets = probe.buckets.clone();
+        assert!(table.probe_selected(&forged).is_none());
+        assert_eq!(table.snapshot().collisions, 1);
+        // The genuine probe still hits.
+        assert!(table.probe_selected(&probe).is_some());
+    }
+
+    #[test]
+    fn eviction_is_lru_with_cost_protection() {
+        // Budget sized for roughly two entries in one shard.
+        let (p0, plan0) = winner_probe(2, 0.0);
+        let per_entry = entry_bytes(&p0.witness, &plan0);
+        let table = MemoTable::new(MemoConfig {
+            max_bytes: per_entry * 5 / 2,
+            shards: 1,
+        });
+        table.install_selected(&p0, &plan0, 1.0);
+        let (p1, plan1) = winner_probe(3, 0.0);
+        table.install_selected(&p1, &plan1, 1.0);
+        // Touch p1 so p0 is the LRU victim.
+        assert!(table.probe_selected(&p1).is_some());
+        let (p2, plan2) = winner_probe(4, 0.0);
+        table.install_selected(&p2, &plan2, 1.0);
+        let snap = table.snapshot();
+        assert!(snap.evictions >= 1, "expected an eviction: {snap:?}");
+        assert!(table.probe_selected(&p0).is_none(), "LRU entry survived");
+        assert!(table.probe_selected(&p2).is_some());
+        assert!(snap.bytes <= per_entry as u64 * 3);
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let runs: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let (p0, plan0) = winner_probe(2, 0.0);
+                let per_entry = entry_bytes(&p0.witness, &plan0);
+                let table = MemoTable::new(MemoConfig {
+                    max_bytes: per_entry * 7 / 2,
+                    shards: 1,
+                });
+                let probes: Vec<(SelectProbe, Plan)> =
+                    (2..8).map(|n| winner_probe(n, 0.25)).collect();
+                for (p, plan) in &probes {
+                    table.install_selected(p, plan, f64::from(p.spec.num_relations()));
+                }
+                probes
+                    .iter()
+                    .map(|(p, _)| table.probe_selected(p).is_some())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert!(runs[0].iter().any(|h| *h), "everything was evicted");
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_thrashed() {
+        let (p, plan) = winner_probe(5, 0.25);
+        let table = MemoTable::new(MemoConfig {
+            max_bytes: 8,
+            shards: 1,
+        });
+        table.install_selected(&p, &plan, 1.0);
+        let snap = table.snapshot();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.entries, 0);
+        assert_eq!(snap.evictions, 0);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_complete() {
+        let table = MemoTable::new(MemoConfig::default());
+        let s = spec(3);
+        let plan = plan_for(&s);
+        let cp = CompiledProbe::new(&s, Policy::HybridShipping, Objective::ResponseTime, env());
+        table.install_compiled(&cp, &plan);
+        let (wp, wplan) = winner_probe(3, 0.25);
+        table.install_selected(&wp, &wplan, 3.0);
+        let views = table.export_entries();
+        assert_eq!(views.len(), 2);
+        assert!(views.iter().any(|v| v.buckets.is_none()));
+        assert!(views
+            .iter()
+            .any(|v| v.buckets.is_some() && v.cost == Some(3.0)));
+        for v in &views {
+            assert_eq!(
+                v.fingerprint,
+                Fingerprint::of(&crate::fingerprint::Preimage::from_raw(&v.witness)),
+                "stored fingerprint must re-derive from its witness"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_groups() {
+        let table = MemoTable::new(MemoConfig {
+            max_bytes: 64 << 20,
+            shards: 4,
+        });
+        for n in 2..10 {
+            let (p, plan) = winner_probe(n, 0.0);
+            table.install_selected(&p, &plan, 1.0);
+        }
+        assert_eq!(table.snapshot().entries, 8);
+        for n in 2..10 {
+            let (p, _) = winner_probe(n, 0.0);
+            assert!(table.probe_selected(&p).is_some());
+        }
+    }
+}

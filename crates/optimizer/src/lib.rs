@@ -38,4 +38,6 @@ pub use moves::MoveSet;
 pub use moves::{applicable_moves, apply_move, Move, MoveKind};
 pub use random::{random_neighbor, random_plan};
 pub use search::{OptConfig, OptResult, Optimizer};
-pub use twostep::{explicit_placement, two_step_plan, CompileTimeAssumption, TwoStepPlanner};
+pub use twostep::{
+    explicit_placement, two_step_plan, CompileTimeAssumption, MemoOutcome, TwoStepPlanner,
+};

@@ -22,7 +22,9 @@
 use csqp_catalog::{Catalog, QuerySpec, RelId, SiteId, SystemConfig};
 use csqp_core::{Plan, Policy};
 use csqp_cost::{CostModel, Objective};
+use csqp_memo::{CacheBuckets, CompiledProbe, Env as MemoEnv, MemoTable, SelectProbe};
 use csqp_simkernel::rng::SimRng;
+use csqp_workload::WorkloadSpec;
 
 use crate::search::{OptConfig, Optimizer};
 
@@ -157,6 +159,127 @@ impl TwoStepPlanner {
         let start = clamp_to_topology(compiled, query, runtime_catalog);
         Ok(opt.site_selection_guarded(start, rng, guard)?.plan)
     }
+
+    /// Memoizing [`TwoStepPlanner::compile`]: probe the memo's compiled
+    /// layer, optimize cold on a miss and install. The compile RNG stream
+    /// is seeded from the probe fingerprint, so the cold plan for a key is
+    /// the same whether or not a memo table is in play.
+    pub fn compile_memoized(
+        &self,
+        spec: &WorkloadSpec,
+        query: &QuerySpec,
+        sys: &SystemConfig,
+        assumption: CompileTimeAssumption,
+        env: MemoEnv,
+        memo: Option<&MemoTable>,
+    ) -> (Plan, MemoOutcome) {
+        let probe = CompiledProbe::new(spec, self.policy, self.objective, env);
+        if let Some(table) = memo {
+            if let Some(plan) = table.probe_compiled(&probe) {
+                return (plan, MemoOutcome::Hit);
+            }
+        }
+        let mut rng = SimRng::seed_from_u64(probe.compile_seed());
+        let plan = self.compile(query, sys, assumption, &mut rng);
+        match memo {
+            Some(table) => {
+                table.install_compiled(&probe, &plan);
+                (plan, MemoOutcome::Miss)
+            }
+            None => (plan, MemoOutcome::Bypass),
+        }
+    }
+
+    /// Memoizing [`TwoStepPlanner::site_select_guarded`]: probe the memo's
+    /// winner layer for this (policy × objective × cache-bucket) cell,
+    /// anneal cold on a miss and install the winner with its proved cost.
+    ///
+    /// Determinism contract: the annealing stream is seeded from the probe
+    /// fingerprint, and `runtime_catalog` must carry exactly the cached
+    /// fractions of `buckets` ([`CacheBuckets::planning_fractions`]) — then
+    /// a hit is byte-identical to a cold optimization of the same key,
+    /// which debug builds enforce on every hit.
+    ///
+    /// The guard is probed before the memo, so a cancelled or expired
+    /// request fails identically whether the table is warm or cold.
+    #[allow(clippy::too_many_arguments)]
+    pub fn site_select_memoized(
+        &self,
+        spec: &WorkloadSpec,
+        compiled: &Plan,
+        query: &QuerySpec,
+        sys: &SystemConfig,
+        runtime_catalog: &Catalog,
+        buckets: &CacheBuckets,
+        env: MemoEnv,
+        memo: Option<&MemoTable>,
+        guard: &csqp_core::CancelToken,
+    ) -> Result<(Plan, MemoOutcome), csqp_core::StopReason> {
+        if let Some(reason) = guard.stop_reason() {
+            return Err(reason);
+        }
+        let probe = SelectProbe::new(
+            spec,
+            compiled,
+            self.policy,
+            self.objective,
+            buckets.clone(),
+            env,
+        );
+        if let Some(table) = memo {
+            if let Some(hit) = table.probe_selected(&probe) {
+                #[cfg(debug_assertions)]
+                self.verify_hit(&probe, compiled, query, sys, runtime_catalog, &hit.plan);
+                return Ok((hit.plan, MemoOutcome::Hit));
+            }
+        }
+        let mut rng = SimRng::seed_from_u64(probe.select_seed());
+        let model = CostModel::new(sys, runtime_catalog, query, SiteId::CLIENT);
+        let opt = Optimizer::new(&model, self.policy, self.objective, self.config.clone());
+        let start = clamp_to_topology(compiled, query, runtime_catalog);
+        let result = opt.site_selection_guarded(start, &mut rng, guard)?;
+        match memo {
+            Some(table) => {
+                table.install_selected(&probe, &result.plan, result.cost);
+                Ok((result.plan, MemoOutcome::Miss))
+            }
+            None => Ok((result.plan, MemoOutcome::Bypass)),
+        }
+    }
+
+    /// Debug-build verify hook: every memo hit is re-derived cold with the
+    /// same fingerprint seed and must match byte for byte. A divergence
+    /// means the caller's runtime catalog drifted from the entry's install
+    /// state without a generation bump — a bug worth a loud panic.
+    #[cfg(debug_assertions)]
+    fn verify_hit(
+        &self,
+        probe: &SelectProbe,
+        compiled: &Plan,
+        query: &QuerySpec,
+        sys: &SystemConfig,
+        runtime_catalog: &Catalog,
+        hit: &Plan,
+    ) {
+        let mut rng = SimRng::seed_from_u64(probe.select_seed());
+        let cold = self.site_select(compiled, query, sys, runtime_catalog, &mut rng);
+        assert_eq!(
+            &cold, hit,
+            "memo hit diverged from cold optimization for {}",
+            probe.fingerprint
+        );
+    }
+}
+
+/// How a memoized optimization call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoOutcome {
+    /// Served from the memo table.
+    Hit,
+    /// Optimized cold; the result was installed.
+    Miss,
+    /// Optimized cold; no memo table in play.
+    Bypass,
 }
 
 /// A compiled plan can reference placements that no longer exist; binding

@@ -1,0 +1,181 @@
+//! Memo-hit plans must be byte-identical to cold optimization — the
+//! determinism contract that lets the serving digest stay unchanged with
+//! the memo on or off. Exercised across every policy × objective ×
+//! cache-bucket cell, both exhaustively on a fixed spec and by property
+//! over random specs.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use csqp_catalog::{Catalog, SiteId, SystemConfig};
+use csqp_core::{CancelToken, Policy};
+use csqp_cost::Objective;
+use csqp_memo::{bucket_fraction, CacheBuckets, Env, MemoConfig, MemoTable};
+use csqp_optimizer::{CompileTimeAssumption, MemoOutcome, OptConfig, TwoStepPlanner};
+use csqp_workload::WorkloadSpec;
+use proptest::prelude::*;
+
+const OBJECTIVES: [Objective; 3] = [
+    Objective::Communication,
+    Objective::ResponseTime,
+    Objective::TotalCost,
+];
+
+fn env() -> Env {
+    Env {
+        placement_seed: 0xBEEF,
+        num_servers: 3,
+    }
+}
+
+/// A runtime catalog placing the spec's relations round-robin, with the
+/// bucket-representative cached fractions applied — the same construction
+/// the serving layer uses.
+fn runtime_catalog(spec: &WorkloadSpec, buckets: &CacheBuckets, num_servers: u32) -> Catalog {
+    let query = spec.build();
+    let mut catalog = Catalog::new(num_servers);
+    for (i, r) in query.relations.iter().enumerate() {
+        catalog.place(r.id, SiteId::server(1 + (i as u32 % num_servers)));
+    }
+    for (rel_index, fraction) in buckets.planning_fractions() {
+        if (rel_index as usize) < query.relations.len() {
+            catalog.set_cached_fraction(query.relations[rel_index as usize].id, fraction);
+        }
+    }
+    catalog
+}
+
+/// Optimize the same key twice against one memo table (miss then hit) and
+/// once with no table (bypass); all three plans must be identical.
+fn assert_hit_matches_cold(spec: &WorkloadSpec, policy: Policy, objective: Objective, bucket: u8) {
+    let planner = TwoStepPlanner {
+        policy,
+        objective,
+        config: OptConfig::fast(),
+    };
+    let query = spec.build();
+    let sys = SystemConfig::default();
+    let buckets = CacheBuckets::quantize(&vec![
+        bucket_fraction(bucket);
+        spec.num_relations() as usize
+    ]);
+    let catalog = runtime_catalog(spec, &buckets, env().num_servers);
+    let table = MemoTable::new(MemoConfig::default());
+    let guard = CancelToken::inert();
+
+    let (compiled, c_out) = planner.compile_memoized(
+        spec,
+        &query,
+        &sys,
+        CompileTimeAssumption::Centralized,
+        env(),
+        Some(&table),
+    );
+    assert_eq!(c_out, MemoOutcome::Miss);
+
+    let (cold, out1) = planner
+        .site_select_memoized(
+            spec,
+            &compiled,
+            &query,
+            &sys,
+            &catalog,
+            &buckets,
+            env(),
+            Some(&table),
+            &guard,
+        )
+        .unwrap();
+    assert_eq!(out1, MemoOutcome::Miss);
+
+    let (warm, out2) = planner
+        .site_select_memoized(
+            spec,
+            &compiled,
+            &query,
+            &sys,
+            &catalog,
+            &buckets,
+            env(),
+            Some(&table),
+            &guard,
+        )
+        .unwrap();
+    assert_eq!(out2, MemoOutcome::Hit);
+    assert_eq!(
+        cold, warm,
+        "hit diverged from cold for {policy:?}/{objective:?}/b{bucket}"
+    );
+
+    let (bypass, out3) = planner
+        .site_select_memoized(
+            spec,
+            &compiled,
+            &query,
+            &sys,
+            &catalog,
+            &buckets,
+            env(),
+            None,
+            &guard,
+        )
+        .unwrap();
+    assert_eq!(out3, MemoOutcome::Bypass);
+    assert_eq!(
+        cold, bypass,
+        "memo-off plan diverged for {policy:?}/{objective:?}/b{bucket}"
+    );
+
+    // The compiled layer replays identically too.
+    let (compiled_again, c_hit) = planner.compile_memoized(
+        spec,
+        &query,
+        &sys,
+        CompileTimeAssumption::Centralized,
+        env(),
+        Some(&table),
+    );
+    assert_eq!(c_hit, MemoOutcome::Hit);
+    assert_eq!(compiled, compiled_again);
+}
+
+#[test]
+fn every_policy_objective_bucket_cell_is_identical() {
+    let spec = WorkloadSpec::Chain {
+        n: 4,
+        selectivity: 1e-4,
+    };
+    for policy in Policy::ALL {
+        for objective in OBJECTIVES {
+            for bucket in [0u8, 2, 4, 8] {
+                assert_hit_matches_cold(&spec, policy, objective, bucket);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn memo_hits_are_byte_identical_over_random_specs(
+        kind in 0u8..3,
+        n in 2u32..7,
+        sel_ix in 0usize..3,
+        policy_ix in 0usize..3,
+        objective_ix in 0usize..3,
+        bucket in 0u8..=8,
+    ) {
+        let sel = [1e-4, 1e-3, 0.01][sel_ix];
+        let spec = match kind {
+            0 => WorkloadSpec::Chain { n, selectivity: sel },
+            1 => WorkloadSpec::Star { n, selectivity: sel },
+            _ => WorkloadSpec::Spj { n, join_sel: sel, selection: 0.2, every_k: 2 },
+        };
+        assert_hit_matches_cold(
+            &spec,
+            Policy::ALL[policy_ix],
+            OBJECTIVES[objective_ix],
+            bucket,
+        );
+    }
+}

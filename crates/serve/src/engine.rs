@@ -382,7 +382,7 @@ impl Shard {
                     }));
                 }
                 Action::SendStats => {
-                    s.push_clean(&Frame::Stats(service.metrics().snapshot()));
+                    s.push_clean(&Frame::Stats(service.stats_snapshot()));
                 }
                 Action::SendError(class) => {
                     if matches!(class, ErrorClass::Saturated) {

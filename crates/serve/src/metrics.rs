@@ -233,6 +233,12 @@ impl ServerMetrics {
                 control_msgs_sent: self.wire_msgs.load(Ordering::Relaxed),
                 bytes_sent: self.wire_bytes.load(Ordering::Relaxed),
             },
+            // The memo lives on the QueryService, not here;
+            // `QueryService::stats_snapshot` merges its counters in.
+            memo_hits: 0,
+            memo_misses: 0,
+            memo_evictions: 0,
+            memo_bytes: 0,
         }
     }
 }

@@ -233,6 +233,14 @@ fn u64_of(doc: &Json, k: &str) -> Result<u64, JsonError> {
         .ok_or_else(|| JsonError::decode(k, "expected a non-negative integer"))
 }
 
+/// A u64 counter that older peers may omit entirely (defaults to 0).
+fn u64_opt_of(doc: &Json, k: &str) -> Result<u64, JsonError> {
+    match doc.get(k) {
+        None => Ok(0),
+        Some(_) => u64_of(doc, k),
+    }
+}
+
 /// A u64 that must survive the f64 wire representation exactly.
 fn safe_u64_of(doc: &Json, k: &str) -> Result<u64, JsonError> {
     let v = u64_of(doc, k)?;
@@ -497,6 +505,14 @@ pub struct StatsSnapshot {
     pub p99_ms: f64,
     /// Wire traffic simulated on behalf of clients, summed over queries.
     pub wire: LinkStats,
+    /// Site-selection memo hits (two-step requests served from the memo).
+    pub memo_hits: u64,
+    /// Site-selection memo misses (optimized cold and installed).
+    pub memo_misses: u64,
+    /// Memo entries evicted under the byte budget.
+    pub memo_evictions: u64,
+    /// Estimated resident bytes in the memo table.
+    pub memo_bytes: u64,
 }
 
 /// One protocol frame.
@@ -632,6 +648,10 @@ impl Frame {
                 ("pages_sent", Json::from(s.wire.data_pages_sent)),
                 ("control_msgs", Json::from(s.wire.control_msgs_sent)),
                 ("bytes_sent", Json::from(s.wire.bytes_sent)),
+                ("memo_hits", Json::from(s.memo_hits)),
+                ("memo_misses", Json::from(s.memo_misses)),
+                ("memo_evictions", Json::from(s.memo_evictions)),
+                ("memo_bytes", Json::from(s.memo_bytes)),
             ]),
         }
     }
@@ -762,6 +782,11 @@ impl Frame {
                     control_msgs_sent: u64_of(doc, "control_msgs")?,
                     bytes_sent: u64_of(doc, "bytes_sent")?,
                 },
+                // Pre-memo servers omit the memo counters.
+                memo_hits: u64_opt_of(doc, "memo_hits")?,
+                memo_misses: u64_opt_of(doc, "memo_misses")?,
+                memo_evictions: u64_opt_of(doc, "memo_evictions")?,
+                memo_bytes: u64_opt_of(doc, "memo_bytes")?,
             }),
             FrameKind::Bye => Frame::Bye,
         })

@@ -15,13 +15,13 @@
 //! queue, so slow workers cannot stall the protocol.
 //!
 //! Determinism: the hosted catalog for a query shape is derived from
-//! `placement_seed ^ fnv1a(spec.canonical())`, compiled join orders use a
-//! fixed per-shape compile seed, and the optimizer/simulator stream is
-//! seeded by the request's own `seed` — so identical requests produce
-//! byte-identical results regardless of thread interleaving or which
-//! worker runs them.
+//! `placement_seed ^ fnv1a(spec.canonical())`, two-step compile and
+//! site-selection streams are seeded from the memo fingerprint of their
+//! key (identical with the memo enabled or disabled), and the two-phase
+//! optimizer/simulator stream is seeded by the request's own `seed` — so
+//! identical requests produce byte-identical results regardless of thread
+//! interleaving, which worker runs them, or whether the memo was warm.
 
-use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -30,9 +30,10 @@ use std::time::{Duration, Instant};
 
 use csqp_catalog::{Catalog, SiteId, SystemConfig};
 use csqp_core::cancel::{CancelToken, StopReason};
-use csqp_core::{Plan, Policy};
+use csqp_core::Policy;
 use csqp_engine::ServerLoad;
 use csqp_experiments::runner;
+use csqp_memo::{CacheBuckets, Env as MemoEnv, MemoConfig, MemoTable};
 use csqp_optimizer::{CompileTimeAssumption, OptConfig, Optimizer, TwoStepPlanner};
 use csqp_simkernel::rng::SimRng;
 use csqp_workload::{random_placement, WorkloadSpec};
@@ -40,7 +41,7 @@ use csqp_workload::{random_placement, WorkloadSpec};
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     read_frame, write_frame, DegradeReason, ErrorCode, ErrorFrame, Frame, OptimizerMode,
-    QueryRequest, ResultRecord, WireError,
+    QueryRequest, ResultRecord, StatsSnapshot, WireError,
 };
 
 /// FNV-1a over a byte string; the deterministic mixer used for catalog
@@ -53,10 +54,6 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     }
     h
 }
-
-/// Seed stream for compile-time (join-order) optimization, mixed with the
-/// query-shape hash so different shapes compile independently.
-const COMPILE_SEED: u64 = 0x2_57EB;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -100,6 +97,14 @@ pub struct ServerConfig {
     /// truncated or corrupted per the plan, keyed by the request's own
     /// seed. Chaos testing only — never enable in real serving.
     pub reply_faults: Option<csqp_net::chaos::FaultPlan>,
+    /// Whether 2-step requests consult the shared site-selection memo.
+    /// Serving is byte-identical either way (hits replay the exact cold
+    /// plan); disabling only trades CPU for memory.
+    pub memo: bool,
+    /// Byte budget for the shared memo table (plans + witnesses +
+    /// bookkeeping). LRU+cost-aware eviction keeps the table under this
+    /// bound; see DESIGN.md §13.
+    pub memo_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +122,8 @@ impl Default for ServerConfig {
             pipeline_depth: 8,
             event_threads: 2,
             reply_faults: None,
+            memo: true,
+            memo_bytes: 64 << 20,
         }
     }
 }
@@ -146,14 +153,16 @@ pub(crate) const RETRY_AFTER_MS: u64 = 50;
 pub(crate) const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
 
 /// The shared query-execution service: Table 2 system parameters, the
-/// deterministic hosted placement, the compiled-plan cache, and the
-/// metrics sink.
+/// deterministic hosted placement, the shared site-selection memo, and
+/// the metrics sink.
 pub struct QueryService {
     config: ServerConfig,
     sys: SystemConfig,
-    /// Compiled join orders for 2-step requests, keyed by
-    /// `canonical-spec | policy | objective`.
-    plan_cache: Mutex<HashMap<String, Plan>>,
+    /// Bounded memo of compiled join orders and site-selected winners
+    /// for 2-step requests, shared across every shard and session.
+    /// Always constructed; [`ServerConfig::memo`] gates whether queries
+    /// consult it.
+    memo: MemoTable,
     metrics: Arc<ServerMetrics>,
     /// Queries admitted but not yet finished (queued + executing); the
     /// degradation high-water mark compares against this.
@@ -170,10 +179,14 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl QueryService {
     /// A service with the default Table 2 system parameters.
     pub fn new(config: ServerConfig) -> QueryService {
+        let memo = MemoTable::new(MemoConfig {
+            max_bytes: config.memo_bytes,
+            ..MemoConfig::default()
+        });
         QueryService {
             config,
             sys: SystemConfig::default(),
-            plan_cache: Mutex::new(HashMap::new()),
+            memo,
             metrics: Arc::new(ServerMetrics::new()),
             inflight: AtomicU64::new(0),
         }
@@ -182,6 +195,40 @@ impl QueryService {
     /// The shared metrics sink.
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The shared site-selection memo, when memoization is enabled.
+    pub fn memo(&self) -> Option<&MemoTable> {
+        if self.config.memo {
+            Some(&self.memo)
+        } else {
+            None
+        }
+    }
+
+    /// The memo environment for a spec: the hosted placement seed and
+    /// the effective (possibly shrunk) topology the request plans
+    /// against. Part of every fingerprint, so reconfiguring either
+    /// cannot serve a stale plan.
+    pub fn memo_env(&self, spec: &WorkloadSpec) -> MemoEnv {
+        MemoEnv {
+            placement_seed: self.config.placement_seed,
+            num_servers: self.topology_for(spec),
+        }
+    }
+
+    /// The STATS-frame snapshot: serving metrics merged with the memo
+    /// counters (zero when the memo is disabled).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        if let Some(memo) = self.memo() {
+            let m = memo.snapshot();
+            snap.memo_hits = m.hits;
+            snap.memo_misses = m.misses;
+            snap.memo_evictions = m.evictions;
+            snap.memo_bytes = m.bytes;
+        }
+        snap
     }
 
     /// Queries admitted but not yet finished (queued + executing).
@@ -322,37 +369,46 @@ impl QueryService {
                     objective: req.objective,
                     config: self.config.opt.clone(),
                 };
-                let key = format!(
-                    "{}|{}|{:?}",
-                    req.spec.canonical(),
-                    policy.short(),
-                    req.objective
+                let env = self.memo_env(&req.spec);
+                let memo = self.memo();
+                let (compiled, _) = planner.compile_memoized(
+                    &req.spec,
+                    &query,
+                    &self.sys,
+                    CompileTimeAssumption::Centralized,
+                    env,
+                    memo,
                 );
-                let compiled = {
-                    let cached = lock(&self.plan_cache).get(&key).cloned();
-                    match cached {
-                        Some(p) => p,
-                        None => {
-                            // Compile outside the lock (it is expensive);
-                            // a racing duplicate compile is harmless
-                            // because the seed makes it identical.
-                            let mut rng =
-                                SimRng::seed_from_u64(COMPILE_SEED ^ fnv1a(key.as_bytes()));
-                            let p = planner.compile(
-                                &query,
-                                &self.sys,
-                                CompileTimeAssumption::Centralized,
-                                &mut rng,
-                            );
-                            lock(&self.plan_cache).insert(key, p.clone());
-                            p
-                        }
-                    }
+                // Site selection plans against the bucket-representative
+                // cache state — the quantization that makes memo entries
+                // shareable across near-identical declarations — while
+                // execution below keeps the exact declared fractions.
+                let buckets = if cache_unusable {
+                    CacheBuckets::quantize(&[])
+                } else {
+                    CacheBuckets::quantize(&req.cache)
                 };
-                let mut rng = SimRng::seed_from_u64(req.seed);
+                let mut planning_catalog = self.catalog_for(&req.spec);
+                for (rel_index, fraction) in buckets.planning_fractions() {
+                    if (rel_index as usize) < query.relations.len() {
+                        planning_catalog
+                            .set_cached_fraction(query.relations[rel_index as usize].id, fraction);
+                    }
+                }
                 planner
-                    .site_select_guarded(&compiled, &query, &self.sys, &catalog, &mut rng, guard)
+                    .site_select_memoized(
+                        &req.spec,
+                        &compiled,
+                        &query,
+                        &self.sys,
+                        &planning_catalog,
+                        &buckets,
+                        env,
+                        memo,
+                        guard,
+                    )
                     .map_err(|r| stopped(r, "site selection"))?
+                    .0
             }
         };
 
@@ -780,6 +836,7 @@ mod tests {
 
     #[test]
     fn two_step_uses_the_plan_cache() {
+        // Historic name; the plan cache is now the shared memo table.
         let service = QueryService::new(ServerConfig::default());
         let spec = WorkloadSpec::Chain {
             n: 3,
@@ -792,7 +849,9 @@ mod tests {
                 OptimizerMode::TwoStep,
             ))
             .expect("runs");
-        assert_eq!(lock(&service.plan_cache).len(), 1);
+        let snap = service.memo().expect("memo on by default").snapshot();
+        assert_eq!(snap.installs, 2, "compiled join order + selected winner");
+        assert_eq!(snap.hits, 0);
         let b = service
             .handle_query(&request(
                 spec,
@@ -800,9 +859,36 @@ mod tests {
                 OptimizerMode::TwoStep,
             ))
             .expect("runs");
-        // Cache hit and cache miss must be indistinguishable.
+        // Memo hit and memo miss must be indistinguishable.
         assert_eq!(a, b);
-        assert_eq!(lock(&service.plan_cache).len(), 1);
+        let snap = service.memo().expect("memo on by default").snapshot();
+        assert_eq!(snap.hits, 2, "both layers hit on the repeat");
+        assert_eq!(snap.installs, 2, "nothing re-installed");
+        let stats = service.stats_snapshot();
+        assert_eq!(stats.memo_hits, 2);
+        assert!(stats.memo_bytes > 0);
+    }
+
+    #[test]
+    fn memo_off_serves_identical_records() {
+        let on = QueryService::new(ServerConfig::default());
+        let off = QueryService::new(ServerConfig {
+            memo: false,
+            ..ServerConfig::default()
+        });
+        assert!(off.memo().is_none());
+        let spec = WorkloadSpec::Star {
+            n: 4,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let mut req = request(spec, Policy::DataShipping, OptimizerMode::TwoStep);
+        req.cache = vec![0.25, 0.0, 0.5, 0.25];
+        let _warmup = on.handle_query(&req).expect("runs");
+        let warm = on.handle_query(&req).expect("runs");
+        let cold = off.handle_query(&req).expect("runs");
+        assert_eq!(warm, cold, "warm memo hit must match the memo-off plan");
+        assert_eq!(off.stats_snapshot().memo_hits, 0);
+        assert!(on.stats_snapshot().memo_hits > 0);
     }
 
     #[test]

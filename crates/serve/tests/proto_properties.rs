@@ -178,11 +178,13 @@ proptest! {
         per_policy in proptest::collection::vec(0u64..1_000_000, 3..4),
         pcts in (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..10_000.0),
         wire in (0u64..u32::MAX as u64, 0u64..u32::MAX as u64, 0u64..(1u64 << 53)),
+        memo in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..(1u64 << 40)),
     ) {
         let (served, rejected, errors) = outcomes;
         let (submitted, aborted, timed_out, degraded) = extra;
         let (p50, p95, p99) = pcts;
         let (pages, msgs, bytes) = wire;
+        let (memo_hits, memo_misses, memo_evictions, memo_bytes) = memo;
         let f = Frame::Stats(StatsSnapshot {
             submitted,
             queries_served: served,
@@ -200,6 +202,10 @@ proptest! {
                 control_msgs_sent: msgs,
                 bytes_sent: bytes,
             },
+            memo_hits,
+            memo_misses,
+            memo_evictions,
+            memo_bytes,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }

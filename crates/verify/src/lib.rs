@@ -48,7 +48,12 @@
 //! stack: [`protocol`] explores one session machine exhaustively, and
 //! [`system`] composes N of them with a shared admission-queue /
 //! worker-pool model (symmetry-reduced BFS plus a bounded-lasso
-//! liveness pass) — `csqp-check --protocol` / `--system`.
+//! liveness pass) — `csqp-check --protocol` / `--system`. The [`memo`]
+//! pass inspects every live entry of a `csqp-memo` table: fingerprints
+//! re-derive from their witnesses, stored plans stay structurally valid
+//! and Table-1 conformant, generations are sane, and proved costs are
+//! finite — so a memo hit can never serve what a cold optimization
+//! could not (`csqp-check --memo`).
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -56,6 +61,7 @@
 pub mod conformance;
 pub mod determinism;
 pub mod invariants;
+pub mod memo;
 pub mod protocol;
 pub mod report;
 pub mod structural;

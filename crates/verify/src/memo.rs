@@ -1,0 +1,301 @@
+//! Memo-consistency pass: inspect every live entry of a
+//! [`csqp_memo::MemoTable`] and prove that nothing it could ever serve
+//! is wrong.
+//!
+//! The memo's own probes enforce witness equality at lookup time, so a
+//! fingerprint collision can never *serve* the wrong plan. This pass
+//! re-establishes the same guarantees by inspection over the exported
+//! entries, the way the other analyzer passes re-check what the
+//! constructors establish by construction:
+//!
+//! * **fingerprint integrity** — every stored fingerprint re-derives
+//!   from its witness bytes, and a compiled-layer witness is exactly the
+//!   canonical preimage of its structured key (spec, policy, objective,
+//!   environment). A mismatch means the collision guard is broken —
+//!   [`DiagCode::MemoFingerprint`].
+//! * **generation sanity** — no entry carries a generation the table has
+//!   never issued ([`DiagCode::MemoGeneration`]). Entries *behind* the
+//!   current generation are legal: invalidation is lazy, and the probe
+//!   path drops them before they can be served.
+//! * **plan validity** — every stored plan passes the structural pass
+//!   against its group's query, and winner-layer plans additionally pass
+//!   Table-1 conformance for their policy: a memo hit is always as
+//!   conformant as the cold optimization it replaces.
+//! * **cost sanity** — winner entries must carry the proved cost, finite
+//!   and non-negative ([`DiagCode::MemoCost`]).
+
+use csqp_core::diag::{DiagCode, Diagnostic};
+use csqp_core::Policy;
+use csqp_cost::Objective;
+use csqp_memo::{
+    objective_tag, policy_tag, CompiledProbe, Fingerprint, MemoEntryView, MemoTable, Preimage,
+};
+
+use crate::conformance;
+use crate::report::Report;
+use crate::structural;
+
+/// Reverse of [`policy_tag`]: the policy a stored tag denotes.
+pub fn policy_from_tag(tag: u8) -> Option<Policy> {
+    Policy::ALL.into_iter().find(|&p| policy_tag(p) == tag)
+}
+
+/// Reverse of [`objective_tag`]: the objective a stored tag denotes.
+pub fn objective_from_tag(tag: u8) -> Option<Objective> {
+    [
+        Objective::Communication,
+        Objective::ResponseTime,
+        Objective::TotalCost,
+    ]
+    .into_iter()
+    .find(|&o| objective_tag(o) == tag)
+}
+
+/// Human-readable anchor for one entry's diagnostics.
+fn entry_path(view: &MemoEntryView) -> String {
+    let layer = match &view.buckets {
+        Some(b) => format!("winner[{b}]"),
+        None => "compiled".to_string(),
+    };
+    format!(
+        "memo/{}/{}/p{}o{}/{layer}",
+        view.spec.canonical(),
+        view.fingerprint,
+        view.policy,
+        view.objective
+    )
+}
+
+fn diag(code: DiagCode, view: &MemoEntryView, detail: String) -> Diagnostic {
+    let mut d = Diagnostic::new(code, detail);
+    d.path = Some(entry_path(view));
+    d
+}
+
+/// Check one exported entry against the table's current generation.
+/// Exposed for targeted tests; [`check_memo`] drives it over every
+/// entry.
+pub fn check_entry(view: &MemoEntryView, current_generation: u64) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Fingerprint must re-derive from the witness bytes alone.
+    let derived = Fingerprint::of(&Preimage::from_raw(&view.witness));
+    if derived != view.fingerprint {
+        out.push(diag(
+            DiagCode::MemoFingerprint,
+            view,
+            format!(
+                "stored fingerprint {} does not re-derive from its witness ({derived})",
+                view.fingerprint
+            ),
+        ));
+    }
+
+    // Tags must denote a real policy/objective.
+    let policy = policy_from_tag(view.policy);
+    let objective = objective_from_tag(view.objective);
+    if policy.is_none() || objective.is_none() {
+        out.push(diag(
+            DiagCode::MemoFingerprint,
+            view,
+            format!(
+                "entry key tags (policy {}, objective {}) denote no known policy/objective",
+                view.policy, view.objective
+            ),
+        ));
+    }
+
+    // A compiled-layer witness must be the canonical preimage of its
+    // structured key — not just *a* preimage of its fingerprint. (A
+    // winner witness also covers the compiled plan, which the view does
+    // not carry, so for winners the fingerprint re-derivation above is
+    // the whole integrity check.)
+    if view.buckets.is_none() {
+        if let (Some(p), Some(o)) = (policy, objective) {
+            let probe = CompiledProbe::new(&view.spec, p, o, view.env);
+            if probe.witness != view.witness {
+                out.push(diag(
+                    DiagCode::MemoFingerprint,
+                    view,
+                    "compiled-entry witness is not the canonical preimage of its key".to_string(),
+                ));
+            }
+        }
+    }
+
+    // Generations only ever come from the table's counter.
+    if view.generation > current_generation {
+        out.push(diag(
+            DiagCode::MemoGeneration,
+            view,
+            format!(
+                "entry generation {} is ahead of the table's {current_generation}",
+                view.generation
+            ),
+        ));
+    }
+
+    // Every stored plan must be a structurally valid plan for its
+    // group's query; winners must additionally conform to Table 1 —
+    // a hit must be exactly as lintable as the cold plan it stands for.
+    let query = view.spec.build();
+    out.extend(structural::check_structure(&view.plan, Some(&query)));
+    if view.buckets.is_some() {
+        if let Some(p) = policy {
+            out.extend(conformance::check_policy(&view.plan, p));
+        }
+        match view.cost {
+            Some(c) if c.is_finite() && c >= 0.0 => {}
+            Some(c) => out.push(diag(
+                DiagCode::MemoCost,
+                view,
+                format!("winner entry's proved cost {c} is not finite and non-negative"),
+            )),
+            None => out.push(diag(
+                DiagCode::MemoCost,
+                view,
+                "winner entry carries no proved cost".to_string(),
+            )),
+        }
+    }
+
+    out
+}
+
+/// Run the memo-consistency pass over every live entry of `table`.
+pub fn check_memo(table: &MemoTable) -> Report {
+    let generation = table.generation();
+    let mut report = Report::new();
+    for view in table.export_entries() {
+        report.extend(check_entry(&view, generation));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_catalog::RelId;
+    use csqp_core::{Annotation, JoinTree, Plan};
+    use csqp_memo::{CacheBuckets, Env, MemoConfig, SelectProbe};
+    use csqp_workload::WorkloadSpec;
+
+    fn env() -> Env {
+        Env {
+            placement_seed: 7,
+            num_servers: 2,
+        }
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::Chain {
+            n: 3,
+            selectivity: 1e-3,
+        }
+    }
+
+    /// A QS-conformant left-deep plan for the test spec: joins at the
+    /// inner relation, scans at the primary copy — Table 1's QS row.
+    fn qs_plan() -> Plan {
+        let q = spec().build();
+        let order: Vec<RelId> = (0..q.num_relations() as u32).map(RelId).collect();
+        JoinTree::left_deep(&order).into_plan(&q, Annotation::InnerRel, Annotation::PrimaryCopy)
+    }
+
+    /// A table holding one compiled entry and one winner entry, installed
+    /// through legitimately derived probes (the optimizer depends on this
+    /// crate, so the population is hand-rolled the same way the real
+    /// entry points derive their keys).
+    fn populated() -> MemoTable {
+        let table = MemoTable::new(MemoConfig::default());
+        let plan = qs_plan();
+        let compiled = CompiledProbe::new(
+            &spec(),
+            Policy::QueryShipping,
+            Objective::Communication,
+            env(),
+        );
+        table.install_compiled(&compiled, &plan);
+        let select = SelectProbe::new(
+            &spec(),
+            &plan,
+            Policy::QueryShipping,
+            Objective::Communication,
+            CacheBuckets::quantize(&[]),
+            env(),
+        );
+        table.install_selected(&select, &plan, 42.0);
+        table
+    }
+
+    #[test]
+    fn honest_entries_pass() {
+        let table = populated();
+        let report = check_memo(&table);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn tag_reversal_is_total() {
+        for p in Policy::ALL {
+            assert_eq!(policy_from_tag(policy_tag(p)), Some(p));
+        }
+        for o in [
+            Objective::Communication,
+            Objective::ResponseTime,
+            Objective::TotalCost,
+        ] {
+            assert_eq!(objective_from_tag(objective_tag(o)), Some(o));
+        }
+        assert_eq!(policy_from_tag(9), None);
+        assert_eq!(objective_from_tag(9), None);
+    }
+
+    #[test]
+    fn forged_witness_is_flagged() {
+        let table = populated();
+        let mut views = table.export_entries();
+        let mut view = views.remove(0);
+        view.witness[0] ^= 0xFF;
+        let ds = check_entry(&view, table.generation());
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::MemoFingerprint),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn future_generation_is_flagged() {
+        let table = populated();
+        let mut view = table.export_entries().remove(0);
+        view.generation = table.generation() + 1;
+        let ds = check_entry(&view, table.generation());
+        assert!(
+            ds.iter().any(|d| d.code == DiagCode::MemoGeneration),
+            "{ds:?}"
+        );
+
+        // An entry *behind* the current generation is stale but legal:
+        // lazy invalidation drops it at the next probe.
+        table.bump_generation();
+        let view = table.export_entries().remove(0);
+        assert!(view.generation < table.generation());
+        let ds = check_entry(&view, table.generation());
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_winner_cost_is_flagged() {
+        let table = populated();
+        let mut bad = None;
+        for view in table.export_entries() {
+            if view.buckets.is_some() {
+                bad = Some(view);
+            }
+        }
+        let mut view = bad.expect("populated table has a winner entry");
+        view.cost = Some(f64::NAN);
+        let ds = check_entry(&view, table.generation());
+        assert!(ds.iter().any(|d| d.code == DiagCode::MemoCost), "{ds:?}");
+    }
+}

@@ -21,7 +21,7 @@ cargo run --release --bin csqp-check -- --plans 250 --servers 4 --seed 17
 cargo run --release --bin csqp-check -- --plans 250 --servers 8 --seed 42
 
 echo "==> csqp-lint: source-level determinism lints"
-cargo run --release --bin csqp-lint
+cargo run --release -p csqp-lint --bin csqp-lint
 
 echo "==> csqp-check --protocol: exhaustive session-protocol model check"
 cargo run --release --bin csqp-check -- --protocol
@@ -35,6 +35,15 @@ cargo test --release -p csqp-verify mutant
 
 echo "==> serve-smoke: 2-second loopback load against csqp-serve"
 cargo run --release --bin csqp-load -- --serve --clients 8 --seconds 2 --fail-on-rejects
+
+echo "==> memo-smoke: memo on/off digest equality + hits over loopback"
+cargo run --release --bin csqp-load -- --memo-smoke --clients 4
+
+echo "==> memo-bench: seeded cold/warm planning suite (>=5x regression gate)"
+cargo run --release -p csqp-bench --bin csqp-bench -- --min-speedup 5
+
+echo "==> csqp-check --memo: memo-consistency pass over a populated table"
+cargo run --release --bin csqp-check -- --memo
 
 echo "==> chaos-smoke: seeded fault-injection soak (digest must reproduce)"
 for seed in 1 2 3 5 8 13 21 34; do

@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! cargo run --release --bin csqp-check -- [--plans N] [--servers M] [--seed S]
-//!     [--protocol] [--system] [--sessions N] [--depth D] [--budget-secs S]
+//!     [--protocol] [--system] [--memo] [--sessions N] [--depth D]
+//!     [--budget-secs S]
 //! ```
 //!
-//! Five stages, any failure exits non-zero (`--protocol` runs only
-//! stage 4 and `--system` only stage 5, the modes the CI
-//! `lint-and-model` job uses):
+//! Six stages, any failure exits non-zero (`--protocol` runs only
+//! stage 4, `--system` only stage 5, and `--memo` only stage 6 — the
+//! modes the CI `lint-and-model` and `memo-bench` jobs use):
 //!
 //! 1. **Positive sweep** — `--plans` (default 1000) random plans per
 //!    policy, drawn across the paper's 2-way, 10-way, and SPJ benchmark
@@ -42,6 +43,13 @@
 //!    (states, states/sec, peak frontier, wall time, symmetry shrink)
 //!    so checker-throughput regressions stay visible across PRs.
 //!    `--budget-secs` turns the wall-time budget into a hard failure.
+//! 6. **Memo consistency** — populate a `csqp-memo` table through the
+//!    real memoized two-step entry points over a seeded spec × policy ×
+//!    objective × cache-bucket mix, replay the mix asserting every
+//!    probe hits with the byte-identical plan, then run
+//!    `csqp_verify::memo::check_memo` over every live entry
+//!    (fingerprints re-derive from witnesses, plans stay Table-1
+//!    conformant, generations and costs are sane).
 
 use std::process::ExitCode;
 
@@ -65,6 +73,7 @@ struct Args {
     sessions: u8,
     protocol_only: bool,
     system_only: bool,
+    memo_only: bool,
     budget_secs: Option<f64>,
 }
 
@@ -77,6 +86,7 @@ fn parse_args() -> Args {
         sessions: 3,
         protocol_only: false,
         system_only: false,
+        memo_only: false,
         budget_secs: None,
     };
     let mut it = std::env::args().skip(1);
@@ -94,6 +104,7 @@ fn parse_args() -> Args {
             "--sessions" => args.sessions = val("--sessions") as u8,
             "--protocol" => args.protocol_only = true,
             "--system" => args.system_only = true,
+            "--memo" => args.memo_only = true,
             "--budget-secs" => {
                 args.budget_secs = Some(
                     it.next()
@@ -104,7 +115,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-check [--plans N] [--servers M] [--seed S] \
-                     [--protocol] [--system] [--sessions N] [--depth D] \
+                     [--protocol] [--system] [--memo] [--sessions N] [--depth D] \
                      [--budget-secs S]"
                 );
                 std::process::exit(0);
@@ -132,16 +143,20 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut failures = 0usize;
 
-    if !args.protocol_only && !args.system_only {
+    let full = !args.protocol_only && !args.system_only && !args.memo_only;
+    if full {
         failures += positive_sweep(&args);
         failures += optimizer_traces(&args);
         failures += negative_fixtures(&args);
     }
-    if !args.system_only {
+    if full || args.protocol_only {
         failures += protocol_model_check(&args);
     }
-    if !args.protocol_only {
+    if full || args.system_only {
         failures += system_model_check(&args);
+    }
+    if full || args.memo_only {
+        failures += memo_consistency(&args);
     }
 
     if failures == 0 {
@@ -526,6 +541,192 @@ fn system_model_check(args: &Args) -> usize {
             eprintln!("FAIL writing BENCH_check.json: {e}");
             failures += 1;
         }
+    }
+    failures
+}
+
+/// Stage 6: memo-consistency — drive the real memoized two-step entry
+/// points over a seeded mix, replay it asserting byte-identical hits,
+/// then run the `csqp-verify` memo pass over every live entry.
+fn memo_consistency(args: &Args) -> usize {
+    use csqp::core::CancelToken;
+    use csqp::memo::{bucket_fraction, CacheBuckets, Env, MemoConfig, MemoTable};
+    use csqp::optimizer::{CompileTimeAssumption, MemoOutcome, TwoStepPlanner};
+    use csqp::workload::WorkloadSpec;
+
+    let sys = SystemConfig::default();
+    let table = MemoTable::new(MemoConfig::default());
+    let guard = CancelToken::inert();
+    let specs = [
+        WorkloadSpec::Chain {
+            n: 3,
+            selectivity: MODERATE_SEL,
+        },
+        WorkloadSpec::Star {
+            n: 4,
+            selectivity: MODERATE_SEL,
+        },
+        WorkloadSpec::Spj {
+            n: 5,
+            join_sel: MODERATE_SEL,
+            selection: 0.2,
+            every_k: 2,
+        },
+    ];
+    let objectives = [
+        Objective::Communication,
+        Objective::ResponseTime,
+        Objective::TotalCost,
+    ];
+    let mut failures = 0;
+    let mut cells = 0usize;
+    let mut cold_plans = Vec::new();
+
+    // Two sweeps over the identical mix: the first populates (every
+    // probe must miss), the second must hit byte-identically.
+    for sweep in 0..2 {
+        let mut cell = 0usize;
+        for spec in &specs {
+            let query = spec.build();
+            let servers = args.servers.min(spec.num_relations()).max(1);
+            let env = Env {
+                placement_seed: args.seed,
+                num_servers: servers,
+            };
+            for policy in Policy::ALL {
+                for objective in objectives {
+                    for bucket in [0u8, 4] {
+                        let buckets = CacheBuckets::quantize(&vec![
+                            bucket_fraction(bucket);
+                            spec.num_relations() as usize
+                        ]);
+                        let mut catalog = {
+                            let mut c = csqp::catalog::Catalog::new(servers);
+                            for (i, r) in query.relations.iter().enumerate() {
+                                c.place(r.id, SiteId::server(1 + (i as u32 % servers)));
+                            }
+                            c
+                        };
+                        for (rel_index, fraction) in buckets.planning_fractions() {
+                            if (rel_index as usize) < query.relations.len() {
+                                catalog.set_cached_fraction(
+                                    query.relations[rel_index as usize].id,
+                                    fraction,
+                                );
+                            }
+                        }
+                        let planner = TwoStepPlanner {
+                            policy,
+                            objective,
+                            config: OptConfig::fast(),
+                        };
+                        let (compiled, _) = planner.compile_memoized(
+                            spec,
+                            &query,
+                            &sys,
+                            CompileTimeAssumption::Centralized,
+                            env,
+                            Some(&table),
+                        );
+                        let outcome = planner.site_select_memoized(
+                            spec,
+                            &compiled,
+                            &query,
+                            &sys,
+                            &catalog,
+                            &buckets,
+                            env,
+                            Some(&table),
+                            &guard,
+                        );
+                        let (plan, memo_outcome) = match outcome {
+                            Ok(v) => v,
+                            Err(r) => {
+                                eprintln!("FAIL memo cell #{cell} stopped: {r}");
+                                failures += 1;
+                                cell += 1;
+                                continue;
+                            }
+                        };
+                        match sweep {
+                            0 => {
+                                if memo_outcome != MemoOutcome::Miss {
+                                    eprintln!(
+                                        "FAIL memo cell #{cell}: first sweep expected a miss, \
+                                         got {memo_outcome:?}"
+                                    );
+                                    failures += 1;
+                                }
+                                cold_plans.push(plan);
+                                cells += 1;
+                            }
+                            _ => {
+                                if memo_outcome != MemoOutcome::Hit {
+                                    eprintln!(
+                                        "FAIL memo cell #{cell}: replay expected a hit, \
+                                         got {memo_outcome:?}"
+                                    );
+                                    failures += 1;
+                                } else if cold_plans[cell] != plan {
+                                    eprintln!(
+                                        "FAIL memo cell #{cell}: hit diverged from cold plan"
+                                    );
+                                    failures += 1;
+                                }
+                            }
+                        }
+                        cell += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let snap = table.snapshot();
+    if snap.hits == 0 {
+        eprintln!("FAIL memo replay produced no hits");
+        failures += 1;
+    }
+    let report = csqp::verify::memo::check_memo(&table);
+    if report.is_clean() {
+        println!(
+            "memo consistency: {cells} cells populated and replayed byte-identically; \
+             {} entries verified clean ({} hits, {} misses, {} bytes)",
+            snap.entries, snap.hits, snap.misses, snap.bytes
+        );
+    } else {
+        eprintln!("FAIL memo-consistency pass:\n{report}");
+        failures += report.len();
+    }
+
+    // A generation bump must invalidate every entry: replaying one cell
+    // now has to miss rather than serve a stale plan.
+    table.bump_generation();
+    let spec = &specs[0];
+    let query = spec.build();
+    let servers = args.servers.min(spec.num_relations()).max(1);
+    let env = Env {
+        placement_seed: args.seed,
+        num_servers: servers,
+    };
+    let planner = TwoStepPlanner {
+        policy: Policy::ALL[0],
+        objective: objectives[0],
+        config: OptConfig::fast(),
+    };
+    let (_, outcome) = planner.compile_memoized(
+        spec,
+        &query,
+        &sys,
+        CompileTimeAssumption::Centralized,
+        env,
+        Some(&table),
+    );
+    if outcome != MemoOutcome::Miss {
+        eprintln!("FAIL generation bump did not invalidate: got {outcome:?}");
+        failures += 1;
+    } else {
+        println!("memo invalidation: generation bump forces a recompute, never a stale plan");
     }
     failures
 }

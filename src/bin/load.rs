@@ -8,7 +8,7 @@
 //!     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected]
 //!     [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects]
 //!     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]
-//!     [--reply-faults]
+//!     [--reply-faults] [--memo-smoke]
 //! ```
 //!
 //! `--serve` spins up an in-process server on a free port and loads it —
@@ -18,6 +18,12 @@
 //! paced open-loop arrivals. `--pipeline N` keeps up to N queries in
 //! flight per connection (clamped to the window the server advertises);
 //! the digest is unchanged by pipelining.
+//!
+//! `--memo-smoke` is the memoization acceptance check: it spins up two
+//! in-process servers — one with the shared site-selection memo, one
+//! with `--no-memo` semantics — drives the identical seeded two-step mix
+//! against both, and fails unless the reply digests are byte-identical
+//! and the memo server actually hit its table.
 //!
 //! `--chaos SEED` switches from load generation to the fault-injection
 //! soak: the seeded fault schedule runs **twice** and the run fails if
@@ -43,6 +49,7 @@ struct Args {
     chaos: Option<ChaosConfig>,
     serve_inline: bool,
     fail_on_rejects: bool,
+    memo_smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +58,7 @@ fn parse_args() -> Args {
         chaos: None,
         serve_inline: false,
         fail_on_rejects: false,
+        memo_smoke: false,
     };
     let mut chaos = ChaosConfig::default();
     let mut chaos_seed = None;
@@ -123,6 +131,7 @@ fn parse_args() -> Args {
             "--reply-faults" => chaos.reply_faults = true,
             "--serve" => args.serve_inline = true,
             "--fail-on-rejects" => args.fail_on_rejects = true,
+            "--memo-smoke" => args.memo_smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-load [--addr HOST:PORT] [--clients N] [--seconds T | --queries N] \
@@ -130,7 +139,7 @@ fn parse_args() -> Args {
                      [--optimizer two-phase|two-step] [--rate R] [--retry-rejected] \
                      [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects] \
                      [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F] \
-                     [--reply-faults]"
+                     [--reply-faults] [--memo-smoke]"
                 );
                 std::process::exit(0);
             }
@@ -199,6 +208,72 @@ fn run_pipeline_smoke(load: &LoadConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// The memo acceptance smoke: the same seeded two-step mix against a
+/// memo-enabled and a memo-disabled server must produce byte-identical
+/// reply digests, and the memo server must report hits — proving the
+/// memo changes CPU spent, never results served.
+fn run_memo_smoke(load: &LoadConfig) -> Result<(), String> {
+    let spawn = |memo: bool| {
+        Server::bind(ServerConfig {
+            memo,
+            ..ServerConfig::default()
+        })
+        .and_then(|s| s.spawn())
+        .map_err(|e| format!("memo smoke server (memo={memo}) failed: {e}"))
+    };
+    let on = spawn(true)?;
+    let off = spawn(false)?;
+    let base = LoadConfig {
+        queries_per_client: Some(load.queries_per_client.unwrap_or(6)),
+        optimizer: OptimizerMode::TwoStep,
+        ..load.clone()
+    };
+    println!(
+        "csqp-load: memo smoke, seed {} ({} clients x {} queries, two-step)",
+        base.seed,
+        base.clients,
+        base.queries_per_client.unwrap_or(6)
+    );
+    let result = (|| {
+        let warm = run_load(&LoadConfig {
+            addr: on.addr().to_string(),
+            ..base.clone()
+        })
+        .map_err(|e| format!("memo-on load failed: {e}"))?;
+        let cold = run_load(&LoadConfig {
+            addr: off.addr().to_string(),
+            ..base.clone()
+        })
+        .map_err(|e| format!("memo-off load failed: {e}"))?;
+        if warm.errors > 0 || cold.errors > 0 {
+            return Err(format!(
+                "memo smoke saw errors ({} memo-on, {} memo-off)",
+                warm.errors, cold.errors
+            ));
+        }
+        if warm.digest != cold.digest {
+            return Err(format!(
+                "memo smoke digest mismatch: {:016x} with the memo vs {:016x} without",
+                warm.digest, cold.digest
+            ));
+        }
+        let snap = on.service().stats_snapshot();
+        if snap.memo_hits == 0 {
+            return Err(format!(
+                "memo smoke never hit the table over a repeated mix: {snap:?}"
+            ));
+        }
+        println!(
+            "csqp-load: memo digest matches --no-memo ({:016x}); {} hits / {} misses / {} bytes",
+            warm.digest, snap.memo_hits, snap.memo_misses, snap.memo_bytes
+        );
+        Ok(())
+    })();
+    on.shutdown();
+    off.shutdown();
+    result
+}
+
 /// Run the soak twice with the same seed: the second run must reproduce
 /// the first one's reply digest, and both must hold the robustness
 /// invariants.
@@ -231,6 +306,17 @@ fn run_chaos_twice(cfg: &ChaosConfig) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut args = parse_args();
+
+    // The memo smoke manages its own pair of inline servers.
+    if args.memo_smoke {
+        return match run_memo_smoke(&args.load) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("csqp-load: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     // In-process loopback server for one-command smokes. With
     // `--reply-faults` it is armed with the plan the soak expects

@@ -4,12 +4,17 @@
 //! ```text
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
-//!     [--pipeline-depth N] [--event-threads N] [--seconds T]
+//!     [--pipeline-depth N] [--event-threads N] [--memo-bytes N]
+//!     [--no-memo] [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
 //! queries, HY/DS requests degrade to query shipping instead of queueing
 //! expensive work (defaults to 3/4 of the queue depth).
+//!
+//! `--memo-bytes N` bounds the shared site-selection memo (default
+//! 64 MiB); `--no-memo` disables it entirely. Served results are
+//! byte-identical either way — the memo only trades CPU for memory.
 //!
 //! Sessions are served by the event-driven engine: a fixed set of
 //! poll(2) loops (`--event-threads`) multiplexing every connection, with
@@ -62,6 +67,10 @@ fn parse_args() -> Args {
             "--event-threads" => {
                 args.config.event_threads = num(&raw("--event-threads"), "--event-threads") as usize
             }
+            "--memo-bytes" => {
+                args.config.memo_bytes = num(&raw("--memo-bytes"), "--memo-bytes") as usize
+            }
+            "--no-memo" => args.config.memo = false,
             "--seconds" => {
                 let v = raw("--seconds");
                 args.seconds = Some(
@@ -73,7 +82,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
                      [--queue N] [--high-water N] [--placement-seed S] \
-                     [--pipeline-depth N] [--event-threads N] [--seconds T]"
+                     [--pipeline-depth N] [--event-threads N] [--memo-bytes N] \
+                     [--no-memo] [--seconds T]"
                 );
                 std::process::exit(0);
             }
@@ -126,12 +136,13 @@ fn main() -> ExitCode {
     match args.seconds {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs_f64(secs));
-            let snap = handle.metrics().snapshot();
+            let snap = handle.service().stats_snapshot();
             handle.shutdown();
             println!(
                 "csqp-serve: {} submitted, served {} queries ({} rejected, {} errors, \
                  {} aborted, {} timed out, {} degraded), \
-                 p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms, {} pages / {} bytes shipped",
+                 p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms, {} pages / {} bytes shipped, \
+                 memo {} hits / {} misses / {} evictions / {} bytes",
                 snap.submitted,
                 snap.queries_served,
                 snap.rejected,
@@ -143,12 +154,16 @@ fn main() -> ExitCode {
                 snap.p95_ms,
                 snap.p99_ms,
                 snap.wire.data_pages_sent,
-                snap.wire.bytes_sent
+                snap.wire.bytes_sent,
+                snap.memo_hits,
+                snap.memo_misses,
+                snap.memo_evictions,
+                snap.memo_bytes
             );
         }
         None => loop {
             std::thread::sleep(Duration::from_secs(10));
-            let snap = handle.metrics().snapshot();
+            let snap = handle.service().stats_snapshot();
             println!(
                 "csqp-serve: {} served, {} rejected, {} errors, {} aborted, \
                  {} timed out, {} degraded, p50 {:.1} ms, p99 {:.1} ms",

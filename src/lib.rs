@@ -44,6 +44,7 @@ pub use csqp_disk as disk;
 pub use csqp_engine as engine;
 pub use csqp_experiments as experiments;
 pub use csqp_json as json;
+pub use csqp_memo as memo;
 pub use csqp_net as net;
 pub use csqp_optimizer as optimizer;
 pub use csqp_serve as serve;
