@@ -1,7 +1,9 @@
 //! Logical metadata for the client-server query processing study: relations
 //! and their statistics, the join graph of a query, placement of primary
 //! copies on servers, the client disk-cache state, the simulator parameters
-//! of the paper's Table 2, and Shapiro-style join memory allocation.
+//! of the paper's Table 2, Shapiro-style join memory allocation, and
+//! epoch-stamped per-site catalog replication with bounded staleness
+//! ([`replica`]).
 //!
 //! This crate is purely logical — it knows nothing about events, disks or
 //! plans. Everything else (plans, cost model, engine) builds on it.
@@ -15,6 +17,7 @@ pub mod ids;
 pub mod memory;
 pub mod placement;
 pub mod query;
+pub mod replica;
 pub mod schema;
 
 pub use cardinality::Estimator;
@@ -23,4 +26,8 @@ pub use ids::{RelId, SiteId};
 pub use memory::{hybrid_hash_plan, join_memory, HashPlan};
 pub use placement::Catalog;
 pub use query::{JoinEdge, QuerySpec, RelSet};
+pub use replica::{
+    CatalogCoordinator, CatalogDelta, CatalogEpoch, CatalogReplica, CatalogSnapshot, DriftAction,
+    DriftEvent, ReplicaError, ReplicatedCatalog,
+};
 pub use schema::Relation;

@@ -111,6 +111,21 @@ pub enum DiagCode {
     /// A winner-layer memo entry has a missing, non-finite, or negative
     /// proved cost.
     MemoCost,
+    // -- catalog drift-conformance pass (`csqp-verify::catalog`) -------------
+    /// A plan was served fresh (neither degraded nor rejected) from a
+    /// replica whose epoch lag exceeded the configured `max_epoch_lag`
+    /// staleness bound.
+    CatalogStaleServed,
+    /// A replica's epoch went backwards: a reordered (older) snapshot
+    /// delivery was applied instead of being rejected.
+    CatalogEpochRegress,
+    /// The staleness accounting is inconsistent: a serve event's recorded
+    /// lag disagrees with the lag reconstructed from the publish/refresh
+    /// history, so the bound cannot be trusted.
+    CatalogLagBound,
+    /// A query referenced a relation the catalog never placed; the serve
+    /// boundary must refuse it with a typed error, never panic a shard.
+    CatalogUnplaced,
     // -- source lints (`csqp-lint`) -----------------------------------------
     /// A wall-clock read (`Instant::now`, `SystemTime::now`) or
     /// `thread::sleep` outside the justified allowlist.
@@ -132,6 +147,10 @@ pub enum DiagCode {
     /// guard held across a blocking I/O call, in a file not allowlisted
     /// with a justification for why it cannot stall the serving path.
     UnboundedChannel,
+    /// A direct `Catalog` mutation (`place`/`set_cached_fraction`)
+    /// outside the `CatalogCoordinator` epoch API or the justified
+    /// allowlist: drift state must never bypass epoch accounting.
+    CatalogMutation,
 }
 
 impl DiagCode {
@@ -170,12 +189,17 @@ impl DiagCode {
             DiagCode::MemoFingerprint => "memo-fingerprint",
             DiagCode::MemoGeneration => "memo-generation",
             DiagCode::MemoCost => "memo-cost",
+            DiagCode::CatalogStaleServed => "catalog-stale-served",
+            DiagCode::CatalogEpochRegress => "catalog-epoch-regress",
+            DiagCode::CatalogLagBound => "catalog-lag-bound",
+            DiagCode::CatalogUnplaced => "catalog-unplaced",
             DiagCode::WallClockUse => "wall-clock-use",
             DiagCode::UnseededRng => "unseeded-rng",
             DiagCode::HashIterOrder => "hash-iter-order",
             DiagCode::WireCodeCoverage => "wire-code-coverage",
             DiagCode::StaleAllow => "stale-allow",
             DiagCode::UnboundedChannel => "unbounded-channel",
+            DiagCode::CatalogMutation => "catalog-mutation",
         }
     }
 }

@@ -3,7 +3,7 @@
 //! The paper reproduction's core claim is that every number it prints
 //! is a pure function of configuration and seed. The compiler cannot
 //! enforce the conventions that keep that true, so this crate does,
-//! with four token-level rules over the stripped sources (see
+//! with a handful of token-level rules over the stripped sources (see
 //! [`scan::strip`]):
 //!
 //! * **wall-clock-use** — no `Instant::now` / `SystemTime::now` /
@@ -27,6 +27,14 @@
 //!   (`"…" => ErrorCode::V`) tables in the defining file, and every
 //!   `DiagCode` variant in its `as_str` table. A code that cannot be
 //!   decoded or documented is a silent protocol hole.
+//! * **catalog-mutation** — no direct `Catalog` mutation (`.place(…)` /
+//!   `.set_cached_fraction(…)`) outside the justified allowlist. Once a
+//!   catalog is replicated per serving site, a mutation that bypasses
+//!   the coordinator/epoch API (`ReplicatedCatalog`) silently desyncs
+//!   replicas without bumping an epoch — so the memo never invalidates
+//!   and staleness bounds cannot be enforced. Construction-time call
+//!   sites (tests, benches, workload generators, pre-serving setup)
+//!   carry entries saying so.
 //!
 //! Allowlist hygiene is itself checked: an entry that matches nothing,
 //! or carries no justification, is reported as **stale-allow** so the
@@ -63,6 +71,9 @@ pub enum RuleKind {
     HashOrder,
     /// Unbounded `mpsc::channel()`, or a lock held across blocking I/O.
     UnboundedChannel,
+    /// Direct `Catalog` mutation (`.place(…)` /
+    /// `.set_cached_fraction(…)`) outside the coordinator/epoch API.
+    CatalogMutation,
 }
 
 impl RuleKind {
@@ -73,6 +84,7 @@ impl RuleKind {
             RuleKind::UnseededRng => DiagCode::UnseededRng,
             RuleKind::HashOrder => DiagCode::HashIterOrder,
             RuleKind::UnboundedChannel => DiagCode::UnboundedChannel,
+            RuleKind::CatalogMutation => DiagCode::CatalogMutation,
         }
     }
 
@@ -83,6 +95,7 @@ impl RuleKind {
             RuleKind::UnseededRng => "unseeded-rng",
             RuleKind::HashOrder => "hash-iter-order",
             RuleKind::UnboundedChannel => "unbounded-channel",
+            RuleKind::CatalogMutation => "catalog-mutation",
         }
     }
 }
@@ -254,6 +267,152 @@ pub const ALLOWLIST: &[Allow] = &[
               the guard drops, so the park cannot stall another worker's \
               processing",
     },
+    // ---- catalog-mutation: construction-time call sites ---------------
+    Allow {
+        path: "crates/catalog/src/placement.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "defines Catalog::place / set_cached_fraction and the seeded \
+              placement generators; the primitive's home",
+    },
+    Allow {
+        path: "crates/catalog/src/replica.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "the coordinator/epoch API itself: the one blessed mutation \
+              path, applying logged deltas to the base and replica catalogs",
+    },
+    Allow {
+        path: "crates/core/src/bind.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "test-only catalogs built to bind plans against",
+    },
+    Allow {
+        path: "crates/cost/src/model.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "doc examples and tests construct catalogs before costing; \
+              nothing is served from them",
+    },
+    Allow {
+        path: "crates/cost/tests/cost_properties.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "property tests build a fresh seeded catalog per case",
+    },
+    Allow {
+        path: "crates/engine/src/build.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "test catalogs for materializing page layouts",
+    },
+    Allow {
+        path: "crates/engine/src/layout.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "test catalogs for extent-map construction",
+    },
+    Allow {
+        path: "crates/bench/src/bin/memo_bench.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "the bench builds its seeded placement once at startup, before \
+              any planning it measures",
+    },
+    Allow {
+        path: "crates/experiments/src/ext_multiquery.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "experiment driver builds scenario placements before the sweep; \
+              single-threaded, never served",
+    },
+    Allow {
+        path: "crates/experiments/src/ext_navigation.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "experiment driver adjusts cached fractions between sweep \
+              points; single-threaded, never served",
+    },
+    Allow {
+        path: "crates/optimizer/src/exhaustive.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "test catalogs for cross-checking planners",
+    },
+    Allow {
+        path: "crates/optimizer/src/search.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "doc examples and tests construct catalogs to plan against",
+    },
+    Allow {
+        path: "crates/optimizer/src/twostep.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "doc examples and tests construct catalogs; the runtime step \
+              only reads cached fractions",
+    },
+    Allow {
+        path: "crates/optimizer/tests/memo_identity.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "memo identity tests mutate a catalog precisely to prove a \
+              generation bump forces recomputation",
+    },
+    Allow {
+        path: "crates/optimizer/tests/move_properties.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "property tests build a fresh seeded catalog per case",
+    },
+    Allow {
+        path: "crates/serve/src/server.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "builds the hosted placement once at startup, before serving; \
+              runtime drift flows through the epoch model, never raw \
+              mutation of the served catalog",
+    },
+    Allow {
+        path: "crates/serve/tests/loopback.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "integration-test fixture catalogs",
+    },
+    Allow {
+        path: "crates/verify/src/invariants.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "the cost-invariant checker builds grown catalog copies to test \
+              monotonicity; doc examples build fixtures",
+    },
+    Allow {
+        path: "crates/verify/src/lib.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "doc examples and tests construct catalogs for the checker",
+    },
+    Allow {
+        path: "crates/workload/src/lib.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "the seeded placement generators: catalogs are their output, \
+              produced before anything serves",
+    },
+    Allow {
+        path: "src/bin/check.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "the drift replay drives mutations through the \
+              ReplicatedCatalog epoch API, whose methods deliberately share \
+              the Catalog spelling; earlier stages build fixture catalogs",
+    },
+    Allow {
+        path: "examples/multi_query.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "example sets cached fractions while building its scenario",
+    },
+    Allow {
+        path: "examples/navigation.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "example sets the cached fraction its sweep varies",
+    },
+    Allow {
+        path: "tests/engine_cost_consistency.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "integration test builds fixture placements per case",
+    },
+    Allow {
+        path: "tests/future_work.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "integration tests sweep cached fractions across scenarios",
+    },
+    Allow {
+        path: "tests/policy_claims.rs",
+        rule: RuleKind::CatalogMutation,
+        why: "integration tests build the placements the paper's claims are \
+              checked against",
+    },
 ];
 
 const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now", "thread::sleep"];
@@ -272,6 +431,11 @@ const BLOCKING_CALL_PATTERNS: &[&str] = &[
     "write_frame",
     "accept",
 ];
+/// Method-call spellings of the raw catalog mutators. Matched as plain
+/// substrings (the leading `.` rules out the `fn` definitions and any
+/// free functions of the same name); the definitions live in
+/// `crates/catalog/src/placement.rs`, which carries its own entry.
+const CATALOG_MUTATION_PATTERNS: &[&str] = &[".place(", ".set_cached_fraction("];
 
 struct AllowState {
     allow: Allow,
@@ -367,6 +531,21 @@ impl Linter {
                         format!(
                             "unbounded `{pat}()` gives the producer no backpressure; \
                              use `mpsc::sync_channel` or justify the bound elsewhere"
+                        ),
+                    ));
+                }
+            }
+            for &pat in CATALOG_MUTATION_PATTERNS {
+                if line.contains(pat) && !self.allowed(rel, RuleKind::CatalogMutation) {
+                    out.push(at(
+                        DiagCode::CatalogMutation,
+                        rel,
+                        lineno,
+                        format!(
+                            "direct catalog mutation `{pat}…)` bypasses the \
+                             coordinator/epoch API; replicas desync and the memo \
+                             never invalidates — go through ReplicatedCatalog or \
+                             justify the construction-time call site"
                         ),
                     ));
                 }

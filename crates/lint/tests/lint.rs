@@ -69,6 +69,19 @@ fn unbounded_channel_fixture_trips_only_unbounded_channel() {
 }
 
 #[test]
+fn catalog_mutation_fixture_trips_only_catalog_mutation() {
+    let found = codes("catalog_mutation.rs");
+    assert!(!found.is_empty(), "fixture must trip");
+    assert!(
+        found.iter().all(|&c| c == DiagCode::CatalogMutation),
+        "{found:?}"
+    );
+    // Both the .place(…) and the .set_cached_fraction(…) are caught; the
+    // commentary mentioning them is stripped first.
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
 fn wire_code_fixture_trips_only_wire_code_coverage() {
     let mut l = Linter::with_allows(&[]);
     let ds = l.lint_source("wire_code.rs", &fixture("wire_code.rs"));

@@ -139,9 +139,60 @@ impl ReplyFault {
     }
 }
 
+/// What happens to the catalog-replica propagation step serving a query —
+/// the metadata-drift third of the fault model. Where [`QueryFault`] and
+/// [`ReplyFault`] damage bytes on the wire, a `CatalogFault` damages the
+/// *refresh* that should bring the serving shard's catalog replica up to
+/// the coordinator's newest epoch, so plans risk being priced against
+/// metadata the world has moved past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CatalogFault {
+    /// The refresh arrives intact: the replica catches up to the
+    /// coordinator epoch.
+    None,
+    /// The refresh never arrives; the replica's epoch lag grows by the
+    /// epochs published this tick.
+    WithheldRefresh,
+    /// A torn (partial) delivery: the replica applies all but the newest
+    /// epoch, landing one behind the coordinator.
+    TornEpoch,
+    /// A reordered delivery: an *older* snapshot arrives; the replica's
+    /// regression guard must reject it, leaving the lag unchanged.
+    ReorderedEpoch,
+    /// The refresh applies, but the cached-fraction state it carries is
+    /// unusable: the replica must not price the client cache until the
+    /// next clean refresh.
+    PoisonedFraction,
+}
+
+impl CatalogFault {
+    /// Every injectable catalog fault (not including `None`).
+    pub const ALL: [CatalogFault; 4] = [
+        CatalogFault::WithheldRefresh,
+        CatalogFault::TornEpoch,
+        CatalogFault::ReorderedEpoch,
+        CatalogFault::PoisonedFraction,
+    ];
+
+    /// Short stable name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CatalogFault::None => "none",
+            CatalogFault::WithheldRefresh => "withheld_refresh",
+            CatalogFault::TornEpoch => "torn_epoch",
+            CatalogFault::ReorderedEpoch => "reordered_epoch",
+            CatalogFault::PoisonedFraction => "poisoned_fraction",
+        }
+    }
+}
+
 /// Domain separator mixed into the reply-fault derivation so request and
 /// reply schedules never correlate.
 const REPLY_FAULT_SALT: u64 = 0x5250_4C59_464C_5421; // "RPLYFLT!"
+
+/// Domain separator for the catalog-fault derivation: independent of both
+/// the request-path and reply-path schedules.
+const CATALOG_FAULT_SALT: u64 = 0x4341_5446_4C54_5A21; // "CATFLTZ!"
 
 /// FNV-1a over a byte slice — the same mixing the serving layer uses for
 /// per-query seeds, duplicated here so `csqp-net` stays dependency-light.
@@ -231,6 +282,29 @@ impl FaultPlan {
             return ReplyFault::None;
         }
         *rng.pick(&[ReplyFault::TruncateReply, ReplyFault::CorruptReply])
+    }
+
+    /// The catalog-drift RNG for the query whose request carried
+    /// `query_seed`. Keyed on the request's own seed, like the reply
+    /// path, so the drift schedule is independent of session state and
+    /// identical across servers fed the same query stream.
+    pub fn catalog_rng_for(&self, query_seed: u64) -> SimRng {
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.master_seed.to_be_bytes());
+        bytes[8..16].copy_from_slice(&CATALOG_FAULT_SALT.to_be_bytes());
+        bytes[16..].copy_from_slice(&query_seed.to_be_bytes());
+        SimRng::seed_from_u64(fnv1a(&bytes))
+    }
+
+    /// The fault injected on the catalog-replica refresh serving the
+    /// query whose request carried `query_seed`. Pure in
+    /// `(master seed, query_seed)`.
+    pub fn catalog_fault_for(&self, query_seed: u64) -> CatalogFault {
+        let mut rng = self.catalog_rng_for(query_seed);
+        if !rng.chance(self.intensity) {
+            return CatalogFault::None;
+        }
+        *rng.pick(&CatalogFault::ALL)
     }
 }
 
@@ -420,6 +494,37 @@ mod tests {
         assert!(seen.contains(&ReplyFault::CorruptReply));
         let never = FaultPlan::new(42, 0.0);
         assert!((0..128u64).all(|s| never.reply_fault_for(s) == ReplyFault::None));
+    }
+
+    #[test]
+    fn catalog_schedule_is_deterministic_and_independent_of_other_paths() {
+        let plan = FaultPlan::new(42, 0.7);
+        let again = FaultPlan::new(42, 0.7);
+        for seed in 0..256u64 {
+            assert_eq!(plan.catalog_fault_for(seed), again.catalog_fault_for(seed));
+        }
+        // A different master seed reshuffles the drift schedule.
+        let other = FaultPlan::new(43, 0.7);
+        let differs = (0..256u64).any(|s| plan.catalog_fault_for(s) != other.catalog_fault_for(s));
+        assert!(differs, "catalog schedule must depend on the master seed");
+        // Every catalog fault eventually appears; intensity 0 never
+        // injects.
+        let seen: std::collections::HashSet<_> =
+            (0..2048u64).map(|s| plan.catalog_fault_for(s)).collect();
+        for fault in CatalogFault::ALL {
+            assert!(seen.contains(&fault), "missing {}", fault.name());
+        }
+        let never = FaultPlan::new(42, 0.0);
+        assert!((0..128u64).all(|s| never.catalog_fault_for(s) == CatalogFault::None));
+        // The three per-query fault paths are salted apart: the catalog
+        // draw must not simply mirror the reply draw's inject decision.
+        let reply_mask: Vec<bool> = (0..512u64)
+            .map(|s| plan.reply_fault_for(s) != ReplyFault::None)
+            .collect();
+        let catalog_mask: Vec<bool> = (0..512u64)
+            .map(|s| plan.catalog_fault_for(s) != CatalogFault::None)
+            .collect();
+        assert_ne!(reply_mask, catalog_mask, "salts must decorrelate the paths");
     }
 
     #[test]

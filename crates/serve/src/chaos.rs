@@ -85,6 +85,14 @@ pub struct ChaosConfig {
     /// derives — so undecodable replies are expected, counted as
     /// mangled, and predicted for the post-soak probes.
     pub reply_faults: bool,
+    /// The server under test injects catalog-propagation faults from
+    /// `FaultPlan::new(seed, intensity)` (see
+    /// [`crate::ServerConfig::catalog_faults`]): withheld refreshes,
+    /// torn and reordered epoch deliveries, poisoned cached-fraction
+    /// snapshots. Stale-catalog rejects and QS downgrades are then
+    /// expected, and the caller should audit the recorded drift trace
+    /// with `csqp_verify::catalog::check_drift` after the soak.
+    pub catalog_faults: bool,
 }
 
 impl Default for ChaosConfig {
@@ -98,6 +106,7 @@ impl Default for ChaosConfig {
             deadline_ms: None,
             settle_timeout: Duration::from_secs(10),
             reply_faults: false,
+            catalog_faults: false,
         }
     }
 }
@@ -408,8 +417,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, WireError> {
         let expect_clean = !cfg.reply_faults || plan.reply_fault_for(req.seed) == ReplyFault::None;
         write_frame(&mut stream, &Frame::Query(req))?;
         if expect_clean {
-            if !matches!(read_reply(&mut stream)?, Some(Frame::Result(_))) {
-                probes_ok = false;
+            match read_reply(&mut stream)? {
+                Some(Frame::Result(_)) => {}
+                // With catalog faults armed, a probe whose seed draws a
+                // withheld refresh on a QS request is *correctly*
+                // rejected with a retry hint — that typed outcome is the
+                // degradation lattice working, not a leaked worker.
+                Some(Frame::Error(e))
+                    if cfg.catalog_faults && e.code == ErrorCode::StaleCatalog => {}
+                _ => probes_ok = false,
             }
         } else {
             // The reply plan predicts a mangled reply for this probe's

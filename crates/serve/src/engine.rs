@@ -248,6 +248,9 @@ impl Session {
 /// One event-loop thread: owns a disjoint set of sessions and the only
 /// poll set that watches them.
 pub(crate) struct Shard {
+    /// This shard's index — the "site" its catalog replica lives at in
+    /// the drift model (see `QueryService::catalog_verdict`).
+    index: usize,
     service: Arc<QueryService>,
     submit: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
@@ -272,6 +275,7 @@ impl Shard {
         let (reg_tx, reg_rx) = mpsc::channel();
         let (done_tx, done_rx) = mpsc::channel();
         let mut shard = Shard {
+            index,
             service,
             submit,
             shutdown,
@@ -447,6 +451,10 @@ impl Shard {
         } else {
             None
         };
+        // The drift model ticks at admission time, on the shard thread,
+        // so the verdict reflects exactly the replica state this query
+        // was admitted under (inert unless catalog faults are armed).
+        let catalog = service.catalog_verdict(self.index, &req);
         let job = Job {
             req,
             reply: ReplySink {
@@ -458,6 +466,7 @@ impl Shard {
             enqueued: Instant::now(),
             guard: Arc::clone(&guard),
             degrade,
+            catalog,
         };
         // The verdict itself comes from the shared arbitration layer
         // (`csqp_verify::system`), so the priority the checker explores

@@ -39,4 +39,4 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use load::{run_load, IssuedQuery, LoadConfig, LoadReport, PipelineWindow};
 pub use metrics::ServerMetrics;
 pub use proto::{Frame, OptimizerMode, QueryRequest, ResultRecord, WireError};
-pub use server::{QueryService, Server, ServerConfig, ServerHandle};
+pub use server::{CatalogVerdict, QueryService, Server, ServerConfig, ServerHandle};

@@ -233,12 +233,19 @@ impl ServerMetrics {
                 control_msgs_sent: self.wire_msgs.load(Ordering::Relaxed),
                 bytes_sent: self.wire_bytes.load(Ordering::Relaxed),
             },
-            // The memo lives on the QueryService, not here;
-            // `QueryService::stats_snapshot` merges its counters in.
+            // The memo and the catalog drift state live on the
+            // QueryService, not here; `QueryService::stats_snapshot`
+            // merges their counters in.
             memo_hits: 0,
             memo_misses: 0,
             memo_evictions: 0,
             memo_bytes: 0,
+            catalog_epoch: 0,
+            catalog_refreshes: 0,
+            catalog_stale_degraded: 0,
+            catalog_stale_rejected: 0,
+            catalog_epoch_regressions: 0,
+            catalog_max_lag: 0,
         }
     }
 }

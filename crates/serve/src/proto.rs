@@ -341,6 +341,11 @@ pub enum DegradeReason {
     /// query's relation list), so cache-dependent DS/HY plans had
     /// nothing sound to bind against.
     CacheUnusable,
+    /// The shard's catalog replica was beyond the configured
+    /// `max_epoch_lag` staleness bound (or its cached-fraction state was
+    /// poisoned) and could not refresh in time; QS plans never price the
+    /// client cache, so they stay sound under stale fractions.
+    StaleCatalog,
 }
 
 impl DegradeReason {
@@ -348,6 +353,7 @@ impl DegradeReason {
         match self {
             DegradeReason::Saturated => "saturated",
             DegradeReason::CacheUnusable => "cache-unusable",
+            DegradeReason::StaleCatalog => "stale-catalog",
         }
     }
 
@@ -355,6 +361,7 @@ impl DegradeReason {
         Ok(match s {
             "saturated" => DegradeReason::Saturated,
             "cache-unusable" => DegradeReason::CacheUnusable,
+            "stale-catalog" => DegradeReason::StaleCatalog,
             _ => return Err(JsonError::decode("degrade_reason", "unknown reason")),
         })
     }
@@ -430,6 +437,11 @@ pub enum ErrorCode {
     /// The request was abandoned for a non-deadline reason (the client
     /// vanished, the server shut down mid-flight).
     Aborted,
+    /// The shard's catalog replica was beyond the staleness bound, a
+    /// refresh was unavailable, and the query was already QS (no
+    /// degradation left to take); retry after the hinted delay, by which
+    /// time a refresh should have landed.
+    StaleCatalog,
 }
 
 impl ErrorCode {
@@ -443,6 +455,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
             ErrorCode::Aborted => "aborted",
+            ErrorCode::StaleCatalog => "stale-catalog",
         }
     }
 
@@ -456,6 +469,7 @@ impl ErrorCode {
             "shutting-down" => ErrorCode::ShuttingDown,
             "deadline-exceeded" => ErrorCode::DeadlineExceeded,
             "aborted" => ErrorCode::Aborted,
+            "stale-catalog" => ErrorCode::StaleCatalog,
             _ => return Err(JsonError::decode("code", "unknown error code")),
         })
     }
@@ -513,6 +527,20 @@ pub struct StatsSnapshot {
     pub memo_evictions: u64,
     /// Estimated resident bytes in the memo table.
     pub memo_bytes: u64,
+    /// Newest catalog epoch the coordinator has published (0 when
+    /// catalog drift is not being injected).
+    pub catalog_epoch: u64,
+    /// Catalog-replica refreshes that applied cleanly.
+    pub catalog_refreshes: u64,
+    /// Queries downgraded to QS with the `stale-catalog` reason.
+    pub catalog_stale_degraded: u64,
+    /// Queries rejected with the typed `stale-catalog` error.
+    pub catalog_stale_rejected: u64,
+    /// Reordered (older) epoch deliveries the replicas' regression
+    /// guards rejected.
+    pub catalog_epoch_regressions: u64,
+    /// The largest replica epoch lag observed at any serve decision.
+    pub catalog_max_lag: u64,
 }
 
 /// One protocol frame.
@@ -652,6 +680,21 @@ impl Frame {
                 ("memo_misses", Json::from(s.memo_misses)),
                 ("memo_evictions", Json::from(s.memo_evictions)),
                 ("memo_bytes", Json::from(s.memo_bytes)),
+                ("catalog_epoch", Json::from(s.catalog_epoch)),
+                ("catalog_refreshes", Json::from(s.catalog_refreshes)),
+                (
+                    "catalog_stale_degraded",
+                    Json::from(s.catalog_stale_degraded),
+                ),
+                (
+                    "catalog_stale_rejected",
+                    Json::from(s.catalog_stale_rejected),
+                ),
+                (
+                    "catalog_epoch_regressions",
+                    Json::from(s.catalog_epoch_regressions),
+                ),
+                ("catalog_max_lag", Json::from(s.catalog_max_lag)),
             ]),
         }
     }
@@ -787,6 +830,13 @@ impl Frame {
                 memo_misses: u64_opt_of(doc, "memo_misses")?,
                 memo_evictions: u64_opt_of(doc, "memo_evictions")?,
                 memo_bytes: u64_opt_of(doc, "memo_bytes")?,
+                // Pre-replication servers omit the catalog counters.
+                catalog_epoch: u64_opt_of(doc, "catalog_epoch")?,
+                catalog_refreshes: u64_opt_of(doc, "catalog_refreshes")?,
+                catalog_stale_degraded: u64_opt_of(doc, "catalog_stale_degraded")?,
+                catalog_stale_rejected: u64_opt_of(doc, "catalog_stale_rejected")?,
+                catalog_epoch_regressions: u64_opt_of(doc, "catalog_epoch_regressions")?,
+                catalog_max_lag: u64_opt_of(doc, "catalog_max_lag")?,
             }),
             FrameKind::Bye => Frame::Bye,
         })
@@ -949,7 +999,12 @@ pub struct FrameReader {
 }
 
 /// One step of the incremental reader.
+///
+/// The `Frame` variant dwarfs the unit variants, but a `ReadStep` lives
+/// only on the stack between `poll_frame` and its caller's `match` — it
+/// is never stored or collected — so boxing would buy nothing.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum ReadStep {
     /// A complete frame arrived.
     Frame(Frame),

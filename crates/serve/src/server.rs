@@ -28,9 +28,9 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use csqp_catalog::{Catalog, SiteId, SystemConfig};
+use csqp_catalog::{Catalog, DriftAction, DriftEvent, SiteId, SystemConfig};
 use csqp_core::cancel::{CancelToken, StopReason};
-use csqp_core::Policy;
+use csqp_core::{DiagCode, Policy};
 use csqp_engine::ServerLoad;
 use csqp_experiments::runner;
 use csqp_memo::{CacheBuckets, Env as MemoEnv, MemoConfig, MemoTable};
@@ -105,6 +105,21 @@ pub struct ServerConfig {
     /// bookkeeping). LRU+cost-aware eviction keeps the table under this
     /// bound; see DESIGN.md §13.
     pub memo_bytes: usize,
+    /// Staleness bound for the per-shard catalog replicas: the most
+    /// coordinator epochs a replica may trail while its queries still
+    /// serve *fresh* at the requested policy. Beyond the bound the query
+    /// takes the typed degradation path (DESIGN.md §14): downgrade to QS
+    /// with `degrade_reason = stale-catalog`, or — when it is already QS
+    /// — reject with a retry hint.
+    pub catalog_lag: u64,
+    /// Catalog-propagation fault injection: when set, every admitted
+    /// query doubles as a coordinator epoch tick and the shard replica's
+    /// refresh is deterministically withheld, torn, reordered, or
+    /// poisoned per the plan, keyed by the request's own seed. When
+    /// `None` the whole drift layer is inert (epoch stays 0, no trace) —
+    /// serving is byte-identical to a pre-replication build. Chaos
+    /// testing only — never enable in real serving.
+    pub catalog_faults: Option<csqp_net::chaos::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +139,8 @@ impl Default for ServerConfig {
             reply_faults: None,
             memo: true,
             memo_bytes: 64 << 20,
+            catalog_lag: 3,
+            catalog_faults: None,
         }
     }
 }
@@ -152,9 +169,80 @@ pub(crate) const RETRY_AFTER_MS: u64 = 50;
 /// restart supervisor to bring a replacement up.
 pub(crate) const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
 
+/// How the admitting shard's catalog replica stood against the
+/// coordinator when a query was admitted — the typed degradation verdict
+/// of the replication layer (DESIGN.md §14). Computed once per admitted
+/// query by the shard thread and carried on the [`Job`] so the worker
+/// honors exactly the state the admission decision saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogVerdict {
+    /// The replica is within [`ServerConfig::catalog_lag`]: serve at the
+    /// requested policy, priced against the replica's epoch.
+    Fresh,
+    /// The replica is past the bound (or its cached-fraction state is
+    /// poisoned) but the request can still downgrade: serve QS — which
+    /// never prices the client cache, so stale fractions cannot mislead
+    /// it — with `degrade_reason = stale-catalog`.
+    Degrade,
+    /// The replica is past the bound and the request is already QS, so
+    /// there is nothing sound left to downgrade to: reject with a retry
+    /// hint (the replica will have refreshed by the retry).
+    Reject {
+        /// How many epochs the replica trailed the coordinator.
+        lag: u64,
+    },
+}
+
+/// Hard cap on the recorded drift trace. When a soak outgrows it, whole
+/// queries stop being recorded (never partial event groups), so the
+/// trace stays a consistent *prefix* of the drift history — exactly what
+/// the `csqp-verify` drift pass needs for sound replay.
+const DRIFT_TRACE_CAP: usize = 65_536;
+
+/// Epoch bookkeeping for the simulated per-shard catalog replicas. All
+/// zeros — and never touched — unless [`ServerConfig::catalog_faults`]
+/// is armed, which is what keeps the no-fault serving path byte-
+/// identical to a pre-replication build.
+struct DriftState {
+    /// The coordinator's published epoch.
+    coordinator: AtomicU64,
+    /// Each shard's replica epoch, indexed by shard (event-loop) index.
+    replicas: Vec<AtomicU64>,
+    /// Refresh deliveries applied by replicas (including torn ones).
+    refreshes: AtomicU64,
+    /// Torn deliveries: a refresh applied one delta short.
+    torn: AtomicU64,
+    /// Reordered (regressing) deliveries the replicas refused.
+    regressions: AtomicU64,
+    /// Queries downgraded to QS for staleness or poison.
+    stale_degraded: AtomicU64,
+    /// QS queries bounced outright for staleness.
+    stale_rejected: AtomicU64,
+    /// Worst replica lag observed at any admission decision.
+    max_lag: AtomicU64,
+    /// The event trace the `csqp-verify` drift pass audits after a soak.
+    trace: Mutex<Vec<DriftEvent>>,
+}
+
+impl DriftState {
+    fn new(shards: usize) -> DriftState {
+        DriftState {
+            coordinator: AtomicU64::new(0),
+            replicas: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            refreshes: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            regressions: AtomicU64::new(0),
+            stale_degraded: AtomicU64::new(0),
+            stale_rejected: AtomicU64::new(0),
+            max_lag: AtomicU64::new(0),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+}
+
 /// The shared query-execution service: Table 2 system parameters, the
-/// deterministic hosted placement, the shared site-selection memo, and
-/// the metrics sink.
+/// deterministic hosted placement, the shared site-selection memo, the
+/// catalog drift model, and the metrics sink.
 pub struct QueryService {
     config: ServerConfig,
     sys: SystemConfig,
@@ -167,6 +255,9 @@ pub struct QueryService {
     /// Queries admitted but not yet finished (queued + executing); the
     /// degradation high-water mark compares against this.
     inflight: AtomicU64,
+    /// The per-shard catalog replica epochs and drift counters; inert
+    /// unless catalog faults are armed.
+    drift: DriftState,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -183,12 +274,14 @@ impl QueryService {
             max_bytes: config.memo_bytes,
             ..MemoConfig::default()
         });
+        let drift = DriftState::new(config.event_threads);
         QueryService {
             config,
             sys: SystemConfig::default(),
             memo,
             metrics: Arc::new(ServerMetrics::new()),
             inflight: AtomicU64::new(0),
+            drift,
         }
     }
 
@@ -218,7 +311,8 @@ impl QueryService {
     }
 
     /// The STATS-frame snapshot: serving metrics merged with the memo
-    /// counters (zero when the memo is disabled).
+    /// counters (zero when the memo is disabled) and the catalog drift
+    /// counters (zero until catalog faults arm the drift layer).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut snap = self.metrics.snapshot();
         if let Some(memo) = self.memo() {
@@ -228,7 +322,164 @@ impl QueryService {
             snap.memo_evictions = m.evictions;
             snap.memo_bytes = m.bytes;
         }
+        snap.catalog_epoch = self.drift.coordinator.load(Ordering::Acquire);
+        snap.catalog_refreshes = self.drift.refreshes.load(Ordering::Relaxed);
+        snap.catalog_stale_degraded = self.drift.stale_degraded.load(Ordering::Relaxed);
+        snap.catalog_stale_rejected = self.drift.stale_rejected.load(Ordering::Relaxed);
+        snap.catalog_epoch_regressions = self.drift.regressions.load(Ordering::Relaxed);
+        snap.catalog_max_lag = self.drift.max_lag.load(Ordering::Relaxed);
         snap
+    }
+
+    /// The coordinator's current catalog epoch (0 until catalog faults
+    /// arm the drift layer).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.drift.coordinator.load(Ordering::Acquire)
+    }
+
+    /// Torn (partial) epoch deliveries applied so far. Exposed for the
+    /// chaos harness; the STATS frame folds torn refreshes into
+    /// `catalog_refreshes`.
+    pub fn catalog_torn(&self) -> u64 {
+        self.drift.torn.load(Ordering::Relaxed)
+    }
+
+    /// The drift event trace recorded while catalog faults were armed
+    /// (empty otherwise, and capped — see [`DRIFT_TRACE_CAP`]).
+    /// `csqp-load` replays this through the `csqp-verify` drift pass
+    /// after a soak to prove no plan was served beyond the bound.
+    pub fn drift_trace(&self) -> Vec<DriftEvent> {
+        lock(&self.drift.trace).clone()
+    }
+
+    /// Advance the drift model for one admitted query and return the
+    /// serving verdict, keyed by the request's own seed so the schedule
+    /// is reproducible without any session state. `None` (faults
+    /// unarmed) means the drift layer is inert. Called on the admitting
+    /// shard's thread; soaks that assert digest equality run queries
+    /// sequentially, which makes the whole drift trajectory a pure
+    /// function of the request stream.
+    pub(crate) fn catalog_verdict(
+        &self,
+        shard: usize,
+        req: &QueryRequest,
+    ) -> Option<CatalogVerdict> {
+        use csqp_net::chaos::CatalogFault;
+        let plan = self.config.catalog_faults.as_ref()?;
+        let fault = plan.catalog_fault_for(req.seed);
+        let mut events: Vec<DriftEvent> = Vec::with_capacity(8);
+
+        // Coordinator side: every admission doubles as a mutation tick.
+        // A withheld refresh publishes a small burst so a single fault
+        // can push the replica past the default bound.
+        let publishes = match fault {
+            CatalogFault::WithheldRefresh => 1 + plan.catalog_rng_for(req.seed).derive(1).below(4),
+            _ => 1,
+        };
+        let mut coord = 0;
+        for _ in 0..publishes {
+            coord = self.drift.coordinator.fetch_add(1, Ordering::AcqRel) + 1;
+            events.push(DriftEvent::Publish { epoch: coord });
+            // Epoch publication invalidates the shared memo: entries
+            // priced under the old epoch must miss and recompute.
+            self.memo.bump_generation();
+        }
+
+        // Replica side: the propagation step, with the fault's say.
+        let replica = &self.drift.replicas[shard % self.drift.replicas.len()];
+        let site = (shard % self.drift.replicas.len()) as u32;
+        let from = replica.load(Ordering::Acquire);
+        let mut poisoned = false;
+        match fault {
+            CatalogFault::None => {
+                replica.store(coord, Ordering::Release);
+                self.drift.refreshes.fetch_add(1, Ordering::Relaxed);
+                events.push(DriftEvent::Refresh {
+                    site,
+                    from,
+                    to: coord,
+                    applied: true,
+                });
+            }
+            CatalogFault::WithheldRefresh => {
+                // No delivery at all: the replica just falls behind.
+            }
+            CatalogFault::TornEpoch => {
+                // Partial apply: the delivery lands one delta short.
+                // `coord - 1 >= from` always holds — this query published
+                // exactly one epoch, so `from <= coord - 1`.
+                let to = coord - 1;
+                replica.store(to, Ordering::Release);
+                self.drift.refreshes.fetch_add(1, Ordering::Relaxed);
+                self.drift.torn.fetch_add(1, Ordering::Relaxed);
+                events.push(DriftEvent::Refresh {
+                    site,
+                    from,
+                    to,
+                    applied: true,
+                });
+            }
+            CatalogFault::ReorderedEpoch => {
+                // A stale delivery arrives after a newer one: the replica
+                // refuses the regression and keeps its epoch.
+                self.drift.regressions.fetch_add(1, Ordering::Relaxed);
+                events.push(DriftEvent::Refresh {
+                    site,
+                    from,
+                    to: from.saturating_sub(1),
+                    applied: false,
+                });
+            }
+            CatalogFault::PoisonedFraction => {
+                // The refresh lands but its cached-fraction state is
+                // garbage: the epoch is current, the pricing inputs are
+                // not, so the query must not plan against the cache.
+                replica.store(coord, Ordering::Release);
+                self.drift.refreshes.fetch_add(1, Ordering::Relaxed);
+                events.push(DriftEvent::Refresh {
+                    site,
+                    from,
+                    to: coord,
+                    applied: true,
+                });
+                events.push(DriftEvent::Poison { site });
+                poisoned = true;
+            }
+        }
+
+        // The serve decision: the degradation lattice of DESIGN.md §14.
+        let priced = replica.load(Ordering::Acquire);
+        let lag = coord.saturating_sub(priced);
+        self.drift.max_lag.fetch_max(lag, Ordering::AcqRel);
+        let verdict = if poisoned {
+            self.drift.stale_degraded.fetch_add(1, Ordering::Relaxed);
+            CatalogVerdict::Degrade
+        } else if lag <= self.config.catalog_lag {
+            CatalogVerdict::Fresh
+        } else if req.policy == Policy::QueryShipping {
+            self.drift.stale_rejected.fetch_add(1, Ordering::Relaxed);
+            CatalogVerdict::Reject { lag }
+        } else {
+            self.drift.stale_degraded.fetch_add(1, Ordering::Relaxed);
+            CatalogVerdict::Degrade
+        };
+        events.push(DriftEvent::Serve {
+            site,
+            priced_epoch: priced,
+            coordinator_epoch: coord,
+            lag,
+            action: match verdict {
+                CatalogVerdict::Fresh => DriftAction::Fresh,
+                CatalogVerdict::Degrade => DriftAction::Degraded,
+                CatalogVerdict::Reject { .. } => DriftAction::Rejected,
+            },
+        });
+
+        let mut trace = lock(&self.drift.trace);
+        if trace.len() + events.len() <= DRIFT_TRACE_CAP {
+            trace.extend(events);
+        }
+        Some(verdict)
     }
 
     /// Queries admitted but not yet finished (queued + executing).
@@ -273,22 +524,37 @@ impl QueryService {
     /// record. Every failure is a typed ERROR frame; this never panics on
     /// any decodable request.
     pub fn handle_query(&self, req: &QueryRequest) -> Result<ResultRecord, ErrorFrame> {
-        self.handle_query_ctx(req, &CancelToken::inert(), None)
+        self.handle_query_ctx(req, &CancelToken::inert(), None, None)
     }
 
     /// [`QueryService::handle_query`] with the serving context attached:
     /// a cancel token probed between search steps and simulated-engine
-    /// phases, and an admission-time degradation verdict (queue past the
-    /// high-water mark). A stopped token yields a typed
-    /// `deadline-exceeded` or `aborted` ERROR; a degraded request runs
-    /// under query shipping — Table 1 makes QS legal for every query —
-    /// and says so in the RESULT record.
+    /// phases, an admission-time degradation verdict (queue past the
+    /// high-water mark), and the admitting shard's catalog drift verdict.
+    /// A stopped token yields a typed `deadline-exceeded` or `aborted`
+    /// ERROR; a degraded request runs under query shipping — Table 1
+    /// makes QS legal for every query — and says so in the RESULT record;
+    /// an over-lag QS request is bounced with a typed `stale-catalog`
+    /// ERROR carrying a retry hint.
     pub fn handle_query_ctx(
         &self,
         req: &QueryRequest,
         guard: &CancelToken,
         admission_degrade: Option<DegradeReason>,
+        catalog_verdict: Option<CatalogVerdict>,
     ) -> Result<ResultRecord, ErrorFrame> {
+        if let Some(CatalogVerdict::Reject { lag }) = catalog_verdict {
+            return Err(ErrorFrame {
+                id: req.id,
+                code: ErrorCode::StaleCatalog,
+                message: format!(
+                    "shard replica is {lag} epochs behind the coordinator (bound {}); \
+                     a refresh is due",
+                    self.config.catalog_lag
+                ),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            });
+        }
         let bad = |msg: String| ErrorFrame {
             id: req.id,
             code: ErrorCode::BadRequest,
@@ -315,15 +581,24 @@ impl QueryService {
         // An unusable cache declaration (more entries than the query has
         // relations) cannot be bound soundly, so cache-dependent DS/HY
         // planning degrades to QS — which never reads the client cache —
-        // and the declaration is ignored. Admission-time saturation
-        // outranks it: the reason reported is the first one that forced
-        // the downgrade.
+        // and the declaration is ignored. A stale or poisoned catalog
+        // replica forces the same downgrade for the same soundness
+        // reason: QS never prices replicated state it cannot trust.
+        // Admission-time saturation outranks both: the reason reported
+        // is the first one that forced the downgrade.
         let cache_unusable = req.cache.len() > query.relations.len();
-        let degrade = admission_degrade.or(if cache_unusable {
-            Some(DegradeReason::CacheUnusable)
-        } else {
-            None
-        });
+        let catalog_stale = matches!(catalog_verdict, Some(CatalogVerdict::Degrade));
+        let degrade = admission_degrade
+            .or(if catalog_stale {
+                Some(DegradeReason::StaleCatalog)
+            } else {
+                None
+            })
+            .or(if cache_unusable {
+                Some(DegradeReason::CacheUnusable)
+            } else {
+                None
+            });
         let (policy, degraded_from, degrade_reason) = match degrade {
             Some(reason) if req.policy != Policy::QueryShipping => {
                 (Policy::QueryShipping, Some(req.policy), Some(reason))
@@ -332,6 +607,20 @@ impl QueryService {
         };
 
         let mut catalog = self.catalog_for(&req.spec);
+        // Every relation must hold a primary copy before planning ever
+        // asks for one: `Catalog::primary_site` panics on an unplaced
+        // relation, and a panic here would take the whole worker thread.
+        // `random_placement` places everything, so this is defensive —
+        // but the serve boundary is exactly where the defense belongs.
+        for rel in &query.relations {
+            if catalog.try_primary_site(rel.id).is_none() {
+                return Err(bad(format!(
+                    "{}: relation {} has no primary copy in the hosted placement",
+                    DiagCode::CatalogUnplaced.as_str(),
+                    rel.id
+                )));
+            }
+        }
         if !cache_unusable {
             for (rel, &fraction) in query.relations.iter().zip(&req.cache) {
                 catalog.set_cached_fraction(rel.id, fraction);
@@ -506,6 +795,9 @@ pub(crate) struct Job {
     pub(crate) guard: Arc<CancelToken>,
     /// Admission-time degradation verdict (queue past high water).
     pub(crate) degrade: Option<DegradeReason>,
+    /// The admitting shard's catalog drift verdict; `None` when catalog
+    /// faults are unarmed.
+    pub(crate) catalog: Option<CatalogVerdict>,
 }
 
 /// How a reply frame leaves the server after the reply-path fault plan
@@ -709,7 +1001,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
             Ok(j) => j,
             Err(_) => return,
         };
-        let outcome = service.handle_query_ctx(&job.req, &job.guard, job.degrade);
+        let outcome = service.handle_query_ctx(&job.req, &job.guard, job.degrade, job.catalog);
         let latency_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         // Exactly one terminal bucket per job — the conservation
         // invariant the chaos harness asserts.
@@ -729,6 +1021,10 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
             Err(e) => match e.code {
                 ErrorCode::DeadlineExceeded => service.metrics().record_timed_out(),
                 ErrorCode::Aborted => service.metrics().record_aborted(),
+                // A stale-replica bounce is an admission-control outcome,
+                // not a failure: it counts with the saturation rejects so
+                // the conservation partition stays intact.
+                ErrorCode::StaleCatalog => service.metrics().record_reject(),
                 _ => service.metrics().record_error(),
             },
         }
@@ -944,10 +1240,163 @@ mod tests {
         };
         let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoPhase);
         let record = service
-            .handle_query_ctx(&req, &CancelToken::inert(), Some(DegradeReason::Saturated))
+            .handle_query_ctx(
+                &req,
+                &CancelToken::inert(),
+                Some(DegradeReason::Saturated),
+                None,
+            )
             .expect("served degraded");
         assert_eq!(record.degraded_from, Some(Policy::HybridShipping));
         assert_eq!(record.degrade_reason, Some(DegradeReason::Saturated));
+    }
+
+    #[test]
+    fn stale_catalog_verdict_degrades_non_qs_requests() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(
+            spec.clone(),
+            Policy::HybridShipping,
+            OptimizerMode::TwoPhase,
+        );
+        let record = service
+            .handle_query_ctx(
+                &req,
+                &CancelToken::inert(),
+                None,
+                Some(CatalogVerdict::Degrade),
+            )
+            .expect("served degraded");
+        assert_eq!(record.degraded_from, Some(Policy::HybridShipping));
+        assert_eq!(record.degrade_reason, Some(DegradeReason::StaleCatalog));
+
+        // Saturation outranks staleness in the reported reason.
+        let record = service
+            .handle_query_ctx(
+                &req,
+                &CancelToken::inert(),
+                Some(DegradeReason::Saturated),
+                Some(CatalogVerdict::Degrade),
+            )
+            .expect("served degraded");
+        assert_eq!(record.degrade_reason, Some(DegradeReason::Saturated));
+
+        // A Fresh verdict changes nothing.
+        let record = service
+            .handle_query_ctx(
+                &req,
+                &CancelToken::inert(),
+                None,
+                Some(CatalogVerdict::Fresh),
+            )
+            .expect("served fresh");
+        assert_eq!(record.degraded_from, None);
+        assert_eq!(record.degrade_reason, None);
+    }
+
+    #[test]
+    fn stale_catalog_verdict_rejects_qs_with_retry_hint() {
+        let service = QueryService::new(ServerConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec, Policy::QueryShipping, OptimizerMode::TwoPhase);
+        let err = service
+            .handle_query_ctx(
+                &req,
+                &CancelToken::inert(),
+                None,
+                Some(CatalogVerdict::Reject { lag: 5 }),
+            )
+            .expect_err("bounced");
+        assert_eq!(err.code, ErrorCode::StaleCatalog);
+        assert_eq!(err.retry_after_ms, Some(RETRY_AFTER_MS));
+        assert!(err.message.contains("5 epochs behind"));
+    }
+
+    #[test]
+    fn drift_model_is_inert_without_faults_and_deterministic_with() {
+        use csqp_net::chaos::FaultPlan;
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+
+        // Unarmed: no epochs, no trace, no verdict — the layer is inert.
+        let quiet = QueryService::new(ServerConfig::default());
+        let req = request(
+            spec.clone(),
+            Policy::HybridShipping,
+            OptimizerMode::TwoPhase,
+        );
+        assert_eq!(quiet.catalog_verdict(0, &req), None);
+        assert_eq!(quiet.catalog_epoch(), 0);
+        assert!(quiet.drift_trace().is_empty());
+
+        // Armed: the same seeded request stream produces the same
+        // verdicts, trace, and counters on two independent services.
+        let armed = || {
+            QueryService::new(ServerConfig {
+                catalog_faults: Some(FaultPlan::new(0xD81F7, 0.8)),
+                catalog_lag: 1,
+                ..ServerConfig::default()
+            })
+        };
+        let (a, b) = (armed(), armed());
+        let verdicts = |svc: &QueryService| {
+            (0..64u64)
+                .map(|i| {
+                    let mut r = request(
+                        spec.clone(),
+                        Policy::HybridShipping,
+                        OptimizerMode::TwoPhase,
+                    );
+                    r.seed = 1000 + i;
+                    svc.catalog_verdict(0, &r)
+                })
+                .collect::<Vec<_>>()
+        };
+        let (va, vb) = (verdicts(&a), verdicts(&b));
+        assert_eq!(va, vb, "same seeds, same drift trajectory");
+        assert_eq!(a.drift_trace(), b.drift_trace());
+        assert!(a.catalog_epoch() >= 64, "every query publishes");
+        assert!(va.iter().all(|v| v.is_some()));
+        // The mix must exercise both sides of the lattice.
+        assert!(va.contains(&Some(CatalogVerdict::Fresh)));
+        assert!(va.contains(&Some(CatalogVerdict::Degrade)));
+        let stats = a.stats_snapshot();
+        assert_eq!(stats.catalog_epoch, a.catalog_epoch());
+        assert!(stats.catalog_refreshes > 0);
+        assert!(stats.catalog_max_lag > 1, "withheld bursts push past lag 1");
+    }
+
+    #[test]
+    fn epoch_publication_bumps_the_memo_generation() {
+        use csqp_net::chaos::FaultPlan;
+        let service = QueryService::new(ServerConfig {
+            catalog_faults: Some(FaultPlan::new(7, 1.0)),
+            ..ServerConfig::default()
+        });
+        let memo = service.memo().expect("memo on by default");
+        let before = memo.generation();
+        let req = request(
+            WorkloadSpec::Chain {
+                n: 2,
+                selectivity: csqp_workload::MODERATE_SEL,
+            },
+            Policy::QueryShipping,
+            OptimizerMode::TwoStep,
+        );
+        let _ = service.catalog_verdict(0, &req);
+        assert!(
+            memo.generation() > before,
+            "publishing an epoch must invalidate the memo"
+        );
     }
 
     #[test]
@@ -960,7 +1409,7 @@ mod tests {
         let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoPhase);
         let guard = CancelToken::with_deadline(Instant::now());
         let err = service
-            .handle_query_ctx(&req, &guard, None)
+            .handle_query_ctx(&req, &guard, None, None)
             .expect_err("deadline already gone");
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);
         assert_eq!(err.retry_after_ms, Some(RETRY_AFTER_MS));
@@ -977,7 +1426,7 @@ mod tests {
         let guard = CancelToken::inert();
         guard.cancel();
         let err = service
-            .handle_query_ctx(&req, &guard, None)
+            .handle_query_ctx(&req, &guard, None, None)
             .expect_err("requester is gone");
         assert_eq!(err.code, ErrorCode::Aborted);
         assert_eq!(err.retry_after_ms, None);

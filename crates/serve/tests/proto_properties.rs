@@ -179,12 +179,16 @@ proptest! {
         pcts in (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..10_000.0),
         wire in (0u64..u32::MAX as u64, 0u64..u32::MAX as u64, 0u64..(1u64 << 53)),
         memo in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..(1u64 << 40)),
+        catalog in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        catalog_extra in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
     ) {
         let (served, rejected, errors) = outcomes;
         let (submitted, aborted, timed_out, degraded) = extra;
         let (p50, p95, p99) = pcts;
         let (pages, msgs, bytes) = wire;
         let (memo_hits, memo_misses, memo_evictions, memo_bytes) = memo;
+        let (catalog_epoch, catalog_refreshes, catalog_stale_degraded) = catalog;
+        let (catalog_stale_rejected, catalog_epoch_regressions, catalog_max_lag) = catalog_extra;
         let f = Frame::Stats(StatsSnapshot {
             submitted,
             queries_served: served,
@@ -206,6 +210,12 @@ proptest! {
             memo_misses,
             memo_evictions,
             memo_bytes,
+            catalog_epoch,
+            catalog_refreshes,
+            catalog_stale_degraded,
+            catalog_stale_rejected,
+            catalog_epoch_regressions,
+            catalog_max_lag,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }

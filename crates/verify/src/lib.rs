@@ -53,11 +53,16 @@
 //! re-derive from their witnesses, stored plans stay structurally valid
 //! and Table-1 conformant, generations are sane, and proved costs are
 //! finite — so a memo hit can never serve what a cold optimization
-//! could not (`csqp-check --memo`).
+//! could not (`csqp-check --memo`). The [`catalog`] pass replays a
+//! recorded catalog drift trace and proves the replication layer's
+//! degradation lattice was honored: no query served fresh past the
+//! staleness bound, no replica epoch regression ever applied, lag
+//! accounting faithful (`csqp-check --catalog`).
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod catalog;
 pub mod conformance;
 pub mod determinism;
 pub mod invariants;

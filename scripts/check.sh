@@ -59,6 +59,17 @@ cargo run --release --bin csqp-load -- --serve --chaos 21 --reply-faults --sched
 echo "==> idle-session scale: 2,000 sessions on a fixed thread count"
 cargo test --release -p csqp-serve --test scale -- --ignored
 
+echo "==> csqp-check --catalog: replication drift replay + seeded mutants"
+cargo run --release --bin csqp-check -- --catalog
+
+echo "==> catalog-chaos: stale-catalog fault soaks across fresh servers"
+for seed in 7 13 21 34; do
+  cargo run --release --bin csqp-load -- --serve --chaos "$seed" --catalog-faults --schedules 2 --chaos-queries 12 --intensity 0.6
+done
+
+echo "==> bench-serve: pinned closed-loop QPS/latency gate (BENCH_serve.json)"
+cargo run --release --bin csqp-load -- --serve --bench-serve --clients 4 --queries 64 --seed 42 --min-qps 25
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -50,6 +50,14 @@
 //!    `csqp_verify::memo::check_memo` over every live entry
 //!    (fingerprints re-derive from witnesses, plans stay Table-1
 //!    conformant, generations and costs are sane).
+//! 7. **Catalog drift** (`--catalog`) — replay a seeded catalog-fault
+//!    schedule (withheld, torn, reordered, poisoned deliveries) against
+//!    a `ReplicatedCatalog`, twice, asserting byte-identical drift
+//!    digests; run the `csqp_verify::catalog::check_drift` pass over
+//!    the recorded trace; prove an epoch publication forces a memo
+//!    recompute; and plant three seeded mutants (over-lag fresh serve,
+//!    applied epoch regression, lag misaccounting), each of which must
+//!    be caught with its typed diagnostic.
 
 use std::process::ExitCode;
 
@@ -74,6 +82,7 @@ struct Args {
     protocol_only: bool,
     system_only: bool,
     memo_only: bool,
+    catalog_only: bool,
     budget_secs: Option<f64>,
 }
 
@@ -87,6 +96,7 @@ fn parse_args() -> Args {
         protocol_only: false,
         system_only: false,
         memo_only: false,
+        catalog_only: false,
         budget_secs: None,
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +115,7 @@ fn parse_args() -> Args {
             "--protocol" => args.protocol_only = true,
             "--system" => args.system_only = true,
             "--memo" => args.memo_only = true,
+            "--catalog" => args.catalog_only = true,
             "--budget-secs" => {
                 args.budget_secs = Some(
                     it.next()
@@ -115,8 +126,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-check [--plans N] [--servers M] [--seed S] \
-                     [--protocol] [--system] [--memo] [--sessions N] [--depth D] \
-                     [--budget-secs S]"
+                     [--protocol] [--system] [--memo] [--catalog] [--sessions N] \
+                     [--depth D] [--budget-secs S]"
                 );
                 std::process::exit(0);
             }
@@ -143,7 +154,7 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut failures = 0usize;
 
-    let full = !args.protocol_only && !args.system_only && !args.memo_only;
+    let full = !args.protocol_only && !args.system_only && !args.memo_only && !args.catalog_only;
     if full {
         failures += positive_sweep(&args);
         failures += optimizer_traces(&args);
@@ -157,6 +168,9 @@ fn main() -> ExitCode {
     }
     if full || args.memo_only {
         failures += memo_consistency(&args);
+    }
+    if full || args.catalog_only {
+        failures += catalog_consistency(&args);
     }
 
     if failures == 0 {
@@ -727,6 +741,307 @@ fn memo_consistency(args: &Args) -> usize {
         failures += 1;
     } else {
         println!("memo invalidation: generation bump forces a recompute, never a stale plan");
+    }
+    failures
+}
+
+/// Stage 7: seeded catalog drift replay over the replication layer, the
+/// drift-conformance pass, the epoch→memo invalidation proof, and three
+/// planted mutants that must each be caught with its typed diagnostic.
+fn catalog_consistency(args: &Args) -> usize {
+    use csqp::catalog::{CatalogEpoch, DriftAction, DriftEvent, ReplicatedCatalog};
+    use csqp::memo::{Env, MemoConfig, MemoTable};
+    use csqp::net::chaos::{CatalogFault, FaultPlan};
+    use csqp::optimizer::{CompileTimeAssumption, MemoOutcome, TwoStepPlanner};
+    use csqp::serve::server::fnv1a;
+    use csqp::verify::catalog::check_drift;
+    use csqp::workload::WorkloadSpec;
+
+    let mut failures = 0usize;
+    let servers = args.servers.max(1);
+    let bound = 2u64;
+    const QUERIES: u64 = 256;
+
+    // One full drift replay: every seeded query ticks the coordinator
+    // (withheld refreshes tick it in a burst — the same escalation the
+    // server's drift model uses), delivers or withholds a propagation
+    // step at a rotating site, and records the serve decision the
+    // degradation lattice dictates.
+    let replay = || {
+        let query = ten_way();
+        let mut rng = SimRng::seed_from_u64(args.seed);
+        let base = random_placement(&query, servers, &mut rng);
+        let mut rc = ReplicatedCatalog::new(base, bound);
+        let plan = FaultPlan::new(args.seed, 0.5);
+        let mut trace: Vec<DriftEvent> = Vec::new();
+        for i in 0..QUERIES {
+            let seed = args.seed ^ i.wrapping_mul(0x9E37_79B9);
+            let fault = plan.catalog_fault_for(seed);
+            let site = SiteId::server(1 + (i % u64::from(servers)) as u32);
+            let rel = RelId((i % query.num_relations() as u64) as u32);
+            let publishes = match fault {
+                CatalogFault::WithheldRefresh => 1 + plan.catalog_rng_for(seed).derive(1).below(4),
+                _ => 1,
+            };
+            for p in 0..publishes {
+                let fraction = 0.25 + 0.5 * (((i + p as u64) % 3) as f64) / 3.0;
+                let epoch = rc.set_cached_fraction(rel, fraction);
+                trace.push(DriftEvent::Publish { epoch: epoch.0 });
+            }
+            let coord = rc.coordinator().epoch();
+            let from = rc.replica(site).map_or(0, |r| r.epoch().0);
+            match fault {
+                CatalogFault::None => {
+                    if let Some(e) = rc.propagate(site) {
+                        trace.push(DriftEvent::Refresh {
+                            site: site.0,
+                            from,
+                            to: e.0,
+                            applied: true,
+                        });
+                    }
+                }
+                CatalogFault::WithheldRefresh => {}
+                CatalogFault::TornEpoch => {
+                    // Partial delivery: the refresh lands one epoch short
+                    // of the coordinator (never behind the replica).
+                    let torn = CatalogEpoch(coord.0.saturating_sub(1).max(from));
+                    if let Some(Ok(e)) = rc.deliver_at(site, torn) {
+                        trace.push(DriftEvent::Refresh {
+                            site: site.0,
+                            from,
+                            to: e.0,
+                            applied: true,
+                        });
+                    }
+                }
+                CatalogFault::ReorderedEpoch => {
+                    // A delivery from the past arrives late; the replica
+                    // must refuse the regression.
+                    let old = CatalogEpoch(from.saturating_sub(1));
+                    match rc.deliver_at(site, old) {
+                        Some(Ok(e)) => trace.push(DriftEvent::Refresh {
+                            site: site.0,
+                            from,
+                            to: e.0,
+                            applied: true,
+                        }),
+                        _ => trace.push(DriftEvent::Refresh {
+                            site: site.0,
+                            from,
+                            to: old.0,
+                            applied: false,
+                        }),
+                    }
+                }
+                CatalogFault::PoisonedFraction => {
+                    if let Some(e) = rc.propagate(site) {
+                        trace.push(DriftEvent::Refresh {
+                            site: site.0,
+                            from,
+                            to: e.0,
+                            applied: true,
+                        });
+                    }
+                    if let Some(r) = rc.replica_mut(site) {
+                        r.poison();
+                    }
+                    trace.push(DriftEvent::Poison { site: site.0 });
+                }
+            }
+            let priced = rc.replica(site).map_or(0, |r| r.epoch().0);
+            let lag = rc.lag(site).unwrap_or(0);
+            let poisoned = rc.replica(site).is_some_and(|r| r.is_poisoned());
+            // Every third query stands in for a QS request (nothing left
+            // to downgrade to); the rest can degrade.
+            let action = if poisoned {
+                DriftAction::Degraded
+            } else if lag <= bound {
+                DriftAction::Fresh
+            } else if i % 3 == 0 {
+                DriftAction::Rejected
+            } else {
+                DriftAction::Degraded
+            };
+            trace.push(DriftEvent::Serve {
+                site: site.0,
+                priced_epoch: priced,
+                coordinator_epoch: coord.0,
+                lag,
+                action,
+            });
+        }
+        let mut rendered = String::new();
+        for e in &trace {
+            rendered.push_str(&format!("{e:?};"));
+        }
+        let digest = fnv1a(rendered.as_bytes());
+        let coord = rc.coordinator().epoch().0;
+        let replica1 = rc.replica(SiteId::server(1)).map_or(0, |r| r.epoch().0);
+        (trace, digest, coord, replica1)
+    };
+
+    // Same seed, same drift trajectory, byte-identical digest.
+    let (trace, digest_a, coord, replica1) = replay();
+    let (_, digest_b, ..) = replay();
+    if digest_a != digest_b {
+        eprintln!("FAIL drift replay diverged: {digest_a:016x} vs {digest_b:016x}");
+        failures += 1;
+    }
+    let degradations = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                DriftEvent::Serve {
+                    action: DriftAction::Degraded | DriftAction::Rejected,
+                    ..
+                }
+            )
+        })
+        .count();
+    if degradations == 0 {
+        eprintln!("FAIL drift replay never exercised the degradation path");
+        failures += 1;
+    }
+    let report = check_drift(&trace, bound);
+    if report.is_clean() {
+        println!(
+            "catalog drift: {QUERIES} queries replayed twice with identical digest \
+             {digest_a:016x}; {} events verified clean ({} degraded/rejected, \
+             coordinator at e{coord})",
+            trace.len(),
+            degradations
+        );
+    } else {
+        eprintln!("FAIL drift-conformance pass over an honest replay:\n{report}");
+        failures += report.len();
+    }
+
+    // An epoch publication must force a memo recompute: this is the
+    // invalidation contract the server wires `bump_generation` to.
+    {
+        let table = MemoTable::new(MemoConfig::default());
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: MODERATE_SEL,
+        };
+        let query = spec.build();
+        let env = Env {
+            placement_seed: args.seed,
+            num_servers: servers.min(spec.num_relations()).max(1),
+        };
+        let planner = TwoStepPlanner {
+            policy: Policy::ALL[0],
+            objective: Objective::Communication,
+            config: OptConfig::fast(),
+        };
+        let compile = || {
+            planner
+                .compile_memoized(
+                    &spec,
+                    &query,
+                    &SystemConfig::default(),
+                    CompileTimeAssumption::Centralized,
+                    env,
+                    Some(&table),
+                )
+                .1
+        };
+        let _ = compile();
+        if compile() != MemoOutcome::Hit {
+            eprintln!("FAIL catalog/memo warmup never hit");
+            failures += 1;
+        }
+        // Publish an epoch the way the coordinator does, and apply the
+        // server's wiring: publication bumps the memo generation.
+        let mut rng = SimRng::seed_from_u64(args.seed);
+        let base = random_placement(&query, servers.min(spec.num_relations()).max(1), &mut rng);
+        let mut rc = ReplicatedCatalog::new(base, bound);
+        let _ = rc.set_cached_fraction(RelId(0), 0.5);
+        table.bump_generation();
+        if compile() != MemoOutcome::Miss {
+            eprintln!("FAIL epoch publication did not force a memo recompute");
+            failures += 1;
+        } else {
+            println!(
+                "catalog invalidation: epoch publication bumps the memo generation and \
+                 forces a recompute"
+            );
+        }
+    }
+
+    // Three planted mutants, each of which must be caught with exactly
+    // its typed diagnostic. Mutants extend the honest trace, so the
+    // reconstruction state they confront is the real one.
+    let mutants: [(&str, DiagCode, Vec<DriftEvent>); 3] = [
+        (
+            "withheld refresh served fresh past the bound",
+            DiagCode::CatalogStaleServed,
+            {
+                let mut t = trace.clone();
+                for k in 1..=(bound + 1) {
+                    t.push(DriftEvent::Publish { epoch: coord + k });
+                }
+                let new_coord = coord + bound + 1;
+                t.push(DriftEvent::Serve {
+                    site: 1,
+                    priced_epoch: replica1,
+                    coordinator_epoch: new_coord,
+                    lag: new_coord - replica1,
+                    action: DriftAction::Fresh,
+                });
+                t
+            },
+        ),
+        (
+            "replica applied an epoch regression",
+            DiagCode::CatalogEpochRegress,
+            {
+                let mut t = trace.clone();
+                t.push(DriftEvent::Refresh {
+                    site: 1,
+                    from: replica1,
+                    to: replica1.saturating_sub(1),
+                    applied: true,
+                });
+                t
+            },
+        ),
+        (
+            "serve decision misaccounted its lag",
+            DiagCode::CatalogLagBound,
+            {
+                let mut t = trace.clone();
+                t.push(DriftEvent::Serve {
+                    site: 1,
+                    priced_epoch: replica1,
+                    coordinator_epoch: coord,
+                    lag: (coord - replica1) + 1,
+                    action: DriftAction::Degraded,
+                });
+                t
+            },
+        ),
+    ];
+    if replica1 == 0 {
+        // The regression mutant needs a replica that has refreshed at
+        // least once; with 256 seeded queries this cannot happen unless
+        // the fault plan itself broke.
+        eprintln!("FAIL site 1 never refreshed across the whole replay");
+        failures += 1;
+    }
+    for (what, code, mutated) in &mutants {
+        let report = check_drift(mutated, bound);
+        if report.has(*code) {
+            println!("catalog mutant caught: {what} -> {}", code.as_str());
+        } else {
+            eprintln!(
+                "FAIL mutant not caught ({what}): expected {}",
+                code.as_str()
+            );
+            failures += 1;
+        }
     }
     failures
 }

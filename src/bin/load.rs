@@ -8,7 +8,8 @@
 //!     [--optimizer two-phase|two-step] [--rate R] [--retry-rejected]
 //!     [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects]
 //!     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]
-//!     [--reply-faults] [--memo-smoke]
+//!     [--reply-faults] [--catalog-faults] [--memo-smoke]
+//!     [--bench-serve] [--min-qps F]
 //! ```
 //!
 //! `--serve` spins up an in-process server on a free port and loads it —
@@ -33,16 +34,37 @@
 //! the reply path: with `--serve` the inline server mangles replies from
 //! the matching seeded plan, and the soak accounts every mangled reply
 //! deterministically.
+//!
+//! `--catalog-faults` arms the replicated catalog instead (requires
+//! `--serve`; the soak manages its own pair of inline servers): each
+//! server drives its per-shard replica epochs from the matching seeded
+//! plan (withheld refreshes, torn and reordered deliveries, poisoned
+//! cached-fraction snapshots), so some queries degrade to query shipping
+//! with `stale-catalog` and over-bound QS requests are rejected with a
+//! retry hint — all typed replies. Because epoch lag is *server state*
+//! that carries across queries, repeatability is proved across two
+//! fresh servers rather than back-to-back runs on one: same seed, same
+//! fresh state, byte-identical digest. Both recorded drift traces are
+//! then audited with `csqp-verify`'s drift-conformance pass: no serve
+//! past the staleness bound, no applied epoch regression, faithful lag
+//! accounting.
+//!
+//! `--bench-serve` is the serving-stack perf artifact: a pinned seeded
+//! closed-loop run (combine with `--serve` for the self-contained CI
+//! gate) whose QPS and latency percentiles land in `BENCH_serve.json`.
+//! `--min-qps F` turns it into a regression gate: the run fails when
+//! throughput drops below the floor.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use csqp::core::Policy;
 use csqp::cost::Objective;
+use csqp::json::{obj, Json};
 use csqp::net::chaos::FaultPlan;
 use csqp::serve::chaos::{run_chaos, ChaosConfig};
 use csqp::serve::proto::OptimizerMode;
-use csqp::serve::{run_load, LoadConfig, Server, ServerConfig};
+use csqp::serve::{run_load, LoadConfig, Server, ServerConfig, ServerHandle};
 
 struct Args {
     load: LoadConfig,
@@ -50,6 +72,8 @@ struct Args {
     serve_inline: bool,
     fail_on_rejects: bool,
     memo_smoke: bool,
+    bench_serve: bool,
+    min_qps: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +83,8 @@ fn parse_args() -> Args {
         serve_inline: false,
         fail_on_rejects: false,
         memo_smoke: false,
+        bench_serve: false,
+        min_qps: None,
     };
     let mut chaos = ChaosConfig::default();
     let mut chaos_seed = None;
@@ -129,9 +155,18 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| die("--intensity needs a numeric argument".to_string()));
             }
             "--reply-faults" => chaos.reply_faults = true,
+            "--catalog-faults" => chaos.catalog_faults = true,
             "--serve" => args.serve_inline = true,
             "--fail-on-rejects" => args.fail_on_rejects = true,
             "--memo-smoke" => args.memo_smoke = true,
+            "--bench-serve" => args.bench_serve = true,
+            "--min-qps" => {
+                args.min_qps = Some(
+                    raw("--min-qps")
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| die("--min-qps needs a numeric argument".to_string())),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-load [--addr HOST:PORT] [--clients N] [--seconds T | --queries N] \
@@ -139,7 +174,8 @@ fn parse_args() -> Args {
                      [--optimizer two-phase|two-step] [--rate R] [--retry-rejected] \
                      [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects] \
                      [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F] \
-                     [--reply-faults] [--memo-smoke]"
+                     [--reply-faults] [--catalog-faults] [--memo-smoke] \
+                     [--bench-serve] [--min-qps F]"
                 );
                 std::process::exit(0);
             }
@@ -152,7 +188,16 @@ fn parse_args() -> Args {
     if let Some(seed) = chaos_seed {
         chaos.seed = seed;
         chaos.addr = args.load.addr.clone();
+        if chaos.catalog_faults && !args.serve_inline {
+            die(
+                "--catalog-faults needs --serve (the soak manages its own pair of \
+                 fresh inline servers to prove digest repeatability)"
+                    .to_string(),
+            );
+        }
         args.chaos = Some(chaos);
+    } else if chaos.catalog_faults {
+        die("--catalog-faults needs --chaos SEED".to_string());
     }
     args
 }
@@ -304,6 +349,153 @@ fn run_chaos_twice(cfg: &ChaosConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// The catalog-fault soak: the same seeded schedule runs against two
+/// *fresh* inline servers, each arming catalog propagation faults from
+/// the matching seeded plan. The drift model is stateful on the server
+/// (epoch lag carries across queries), so repeatability is proved
+/// across servers rather than back-to-back runs on one — same seed,
+/// same fresh state, same reply digest. Both recorded drift traces are
+/// audited against the staleness bound afterwards.
+fn run_catalog_chaos(chaos: &ChaosConfig) -> Result<(), String> {
+    let bound = ServerConfig::default().catalog_lag;
+    let spawn = || {
+        // One event thread = one shard = one catalog replica: shard
+        // routing is by file descriptor, which the seed does not
+        // control, so a single shard is what makes the drift
+        // trajectory a pure function of the request stream.
+        Server::bind(ServerConfig {
+            event_threads: 1,
+            catalog_faults: Some(FaultPlan::new(chaos.seed, chaos.intensity)),
+            ..ServerConfig::default()
+        })
+        .and_then(|s| s.spawn())
+        .map_err(|e| format!("catalog chaos server failed: {e}"))
+    };
+    println!(
+        "csqp-load: catalog chaos soak, seed {} ({} schedules x {} queries, \
+         intensity {:.2}, lag bound {bound})",
+        chaos.seed, chaos.schedules, chaos.queries_per_schedule, chaos.intensity
+    );
+    let a = spawn()?;
+    let b = spawn()?;
+    let result = (|| {
+        let soak = |handle: &ServerHandle| {
+            run_chaos(&ChaosConfig {
+                addr: handle.addr().to_string(),
+                ..chaos.clone()
+            })
+            .map_err(|e| format!("catalog chaos soak failed: {e}"))
+        };
+        let first = soak(&a)?;
+        println!("{}", first.render());
+        if !first.healthy() {
+            return Err("catalog chaos soak violated a robustness invariant".to_string());
+        }
+        audit_drift(&a, bound)?;
+        let second = soak(&b)?;
+        if !second.healthy() {
+            return Err(
+                "catalog chaos soak on the fresh server violated a robustness invariant"
+                    .to_string(),
+            );
+        }
+        if second.digest != first.digest {
+            return Err(format!(
+                "catalog chaos digest mismatch across fresh servers: \
+                 {:016x} vs {:016x} for seed {}",
+                first.digest, second.digest, chaos.seed
+            ));
+        }
+        audit_drift(&b, bound)?;
+        println!(
+            "csqp-load: catalog chaos digest matches across fresh servers ({:016x})",
+            first.digest
+        );
+        Ok(())
+    })();
+    a.shutdown();
+    b.shutdown();
+    result
+}
+
+/// Audit a server's recorded catalog drift trace: replay it
+/// through `csqp-verify`'s drift-conformance pass and fail on any
+/// violation of the degradation lattice.
+fn audit_drift(handle: &ServerHandle, bound: u64) -> Result<(), String> {
+    let trace = handle.service().drift_trace();
+    if trace.is_empty() {
+        return Err("catalog faults were armed but the drift trace is empty".to_string());
+    }
+    let report = csqp::verify::catalog::check_drift(&trace, bound);
+    if !report.is_clean() {
+        return Err(format!(
+            "drift trace failed conformance against bound {bound}:\n{report}"
+        ));
+    }
+    let snap = handle.service().stats_snapshot();
+    println!(
+        "csqp-load: drift audit clean over {} events (coordinator e{}, {} refreshes, \
+         {} degraded, {} rejected, max lag {})",
+        trace.len(),
+        snap.catalog_epoch,
+        snap.catalog_refreshes,
+        snap.catalog_stale_degraded,
+        snap.catalog_stale_rejected,
+        snap.catalog_max_lag
+    );
+    Ok(())
+}
+
+/// The pinned serving benchmark: a seeded closed-loop run whose QPS and
+/// latency percentiles are written to `BENCH_serve.json`. `min_qps` is
+/// the CI regression floor.
+fn run_bench_serve(load: &LoadConfig, min_qps: Option<f64>) -> Result<(), String> {
+    let queries = load.queries_per_client.unwrap_or(64);
+    let cfg = LoadConfig {
+        queries_per_client: Some(queries),
+        ..load.clone()
+    };
+    println!(
+        "csqp-load: serve bench, seed {} ({} clients x {queries} queries, closed loop)",
+        cfg.seed, cfg.clients
+    );
+    let report = run_load(&cfg).map_err(|e| format!("bench load failed: {e}"))?;
+    println!("{}", report.render());
+    if report.errors > 0 {
+        return Err(format!("bench run saw {} query errors", report.errors));
+    }
+    let bench = obj(vec![
+        ("bench", Json::from("csqp-load --bench-serve")),
+        ("seed", Json::from(cfg.seed)),
+        ("clients", Json::from(cfg.clients as u64)),
+        ("queries_per_client", Json::from(queries)),
+        ("queries", Json::from(report.queries)),
+        ("rejected", Json::from(report.rejected)),
+        ("degraded", Json::from(report.degraded)),
+        ("timed_out", Json::from(report.timed_out)),
+        ("throughput_qps", Json::from(report.throughput_qps)),
+        ("p50_ms", Json::from(report.p50_ms)),
+        ("p95_ms", Json::from(report.p95_ms)),
+        ("p99_ms", Json::from(report.p99_ms)),
+    ]);
+    std::fs::write("BENCH_serve.json", bench.render_pretty() + "\n")
+        .map_err(|e| format!("writing BENCH_serve.json failed: {e}"))?;
+    println!(
+        "csqp-load: wrote BENCH_serve.json ({:.1} qps, p99 {:.1} ms)",
+        report.throughput_qps, report.p99_ms
+    );
+    if let Some(floor) = min_qps {
+        if report.throughput_qps < floor {
+            return Err(format!(
+                "throughput {:.1} qps fell below the --min-qps floor {floor:.1}",
+                report.throughput_qps
+            ));
+        }
+        println!("csqp-load: qps floor {floor:.1} holds");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = parse_args();
 
@@ -316,6 +508,21 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    // The catalog-fault soak manages its own pair of fresh inline
+    // servers (epoch lag is server state, so repeatability is proved
+    // across servers, not runs).
+    if let Some(chaos) = &args.chaos {
+        if chaos.catalog_faults {
+            return match run_catalog_chaos(chaos) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("csqp-load: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
     }
 
     // In-process loopback server for one-command smokes. With
@@ -364,6 +571,22 @@ fn main() -> ExitCode {
             Ok(())
         };
         let code = match smoke.and_then(|()| run_chaos_twice(chaos)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("csqp-load: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+        if let Some(handle) = inline {
+            handle.shutdown();
+        }
+        return code;
+    }
+
+    // Bench mode: a pinned closed-loop run whose figures land in
+    // BENCH_serve.json, with an optional QPS regression floor.
+    if args.bench_serve {
+        let code = match run_bench_serve(&args.load, args.min_qps) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("csqp-load: {msg}");

@@ -5,12 +5,19 @@
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
 //!     [--pipeline-depth N] [--event-threads N] [--memo-bytes N]
-//!     [--no-memo] [--seconds T]
+//!     [--no-memo] [--catalog-lag N] [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
 //! queries, HY/DS requests degrade to query shipping instead of queueing
 //! expensive work (defaults to 3/4 of the queue depth).
+//!
+//! `--catalog-lag N` sets the replication staleness bound: the most
+//! coordinator epochs a shard's catalog replica may trail while its
+//! queries still serve fresh (default 3). Past the bound, queries take
+//! the typed degradation path — QS downgrade with `stale-catalog`, or a
+//! typed reject with a retry hint. The bound only matters once catalog
+//! faults drive the epochs (`csqp-load --chaos --catalog-faults`).
 //!
 //! `--memo-bytes N` bounds the shared site-selection memo (default
 //! 64 MiB); `--no-memo` disables it entirely. Served results are
@@ -71,6 +78,9 @@ fn parse_args() -> Args {
                 args.config.memo_bytes = num(&raw("--memo-bytes"), "--memo-bytes") as usize
             }
             "--no-memo" => args.config.memo = false,
+            "--catalog-lag" => {
+                args.config.catalog_lag = num(&raw("--catalog-lag"), "--catalog-lag")
+            }
             "--seconds" => {
                 let v = raw("--seconds");
                 args.seconds = Some(
@@ -83,7 +93,7 @@ fn parse_args() -> Args {
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
                      [--queue N] [--high-water N] [--placement-seed S] \
                      [--pipeline-depth N] [--event-threads N] [--memo-bytes N] \
-                     [--no-memo] [--seconds T]"
+                     [--no-memo] [--catalog-lag N] [--seconds T]"
                 );
                 std::process::exit(0);
             }
