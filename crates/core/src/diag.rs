@@ -151,6 +151,10 @@ pub enum DiagCode {
     /// outside the `CatalogCoordinator` epoch API or the justified
     /// allowlist: drift state must never bypass epoch accounting.
     CatalogMutation,
+    /// An `extern` block (raw C-ABI syscall binding) outside the
+    /// justified allowlist: unsafe FFI shims live in one audited module
+    /// (`csqp_net::poll`), never scattered through the workspace.
+    RawSyscall,
 }
 
 impl DiagCode {
@@ -200,6 +204,7 @@ impl DiagCode {
             DiagCode::StaleAllow => "stale-allow",
             DiagCode::UnboundedChannel => "unbounded-channel",
             DiagCode::CatalogMutation => "catalog-mutation",
+            DiagCode::RawSyscall => "raw-syscall",
         }
     }
 }

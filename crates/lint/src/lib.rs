@@ -27,6 +27,12 @@
 //!   (`"…" => ErrorCode::V`) tables in the defining file, and every
 //!   `DiagCode` variant in its `as_str` table. A code that cannot be
 //!   decoded or documented is a silent protocol hole.
+//! * **raw-syscall** — no `extern` blocks (C-ABI syscall bindings)
+//!   outside the justified allowlist. The workspace deliberately binds
+//!   the handful of syscalls it needs (`poll`, `epoll_*`, rlimits)
+//!   through one audited module, `csqp_net::poll`; an extern block
+//!   anywhere else is either a duplicate shim or a new unsafe surface
+//!   that belongs there instead.
 //! * **catalog-mutation** — no direct `Catalog` mutation (`.place(…)` /
 //!   `.set_cached_fraction(…)`) outside the justified allowlist. Once a
 //!   catalog is replicated per serving site, a mutation that bypasses
@@ -74,6 +80,8 @@ pub enum RuleKind {
     /// Direct `Catalog` mutation (`.place(…)` /
     /// `.set_cached_fraction(…)`) outside the coordinator/epoch API.
     CatalogMutation,
+    /// An `extern` block: a raw C-ABI syscall binding.
+    ExternSyscall,
 }
 
 impl RuleKind {
@@ -85,6 +93,7 @@ impl RuleKind {
             RuleKind::HashOrder => DiagCode::HashIterOrder,
             RuleKind::UnboundedChannel => DiagCode::UnboundedChannel,
             RuleKind::CatalogMutation => DiagCode::CatalogMutation,
+            RuleKind::ExternSyscall => DiagCode::RawSyscall,
         }
     }
 
@@ -96,6 +105,7 @@ impl RuleKind {
             RuleKind::HashOrder => "hash-iter-order",
             RuleKind::UnboundedChannel => "unbounded-channel",
             RuleKind::CatalogMutation => "catalog-mutation",
+            RuleKind::ExternSyscall => "raw-syscall",
         }
     }
 }
@@ -192,6 +202,13 @@ pub const ALLOWLIST: &[Allow] = &[
               server binary",
     },
     Allow {
+        path: "src/bin/load.rs",
+        rule: RuleKind::WallClock,
+        why: "--bench-reactor parks an idle-session fleet and polls the live \
+              server's session gauge until it settles before measuring; the \
+              wait bounds setup and never enters a reported rate",
+    },
+    Allow {
         path: "crates/serve/tests/loopback.rs",
         rule: RuleKind::WallClock,
         why: "integration tests bound waits on a live loopback server",
@@ -205,6 +222,15 @@ pub const ALLOWLIST: &[Allow] = &[
         path: "crates/serve/tests/scale.rs",
         rule: RuleKind::WallClock,
         why: "scale test paces a live server and bounds its total runtime",
+    },
+    // ---- raw-syscall: the one audited FFI surface ----------------------
+    Allow {
+        path: "crates/net/src/poll.rs",
+        rule: RuleKind::ExternSyscall,
+        why: "the workspace's single syscall-binding module: poll(2), \
+              epoll(7), and rlimit shims declared against the already- \
+              linked C library, wrapped in safe Reactor/Waker APIs and \
+              exercised by backend-equivalence tests",
     },
     // ---- hash-iter-order: uses whose ordering provably cannot leak ----
     Allow {
@@ -436,6 +462,10 @@ const BLOCKING_CALL_PATTERNS: &[&str] = &[
 /// free functions of the same name); the definitions live in
 /// `crates/catalog/src/placement.rs`, which carries its own entry.
 const CATALOG_MUTATION_PATTERNS: &[&str] = &[".place(", ".set_cached_fraction("];
+/// The raw-syscall pattern: any `extern` block or declaration. After
+/// [`scan::strip`] the ABI string's contents are blanked but the
+/// keyword survives, so the token is enough.
+const EXTERN_SYSCALL_PATTERNS: &[&str] = &["extern"];
 
 struct AllowState {
     allow: Allow,
@@ -531,6 +561,19 @@ impl Linter {
                         format!(
                             "unbounded `{pat}()` gives the producer no backpressure; \
                              use `mpsc::sync_channel` or justify the bound elsewhere"
+                        ),
+                    ));
+                }
+            }
+            for &pat in EXTERN_SYSCALL_PATTERNS {
+                if has_token(line, pat) && !self.allowed(rel, RuleKind::ExternSyscall) {
+                    out.push(at(
+                        DiagCode::RawSyscall,
+                        rel,
+                        lineno,
+                        format!(
+                            "`{pat}` binding outside the audited syscall module; \
+                             add the shim to csqp_net::poll or justify the site"
                         ),
                     ));
                 }
@@ -813,6 +856,24 @@ mod tests {
         let stale = l.finish();
         assert_eq!(stale.len(), 2, "{stale:?}");
         assert!(stale.iter().all(|d| d.code == DiagCode::StaleAllow));
+    }
+
+    #[test]
+    fn extern_blocks_trip_raw_syscall_unless_allowlisted() {
+        let mut l = Linter::with_allows(&[]);
+        let src = "unsafe extern \"C\" {\n    fn close(fd: i32) -> i32;\n}\n";
+        let ds = l.lint_source("shim.rs", src);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, DiagCode::RawSyscall);
+
+        let allows = [Allow {
+            path: "crates/net/src/poll.rs",
+            rule: RuleKind::ExternSyscall,
+            why: "the audited module",
+        }];
+        let mut l = Linter::with_allows(&allows);
+        assert!(l.lint_source("crates/net/src/poll.rs", src).is_empty());
+        assert!(l.finish().is_empty());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The event-driven session engine (DESIGN.md §10).
 //!
 //! A fixed set of *shard* threads multiplexes every connected socket
-//! with the `poll(2)` wrapper in [`csqp_net::poll`]; the accept thread
-//! routes each new connection to a shard by file descriptor. One shard
-//! owns its sessions exclusively — no locks on the session path — and
-//! drives each as an explicit state machine:
+//! with a [`csqp_net::poll::Reactor`] — `epoll(7)` by default on Linux,
+//! `poll(2)` as the portable fallback, selected by
+//! [`crate::ServerConfig::reactor`]; the accept thread routes each new
+//! connection to a shard by file descriptor. One shard owns its sessions
+//! exclusively — no locks on the session path — and drives each as an
+//! explicit state machine:
 //!
 //! ```text
 //!              HELLO            QUERY submitted
@@ -53,7 +55,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use csqp_core::cancel::CancelToken;
-use csqp_net::poll::{poll_fds, PollFd, WakeHandle, Waker};
+use csqp_net::poll::{new_reactor, Interest, Reactor, ReactorStats, ReadyEvent, WakeHandle, Waker};
 use csqp_verify::protocol::{self, Action, ErrorClass, Event, SessionModel};
 use csqp_verify::system::{completion_disposition, submit_outcome, CompletionDisposition};
 
@@ -245,8 +247,12 @@ impl Session {
     }
 }
 
+/// The reactor token reserved for the shard's [`Waker`]. Session ids
+/// count up from zero, so the all-ones token can never collide.
+const WAKER_TOKEN: u64 = u64::MAX;
+
 /// One event-loop thread: owns a disjoint set of sessions and the only
-/// poll set that watches them.
+/// reactor that watches them.
 pub(crate) struct Shard {
     /// This shard's index — the "site" its catalog replica lives at in
     /// the drift model (see `QueryService::catalog_verdict`).
@@ -255,15 +261,28 @@ pub(crate) struct Shard {
     submit: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
     waker: Waker,
+    /// The readiness backend. Sessions are registered under their id as
+    /// the token; interest updates route through [`Shard::retune`] so
+    /// the reactor's interest cache sees every change exactly once.
+    reactor: Box<dyn Reactor>,
     reg_rx: Receiver<TcpStream>,
     done_rx: Receiver<Completion>,
     done_tx: mpsc::Sender<Completion>,
     sessions: HashMap<u64, Session>,
     next_session: u64,
+    /// Sessions whose `out` gained bytes this iteration: flushed once
+    /// after event dispatch so a fresh reply never waits a full reactor
+    /// timeout, without an O(sessions) scan per tick.
+    wout: Vec<u64>,
+    /// Reactor counters as of the last publish to [`ServerMetrics`];
+    /// the loop pushes deltas so multiple shards can share the gauges.
+    reported: ReactorStats,
 }
 
 impl Shard {
-    /// Spawn one shard thread.
+    /// Spawn one shard thread. Fails loudly (propagating to
+    /// `Server::bind`) if the configured reactor backend cannot be
+    /// constructed on this host.
     pub(crate) fn spawn(
         index: usize,
         service: Arc<QueryService>,
@@ -272,6 +291,8 @@ impl Shard {
     ) -> io::Result<ShardHandle> {
         let waker = Waker::new()?;
         let wake = waker.handle();
+        let mut reactor = new_reactor(service.config().reactor)?;
+        reactor.register(waker.fd(), WAKER_TOKEN, Interest::READ)?;
         let (reg_tx, reg_rx) = mpsc::channel();
         let (done_tx, done_rx) = mpsc::channel();
         let mut shard = Shard {
@@ -280,11 +301,14 @@ impl Shard {
             submit,
             shutdown,
             waker,
+            reactor,
             reg_rx,
             done_rx,
             done_tx,
             sessions: HashMap::new(),
             next_session: 0,
+            wout: Vec::new(),
+            reported: ReactorStats::default(),
         };
         let thread = std::thread::Builder::new()
             .name(format!("csqp-shard-{index}"))
@@ -298,53 +322,74 @@ impl Shard {
 
     fn run(&mut self) {
         let timeout = self.service.config().read_timeout;
-        let mut fds: Vec<PollFd> = Vec::new();
-        let mut ids: Vec<u64> = Vec::new();
+        let mut events: Vec<ReadyEvent> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 self.close_all();
+                self.publish_reactor_stats();
                 return;
             }
-            fds.clear();
-            ids.clear();
-            fds.push(PollFd::new(self.waker.fd(), true, false));
-            for (&id, s) in &self.sessions {
-                debug_assert_eq!(s.state, s.current_state(), "state retuned after pumps");
-                fds.push(PollFd::new(
-                    s.stream.as_raw_fd(),
-                    !s.model.read_closed,
-                    !s.out.is_empty(),
-                ));
-                ids.push(id);
-            }
-            if poll_fds(&mut fds, timeout).is_err() {
-                // EINTR is retried inside poll_fds; anything else here
-                // is a broken poll set — re-check shutdown and rebuild.
+            if self.reactor.wait(timeout, &mut events).is_err() {
+                // EINTR is retried inside the reactor; anything else
+                // here is a broken wait — re-check shutdown and retry.
                 continue;
             }
             self.waker.drain();
             self.adopt_new_sessions();
             self.drain_completions();
-            for (i, fd) in fds.iter().enumerate().skip(1) {
-                let id = ids[i - 1];
-                if fd.error() {
+            for &ev in &events {
+                let id = ev.token();
+                if id == WAKER_TOKEN {
+                    continue;
+                }
+                if ev.error() {
                     self.advance(id, Event::Disconnect, EventCtx::None);
-                } else if fd.readable() {
-                    self.pump_read(id);
+                } else {
+                    if ev.readable() {
+                        self.pump_read(id);
+                    }
+                    if ev.writable() {
+                        self.pump_write(id);
+                    }
                 }
             }
-            // Opportunistic write for every session with queued bytes —
-            // replies appended this iteration should not wait a poll
-            // cycle; a non-writable socket answers WouldBlock.
-            let pending: Vec<u64> = self
-                .sessions
-                .iter()
-                .filter(|(_, s)| !s.out.is_empty())
-                .map(|(&id, _)| id)
-                .collect();
-            for id in pending {
+            // Opportunistic write for every session that queued bytes
+            // this iteration — replies should not wait a reactor cycle;
+            // a non-writable socket answers WouldBlock and its write
+            // interest (retuned above) delivers the continuation event.
+            for id in std::mem::take(&mut self.wout) {
                 self.pump_write(id);
             }
+            self.publish_reactor_stats();
+        }
+    }
+
+    /// Push the reactor's counter growth since the last publish into the
+    /// shared server metrics.
+    fn publish_reactor_stats(&mut self) {
+        let now = self.reactor.stats();
+        self.service.metrics().record_reactor(
+            now.wait_calls - self.reported.wait_calls,
+            now.ctl_calls - self.reported.ctl_calls,
+            now.events_dispatched - self.reported.events_dispatched,
+        );
+        self.reported = now;
+    }
+
+    /// Sync a session's reactor registration with its computed interest:
+    /// read while the model still reads, write while bytes are queued.
+    /// Unchanged interest is a cached no-op inside the reactor, so this
+    /// is cheap to call after every pump. A failed registration orphans
+    /// the session (it would never see another event) — tear it down.
+    fn retune(&mut self, id: u64) {
+        let Some(s) = self.sessions.get(&id) else {
+            return;
+        };
+        debug_assert_eq!(s.state, s.current_state(), "state retuned after pumps");
+        let fd = s.stream.as_raw_fd();
+        let interest = Interest::new(!s.model.read_closed, !s.out.is_empty());
+        if self.reactor.register(fd, id, interest).is_err() {
+            self.finish(id);
         }
     }
 
@@ -360,6 +405,10 @@ impl Shard {
             self.next_session += 1;
             self.service.metrics().session_opened();
             self.sessions.insert(id, Session::new(stream, window));
+            // Initial registration (read interest); failure tears the
+            // session straight back down, keeping the open/close gauge
+            // balanced.
+            self.retune(id);
         }
     }
 
@@ -426,10 +475,17 @@ impl Shard {
             }
         }
         s.state = s.current_state();
+        let has_out = !s.out.is_empty();
         if close {
             self.finish(id);
             return;
         }
+        if has_out {
+            // Queue for the end-of-iteration flush; duplicates are
+            // harmless (a drained session's pump is a no-op).
+            self.wout.push(id);
+        }
+        self.retune(id);
         if let Some((slot, req)) = submit {
             self.resolve_submit(id, slot, req);
         }
@@ -616,6 +672,10 @@ impl Shard {
             self.advance(id, Event::Disconnect, EventCtx::None);
         } else if drained {
             self.advance(id, Event::WriteDrained, EventCtx::None);
+        } else {
+            // Partial drain (WouldBlock): write interest arms here, and
+            // the reactor's writable event drives the continuation.
+            self.retune(id);
         }
     }
 
@@ -625,6 +685,10 @@ impl Shard {
     /// the machine emitted before closing.
     fn finish(&mut self, id: u64) {
         if let Some(mut s) = self.sessions.remove(&id) {
+            // Deregister before the stream drops (closes the fd) — the
+            // reactor contract; best-effort because the descriptor may
+            // already be dead.
+            let _ = self.reactor.deregister(s.stream.as_raw_fd());
             if !s.out.is_empty() {
                 let _ = s.stream.write(&s.out);
             }

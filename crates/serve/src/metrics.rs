@@ -58,6 +58,9 @@ pub struct ServerMetrics {
     latencies_us: Mutex<Vec<u64>>,
     sample_stride: AtomicU64,
     sessions_open: AtomicU64,
+    reactor_wait_calls: AtomicU64,
+    reactor_ctl_calls: AtomicU64,
+    reactor_events_dispatched: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -147,6 +150,34 @@ impl ServerMetrics {
     /// registered.
     pub fn sessions_open(&self) -> u64 {
         self.sessions_open.load(Ordering::Acquire)
+    }
+
+    /// Fold one shard's reactor counter growth (since its last publish)
+    /// into the shared totals. Every shard pushes deltas each loop
+    /// iteration, so the STATS wire sees all shards summed.
+    pub fn record_reactor(&self, wait_calls: u64, ctl_calls: u64, events_dispatched: u64) {
+        self.reactor_wait_calls
+            .fetch_add(wait_calls, Ordering::Relaxed);
+        self.reactor_ctl_calls
+            .fetch_add(ctl_calls, Ordering::Relaxed);
+        self.reactor_events_dispatched
+            .fetch_add(events_dispatched, Ordering::Relaxed);
+    }
+
+    /// Reactor wait syscalls across all shards so far.
+    pub fn reactor_wait_calls(&self) -> u64 {
+        self.reactor_wait_calls.load(Ordering::Relaxed)
+    }
+
+    /// Reactor interest-mutation syscalls across all shards so far
+    /// (always zero under the `poll` backend).
+    pub fn reactor_ctl_calls(&self) -> u64 {
+        self.reactor_ctl_calls.load(Ordering::Relaxed)
+    }
+
+    /// Readiness events dispatched to shard loops so far.
+    pub fn reactor_events_dispatched(&self) -> u64 {
+        self.reactor_events_dispatched.load(Ordering::Relaxed)
     }
 
     /// Queries served so far.
@@ -246,6 +277,9 @@ impl ServerMetrics {
             catalog_stale_rejected: 0,
             catalog_epoch_regressions: 0,
             catalog_max_lag: 0,
+            reactor_wait_calls: self.reactor_wait_calls.load(Ordering::Relaxed),
+            reactor_ctl_calls: self.reactor_ctl_calls.load(Ordering::Relaxed),
+            reactor_events_dispatched: self.reactor_events_dispatched.load(Ordering::Relaxed),
         }
     }
 }
@@ -321,6 +355,20 @@ mod tests {
         assert_eq!(m.sessions_open(), 1);
         m.session_closed();
         assert_eq!(m.sessions_open(), 0);
+    }
+
+    #[test]
+    fn reactor_deltas_accumulate_across_shards() {
+        let m = ServerMetrics::new();
+        m.record_reactor(10, 2, 7);
+        m.record_reactor(5, 0, 3);
+        assert_eq!(m.reactor_wait_calls(), 15);
+        assert_eq!(m.reactor_ctl_calls(), 2);
+        assert_eq!(m.reactor_events_dispatched(), 10);
+        let s = m.snapshot();
+        assert_eq!(s.reactor_wait_calls, 15);
+        assert_eq!(s.reactor_ctl_calls, 2);
+        assert_eq!(s.reactor_events_dispatched, 10);
     }
 
     #[test]

@@ -541,6 +541,13 @@ pub struct StatsSnapshot {
     pub catalog_epoch_regressions: u64,
     /// The largest replica epoch lag observed at any serve decision.
     pub catalog_max_lag: u64,
+    /// Reactor wait syscalls (`poll`/`epoll_wait`) across all shards.
+    pub reactor_wait_calls: u64,
+    /// Reactor interest-mutation syscalls (`epoll_ctl`) across all
+    /// shards; always zero under the `poll` backend.
+    pub reactor_ctl_calls: u64,
+    /// Readiness events dispatched to shard event loops.
+    pub reactor_events_dispatched: u64,
 }
 
 /// One protocol frame.
@@ -695,6 +702,12 @@ impl Frame {
                     Json::from(s.catalog_epoch_regressions),
                 ),
                 ("catalog_max_lag", Json::from(s.catalog_max_lag)),
+                ("reactor_wait_calls", Json::from(s.reactor_wait_calls)),
+                ("reactor_ctl_calls", Json::from(s.reactor_ctl_calls)),
+                (
+                    "reactor_events_dispatched",
+                    Json::from(s.reactor_events_dispatched),
+                ),
             ]),
         }
     }
@@ -837,6 +850,10 @@ impl Frame {
                 catalog_stale_rejected: u64_opt_of(doc, "catalog_stale_rejected")?,
                 catalog_epoch_regressions: u64_opt_of(doc, "catalog_epoch_regressions")?,
                 catalog_max_lag: u64_opt_of(doc, "catalog_max_lag")?,
+                // Pre-reactor servers omit the reactor counters.
+                reactor_wait_calls: u64_opt_of(doc, "reactor_wait_calls")?,
+                reactor_ctl_calls: u64_opt_of(doc, "reactor_ctl_calls")?,
+                reactor_events_dispatched: u64_opt_of(doc, "reactor_events_dispatched")?,
             }),
             FrameKind::Bye => Frame::Bye,
         })

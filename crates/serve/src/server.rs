@@ -4,7 +4,9 @@
 //!
 //! - one *accept* thread owns the listener and routes sockets to shards;
 //! - a fixed set of *shard* event-loop threads multiplexes every session
-//!   (HELLO → QUERY* → BYE) over `poll(2)` — see the `engine` module;
+//!   (HELLO → QUERY* → BYE) over a [`csqp_net::poll::Reactor`]
+//!   (`epoll(7)` by default on Linux, `poll(2)` portable fallback) —
+//!   see the `engine` module;
 //! - a fixed *worker pool* drains a bounded admission queue
 //!   (`std::sync::mpsc::sync_channel`) and executes queries against the
 //!   shared [`QueryService`].
@@ -92,6 +94,12 @@ pub struct ServerConfig {
     /// Event-loop threads multiplexing all sessions (sessions are
     /// sharded across them by file descriptor). Clamped to at least 1.
     pub event_threads: usize,
+    /// Readiness backend each shard drives: `epoll` by default on Linux
+    /// (kernel-resident interest, O(ready) waits), `poll` as the
+    /// portable fallback. Wire behavior is byte-identical either way —
+    /// the parameterized equivalence suites hold both to the same
+    /// golden digests.
+    pub reactor: csqp_net::poll::Backend,
     /// Server-side reply-path fault injection: when set, RESULT/ERROR
     /// frames produced by query execution are deterministically
     /// truncated or corrupted per the plan, keyed by the request's own
@@ -136,6 +144,7 @@ impl Default for ServerConfig {
             high_water: None,
             pipeline_depth: 8,
             event_threads: 2,
+            reactor: csqp_net::poll::Backend::default_for_host(),
             reply_faults: None,
             memo: true,
             memo_bytes: 64 << 20,
@@ -172,7 +181,7 @@ pub(crate) const SHUTDOWN_RETRY_AFTER_MS: u64 = 1_000;
 /// How the admitting shard's catalog replica stood against the
 /// coordinator when a query was admitted — the typed degradation verdict
 /// of the replication layer (DESIGN.md §14). Computed once per admitted
-/// query by the shard thread and carried on the [`Job`] so the worker
+/// query by the shard thread and carried on the `Job` so the worker
 /// honors exactly the state the admission decision saw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CatalogVerdict {
@@ -345,7 +354,7 @@ impl QueryService {
     }
 
     /// The drift event trace recorded while catalog faults were armed
-    /// (empty otherwise, and capped — see [`DRIFT_TRACE_CAP`]).
+    /// (empty otherwise, and capped — see `DRIFT_TRACE_CAP`).
     /// `csqp-load` replays this through the `csqp-verify` drift pass
     /// after a soak to prove no plan was served beyond the bound.
     pub fn drift_trace(&self) -> Vec<DriftEvent> {

@@ -181,6 +181,7 @@ proptest! {
         memo in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..(1u64 << 40)),
         catalog in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         catalog_extra in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        reactor in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
     ) {
         let (served, rejected, errors) = outcomes;
         let (submitted, aborted, timed_out, degraded) = extra;
@@ -189,6 +190,7 @@ proptest! {
         let (memo_hits, memo_misses, memo_evictions, memo_bytes) = memo;
         let (catalog_epoch, catalog_refreshes, catalog_stale_degraded) = catalog;
         let (catalog_stale_rejected, catalog_epoch_regressions, catalog_max_lag) = catalog_extra;
+        let (reactor_wait_calls, reactor_ctl_calls, reactor_events_dispatched) = reactor;
         let f = Frame::Stats(StatsSnapshot {
             submitted,
             queries_served: served,
@@ -216,6 +218,9 @@ proptest! {
             catalog_stale_rejected,
             catalog_epoch_regressions,
             catalog_max_lag,
+            reactor_wait_calls,
+            reactor_ctl_calls,
+            reactor_events_dispatched,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }

@@ -2,10 +2,25 @@
 //! on a fixed set of event-loop threads. The point of the event-driven
 //! engine is that sessions are cheap — OS thread count must not grow
 //! with session count, memory stays bounded, and a query on the last
-//! session answers promptly while the other 1,999 sit idle.
+//! session answers promptly while every other session sits idle.
 //!
-//! `#[ignore]`d by default (it opens ~4,000 descriptors); CI runs it
-//! explicitly as a smoke job:
+//! Two rungs:
+//!
+//! * `two_thousand_idle_sessions_stay_cheap_and_responsive` pins the
+//!   portable `poll` backend at 2,000 sessions — the scale where an
+//!   O(sessions) sweep per wakeup is still honest.
+//! * `idle_session_wall_on_epoll_scales_to_the_descriptor_budget`
+//!   targets 100,000 sessions on the `epoll` backend, clamping to what
+//!   `RLIMIT_NOFILE` actually grants (each in-process loopback session
+//!   costs two descriptors — the client socket and the accepted one).
+//!   On a developer container with a 20k hard cap that lands near 9,700
+//!   sessions; on a real host with `ulimit -Hn` ≥ 200k+64 it runs the
+//!   full 100k. Destinations round-robin across 127.0.0.1–127.0.0.8 so
+//!   the ephemeral-port tuple space (~28k ports per destination) never
+//!   binds the session count.
+//!
+//! Both are `#[ignore]`d by default (they open thousands of
+//! descriptors); CI runs them explicitly as a smoke job:
 //! `cargo test -p csqp-serve --test scale -- --ignored`.
 
 // Tests panic on broken setup by design.
@@ -14,12 +29,22 @@
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use csqp_net::poll::raise_nofile_limit;
+use csqp_net::poll::{raise_nofile_limit, Backend};
 use csqp_serve::load::nth_request;
 use csqp_serve::proto::{read_frame, write_frame, Frame, Hello, WireError};
 use csqp_serve::{LoadConfig, Server, ServerConfig};
 
 const SESSIONS: usize = 2_000;
+
+/// The big rung's target. The test scales down gracefully when
+/// `RLIMIT_NOFILE` can't cover it, so the assertion is "thread count and
+/// memory stay flat up to the descriptor budget", not a literal 100k on
+/// every machine.
+const EPOLL_TARGET_SESSIONS: usize = 100_000;
+
+/// Descriptors reserved for everything that is not an idle session:
+/// listener, waker pipes, stdio, test scaffolding.
+const FD_SLACK: u64 = 256;
 
 /// A field from `/proc/self/status`, e.g. `Threads` or `VmRSS` (value in
 /// the field's own unit — thread count, or kB).
@@ -45,25 +70,47 @@ fn next_frame(stream: &mut TcpStream) -> Frame {
     }
 }
 
-#[test]
-#[ignore = "opens ~4000 descriptors; run explicitly (CI smoke job)"]
-fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
-    let fd_budget = raise_nofile_limit().expect("raise RLIMIT_NOFILE");
-    assert!(
-        fd_budget >= 2 * SESSIONS as u64 + 64,
-        "descriptor budget {fd_budget} too small for {SESSIONS} loopback sessions"
-    );
+/// Connect with a short retry loop: at tens of thousands of connects the
+/// listen backlog can momentarily overflow, which surfaces as a refused
+/// or reset connect that succeeds on the next attempt.
+fn connect_session(addr: &str) -> TcpStream {
+    let mut last_err = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    panic!("connect to {addr} kept failing: {last_err:?}");
+}
 
+/// The shared idle-session scale body: open `count` idle sessions
+/// against a server on `reactor`, then assert the engine's core claims —
+/// no thread growth, bounded RSS growth, an in-deadline answer on the
+/// last session, and a clean drain.
+///
+/// `spread_destinations` round-robins connects over 127.0.0.1–.8 (the
+/// server listens on 0.0.0.0) so client-side ephemeral ports never cap
+/// the session count.
+fn idle_session_scale(reactor: Backend, count: usize, spread_destinations: bool) {
     let server = Server::bind(ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
+        addr: if spread_destinations {
+            "0.0.0.0:0".to_string()
+        } else {
+            "127.0.0.1:0".to_string()
+        },
         event_threads: 2,
         workers: 2,
+        reactor,
         ..ServerConfig::default()
     })
     .expect("bind loopback")
     .spawn()
     .expect("spawn server");
-    let addr = server.addr();
+    let port = server.addr().port();
     let metrics = server.metrics();
 
     // Baselines once the fixed thread set (accept + shards + workers)
@@ -71,27 +118,34 @@ fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
     let threads_before = proc_status("Threads");
     let rss_before_kb = proc_status("VmRSS");
 
-    let mut sessions: Vec<TcpStream> = Vec::with_capacity(SESSIONS);
-    for _ in 0..SESSIONS {
-        sessions.push(TcpStream::connect(addr).expect("connect idle session"));
+    let mut sessions: Vec<TcpStream> = Vec::with_capacity(count);
+    for i in 0..count {
+        let dst = if spread_destinations {
+            format!("127.0.0.{}:{port}", 1 + i % 8)
+        } else {
+            format!("127.0.0.1:{port}")
+        };
+        sessions.push(connect_session(&dst));
     }
-    // Wait until every socket is registered with a shard.
-    let give_up = Instant::now() + Duration::from_secs(30);
-    while metrics.sessions_open() < SESSIONS as u64 {
+    // Wait until every socket is registered with a shard. Budget scales
+    // with the session count: 30 s minimum, 1 ms per session beyond.
+    let settle = Duration::from_secs(30).max(Duration::from_millis(count as u64));
+    let give_up = Instant::now() + settle;
+    while metrics.sessions_open() < count as u64 {
         assert!(
             Instant::now() < give_up,
-            "only {}/{SESSIONS} sessions registered in 30 s",
+            "only {}/{count} sessions registered in {settle:?}",
             metrics.sessions_open()
         );
         std::thread::sleep(Duration::from_millis(20));
     }
-    assert_eq!(metrics.sessions_open(), SESSIONS as u64);
+    assert_eq!(metrics.sessions_open(), count as u64);
 
     // The engine's core claim: session count does not create threads.
     let threads_with_sessions = proc_status("Threads");
     assert_eq!(
         threads_with_sessions, threads_before,
-        "thread count must be independent of session count"
+        "{reactor}: thread count must be independent of session count"
     );
 
     // Memory bound: per-session cost is a socket, a frame buffer, and a
@@ -99,12 +153,12 @@ fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
     let rss_after_kb = proc_status("VmRSS");
     let growth_kb = rss_after_kb.saturating_sub(rss_before_kb);
     assert!(
-        growth_kb < (SESSIONS as u64) * 32,
-        "RSS grew {growth_kb} kB for {SESSIONS} idle sessions"
+        growth_kb < (count as u64) * 32,
+        "{reactor}: RSS grew {growth_kb} kB for {count} idle sessions"
     );
 
-    // A query on the last session answers within its deadline while the
-    // other 1,999 sit idle in the same poll sets.
+    // A query on the last session answers within its deadline while
+    // every other session sits idle in the same readiness set.
     let last = sessions.last_mut().expect("sessions exist");
     last.set_nodelay(true).expect("nodelay");
     write_frame(
@@ -120,29 +174,61 @@ fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
         deadline_ms: Some(30_000),
         ..LoadConfig::default()
     };
-    let req = nth_request(&mix, SESSIONS as u64 - 1, 0);
+    let req = nth_request(&mix, count as u64 - 1, 0);
     let asked = Instant::now();
     write_frame(last, &Frame::Query(req)).expect("query");
     match next_frame(last) {
         Frame::Result(record) => assert_eq!(record.id, 1),
-        other => panic!("the busy session must be served, got {other:?}"),
+        other => panic!("{reactor}: the busy session must be served, got {other:?}"),
     }
     assert!(
         asked.elapsed() < Duration::from_secs(30),
-        "deadline honored on a full shard"
+        "{reactor}: deadline honored on a full shard"
     );
 
     // Sessions close cleanly; the gauge drains back to zero.
     drop(sessions);
-    let give_up = Instant::now() + Duration::from_secs(30);
+    let give_up = Instant::now() + settle;
     while metrics.sessions_open() > 0 {
         assert!(
             Instant::now() < give_up,
-            "{} sessions leaked after close",
+            "{}: {} sessions leaked after close",
+            reactor,
             metrics.sessions_open()
         );
         std::thread::sleep(Duration::from_millis(20));
     }
     assert!(metrics.conservation_holds());
     server.shutdown();
+}
+
+#[test]
+#[ignore = "opens ~4000 descriptors; run explicitly (CI smoke job)"]
+fn two_thousand_idle_sessions_stay_cheap_and_responsive() {
+    let fd_budget = raise_nofile_limit().expect("raise RLIMIT_NOFILE");
+    assert!(
+        fd_budget >= 2 * SESSIONS as u64 + 64,
+        "descriptor budget {fd_budget} too small for {SESSIONS} loopback sessions"
+    );
+    // Pinned to the portable poll backend: 2,000 sessions is the scale
+    // this backend is expected to stay honest at.
+    idle_session_scale(Backend::Poll, SESSIONS, false);
+}
+
+#[test]
+#[ignore = "opens up to ~200k descriptors; run explicitly (CI smoke job)"]
+#[cfg(target_os = "linux")]
+fn idle_session_wall_on_epoll_scales_to_the_descriptor_budget() {
+    let fd_budget = raise_nofile_limit().expect("raise RLIMIT_NOFILE");
+    // Each in-process loopback session costs two descriptors. Clamp the
+    // 100k target to what the hard limit actually grants, and insist on
+    // at least the poll rung so the test can't silently degenerate.
+    let affordable = (fd_budget.saturating_sub(FD_SLACK) / 2) as usize;
+    let count = EPOLL_TARGET_SESSIONS.min(affordable);
+    assert!(
+        count >= SESSIONS,
+        "descriptor budget {fd_budget} affords only {affordable} sessions; \
+         the epoll wall needs at least {SESSIONS}"
+    );
+    idle_session_scale(Backend::Epoll, count, true);
 }

@@ -56,8 +56,17 @@ cargo run --release --bin csqp-load -- --serve --pipeline 8 --chaos 13 --clients
 echo "==> reply-fault smoke: server-side reply truncation/corruption soak"
 cargo run --release --bin csqp-load -- --serve --chaos 21 --reply-faults --schedules 2 --chaos-queries 10 --intensity 0.6
 
-echo "==> idle-session scale: 2,000 sessions on a fixed thread count"
+echo "==> idle-session scale: poll at 2,000 sessions + the epoll wall"
 cargo test --release -p csqp-serve --test scale -- --ignored
+
+echo "==> reactor-matrix: serve suites pinned to each backend"
+for reactor in poll epoll; do
+  CSQP_REACTOR="$reactor" cargo test --release -p csqp-serve \
+    --test equivalence --test chaos --test pipeline --test memo
+done
+
+echo "==> bench-reactor: idle+active run per backend (BENCH_reactor.json)"
+cargo run --release --bin csqp-load -- --serve --bench-reactor --clients 4 --queries 32 --seed 42 --min-qps 25
 
 echo "==> csqp-check --catalog: replication drift replay + seeded mutants"
 cargo run --release --bin csqp-check -- --catalog

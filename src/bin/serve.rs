@@ -4,8 +4,8 @@
 //! ```text
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
-//!     [--pipeline-depth N] [--event-threads N] [--memo-bytes N]
-//!     [--no-memo] [--catalog-lag N] [--seconds T]
+//!     [--pipeline-depth N] [--event-threads N] [--reactor poll|epoll]
+//!     [--memo-bytes N] [--no-memo] [--catalog-lag N] [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
@@ -24,10 +24,13 @@
 //! byte-identical either way — the memo only trades CPU for memory.
 //!
 //! Sessions are served by the event-driven engine: a fixed set of
-//! poll(2) loops (`--event-threads`) multiplexing every connection, with
+//! reactor loops (`--event-threads`) multiplexing every connection, with
 //! up to `--pipeline-depth` queries in flight per session (capped at 16
 //! so the session machine stays finite and model-checkable — see
-//! `csqp-check --protocol`).
+//! `csqp-check --protocol`). `--reactor` picks the readiness backend:
+//! `epoll` (the Linux default, O(ready) waits behind an interest cache)
+//! or `poll` (the portable O(sessions) sweep); served bytes are
+//! identical either way.
 //!
 //! Without `--seconds` the server runs until killed, printing a metrics
 //! line every 10 seconds; with it, the server shuts down gracefully after
@@ -74,6 +77,11 @@ fn parse_args() -> Args {
             "--event-threads" => {
                 args.config.event_threads = num(&raw("--event-threads"), "--event-threads") as usize
             }
+            "--reactor" => {
+                let v = raw("--reactor");
+                args.config.reactor = csqp::net::poll::Backend::parse(&v)
+                    .unwrap_or_else(|| die(format!("--reactor must be poll or epoll, got {v}")));
+            }
             "--memo-bytes" => {
                 args.config.memo_bytes = num(&raw("--memo-bytes"), "--memo-bytes") as usize
             }
@@ -92,8 +100,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
                      [--queue N] [--high-water N] [--placement-seed S] \
-                     [--pipeline-depth N] [--event-threads N] [--memo-bytes N] \
-                     [--no-memo] [--catalog-lag N] [--seconds T]"
+                     [--pipeline-depth N] [--event-threads N] [--reactor poll|epoll] \
+                     [--memo-bytes N] [--no-memo] [--catalog-lag N] [--seconds T]"
                 );
                 std::process::exit(0);
             }
