@@ -1,11 +1,13 @@
-//! `csqp-bench` — the pinned, seeded memo bench suite.
+//! `csqp-bench` — the pinned, seeded memo and simulator bench suites.
 //!
 //! ```text
 //! cargo run --release --bin csqp-bench -- [--queries N] [--seed S]
 //!     [--servers M] [--out PATH] [--min-speedup X]
+//! cargo run --release --bin csqp-bench -- --sim [--queries N] [--seed S]
+//!     [--servers M] [--out PATH] [--min-events-per-sec X]
 //! ```
 //!
-//! Draws a fixed `--queries` (default 1000) mix from a bounded pool of
+//! **Memo mode** (default) draws a fixed `--queries` (default 1000) mix from a bounded pool of
 //! (spec × policy × objective × cache-bucket) planning scenarios, then
 //! times the two-step planning path twice over the identical mix:
 //!
@@ -25,25 +27,45 @@
 //! plans produced under timing are additionally cross-checked
 //! cold-vs-warm for byte equality, which is a correctness gate, not a
 //! timing.
+//!
+//! **Sim mode** (`--sim`) times the discrete-event simulator itself: it
+//! pre-plans a pinned set of benchmark queries (shapes × all three
+//! policies, planning outside the timed loop), then replays `--queries`
+//! seeded executions round-robin over those plans and reports kernel
+//! events dispatched per wall-clock second. Emits `BENCH_sim.json` so
+//! the simulator-throughput trajectory is tracked across PRs alongside
+//! the planning path. Before any timing is reported, the first slice of
+//! the mix is re-executed with identical seeds and must reproduce the
+//! exact event counts and response times (determinism gate).
+//! `--min-events-per-sec X` turns the rate into a hard exit-code
+//! regression assertion for CI.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use csqp_catalog::{Catalog, SiteId, SystemConfig};
-use csqp_core::{CancelToken, Policy};
+use csqp_catalog::{Catalog, QuerySpec, SiteId, SystemConfig};
+use csqp_core::{CancelToken, Plan, Policy};
 use csqp_cost::Objective;
+use csqp_experiments::common::Scenario;
+use csqp_experiments::run_query;
 use csqp_json::{obj, Json};
 use csqp_memo::{bucket_fraction, CacheBuckets, Env, MemoConfig, MemoTable};
 use csqp_optimizer::{CompileTimeAssumption, MemoOutcome, OptConfig, TwoStepPlanner};
 use csqp_simkernel::rng::SimRng;
-use csqp_workload::{WorkloadSpec, MODERATE_SEL};
+use csqp_workload::{
+    chain_query, random_placement, star_query, two_way, WorkloadSpec, MODERATE_SEL,
+};
 
 struct Args {
     queries: usize,
     seed: u64,
     servers: u32,
+    /// Empty until resolved: defaults to `BENCH_optimizer.json` (memo
+    /// mode) or `BENCH_sim.json` (`--sim`).
     out: String,
     min_speedup: Option<f64>,
+    sim: bool,
+    min_events_per_sec: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -51,8 +73,10 @@ fn parse_args() -> Args {
         queries: 1000,
         seed: 0xB_E7C4,
         servers: 4,
-        out: "BENCH_optimizer.json".to_string(),
+        out: String::new(),
         min_speedup: None,
+        sim: false,
+        min_events_per_sec: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +96,19 @@ fn parse_args() -> Args {
                         die("--min-speedup needs a numeric argument".to_string())
                     }));
             }
+            "--sim" => args.sim = true,
+            "--min-events-per-sec" => {
+                let v = raw("--min-events-per-sec");
+                args.min_events_per_sec = Some(v.parse::<f64>().unwrap_or_else(|_| {
+                    die("--min-events-per-sec needs a numeric argument".to_string())
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-bench [--queries N] [--seed S] [--servers M] \
-                     [--out PATH] [--min-speedup X]"
+                     [--out PATH] [--min-speedup X]\n       \
+                     csqp-bench --sim [--queries N] [--seed S] [--servers M] \
+                     [--out PATH] [--min-events-per-sec X]"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +120,13 @@ fn parse_args() -> Args {
     }
     if args.servers == 0 {
         die("--servers must be at least 1".to_string());
+    }
+    if args.out.is_empty() {
+        args.out = if args.sim {
+            "BENCH_sim.json".to_string()
+        } else {
+            "BENCH_optimizer.json".to_string()
+        };
     }
     args
 }
@@ -216,8 +256,162 @@ fn plan_cell(cell: &Cell, sys: &SystemConfig, memo: Option<&MemoTable>) -> (csqp
     (plan, outcome == MemoOutcome::Hit)
 }
 
+/// One simulator scenario: a benchmark query pre-planned under a policy
+/// so the timed loop measures the discrete-event kernel alone.
+struct SimCell {
+    label: String,
+    query: QuerySpec,
+    catalog: Catalog,
+    plan: Plan,
+}
+
+/// Build the pinned sim pool: benchmark shapes × all three policies,
+/// each planned once (untimed) for response time over a seeded random
+/// placement.
+fn sim_pool(servers: u32, seed: u64, sys: &SystemConfig) -> Vec<SimCell> {
+    let shapes: Vec<(&str, QuerySpec)> = vec![
+        ("2-way", two_way()),
+        ("chain-5", chain_query(5, MODERATE_SEL)),
+        ("star-4", star_query(4, MODERATE_SEL)),
+    ];
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x51D0);
+    let mut cells = Vec::new();
+    for (name, query) in shapes {
+        let topo = servers.min(query.num_relations() as u32).max(1);
+        let catalog = random_placement(&query, topo, &mut rng);
+        for policy in Policy::ALL {
+            let stats = run_query(
+                &query,
+                &catalog,
+                sys,
+                &[],
+                policy,
+                Objective::ResponseTime,
+                &OptConfig::fast(),
+                seed ^ cells.len() as u64,
+            )
+            .unwrap_or_else(|e| die(format!("sim pool planning failed for {name}: {e}")));
+            cells.push(SimCell {
+                label: format!("{name}/{}", policy.short()),
+                query: query.clone(),
+                catalog: catalog.clone(),
+                plan: stats.plan,
+            });
+        }
+    }
+    cells
+}
+
+/// Per-execution seed: decorrelate replay index from the base seed.
+fn sim_seed(base: u64, i: usize) -> u64 {
+    base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `--sim`: time `--queries` seeded executions round-robin over the
+/// pinned plan pool and report kernel events dispatched per second.
+fn run_sim(args: &Args) -> ExitCode {
+    let sys = SystemConfig::default();
+    let cells = sim_pool(args.servers, args.seed, &sys);
+    println!(
+        "csqp-bench --sim: {} executions over {} pre-planned scenarios (seed {:#x})",
+        args.queries,
+        cells.len(),
+        args.seed
+    );
+
+    // Timed replay: planning already happened; this loop is simulator
+    // bind + event dispatch only.
+    let start = Instant::now();
+    let mut total_events = 0u64;
+    let mut digest = 0u64;
+    let mut first_slice: Vec<(u64, u64)> = Vec::new();
+    let probe = cells.len().min(args.queries);
+    for i in 0..args.queries {
+        let cell = &cells[i % cells.len()];
+        let scenario = Scenario {
+            query: &cell.query,
+            catalog: &cell.catalog,
+            sys: &sys,
+            loads: &[],
+        };
+        let m = scenario.execute(&cell.plan, sim_seed(args.seed, i));
+        let response_bits = m.response_secs().to_bits();
+        total_events += m.events_handled;
+        digest = digest.rotate_left(9) ^ m.events_handled ^ response_bits;
+        if i < probe {
+            first_slice.push((m.events_handled, response_bits));
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let events_per_sec = total_events as f64 / wall_secs;
+    println!(
+        "sim: {wall_secs:.3}s — {total_events} kernel events, {events_per_sec:.0} events/sec \
+         ({:.0} events/run)",
+        total_events as f64 / args.queries as f64
+    );
+
+    // Determinism gate before the rate is reported as a trajectory
+    // point: replaying the first slice with identical seeds must
+    // reproduce the exact event counts and response times.
+    for (i, &(events, response_bits)) in first_slice.iter().enumerate() {
+        let cell = &cells[i % cells.len()];
+        let scenario = Scenario {
+            query: &cell.query,
+            catalog: &cell.catalog,
+            sys: &sys,
+            loads: &[],
+        };
+        let m = scenario.execute(&cell.plan, sim_seed(args.seed, i));
+        if m.events_handled != events || m.response_secs().to_bits() != response_bits {
+            eprintln!(
+                "csqp-bench: FAIL sim replay #{i} ({}) diverged: {} events vs {events}",
+                cell.label, m.events_handled
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("verified: first {probe} executions replay deterministically");
+
+    let bench = obj(vec![
+        ("bench", Json::from("csqp-bench sim suite")),
+        ("seed", Json::from(args.seed)),
+        ("runs", Json::from(args.queries as u64)),
+        ("scenarios", Json::from(cells.len() as u64)),
+        ("total_events", Json::from(total_events)),
+        ("wall_secs", Json::from(wall_secs)),
+        ("events_per_sec", Json::from(events_per_sec)),
+        (
+            "events_per_run",
+            Json::from(total_events as f64 / args.queries as f64),
+        ),
+        ("digest", Json::from(format!("{digest:016x}"))),
+    ]);
+    match std::fs::write(&args.out, bench.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("csqp-bench: FAIL writing {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(min) = args.min_events_per_sec {
+        if events_per_sec < min {
+            eprintln!(
+                "csqp-bench: FAIL simulator throughput {events_per_sec:.0} events/sec below \
+                 the {min} regression threshold"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("throughput {events_per_sec:.0} events/sec meets the {min} threshold");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.sim {
+        return run_sim(&args);
+    }
     let sys = SystemConfig::default();
     let pool = scenario_pool(args.servers);
 

@@ -88,7 +88,7 @@ impl<'q> Estimator<'q> {
 
     /// Integer tuple count (rounded estimate).
     pub fn tuples_int(&self, rels: RelSet) -> u64 {
-        self.tuples(rels).round() as u64
+        crate::num::sat_u64(self.tuples(rels).round())
     }
 
     /// Selectivity applied when sub-results `left` and `right` are joined:

@@ -114,7 +114,8 @@ impl SystemConfig {
     /// page size.
     #[inline]
     pub fn msg_cpu_instr(&self, bytes: u64) -> u64 {
-        self.msg_inst + (self.per_size_mi as f64 * bytes as f64 / self.page_size as f64) as u64
+        self.msg_inst
+            + crate::num::sat_u64(self.per_size_mi as f64 * bytes as f64 / self.page_size as f64)
     }
 
     /// CPU instructions to copy one tuple of `tuple_bytes` bytes

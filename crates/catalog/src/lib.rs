@@ -15,6 +15,7 @@ pub mod cardinality;
 pub mod config;
 pub mod ids;
 pub mod memory;
+pub mod num;
 pub mod placement;
 pub mod query;
 pub mod replica;
@@ -24,10 +25,11 @@ pub use cardinality::Estimator;
 pub use config::{BufAlloc, SystemConfig};
 pub use ids::{RelId, SiteId};
 pub use memory::{hybrid_hash_plan, join_memory, HashPlan};
+pub use num::sat_u64;
 pub use placement::Catalog;
 pub use query::{JoinEdge, QuerySpec, RelSet};
 pub use replica::{
     CatalogCoordinator, CatalogDelta, CatalogEpoch, CatalogReplica, CatalogSnapshot, DriftAction,
     DriftEvent, ReplicaError, ReplicatedCatalog,
 };
-pub use schema::Relation;
+pub use schema::{pages_for, try_pages_for, Relation};

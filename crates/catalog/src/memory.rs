@@ -42,8 +42,8 @@ impl HashPlan {
 pub fn join_memory(config: &SystemConfig, inner_pages: u64) -> u64 {
     let f = config.fudge;
     match config.buf_alloc {
-        BufAlloc::Max => (f * inner_pages as f64).ceil() as u64 + 1,
-        BufAlloc::Min => (f * (inner_pages as f64).sqrt()).ceil() as u64,
+        BufAlloc::Max => crate::num::sat_u64((f * inner_pages as f64).ceil()) + 1,
+        BufAlloc::Min => crate::num::sat_u64((f * (inner_pages as f64).sqrt()).ceil()),
     }
     .max(3) // always at least in/out/work frames
 }
@@ -81,10 +81,11 @@ pub fn hybrid_hash_plan(inner_pages: u64, mem_frames: u64, f: f64) -> HashPlan {
     // (u64-saturated page counts, billions of granted frames) turns one
     // cost evaluation into seconds of spinning.
     let spilled_at_min_b = {
-        let resident = ((mem_frames - 1) as f64 / f).floor() as u64;
+        let resident = crate::num::sat_u64(((mem_frames - 1) as f64 / f).floor());
         inner_pages - resident.min(inner_pages)
     };
-    let b_lo = ((spilled_at_min_b as f64 * f / mem_frames as f64).floor() as u64).max(1);
+    let b_lo =
+        crate::num::sat_u64((spilled_at_min_b as f64 * f / mem_frames as f64).floor()).max(1);
     if let (Some(fit), _) = scan_partition_counts(inner_pages, mem_frames, f, b_lo) {
         return fit;
     }
@@ -113,7 +114,7 @@ fn scan_partition_counts(
     let mut fallback: Option<HashPlan> = None;
     for b in b_start..mem_frames {
         let resident_frames = mem_frames - b;
-        let resident_pages = (resident_frames as f64 / f).floor() as u64;
+        let resident_pages = crate::num::sat_u64((resident_frames as f64 / f).floor());
         let resident_pages = resident_pages.min(inner_pages);
         let spilled = inner_pages - resident_pages;
         if spilled == 0 {
@@ -251,7 +252,7 @@ mod tests {
         #[test]
         fn hybrid_hash_plan_invariants(inner in 1u64..5_000) {
             let f = 1.2;
-            let m = ((inner as f64).sqrt() * f).ceil() as u64;
+            let m = crate::num::sat_u64(((inner as f64).sqrt() * f).ceil());
             let m = m.max(3);
             let plan = hybrid_hash_plan(inner, m, f);
             prop_assert_eq!(
@@ -276,7 +277,7 @@ mod tests {
         #[test]
         fn monotone_in_memory(inner in 10u64..2_000, extra in 0u64..50) {
             let f = 1.2;
-            let m0 = (((inner as f64).sqrt() * f).ceil() as u64).max(3);
+            let m0 = crate::num::sat_u64(((inner as f64).sqrt() * f).ceil()).max(3);
             let a = hybrid_hash_plan(inner, m0, f);
             let b = hybrid_hash_plan(inner, m0 + extra, f);
             prop_assert!(b.spilled_inner_pages <= a.spilled_inner_pages);

@@ -1,0 +1,39 @@
+//! Checked numeric conversions for derived counts.
+//!
+//! Bound and cost arithmetic converts floating-point estimates into
+//! integer page, tuple, and frame counts all over the stack. A bare
+//! `expr as u64` at every call site leaves the edge semantics — NaN,
+//! negative intermediates, values past `u64::MAX` — implicit and
+//! unreviewable, and a wrong edge case here silently corrupts a bound
+//! the admission gate then trusts. `csqp-lint`'s `numeric-truncation`
+//! rule forbids the rounded-cast spellings in the bound/cost crates
+//! (`crates/verify`, `crates/cost`, `crates/catalog`) and routes every
+//! conversion through this module, where the semantics are stated once.
+
+/// Saturating `f64 → u64` conversion: NaN maps to 0, negatives clamp
+/// to 0, values past `u64::MAX` clamp to `u64::MAX` — Rust's defined
+/// float-to-int `as` semantics, relied on deliberately. Callers choose
+/// the rounding (`.round()`, `.floor()`, `.ceil()`) explicitly before
+/// converting; saturation is sound wherever the result is an upper
+/// bound, since every representable actual is ≤ `u64::MAX`.
+#[inline]
+#[must_use]
+pub fn sat_u64(x: f64) -> u64 {
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_cases_are_pinned() {
+        assert_eq!(sat_u64(f64::NAN), 0);
+        assert_eq!(sat_u64(-3.7), 0);
+        assert_eq!(sat_u64(f64::NEG_INFINITY), 0);
+        assert_eq!(sat_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(sat_u64(1e300), u64::MAX);
+        assert_eq!(sat_u64(42.9), 42, "truncation, not rounding");
+        assert_eq!(sat_u64(0.0), 0);
+    }
+}

@@ -94,7 +94,7 @@ impl Catalog {
     /// client: the *first* `⌊fraction·pages⌋` pages (contiguous prefix,
     /// footnote 8).
     pub fn cached_pages(&self, rel: RelId, total_pages: u64) -> u64 {
-        let pages = (self.cached_fraction(rel) * total_pages as f64).floor() as u64;
+        let pages = crate::num::sat_u64((self.cached_fraction(rel) * total_pages as f64).floor());
         pages.min(total_pages)
     }
 

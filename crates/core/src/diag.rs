@@ -126,6 +126,19 @@ pub enum DiagCode {
     /// A query referenced a relation the catalog never placed; the serve
     /// boundary must refuse it with a typed error, never panic a shard.
     CatalogUnplaced,
+    // -- bounds pass (`csqp-verify::bounds`) ---------------------------------
+    /// An executed operator produced more tuples (or pages) than the
+    /// static worst-case bound derived from declared key constraints:
+    /// either an engine bug or an unsound bound rule.
+    BoundViolated,
+    /// Bound arithmetic left the representable range (or the page-count
+    /// conversion met hostile statistics): the analyzer refuses to emit a
+    /// number it cannot stand behind.
+    BoundOverflow,
+    /// A declared unary key is not justified by the query's own
+    /// statistics (an incident edge admits more than one match per
+    /// tuple): every bound derived from it would be unsound.
+    BoundKeyUnsound,
     // -- source lints (`csqp-lint`) -----------------------------------------
     /// A wall-clock read (`Instant::now`, `SystemTime::now`) or
     /// `thread::sleep` outside the justified allowlist.
@@ -155,6 +168,11 @@ pub enum DiagCode {
     /// justified allowlist: unsafe FFI shims live in one audited module
     /// (`csqp_net::poll`), never scattered through the workspace.
     RawSyscall,
+    /// A bare `as`-cast narrowing a float to an integer or a wide integer
+    /// to a narrower one inside bound/cost arithmetic, outside the
+    /// justified allowlist: truncation must be explicit (checked or
+    /// saturating helpers), never silent.
+    NumericTruncation,
 }
 
 impl DiagCode {
@@ -197,6 +215,9 @@ impl DiagCode {
             DiagCode::CatalogEpochRegress => "catalog-epoch-regress",
             DiagCode::CatalogLagBound => "catalog-lag-bound",
             DiagCode::CatalogUnplaced => "catalog-unplaced",
+            DiagCode::BoundViolated => "bound-violated",
+            DiagCode::BoundOverflow => "bound-overflow",
+            DiagCode::BoundKeyUnsound => "bound-key-unsound",
             DiagCode::WallClockUse => "wall-clock-use",
             DiagCode::UnseededRng => "unseeded-rng",
             DiagCode::HashIterOrder => "hash-iter-order",
@@ -205,6 +226,7 @@ impl DiagCode {
             DiagCode::UnboundedChannel => "unbounded-channel",
             DiagCode::CatalogMutation => "catalog-mutation",
             DiagCode::RawSyscall => "raw-syscall",
+            DiagCode::NumericTruncation => "numeric-truncation",
         }
     }
 }

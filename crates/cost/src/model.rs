@@ -7,7 +7,8 @@
 //! described in the crate docs.
 
 use csqp_catalog::{
-    hybrid_hash_plan, join_memory, Catalog, Estimator, QuerySpec, RelSet, SiteId, SystemConfig,
+    hybrid_hash_plan, join_memory, sat_u64, Catalog, Estimator, QuerySpec, RelSet, SiteId,
+    SystemConfig,
 };
 use csqp_core::{bind, BindContext, BoundPlan, LogicalOp, NodeId, Plan};
 use csqp_net::CONTROL_MSG_BYTES;
@@ -121,6 +122,21 @@ impl<'a> CostModel<'a> {
         self.query
     }
 
+    /// The catalog this model prices against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The system parameters this model prices with.
+    pub fn config(&self) -> &'a SystemConfig {
+        self.config
+    }
+
+    /// The site queries are submitted (and displayed) at.
+    pub fn query_site(&self) -> SiteId {
+        self.query_site
+    }
+
     /// Full usage vector of a bound plan.
     pub fn usage(&self, bound: &BoundPlan) -> ResourceUsage {
         self.node_cost(bound, bound.plan.root()).usage
@@ -204,7 +220,7 @@ impl<'a> CostModel<'a> {
                 } else {
                     // Client-site scan: cached prefix from the client
                     // disk, the rest faulted in page-at-a-time (§2.1).
-                    let cached = self.catalog.cached_pages(rel, pages as u64) as f64;
+                    let cached = self.catalog.cached_pages(rel, sat_u64(pages)) as f64;
                     let faulted = pages - cached;
                     u.add_disk(site, self.disk_secs(site, cached, cfg.disk_seq_page_ms));
                     u.add_cpu(site, cached * cfg.cpu_secs(cfg.disk_inst));
@@ -275,8 +291,8 @@ impl<'a> CostModel<'a> {
                 u.add_cpu(site, probe_cpu);
 
                 // Hybrid-hash spill I/O (Shapiro, §3.2.2).
-                let mem = join_memory(cfg, in_pages.ceil() as u64);
-                let hp = hybrid_hash_plan(in_pages.ceil().max(1.0) as u64, mem, cfg.fudge);
+                let mem = join_memory(cfg, sat_u64(in_pages.ceil()));
+                let hp = hybrid_hash_plan(sat_u64(in_pages.ceil().max(1.0)), mem, cfg.fudge);
                 let mut partition_serial = 0.0;
                 if hp.spill_partitions > 0 {
                     let spill_frac = hp.spilled_inner_pages as f64 / in_pages.max(1.0);

@@ -38,8 +38,7 @@ fn catalog(n: u32, servers: u32, cached: f64) -> Catalog {
 /// well-formed (mirrors the optimizer's generator without depending on
 /// the optimizer crate).
 fn seeded_plan(query: &QuerySpec, seed: u64) -> Plan {
-    let n = query.num_relations() as u32;
-    let order: Vec<RelId> = (0..n).map(RelId).collect();
+    let order: Vec<RelId> = query.relations.iter().map(|r| r.id).collect();
     let base = if seed.is_multiple_of(2) {
         JoinTree::left_deep(&order)
     } else {

@@ -174,6 +174,7 @@ impl<'a> ExecutionBuilder<'a> {
                 .map(|s| engine.cpu_busy(SiteId(s as u32)))
                 .collect(),
             result_tuples: 0,
+            events_handled: engine.events_handled(),
             operators,
         }
     }
@@ -191,6 +192,7 @@ impl<'a> ExecutionBuilder<'a> {
             disk: multi.disk,
             cpu_busy: multi.cpu_busy,
             result_tuples: q.result_tuples,
+            events_handled: multi.events_handled,
             operators: multi.operators,
         }
     }
@@ -281,6 +283,7 @@ impl<'a> ExecutionBuilder<'a> {
             cpu_busy: (0..num_sites)
                 .map(|s| engine.cpu_busy(SiteId(s as u32)))
                 .collect(),
+            events_handled: engine.events_handled(),
             operators,
         }
     }

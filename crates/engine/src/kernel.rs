@@ -143,6 +143,7 @@ pub struct Engine {
     displays: Vec<ProcId>,
     display_done: Vec<Option<SimTime>>,
     finished_at: Option<SimTime>,
+    events_handled: u64,
 }
 
 impl Engine {
@@ -165,6 +166,7 @@ impl Engine {
             displays: Vec::new(),
             display_done: Vec::new(),
             finished_at: None,
+            events_handled: 0,
         }
     }
 
@@ -232,6 +234,7 @@ impl Engine {
                 break;
             }
         }
+        self.events_handled = handled;
         let end = self.finished_at.unwrap_or_else(|| {
             panic!(
                 "simulation deadlocked at {:?}: {}",
@@ -250,6 +253,13 @@ impl Engine {
             .map(|(i, s)| format!("proc {i} ({}) {:?}", s.op.label(), s.blocked))
             .collect::<Vec<_>>()
             .join("; ")
+    }
+
+    /// Events the kernel dispatched during the last [`Engine::run`]:
+    /// the simulator-throughput denominator `csqp-bench --sim` divides
+    /// wall time by.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
     }
 
     /// Current virtual time.

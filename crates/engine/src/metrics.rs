@@ -28,6 +28,9 @@ pub struct ExecutionMetrics {
     pub cpu_busy: Vec<SimDuration>,
     /// Tuples displayed at the client.
     pub result_tuples: u64,
+    /// Kernel events dispatched during the run — the denominator of the
+    /// simulator-throughput figure `csqp-bench --sim` reports.
+    pub events_handled: u64,
     /// Per-operator wait breakdowns (where each operator's time went).
     pub operators: Vec<ProcReport>,
 }
@@ -89,6 +92,8 @@ pub struct MultiQueryMetrics {
     pub disk: Vec<DiskStats>,
     /// Per-site CPU busy time.
     pub cpu_busy: Vec<SimDuration>,
+    /// Kernel events dispatched during the run.
+    pub events_handled: u64,
     /// Per-operator wait breakdowns, all queries combined.
     pub operators: Vec<ProcReport>,
 }

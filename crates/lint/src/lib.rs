@@ -33,6 +33,16 @@
 //!   through one audited module, `csqp_net::poll`; an extern block
 //!   anywhere else is either a duplicate shim or a new unsafe surface
 //!   that belongs there instead.
+//! * **numeric-truncation** — in the bound/cost arithmetic crates
+//!   (`crates/verify`, `crates/cost`, `crates/catalog`), no bare
+//!   narrowing `as` cast: a rounded float fed straight to `as`
+//!   (`.round() as u64` and friends) or an integer cast to a narrower
+//!   target (`as u32` / `as u16` / …). A silent NaN→garbage or
+//!   wraparound here corrupts a guaranteed bound the admission gate
+//!   then trusts. Route float conversions through
+//!   `csqp_catalog::num::sat_u64` (documented saturating semantics) and
+//!   integer narrowing through `try_from` / `u32::from`, or justify the
+//!   site in the allowlist.
 //! * **catalog-mutation** — no direct `Catalog` mutation (`.place(…)` /
 //!   `.set_cached_fraction(…)`) outside the justified allowlist. Once a
 //!   catalog is replicated per serving site, a mutation that bypasses
@@ -80,6 +90,8 @@ pub enum RuleKind {
     /// Direct `Catalog` mutation (`.place(…)` /
     /// `.set_cached_fraction(…)`) outside the coordinator/epoch API.
     CatalogMutation,
+    /// A bare narrowing `as` cast in the bound/cost arithmetic crates.
+    NumericTruncation,
     /// An `extern` block: a raw C-ABI syscall binding.
     ExternSyscall,
 }
@@ -93,6 +105,7 @@ impl RuleKind {
             RuleKind::HashOrder => DiagCode::HashIterOrder,
             RuleKind::UnboundedChannel => DiagCode::UnboundedChannel,
             RuleKind::CatalogMutation => DiagCode::CatalogMutation,
+            RuleKind::NumericTruncation => DiagCode::NumericTruncation,
             RuleKind::ExternSyscall => DiagCode::RawSyscall,
         }
     }
@@ -105,6 +118,7 @@ impl RuleKind {
             RuleKind::HashOrder => "hash-iter-order",
             RuleKind::UnboundedChannel => "unbounded-channel",
             RuleKind::CatalogMutation => "catalog-mutation",
+            RuleKind::NumericTruncation => "numeric-truncation",
             RuleKind::ExternSyscall => "raw-syscall",
         }
     }
@@ -462,6 +476,18 @@ const BLOCKING_CALL_PATTERNS: &[&str] = &[
 /// free functions of the same name); the definitions live in
 /// `crates/catalog/src/placement.rs`, which carries its own entry.
 const CATALOG_MUTATION_PATTERNS: &[&str] = &[".place(", ".set_cached_fraction("];
+/// The crates whose arithmetic feeds guaranteed bounds and costs; only
+/// files under these prefixes are subject to `numeric-truncation`.
+const TRUNCATION_SCOPE: &[&str] = &["crates/verify/", "crates/cost/", "crates/catalog/"];
+/// A rounded float fed straight to `as`: the spelling that silently
+/// maps NaN to 0 and relies on implicit saturation at every call site.
+/// Matched as plain substrings (the leading `.` needs no token
+/// boundary).
+const TRUNCATION_FLOAT_PATTERNS: &[&str] = &[".round() as", ".floor() as", ".ceil() as"];
+/// Integer casts to a narrower target; widening spellings (`as u64`,
+/// `as f64`, `as usize`) are deliberately absent.
+const TRUNCATION_INT_PATTERNS: &[&str] =
+    &["as u32", "as u16", "as u8", "as i32", "as i16", "as i8"];
 /// The raw-syscall pattern: any `extern` block or declaration. After
 /// [`scan::strip`] the ABI string's contents are blanked but the
 /// keyword survives, so the token is enough.
@@ -591,6 +617,35 @@ impl Linter {
                              justify the construction-time call site"
                         ),
                     ));
+                }
+            }
+            if TRUNCATION_SCOPE.iter().any(|&s| rel.starts_with(s)) {
+                for &pat in TRUNCATION_FLOAT_PATTERNS {
+                    if line.contains(pat) && !self.allowed(rel, RuleKind::NumericTruncation) {
+                        out.push(at(
+                            DiagCode::NumericTruncation,
+                            rel,
+                            lineno,
+                            format!(
+                                "bare `{pat} …` cast in bound/cost arithmetic maps NaN \
+                                 to 0 silently; convert through csqp_catalog::sat_u64 \
+                                 or justify the site"
+                            ),
+                        ));
+                    }
+                }
+                for &pat in TRUNCATION_INT_PATTERNS {
+                    if has_token(line, pat) && !self.allowed(rel, RuleKind::NumericTruncation) {
+                        out.push(at(
+                            DiagCode::NumericTruncation,
+                            rel,
+                            lineno,
+                            format!(
+                                "bare narrowing `{pat}` cast in bound/cost arithmetic \
+                                 wraps silently; use try_from/From or justify the site"
+                            ),
+                        ));
+                    }
                 }
             }
             if has_token(line, "lock")
@@ -904,6 +959,37 @@ impl ErrorCode {
         assert_eq!(ds[0].code, DiagCode::WireCodeCoverage);
         assert!(ds[0].detail.contains("Forgotten"));
         assert!(ds[0].detail.contains("decode"));
+    }
+
+    #[test]
+    fn numeric_truncation_flags_only_the_bound_cost_crates() {
+        let src = "let p = (t as f64 / per).ceil() as u64;\nlet n = len as u32;\n";
+        let mut l = Linter::with_allows(&[]);
+        let ds = l.lint_source("crates/cost/src/x.rs", src);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.code == DiagCode::NumericTruncation));
+        assert!(
+            l.lint_source("crates/serve/src/x.rs", src).is_empty(),
+            "the rule is scoped to the arithmetic crates"
+        );
+    }
+
+    #[test]
+    fn numeric_truncation_spares_helpers_and_honors_allows() {
+        let mut l = Linter::with_allows(&[]);
+        let clean = "let p = sat_u64(x.ceil());\nlet w = u64::from(n);\nlet f = t as f64;\n";
+        assert!(l.lint_source("crates/catalog/src/y.rs", clean).is_empty());
+
+        let allows = [Allow {
+            path: "crates/verify/src/z.rs",
+            rule: RuleKind::NumericTruncation,
+            why: "test",
+        }];
+        let mut l = Linter::with_allows(&allows);
+        assert!(l
+            .lint_source("crates/verify/src/z.rs", "let n = x.round() as u64;")
+            .is_empty());
+        assert!(l.finish().is_empty());
     }
 
     #[test]

@@ -213,6 +213,7 @@ pub fn nth_request(cfg: &LoadConfig, client: u64, index: u64) -> QueryRequest {
         seed,
         loads: vec![],
         deadline_ms: cfg.deadline_ms,
+        keys: None,
     }
 }
 

@@ -50,6 +50,8 @@ pub struct ServerMetrics {
     aborted: AtomicU64,
     timed_out: AtomicU64,
     degraded: AtomicU64,
+    mem_bound_degraded: AtomicU64,
+    mem_bound_rejected: AtomicU64,
     per_policy: [AtomicU64; 3],
     lint_checks: AtomicU64,
     wire_pages: AtomicU64,
@@ -124,6 +126,20 @@ impl ServerMetrics {
     /// Record one request served after degrading its policy to QS.
     pub fn record_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request degraded to QS specifically because its chosen
+    /// plan's worst-case client footprint exceeded the memory budget.
+    /// Always paired with [`ServerMetrics::record_degraded`].
+    pub fn record_mem_bound_degraded(&self) {
+        self.mem_bound_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request rejected because even the QS fallback plan's
+    /// worst-case footprint exceeded the memory budget. Always paired
+    /// with [`ServerMetrics::record_reject`].
+    pub fn record_mem_bound_rejected(&self) {
+        self.mem_bound_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record that the Table-1 conformance lint ran on a plan before
@@ -215,6 +231,16 @@ impl ServerMetrics {
         self.degraded.load(Ordering::Relaxed)
     }
 
+    /// Requests degraded to QS by the memory-bound admission gate so far.
+    pub fn mem_bound_degraded(&self) -> u64 {
+        self.mem_bound_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by the memory-bound admission gate so far.
+    pub fn mem_bound_rejected(&self) -> u64 {
+        self.mem_bound_rejected.load(Ordering::Relaxed)
+    }
+
     /// True when every submitted query has reached exactly one terminal
     /// bucket. Only meaningful once the pipeline has drained (no query
     /// in the queue or on a worker); the chaos harness polls STATS until
@@ -277,6 +303,8 @@ impl ServerMetrics {
             catalog_stale_rejected: 0,
             catalog_epoch_regressions: 0,
             catalog_max_lag: 0,
+            mem_bound_degraded: self.mem_bound_degraded.load(Ordering::Relaxed),
+            mem_bound_rejected: self.mem_bound_rejected.load(Ordering::Relaxed),
             reactor_wait_calls: self.reactor_wait_calls.load(Ordering::Relaxed),
             reactor_ctl_calls: self.reactor_ctl_calls.load(Ordering::Relaxed),
             reactor_events_dispatched: self.reactor_events_dispatched.load(Ordering::Relaxed),

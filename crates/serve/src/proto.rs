@@ -329,6 +329,16 @@ pub struct QueryRequest {
     /// from the wire when absent, so un-deadlined requests encode exactly
     /// as in protocol version 1's first release.
     pub deadline_ms: Option<u64>,
+    /// Relations (by index into the spec's relation list) whose join
+    /// attribute the client declares a unary key — the input of the
+    /// bounds analyzer. Strictly ascending, each index below the spec's
+    /// relation count (validated at decode). `None` means "derive the
+    /// keys the spec's own selectivities imply" and is omitted from the
+    /// wire, so keyless requests encode exactly as before and old peers
+    /// decoding a keyed request simply ignore the field — both sides
+    /// stay sound, because the server re-audits every declaration
+    /// against the statistics before believing it.
+    pub keys: Option<Vec<u32>>,
 }
 
 /// Why the server degraded a request's policy to query shipping.
@@ -346,6 +356,10 @@ pub enum DegradeReason {
     /// poisoned) and could not refresh in time; QS plans never price the
     /// client cache, so they stay sound under stale fractions.
     StaleCatalog,
+    /// The chosen plan's guaranteed worst-case client-memory footprint
+    /// exceeded the server's `--mem-budget`; QS plans join at the
+    /// servers, so their footprint is the result bound alone.
+    MemBound,
 }
 
 impl DegradeReason {
@@ -354,6 +368,7 @@ impl DegradeReason {
             DegradeReason::Saturated => "saturated",
             DegradeReason::CacheUnusable => "cache-unusable",
             DegradeReason::StaleCatalog => "stale-catalog",
+            DegradeReason::MemBound => "mem-bound",
         }
     }
 
@@ -362,6 +377,7 @@ impl DegradeReason {
             "saturated" => DegradeReason::Saturated,
             "cache-unusable" => DegradeReason::CacheUnusable,
             "stale-catalog" => DegradeReason::StaleCatalog,
+            "mem-bound" => DegradeReason::MemBound,
             _ => return Err(JsonError::decode("degrade_reason", "unknown reason")),
         })
     }
@@ -442,6 +458,11 @@ pub enum ErrorCode {
     /// degradation left to take); retry after the hinted delay, by which
     /// time a refresh should have landed.
     StaleCatalog,
+    /// Even the query-shipping fallback's guaranteed worst-case result
+    /// footprint exceeds the server's memory budget, so no sound plan
+    /// fits; retry after the hinted delay (the budget is contended, not
+    /// constant).
+    MemBoundExceeded,
 }
 
 impl ErrorCode {
@@ -456,6 +477,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
             ErrorCode::Aborted => "aborted",
             ErrorCode::StaleCatalog => "stale-catalog",
+            ErrorCode::MemBoundExceeded => "mem-bound-exceeded",
         }
     }
 
@@ -470,6 +492,7 @@ impl ErrorCode {
             "deadline-exceeded" => ErrorCode::DeadlineExceeded,
             "aborted" => ErrorCode::Aborted,
             "stale-catalog" => ErrorCode::StaleCatalog,
+            "mem-bound-exceeded" => ErrorCode::MemBoundExceeded,
             _ => return Err(JsonError::decode("code", "unknown error code")),
         })
     }
@@ -493,7 +516,7 @@ pub struct ErrorFrame {
 /// The accounting invariant the chaos harness asserts after every soak:
 /// `submitted == queries_served + rejected + errors + aborted +
 /// timed_out` — every admitted query ends in exactly one bucket.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// QUERY frames decoded and handed to admission control.
     pub submitted: u64,
@@ -541,6 +564,13 @@ pub struct StatsSnapshot {
     pub catalog_epoch_regressions: u64,
     /// The largest replica epoch lag observed at any serve decision.
     pub catalog_max_lag: u64,
+    /// Queries served after a `mem-bound` downgrade to QS: the chosen
+    /// plan's worst-case footprint exceeded the memory budget but the
+    /// QS fallback fit.
+    pub mem_bound_degraded: u64,
+    /// Queries rejected with the typed `mem-bound-exceeded` error: even
+    /// the QS fallback's guaranteed footprint exceeded the budget.
+    pub mem_bound_rejected: u64,
     /// Reactor wait syscalls (`poll`/`epoll_wait`) across all shards.
     pub reactor_wait_calls: u64,
     /// Reactor interest-mutation syscalls (`epoll_ctl`) across all
@@ -625,6 +655,12 @@ impl Frame {
                 if let Some(ms) = q.deadline_ms {
                     fields.push(("deadline_ms", Json::from(ms)));
                 }
+                if let Some(keys) = &q.keys {
+                    fields.push((
+                        "keys",
+                        Json::Arr(keys.iter().map(|&k| Json::from(k)).collect()),
+                    ));
+                }
                 obj(fields)
             }
             Frame::Result(r) => {
@@ -702,6 +738,8 @@ impl Frame {
                     Json::from(s.catalog_epoch_regressions),
                 ),
                 ("catalog_max_lag", Json::from(s.catalog_max_lag)),
+                ("mem_bound_degraded", Json::from(s.mem_bound_degraded)),
+                ("mem_bound_rejected", Json::from(s.mem_bound_rejected)),
                 ("reactor_wait_calls", Json::from(s.reactor_wait_calls)),
                 ("reactor_ctl_calls", Json::from(s.reactor_ctl_calls)),
                 (
@@ -760,9 +798,41 @@ impl Frame {
                         "cached fractions must be in [0, 1]",
                     ));
                 }
+                let spec = WorkloadSpec::from_json(doc.field("spec")?)?;
+                let keys = match doc.get("keys") {
+                    // Old peers omit the field: derive the implied keys.
+                    None => None,
+                    Some(v) => {
+                        let arr = v
+                            .as_arr()
+                            .ok_or_else(|| JsonError::decode("keys", "expected an array"))?;
+                        let num_rels = spec.num_relations() as u64;
+                        let mut keys = Vec::with_capacity(arr.len());
+                        for k in arr {
+                            let idx = k.as_u64().ok_or_else(|| {
+                                JsonError::decode("keys", "expected non-negative integers")
+                            })?;
+                            if idx >= num_rels {
+                                return Err(JsonError::decode(
+                                    "keys",
+                                    "key index beyond the spec's relation count",
+                                ));
+                            }
+                            if keys.last().is_some_and(|&last| idx <= u64::from(last)) {
+                                return Err(JsonError::decode(
+                                    "keys",
+                                    "key indices must be strictly ascending",
+                                ));
+                            }
+                            // Bounded by num_relations, which fits u32.
+                            keys.push(idx as u32);
+                        }
+                        Some(keys)
+                    }
+                };
                 Frame::Query(QueryRequest {
                     id: safe_u64_of(doc, "id")?,
-                    spec: WorkloadSpec::from_json(doc.field("spec")?)?,
+                    spec,
                     cache,
                     policy: policy_parse(str_of(doc, "policy")?)?,
                     objective: objective_parse(str_of(doc, "objective")?)?,
@@ -773,6 +843,7 @@ impl Frame {
                         None => None,
                         Some(_) => Some(safe_u64_of(doc, "deadline_ms")?),
                     },
+                    keys,
                 })
             }
             FrameKind::Result => Frame::Result(ResultRecord {
@@ -850,6 +921,9 @@ impl Frame {
                 catalog_stale_rejected: u64_opt_of(doc, "catalog_stale_rejected")?,
                 catalog_epoch_regressions: u64_opt_of(doc, "catalog_epoch_regressions")?,
                 catalog_max_lag: u64_opt_of(doc, "catalog_max_lag")?,
+                // Pre-bounds servers omit the admission counters.
+                mem_bound_degraded: u64_opt_of(doc, "mem_bound_degraded")?,
+                mem_bound_rejected: u64_opt_of(doc, "mem_bound_rejected")?,
                 // Pre-reactor servers omit the reactor counters.
                 reactor_wait_calls: u64_opt_of(doc, "reactor_wait_calls")?,
                 reactor_ctl_calls: u64_opt_of(doc, "reactor_ctl_calls")?,

@@ -128,6 +128,16 @@ pub struct ServerConfig {
     /// serving is byte-identical to a pre-replication build. Chaos
     /// testing only — never enable in real serving.
     pub catalog_faults: Option<csqp_net::chaos::FaultPlan>,
+    /// Client-memory budget, in pages, for the *guaranteed* worst-case
+    /// footprint of the chosen plan (`csqp-verify::bounds`): the pages of
+    /// both inputs of every client-sited join plus the final result. A
+    /// plan over budget is re-planned as QS — whose joins run at the
+    /// servers, so its footprint is the result bound alone — with
+    /// `degrade_reason = mem-bound`; if even the QS plan cannot fit, the
+    /// query is rejected with the retryable `mem-bound-exceeded` error.
+    /// `None` disables the gate (serving is byte-identical to a
+    /// pre-bounds build).
+    pub mem_budget_pages: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +160,7 @@ impl Default for ServerConfig {
             memo_bytes: 64 << 20,
             catalog_lag: 3,
             catalog_faults: None,
+            mem_budget_pages: None,
         }
     }
 }
@@ -584,7 +595,20 @@ impl QueryService {
                 StopReason::Cancelled => None,
             },
         };
-        let query = req.spec.build();
+        let mut query = req.spec.build();
+        // The wire's key declarations override the generator-implied
+        // ones. They are *claims*, not facts: `bounds::analyze` audits
+        // every declared key against the query's own statistics and
+        // falls back to the product rule for any it cannot justify, so a
+        // hostile over-declaration can never tighten a bound unsoundly
+        // (it only risks a `bound-key-unsound` diagnostic in --bounds
+        // sweeps). Indices were validated at decode.
+        if let Some(keys) = &req.keys {
+            for (i, r) in query.relations.iter_mut().enumerate() {
+                r.key = keys.binary_search(&(i as u32)).is_ok();
+            }
+        }
+        let query = query;
         let servers = self.topology_for(&req.spec);
 
         // An unusable cache declaration (more entries than the query has
@@ -608,7 +632,7 @@ impl QueryService {
             } else {
                 None
             });
-        let (policy, degraded_from, degrade_reason) = match degrade {
+        let (mut policy, mut degraded_from, mut degrade_reason) = match degrade {
             Some(reason) if req.policy != Policy::QueryShipping => {
                 (Policy::QueryShipping, Some(req.policy), Some(reason))
             }
@@ -630,6 +654,25 @@ impl QueryService {
                 )));
             }
         }
+        // Page arithmetic must be defined for every relation before the
+        // planner or the bounds pass divides by it: zero-width tuples or
+        // a tuple wider than a page would panic `pages_for` deep in the
+        // cost model. Hostile statistics die here with a typed error
+        // instead.
+        for rel in &query.relations {
+            if csqp_catalog::try_pages_for(rel.tuples, rel.tuple_bytes, self.sys.page_size)
+                .is_none()
+            {
+                return Err(bad(format!(
+                    "{}: relation {} statistics (tuple_bytes={}, page_size={}) admit no \
+                     page count",
+                    DiagCode::BoundOverflow.as_str(),
+                    rel.id,
+                    rel.tuple_bytes,
+                    self.sys.page_size
+                )));
+            }
+        }
         if !cache_unusable {
             for (rel, &fraction) in query.relations.iter().zip(&req.cache) {
                 catalog.set_cached_fraction(rel.id, fraction);
@@ -648,67 +691,122 @@ impl QueryService {
             });
         }
 
-        let plan = match req.optimizer {
-            OptimizerMode::TwoPhase => {
-                // Mirrors runner::run_query exactly (same seed stream)
-                // with the lint inserted between planning and execution.
-                let model = runner::cost_model(&self.sys, &catalog, &query, &loads);
-                let optimizer =
-                    Optimizer::new(&model, policy, req.objective, self.config.opt.clone());
-                let mut rng = SimRng::seed_from_u64(req.seed);
-                optimizer
-                    .optimize_guarded(&query, &mut rng, guard)
-                    .map_err(|r| stopped(r, "planning"))?
-                    .plan
-            }
-            OptimizerMode::TwoStep => {
-                let planner = TwoStepPlanner {
-                    policy,
-                    objective: req.objective,
-                    config: self.config.opt.clone(),
-                };
-                let env = self.memo_env(&req.spec);
-                let memo = self.memo();
-                let (compiled, _) = planner.compile_memoized(
-                    &req.spec,
-                    &query,
-                    &self.sys,
-                    CompileTimeAssumption::Centralized,
-                    env,
-                    memo,
-                );
-                // Site selection plans against the bucket-representative
-                // cache state — the quantization that makes memo entries
-                // shareable across near-identical declarations — while
-                // execution below keeps the exact declared fractions.
-                let buckets = if cache_unusable {
-                    CacheBuckets::quantize(&[])
-                } else {
-                    CacheBuckets::quantize(&req.cache)
-                };
-                let mut planning_catalog = self.catalog_for(&req.spec);
-                for (rel_index, fraction) in buckets.planning_fractions() {
-                    if (rel_index as usize) < query.relations.len() {
-                        planning_catalog
-                            .set_cached_fraction(query.relations[rel_index as usize].id, fraction);
-                    }
+        let plan_for = |policy: Policy| -> Result<csqp_core::Plan, ErrorFrame> {
+            Ok(match req.optimizer {
+                OptimizerMode::TwoPhase => {
+                    // Mirrors runner::run_query exactly (same seed stream)
+                    // with the lint inserted between planning and execution.
+                    let model = runner::cost_model(&self.sys, &catalog, &query, &loads);
+                    let optimizer =
+                        Optimizer::new(&model, policy, req.objective, self.config.opt.clone());
+                    let mut rng = SimRng::seed_from_u64(req.seed);
+                    optimizer
+                        .optimize_guarded(&query, &mut rng, guard)
+                        .map_err(|r| stopped(r, "planning"))?
+                        .plan
                 }
-                planner
-                    .site_select_memoized(
+                OptimizerMode::TwoStep => {
+                    let planner = TwoStepPlanner {
+                        policy,
+                        objective: req.objective,
+                        config: self.config.opt.clone(),
+                    };
+                    let env = self.memo_env(&req.spec);
+                    let memo = self.memo();
+                    let (compiled, _) = planner.compile_memoized(
                         &req.spec,
-                        &compiled,
                         &query,
                         &self.sys,
-                        &planning_catalog,
-                        &buckets,
+                        CompileTimeAssumption::Centralized,
                         env,
                         memo,
-                        guard,
-                    )
-                    .map_err(|r| stopped(r, "site selection"))?
-                    .0
-            }
+                    );
+                    // Site selection plans against the bucket-representative
+                    // cache state — the quantization that makes memo entries
+                    // shareable across near-identical declarations — while
+                    // execution below keeps the exact declared fractions.
+                    let buckets = if cache_unusable {
+                        CacheBuckets::quantize(&[])
+                    } else {
+                        CacheBuckets::quantize(&req.cache)
+                    };
+                    let mut planning_catalog = self.catalog_for(&req.spec);
+                    for (rel_index, fraction) in buckets.planning_fractions() {
+                        if (rel_index as usize) < query.relations.len() {
+                            planning_catalog.set_cached_fraction(
+                                query.relations[rel_index as usize].id,
+                                fraction,
+                            );
+                        }
+                    }
+                    planner
+                        .site_select_memoized(
+                            &req.spec,
+                            &compiled,
+                            &query,
+                            &self.sys,
+                            &planning_catalog,
+                            &buckets,
+                            env,
+                            memo,
+                            guard,
+                        )
+                        .map_err(|r| stopped(r, "site selection"))?
+                        .0
+                }
+            })
         };
+        let mut plan = plan_for(policy)?;
+
+        // Memory-bound admission gate (DESIGN.md §16): compare the
+        // *guaranteed* worst-case client footprint of the chosen plan —
+        // derived by `csqp-verify::bounds` from audited key constraints,
+        // never from estimates — against the configured budget. Over
+        // budget, degrade to QS (whose joins run at the servers, so only
+        // the result bound lands on the client); if even QS cannot fit,
+        // reject with the typed retryable error. With no budget set the
+        // gate is inert and serving is byte-identical to a pre-bounds
+        // build.
+        if let Some(budget) = self.config.mem_budget_pages {
+            let footprint_of = |plan: &csqp_core::Plan| -> Result<u64, ErrorFrame> {
+                let bound = csqp_core::bind::bind(
+                    plan,
+                    csqp_core::bind::BindContext {
+                        catalog: &catalog,
+                        query_site: SiteId::CLIENT,
+                    },
+                )
+                .map_err(|e| bad(format!("plan does not bind to the hosted placement: {e}")))?;
+                let bounds = csqp_verify::bounds::analyze(plan, &query, self.sys.page_size)
+                    .map_err(|d| bad(d.to_string()))?;
+                Ok(csqp_verify::bounds::client_footprint_pages(&bound, &bounds))
+            };
+            let reject = |footprint: u64| ErrorFrame {
+                id: req.id,
+                code: ErrorCode::MemBoundExceeded,
+                message: format!(
+                    "guaranteed worst-case client footprint of {footprint} pages exceeds \
+                     the memory budget of {budget} pages even under query shipping"
+                ),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            };
+            let footprint = footprint_of(&plan)?;
+            if footprint > budget {
+                if policy == Policy::QueryShipping {
+                    return Err(reject(footprint));
+                }
+                let qs_plan = plan_for(Policy::QueryShipping)?;
+                let qs_footprint = footprint_of(&qs_plan)?;
+                if qs_footprint > budget {
+                    return Err(reject(qs_footprint));
+                }
+                plan = qs_plan;
+                policy = Policy::QueryShipping;
+                degraded_from = Some(req.policy);
+                degrade_reason = Some(DegradeReason::MemBound);
+            }
+        }
+        let plan = plan;
 
         // Table-1 conformance lint, always before execution: a plan that
         // breaks the policy contract is a server-side optimizer bug and
@@ -1019,6 +1117,9 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
                 // Count the policy the plan actually ran under.
                 let executed = if record.degraded_from.is_some() {
                     service.metrics().record_degraded();
+                    if record.degrade_reason == Some(crate::proto::DegradeReason::MemBound) {
+                        service.metrics().record_mem_bound_degraded();
+                    }
                     Policy::QueryShipping
                 } else {
                     job.req.policy
@@ -1034,6 +1135,12 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, service: &QueryService) {
                 // not a failure: it counts with the saturation rejects so
                 // the conservation partition stays intact.
                 ErrorCode::StaleCatalog => service.metrics().record_reject(),
+                // So is a memory-bound bounce: the budget gate refused
+                // the work before execution, with a retry hint.
+                ErrorCode::MemBoundExceeded => {
+                    service.metrics().record_mem_bound_rejected();
+                    service.metrics().record_reject();
+                }
                 _ => service.metrics().record_error(),
             },
         }
@@ -1082,6 +1189,7 @@ mod tests {
             seed: 42,
             loads: vec![],
             deadline_ms: None,
+            keys: None,
         }
     }
 
@@ -1238,6 +1346,101 @@ mod tests {
         let record = service.handle_query(&req).expect("runs");
         assert_eq!(record.degraded_from, None);
         assert_eq!(record.degrade_reason, None);
+    }
+
+    #[test]
+    fn mem_budget_degrades_to_qs_and_matches_honest_qs() {
+        let service = QueryService::new(ServerConfig {
+            // Enough for the QS result bound (250 pages for the keyed
+            // benchmark chain) but not for client-sited join inputs.
+            mem_budget_pages: Some(300),
+            ..ServerConfig::default()
+        });
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec.clone(), Policy::DataShipping, OptimizerMode::TwoPhase);
+        let record = service.handle_query(&req).expect("served degraded");
+        assert_eq!(record.degraded_from, Some(Policy::DataShipping));
+        assert_eq!(record.degrade_reason, Some(DegradeReason::MemBound));
+
+        // The degraded run is byte-identical to an honest QS request on
+        // an unbudgeted server: the gate changes *which* plan runs,
+        // never how a plan executes.
+        let honest = QueryService::new(ServerConfig::default())
+            .handle_query(&request(
+                spec,
+                Policy::QueryShipping,
+                OptimizerMode::TwoPhase,
+            ))
+            .expect("runs");
+        assert_eq!(record.pages_sent, honest.pages_sent);
+        assert_eq!(record.response_secs, honest.response_secs);
+        assert_eq!(record.result_tuples, honest.result_tuples);
+    }
+
+    #[test]
+    fn mem_budget_rejects_when_even_qs_cannot_fit() {
+        let service = QueryService::new(ServerConfig {
+            mem_budget_pages: Some(10),
+            ..ServerConfig::default()
+        });
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        for (policy, optimizer) in [
+            (Policy::QueryShipping, OptimizerMode::TwoPhase),
+            (Policy::DataShipping, OptimizerMode::TwoStep),
+        ] {
+            let err = service
+                .handle_query(&request(spec.clone(), policy, optimizer))
+                .expect_err("no plan fits 10 pages");
+            assert_eq!(err.code, ErrorCode::MemBoundExceeded);
+            assert_eq!(err.retry_after_ms, Some(RETRY_AFTER_MS));
+        }
+    }
+
+    #[test]
+    fn generous_mem_budget_is_inert() {
+        let spec = WorkloadSpec::Chain {
+            n: 3,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        let req = request(spec, Policy::HybridShipping, OptimizerMode::TwoPhase);
+        let gated = QueryService::new(ServerConfig {
+            mem_budget_pages: Some(u64::MAX),
+            ..ServerConfig::default()
+        })
+        .handle_query(&req)
+        .expect("runs");
+        let ungated = QueryService::new(ServerConfig::default())
+            .handle_query(&req)
+            .expect("runs");
+        assert_eq!(gated, ungated);
+    }
+
+    #[test]
+    fn wire_keys_override_the_implied_declarations() {
+        let service = QueryService::new(ServerConfig {
+            mem_budget_pages: Some(300),
+            ..ServerConfig::default()
+        });
+        let spec = WorkloadSpec::Chain {
+            n: 2,
+            selectivity: csqp_workload::MODERATE_SEL,
+        };
+        // With the generator-implied keys the QS result bound is one
+        // relation (250 pages): admitted.
+        let mut req = request(spec, Policy::QueryShipping, OptimizerMode::TwoPhase);
+        let ok = service.handle_query(&req).expect("fits under implied keys");
+        assert_eq!(ok.degraded_from, None);
+        // A client stripping the declarations drops the bound to the
+        // product rule (10^8 tuples), which no 300-page budget admits.
+        req.keys = Some(vec![]);
+        let err = service.handle_query(&req).expect_err("product bound");
+        assert_eq!(err.code, ErrorCode::MemBoundExceeded);
     }
 
     #[test]

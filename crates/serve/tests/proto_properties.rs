@@ -118,6 +118,7 @@ proptest! {
             seed,
             loads,
             deadline_ms: deadline,
+            keys: None,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }
@@ -182,6 +183,7 @@ proptest! {
         catalog in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         catalog_extra in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         reactor in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        mem_bound in (0u64..1_000_000, 0u64..1_000_000),
     ) {
         let (served, rejected, errors) = outcomes;
         let (submitted, aborted, timed_out, degraded) = extra;
@@ -191,6 +193,7 @@ proptest! {
         let (catalog_epoch, catalog_refreshes, catalog_stale_degraded) = catalog;
         let (catalog_stale_rejected, catalog_epoch_regressions, catalog_max_lag) = catalog_extra;
         let (reactor_wait_calls, reactor_ctl_calls, reactor_events_dispatched) = reactor;
+        let (mem_bound_degraded, mem_bound_rejected) = mem_bound;
         let f = Frame::Stats(StatsSnapshot {
             submitted,
             queries_served: served,
@@ -218,11 +221,140 @@ proptest! {
             catalog_stale_rejected,
             catalog_epoch_regressions,
             catalog_max_lag,
+            mem_bound_degraded,
+            mem_bound_rejected,
             reactor_wait_calls,
             reactor_ctl_calls,
             reactor_events_dispatched,
         });
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    /// Key declarations round-trip through the wire exactly: a strictly
+    /// ascending in-range list (drawn as a bitmask over the relations)
+    /// decodes back to the same list, and `None` stays `None` (the field
+    /// is omitted, so old peers never see it).
+    #[test]
+    fn query_key_declarations_round_trip_exactly(
+        n in 2u32..16,
+        key_mask in (proptest::bool::ANY, 0u64..(1u64 << 16)),
+    ) {
+        let key_mask = key_mask.0.then_some(key_mask.1);
+        let spec = WorkloadSpec::Chain { n, selectivity: 1e-4 };
+        let keys = key_mask.map(|mask| {
+            (0..spec.num_relations())
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect::<Vec<u32>>()
+        });
+        let f = Frame::Query(QueryRequest {
+            id: 1,
+            spec,
+            cache: vec![],
+            policy: Policy::HybridShipping,
+            objective: Objective::Communication,
+            optimizer: OptimizerMode::TwoPhase,
+            seed: 9,
+            loads: vec![],
+            deadline_ms: None,
+            keys: keys.clone(),
+        });
+        let bytes = f.encode();
+        if keys.is_none() {
+            prop_assert!(
+                !String::from_utf8_lossy(&bytes[HEADER_LEN..]).contains("\"keys\""),
+                "None keys must be omitted from the wire"
+            );
+        }
+        prop_assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    /// Hostile key lists — arbitrary JSON fragments spliced into the
+    /// `keys` field — either decode to a typed payload error or to a
+    /// strictly ascending, in-range list. Never a panic, never an
+    /// out-of-contract value.
+    #[test]
+    fn hostile_key_lists_decode_typed_or_in_contract(
+        n in 2u32..8,
+        fragment_sel in 0usize..8,
+        a in 0u64..(1u64 << 60),
+        b in 0u64..(1u64 << 60),
+    ) {
+        let spec = WorkloadSpec::Chain { n, selectivity: 1e-4 };
+        let base = Frame::Query(QueryRequest {
+            id: 1,
+            spec: spec.clone(),
+            cache: vec![],
+            policy: Policy::QueryShipping,
+            objective: Objective::Communication,
+            optimizer: OptimizerMode::TwoPhase,
+            seed: 9,
+            loads: vec![],
+            deadline_ms: None,
+            keys: None,
+        })
+        .encode();
+        let fragment = match fragment_sel {
+            0 => format!("[{a}]"),
+            1 => format!("[{a},{b}]"),
+            2 => format!("[{b},{a}]"),
+            3 => "[0,0]".to_string(),
+            4 => "[-1]".to_string(),
+            5 => "[1.5]".to_string(),
+            6 => "\"zero\"".to_string(),
+            _ => "[null]".to_string(),
+        };
+        // Splice a keys field into the otherwise valid payload.
+        let payload = String::from_utf8(base[HEADER_LEN..].to_vec()).unwrap();
+        let hostile = format!(
+            "{},\"keys\":{}}}",
+            &payload[..payload.len() - 1],
+            fragment
+        );
+        let mut frame = base[..HEADER_LEN].to_vec();
+        frame[8..12].copy_from_slice(&(hostile.len() as u32).to_be_bytes());
+        frame.extend_from_slice(hostile.as_bytes());
+        match Frame::decode(&frame) {
+            Ok(Frame::Query(q)) => {
+                let keys = q.keys.expect("spliced field must be present");
+                prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(keys.iter().all(|&k| k < spec.num_relations()));
+            }
+            Err(WireError::Payload(_)) => {}
+            other => prop_assert!(false, "expected Query or typed payload error: {other:?}"),
+        }
+    }
+
+    /// STATS frames from a pre-bounds server — no admission counters on
+    /// the wire — decode with both counters zero and everything else
+    /// intact, so mixed-version fleets keep aggregating.
+    #[test]
+    fn stats_admission_counters_decode_as_zero_on_old_frames(
+        served in 0u64..1_000_000,
+        degraded in 1u64..1_000_000,
+        rejected in 1u64..1_000_000,
+    ) {
+        let mut snap = StatsSnapshot::default();
+        snap.queries_served = served;
+        snap.mem_bound_degraded = degraded;
+        snap.mem_bound_rejected = rejected;
+        let new_frame = Frame::Stats(snap).encode();
+        let payload = String::from_utf8(new_frame[HEADER_LEN..].to_vec()).unwrap();
+        // An old server simply never writes the fields.
+        let old_payload = payload
+            .replace(&format!("\"mem_bound_degraded\":{degraded},"), "")
+            .replace(&format!("\"mem_bound_rejected\":{rejected},"), "");
+        prop_assert!(old_payload != payload, "surgery must remove the counters");
+        let mut frame = new_frame[..HEADER_LEN].to_vec();
+        frame[8..12].copy_from_slice(&(old_payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(old_payload.as_bytes());
+        match Frame::decode(&frame).unwrap() {
+            Frame::Stats(s) => {
+                prop_assert_eq!(s.mem_bound_degraded, 0);
+                prop_assert_eq!(s.mem_bound_rejected, 0);
+                prop_assert_eq!(s.queries_served, served);
+            }
+            other => prop_assert!(false, "expected Stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn unique_timestamps_are_deterministic() {
-        let events: Vec<(SimTime, u32)> = (0..50).map(|i| (t(i * 10), i as u32)).collect();
+        let events: Vec<(SimTime, u32)> = (0u32..50).map(|i| (t(u64::from(i) * 10), i)).collect();
         assert!(check_queue_determinism(&events, 42, 8).is_empty());
     }
 
@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn pop_traces_from_the_queue_are_monotone() {
-        let events: Vec<(SimTime, u32)> = (0..100).rev().map(|i| (t(i * 3), i as u32)).collect();
+        let events: Vec<(SimTime, u32)> = (0u32..100)
+            .rev()
+            .map(|i| (t(u64::from(i) * 3), i))
+            .collect();
         let trace: Vec<SimTime> = drain(events.into_iter()).iter().map(|(t, _)| *t).collect();
         assert!(check_pop_trace(&trace).is_empty());
     }

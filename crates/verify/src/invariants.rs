@@ -258,7 +258,7 @@ mod tests {
     }
 
     fn plan(query: &QuerySpec, jann: Annotation, sann: Annotation) -> Plan {
-        let order: Vec<RelId> = (0..query.num_relations() as u32).map(RelId).collect();
+        let order: Vec<RelId> = query.relations.iter().map(|r| r.id).collect();
         JoinTree::left_deep(&order).into_plan(query, jann, sann)
     }
 

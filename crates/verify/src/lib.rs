@@ -57,11 +57,20 @@
 //! recorded catalog drift trace and proves the replication layer's
 //! degradation lattice was honored: no query served fresh past the
 //! staleness bound, no replica epoch regression ever applied, lag
-//! accounting faithful (`csqp-check --catalog`).
+//! accounting faithful (`csqp-check --catalog`). The [`bounds`] pass
+//! analyzes *plans* rather than machines or source text: it derives
+//! guaranteed worst-case intermediate sizes from declared unary keys
+//! (sound rules: selection never grows, a join on a key of one side is
+//! bounded by the other side, product fallback), audits the key
+//! declarations against the query's own statistics, and dynamically
+//! asserts executed actual ≤ static bound on every operator edge
+//! (`csqp-check --bounds`). The serve layer's `--mem-budget` admission
+//! gate and the optimizer's `bound_prune` consume the same bounds.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod bounds;
 pub mod catalog;
 pub mod conformance;
 pub mod determinism;

@@ -198,7 +198,7 @@ mod tests {
     /// inner relation, scans at the primary copy — Table 1's QS row.
     fn qs_plan() -> Plan {
         let q = spec().build();
-        let order: Vec<RelId> = (0..q.num_relations() as u32).map(RelId).collect();
+        let order: Vec<RelId> = q.relations.iter().map(|r| r.id).collect();
         JoinTree::left_deep(&order).into_plan(&q, Annotation::InnerRel, Annotation::PrimaryCopy)
     }
 

@@ -212,7 +212,7 @@ pub struct SessionModel {
 }
 
 fn bit(serial: u8) -> u16 {
-    1u16 << (serial as u32 % u16::BITS)
+    1u16 << (u32::from(serial) % u16::BITS)
 }
 
 impl SessionModel {

@@ -159,7 +159,7 @@ mod tests {
     }
 
     fn good_plan(q: &QuerySpec) -> Plan {
-        let order: Vec<RelId> = (0..q.num_relations() as u32).map(RelId).collect();
+        let order: Vec<RelId> = q.relations.iter().map(|r| r.id).collect();
         JoinTree::left_deep(&order).into_plan(q, Annotation::Consumer, Annotation::Client)
     }
 
@@ -249,8 +249,9 @@ mod tests {
         let p = good_plan(&q);
         // Re-root at the join: the display becomes an unreachable orphan.
         let join = p.join_nodes()[0];
-        let nodes = (0..p.arena_len())
-            .map(|i| p.node(NodeId(i as u32)).clone())
+        let nodes = (0u32..)
+            .take(p.arena_len())
+            .map(|i| p.node(NodeId(i)).clone())
             .collect();
         let p2 = Plan::from_parts(nodes, join);
         let ds = check_structure(&p2, None);

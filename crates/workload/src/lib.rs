@@ -31,7 +31,7 @@ pub const MODERATE_SEL: f64 = 1e-4;
 pub const HISEL_SEL: f64 = 2e-5;
 
 /// An `n`-way chain join over benchmark relations with the given per-edge
-/// selectivity.
+/// selectivity, with the §3.3-implied unary keys declared.
 pub fn chain_query(n: u32, selectivity: f64) -> QuerySpec {
     assert!(n >= 1);
     let rels = (0..n)
@@ -44,7 +44,41 @@ pub fn chain_query(n: u32, selectivity: f64) -> QuerySpec {
             selectivity,
         })
         .collect();
-    QuerySpec::new(rels, edges)
+    declare_implied_keys(QuerySpec::new(rels, edges))
+}
+
+/// Declare every unary key the query's own selectivities imply.
+///
+/// §3.3's "a join of two equal-sized base relations returns a result that
+/// is the size and cardinality of one base relation" is exactly the key
+/// property: a per-edge selectivity of at most `1 / |r|` means each tuple
+/// of the other side matches at most one tuple of `r` in the worst case,
+/// so `r`'s join attribute behaves as a unary key. A relation is declared
+/// keyed iff it has at least one incident join edge and *every* incident
+/// edge satisfies the inequality — the condition the bound analyzer's
+/// `bound-key-unsound` audit re-checks. Both MODERATE_SEL (= 1/10,000
+/// exactly) and HISEL_SEL qualify for benchmark relations.
+pub fn declare_implied_keys(mut query: QuerySpec) -> QuerySpec {
+    for i in 0..query.relations.len() {
+        let r = &query.relations[i];
+        if r.tuples == 0 {
+            continue;
+        }
+        let limit = 1.0 / r.tuples as f64;
+        let incident: Vec<&JoinEdge> = query
+            .edges
+            .iter()
+            .filter(|e| e.a == r.id || e.b == r.id)
+            .collect();
+        // A float `<=` against `1/tuples` plus strict positivity: a zero
+        // or negative selectivity is a degenerate spec, not a key.
+        let keyed = !incident.is_empty()
+            && incident
+                .iter()
+                .all(|e| e.selectivity > 0.0 && e.selectivity <= limit);
+        query.relations[i].key = keyed;
+    }
+    query
 }
 
 /// The paper's simple 2-way join.
@@ -89,7 +123,7 @@ pub fn star_query(n: u32, selectivity: f64) -> QuerySpec {
             selectivity,
         })
         .collect();
-    QuerySpec::new(rels, edges)
+    declare_implied_keys(QuerySpec::new(rels, edges))
 }
 
 /// Place all relations on a single server.
@@ -241,6 +275,26 @@ mod tests {
         let q = star_query(5, MODERATE_SEL);
         assert_eq!(q.edges.len(), 4);
         assert!(q.edges.iter().all(|e| e.a == RelId(0)));
+    }
+
+    #[test]
+    fn benchmark_selectivities_imply_keys() {
+        // MODERATE_SEL is exactly 1/10,000: every chain relation is keyed.
+        assert!(ten_way().relations.iter().all(|r| r.key));
+        // HISEL_SEL = 2e-5 < 1e-4 also qualifies.
+        assert!(ten_way_hisel().relations.iter().all(|r| r.key));
+        assert!(star_query(4, MODERATE_SEL).relations.iter().all(|r| r.key));
+    }
+
+    #[test]
+    fn loose_selectivity_drops_the_key() {
+        // 1e-3 > 1/10,000: a join result can exceed one base relation,
+        // so no relation on such an edge may claim the key property.
+        let q = chain_query(3, 1e-3);
+        assert!(q.relations.iter().all(|r| !r.key));
+        // A single-relation "chain" has no edges, hence no key evidence.
+        let lone = chain_query(1, MODERATE_SEL);
+        assert!(!lone.relations[0].key);
     }
 
     #[test]

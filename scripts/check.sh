@@ -45,6 +45,18 @@ cargo run --release -p csqp-bench --bin csqp-bench -- --min-speedup 5
 echo "==> csqp-check --memo: memo-consistency pass over a populated table"
 cargo run --release --bin csqp-check -- --memo
 
+echo "==> csqp-check --bounds: bound-soundness wall + seeded mutants"
+cargo run --release --bin csqp-check -- --bounds
+
+echo "==> bounds mutant tests in the analyzer crate"
+cargo test --release -p csqp-verify bounds
+
+echo "==> mem-budget smoke: budget-starved serving == honest all-QS digests"
+cargo run --release --bin csqp-load -- --serve --mem-budget 300 --clients 2 --queries 6 --seed 42
+
+echo "==> sim-bench: pinned simulator events/sec gate (BENCH_sim.json)"
+cargo run --release -p csqp-bench --bin csqp-bench -- --sim --min-events-per-sec 1000000
+
 echo "==> chaos-smoke: seeded fault-injection soak (digest must reproduce)"
 for seed in 1 2 3 5 8 13 21 34; do
   cargo run --release --bin csqp-load -- --serve --chaos "$seed" --schedules 2 --chaos-queries 10 --intensity 0.5

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --bin csqp-check -- [--plans N] [--servers M] [--seed S]
-//!     [--protocol] [--system] [--memo] [--sessions N] [--depth D]
-//!     [--budget-secs S]
+//!     [--protocol] [--system] [--memo] [--catalog] [--bounds] [--sessions N]
+//!     [--depth D] [--budget-secs S]
 //! ```
 //!
 //! Six stages, any failure exits non-zero (`--protocol` runs only
@@ -58,6 +58,15 @@
 //!    recompute; and plant three seeded mutants (over-lag fresh serve,
 //!    applied epoch regression, lag misaccounting), each of which must
 //!    be caught with its typed diagnostic.
+//! 8. **Bound soundness** (`--bounds`) — derive guaranteed worst-case
+//!    intermediate-size bounds (`csqp_verify::bounds`) for every
+//!    optimizer-produced plan across all policies × objectives and for
+//!    seeded random-plan sweeps, asserting the engine's materialized
+//!    output never exceeds the static bound on any operator edge; then
+//!    plant four mutants (dropped key declaration, a growing operator,
+//!    a key the statistics cannot justify, hostile tuple widths), each
+//!    of which must be caught (`bound-violated`, `bound-key-unsound`,
+//!    `bound-overflow`, or the collapsed bound itself).
 
 use std::process::ExitCode;
 
@@ -83,6 +92,7 @@ struct Args {
     system_only: bool,
     memo_only: bool,
     catalog_only: bool,
+    bounds_only: bool,
     budget_secs: Option<f64>,
 }
 
@@ -97,6 +107,7 @@ fn parse_args() -> Args {
         system_only: false,
         memo_only: false,
         catalog_only: false,
+        bounds_only: false,
         budget_secs: None,
     };
     let mut it = std::env::args().skip(1);
@@ -116,6 +127,7 @@ fn parse_args() -> Args {
             "--system" => args.system_only = true,
             "--memo" => args.memo_only = true,
             "--catalog" => args.catalog_only = true,
+            "--bounds" => args.bounds_only = true,
             "--budget-secs" => {
                 args.budget_secs = Some(
                     it.next()
@@ -126,8 +138,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: csqp-check [--plans N] [--servers M] [--seed S] \
-                     [--protocol] [--system] [--memo] [--catalog] [--sessions N] \
-                     [--depth D] [--budget-secs S]"
+                     [--protocol] [--system] [--memo] [--catalog] [--bounds] \
+                     [--sessions N] [--depth D] [--budget-secs S]"
                 );
                 std::process::exit(0);
             }
@@ -154,7 +166,11 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut failures = 0usize;
 
-    let full = !args.protocol_only && !args.system_only && !args.memo_only && !args.catalog_only;
+    let full = !args.protocol_only
+        && !args.system_only
+        && !args.memo_only
+        && !args.catalog_only
+        && !args.bounds_only;
     if full {
         failures += positive_sweep(&args);
         failures += optimizer_traces(&args);
@@ -171,6 +187,9 @@ fn main() -> ExitCode {
     }
     if full || args.catalog_only {
         failures += catalog_consistency(&args);
+    }
+    if full || args.bounds_only {
+        failures += bounds_soundness(&args);
     }
 
     if failures == 0 {
@@ -1039,6 +1058,198 @@ fn catalog_consistency(args: &Args) -> usize {
             eprintln!(
                 "FAIL mutant not caught ({what}): expected {}",
                 code.as_str()
+            );
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Stage 8: guaranteed-bound soundness — every plan the optimizer
+/// produces (and a seeded random-plan sweep per policy) must keep its
+/// materialized output within the static worst-case bound on every
+/// operator edge; then four planted mutants must each be caught.
+fn bounds_soundness(args: &Args) -> usize {
+    use csqp::verify::bounds;
+    use csqp::workload::{chain_query, star_query, HISEL_SEL};
+
+    let config = SystemConfig::default();
+    let left_deep = |query: &QuerySpec| -> Plan {
+        let order: Vec<RelId> = query.relations.iter().map(|r| r.id).collect();
+        JoinTree::left_deep(&order).into_plan(query, Annotation::Consumer, Annotation::Client)
+    };
+    let queries: Vec<(&str, QuerySpec)> = vec![
+        ("chain-3", chain_query(3, MODERATE_SEL)),
+        ("chain-5", chain_query(5, HISEL_SEL)),
+        ("star-4", star_query(4, MODERATE_SEL)),
+        ("spj-6", spj_query(6, MODERATE_SEL, 0.2, 2)),
+        ("2-way", two_way()),
+        ("10-way", ten_way()),
+    ];
+    let mut failures = 0usize;
+
+    // Optimizer-produced plans: every spec × policy × objective. These
+    // are the plans the server actually executes, so a bound violation
+    // here is exactly the admission gate lying about worst-case memory.
+    let mut optimized = 0usize;
+    for (label, query) in &queries {
+        let mut rng = SimRng::seed_from_u64(args.seed ^ 0xB0B0);
+        let servers = args.servers.min(query.num_relations() as u32).max(1);
+        let catalog = random_placement(query, servers, &mut rng);
+        for policy in Policy::ALL {
+            for objective in [
+                Objective::Communication,
+                Objective::ResponseTime,
+                Objective::TotalCost,
+            ] {
+                let model = CostModel::new(&config, &catalog, query, SiteId::CLIENT);
+                let opt = Optimizer::new(&model, policy, objective, OptConfig::fast());
+                let result = opt.optimize(query, &mut rng);
+                let diags = bounds::check_plan(query, config.page_size, &result.plan);
+                if !diags.is_empty() {
+                    eprintln!(
+                        "FAIL bounds [{label} {} / {objective}]: optimizer plan \
+                         escapes its guaranteed bound:",
+                        policy.short()
+                    );
+                    for d in &diags {
+                        eprintln!("  {d}");
+                    }
+                    failures += 1;
+                }
+                optimized += 1;
+            }
+        }
+    }
+    println!("bounds sweep: {optimized} optimizer plans stay within their static bounds");
+
+    // Random plans: the generator's whole plan space, per policy, so the
+    // bound rules hold for every shape the search may visit, not just
+    // the shapes it prefers.
+    for policy in Policy::ALL {
+        let mut rng = SimRng::seed_from_u64(args.seed ^ 0xB0B1 ^ policy.short().len() as u64);
+        let rounds = (args.plans / 4).max(100);
+        let mut clean = 0usize;
+        for round in 0..rounds {
+            let (label, query) = &queries[round % queries.len()];
+            let plan = random_plan(query, policy, &mut rng);
+            let diags = bounds::check_plan(query, config.page_size, &plan);
+            if diags.is_empty() {
+                clean += 1;
+            } else {
+                eprintln!(
+                    "FAIL bounds [{} random {label} #{round}]: {} diagnostics, first: {}",
+                    policy.short(),
+                    diags.len(),
+                    diags[0]
+                );
+                failures += 1;
+            }
+        }
+        println!(
+            "bounds sweep [{}]: {clean}/{rounds} random plans within bounds",
+            policy.short()
+        );
+    }
+
+    // Mutant 1: dropped key. A peer that strips the key declarations
+    // must lose the tight bound — every join collapses to the product
+    // rule. If the bound did NOT move, the key rule was never
+    // load-bearing and the analyzer is vacuous.
+    {
+        let keyed = chain_query(3, MODERATE_SEL);
+        let mut dropped = keyed.clone();
+        for r in &mut dropped.relations {
+            r.key = false;
+        }
+        let plan = left_deep(&keyed);
+        match (
+            bounds::analyze(&plan, &keyed, config.page_size),
+            bounds::analyze(&plan, &dropped, config.page_size),
+        ) {
+            (Ok(tight), Ok(loose)) if tight.root().tuples < loose.root().tuples => println!(
+                "bounds mutant caught: dropped key collapses the root bound \
+                 {} -> {} tuples (the key rule is load-bearing)",
+                tight.root().tuples,
+                loose.root().tuples
+            ),
+            _ => {
+                eprintln!("FAIL bounds mutant not caught: dropping keys left the bound unchanged");
+                failures += 1;
+            }
+        }
+    }
+
+    // Mutant 2: a growing operator. A join edge whose selectivity
+    // exceeds one materializes more tuples than any instance consistent
+    // with the base statistics admits — the dynamic check must flag the
+    // executed output as exceeding the product bound.
+    {
+        let mut q = chain_query(3, 1e-3); // unkeyed: isolates the violation
+        q.edges[0].selectivity = 2.0;
+        let plan = left_deep(&q);
+        let diags = bounds::check_plan(&q, config.page_size, &plan);
+        if diags.iter().any(|d| d.code == DiagCode::BoundViolated) {
+            println!(
+                "bounds mutant caught: growing operator -> {}",
+                DiagCode::BoundViolated.as_str()
+            );
+        } else {
+            eprintln!(
+                "FAIL bounds mutant not caught (growing operator): expected {}",
+                DiagCode::BoundViolated.as_str()
+            );
+            failures += 1;
+        }
+    }
+
+    // Mutant 3: an unsound key declaration. Keys the selectivities
+    // cannot justify must be audited out — flagged, and *not* believed
+    // by the analyzer (the bound stays at the product rule).
+    {
+        let mut q = chain_query(3, 1e-3); // 1e-3 > 1/10,000: no key is justified
+        for r in &mut q.relations {
+            r.key = true;
+        }
+        let plan = left_deep(&q);
+        let diags = bounds::check_plan(&q, config.page_size, &plan);
+        let flagged = diags.iter().any(|d| d.code == DiagCode::BoundKeyUnsound);
+        let believed = bounds::analyze(&plan, &q, config.page_size)
+            .map(|b| b.root().tuples < 1_000_000_000_000)
+            .unwrap_or(true);
+        if flagged && !believed {
+            println!(
+                "bounds mutant caught: unsound key declaration -> {} (and ignored)",
+                DiagCode::BoundKeyUnsound.as_str()
+            );
+        } else {
+            eprintln!(
+                "FAIL bounds mutant not caught (unsound key): flagged={flagged} \
+                 believed={believed}"
+            );
+            failures += 1;
+        }
+    }
+
+    // Mutant 4: hostile statistics the page model cannot stand behind
+    // (tuples wider than a page) must surface as a typed overflow, not
+    // a panic or a silent wrap.
+    {
+        let mut q = chain_query(2, MODERATE_SEL);
+        for r in &mut q.relations {
+            r.tuple_bytes = 2 * config.page_size;
+        }
+        let plan = left_deep(&q);
+        let diags = bounds::check_plan(&q, config.page_size, &plan);
+        if diags.iter().any(|d| d.code == DiagCode::BoundOverflow) {
+            println!(
+                "bounds mutant caught: hostile tuple width -> {}",
+                DiagCode::BoundOverflow.as_str()
+            );
+        } else {
+            eprintln!(
+                "FAIL bounds mutant not caught (hostile width): expected {}",
+                DiagCode::BoundOverflow.as_str()
             );
             failures += 1;
         }

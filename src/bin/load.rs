@@ -9,8 +9,8 @@
 //!     [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects]
 //!     [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F]
 //!     [--reply-faults] [--catalog-faults] [--memo-smoke]
-//!     [--bench-serve] [--min-qps F] [--reactor poll|epoll]
-//!     [--bench-reactor] [--idle-sessions N]
+//!     [--mem-budget PAGES] [--bench-serve] [--min-qps F]
+//!     [--reactor poll|epoll] [--bench-reactor] [--idle-sessions N]
 //! ```
 //!
 //! `--serve` spins up an in-process server on a free port and loads it —
@@ -26,6 +26,13 @@
 //! with `--no-memo` semantics — drives the identical seeded two-step mix
 //! against both, and fails unless the reply digests are byte-identical
 //! and the memo server actually hit its table.
+//!
+//! `--mem-budget PAGES` is the guaranteed-bound admission smoke: a
+//! budget-starved inline server and an unbudgeted one serve the same
+//! seeded all-QS mix digest-identically (QS footprints are the result
+//! bound alone, so the gate must not touch them), then a mixed-policy
+//! mix against the starved server must degrade DS/HY plans to QS with
+//! `mem-bound` while conservation holds. See DESIGN.md §16.
 //!
 //! `--chaos SEED` switches from load generation to the fault-injection
 //! soak: the seeded fault schedule runs **twice** and the run fails if
@@ -89,6 +96,7 @@ struct Args {
     serve_inline: bool,
     fail_on_rejects: bool,
     memo_smoke: bool,
+    mem_budget_smoke: Option<u64>,
     bench_serve: bool,
     min_qps: Option<f64>,
     reactor: Option<Backend>,
@@ -103,6 +111,7 @@ fn parse_args() -> Args {
         serve_inline: false,
         fail_on_rejects: false,
         memo_smoke: false,
+        mem_budget_smoke: None,
         bench_serve: false,
         min_qps: None,
         reactor: None,
@@ -182,6 +191,9 @@ fn parse_args() -> Args {
             "--serve" => args.serve_inline = true,
             "--fail-on-rejects" => args.fail_on_rejects = true,
             "--memo-smoke" => args.memo_smoke = true,
+            "--mem-budget" => {
+                args.mem_budget_smoke = Some(num(&raw("--mem-budget"), "--mem-budget"))
+            }
             "--bench-serve" => args.bench_serve = true,
             "--reactor" => {
                 let v = raw("--reactor");
@@ -209,8 +221,8 @@ fn parse_args() -> Args {
                      [--deadline-ms D] [--pipeline N] [--serve] [--fail-on-rejects] \
                      [--chaos SEED] [--schedules N] [--chaos-queries N] [--intensity F] \
                      [--reply-faults] [--catalog-faults] [--memo-smoke] \
-                     [--bench-serve] [--min-qps F] [--reactor poll|epoll] \
-                     [--bench-reactor] [--idle-sessions N]"
+                     [--mem-budget PAGES] [--bench-serve] [--min-qps F] \
+                     [--reactor poll|epoll] [--bench-reactor] [--idle-sessions N]"
                 );
                 std::process::exit(0);
             }
@@ -362,6 +374,112 @@ fn run_memo_smoke(load: &LoadConfig, reactor: Option<Backend>) -> Result<(), Str
     })();
     on.shutdown();
     off.shutdown();
+    result
+}
+
+/// The guaranteed-bound admission smoke (`--serve --mem-budget PAGES`):
+///
+/// 1. The same seeded all-QS mix runs against a budget-starved server
+///    and an unbudgeted one. QS plans join at the servers, so their
+///    guaranteed client footprint is the result bound alone — the gate
+///    must admit every one untouched and the reply digests must be
+///    byte-identical (the digest folds the whole RESULT frame, degrade
+///    fields included, so this also proves no spurious degradation).
+/// 2. A mixed-policy mix runs against the starved server: DS/HY plans
+///    whose worst-case client join inputs exceed the budget must degrade
+///    to QS with `mem-bound`, with zero errors and the accounting
+///    conservation invariant intact.
+fn run_mem_budget_smoke(
+    load: &LoadConfig,
+    budget: u64,
+    reactor: Option<Backend>,
+) -> Result<(), String> {
+    let spawn = |budget: Option<u64>| {
+        Server::bind(ServerConfig {
+            mem_budget_pages: budget,
+            ..base_server_config(reactor)
+        })
+        .and_then(|s| s.spawn())
+        .map_err(|e| format!("mem-budget smoke server (budget={budget:?}) failed: {e}"))
+    };
+    let starved = spawn(Some(budget))?;
+    let honest = spawn(None)?;
+    let base = LoadConfig {
+        queries_per_client: Some(load.queries_per_client.unwrap_or(8)),
+        ..load.clone()
+    };
+    println!(
+        "csqp-load: mem-budget smoke, seed {} ({} clients x {} queries, budget {budget} pages)",
+        base.seed,
+        base.clients,
+        base.queries_per_client.unwrap_or(8)
+    );
+    let result = (|| {
+        let qs = LoadConfig {
+            policy: Some(Policy::QueryShipping),
+            ..base.clone()
+        };
+        let gated = run_load(&LoadConfig {
+            addr: starved.addr().to_string(),
+            ..qs.clone()
+        })
+        .map_err(|e| format!("budget-starved QS load failed: {e}"))?;
+        let ungated = run_load(&LoadConfig {
+            addr: honest.addr().to_string(),
+            ..qs
+        })
+        .map_err(|e| format!("unbudgeted QS load failed: {e}"))?;
+        if gated.errors > 0 || gated.rejected > 0 || ungated.errors > 0 {
+            return Err(format!(
+                "QS mix must pass the gate untouched: {} errors / {} rejects starved, \
+                 {} errors unbudgeted",
+                gated.errors, gated.rejected, ungated.errors
+            ));
+        }
+        if gated.digest != ungated.digest {
+            return Err(format!(
+                "mem-budget smoke digest mismatch: {:016x} starved vs {:016x} unbudgeted \
+                 for an all-QS mix",
+                gated.digest, ungated.digest
+            ));
+        }
+        println!(
+            "csqp-load: budget-starved QS digest matches unbudgeted ({:016x})",
+            gated.digest
+        );
+        // Phase 2: the mixed-policy mix must take the degradation path.
+        let mixed = run_load(&LoadConfig {
+            addr: starved.addr().to_string(),
+            policy: None,
+            ..base.clone()
+        })
+        .map_err(|e| format!("mixed-policy load failed: {e}"))?;
+        if mixed.errors > 0 {
+            return Err(format!("mixed-policy mix saw {} errors", mixed.errors));
+        }
+        let snap = starved.service().stats_snapshot();
+        if snap.mem_bound_degraded == 0 {
+            return Err(format!(
+                "budget {budget} never degraded a DS/HY plan over a mixed mix: {snap:?}"
+            ));
+        }
+        let terminal =
+            snap.queries_served + snap.rejected + snap.errors + snap.aborted + snap.timed_out;
+        if snap.submitted != terminal {
+            return Err(format!(
+                "conservation violated after the smoke: {} submitted vs {terminal} terminal",
+                snap.submitted
+            ));
+        }
+        println!(
+            "csqp-load: mixed mix degraded {} plans to QS under the {budget}-page budget \
+             ({} rejected); conservation holds over {} submitted",
+            snap.mem_bound_degraded, snap.mem_bound_rejected, snap.submitted
+        );
+        Ok(())
+    })();
+    starved.shutdown();
+    honest.shutdown();
     result
 }
 
@@ -754,6 +872,18 @@ fn main() -> ExitCode {
     // The memo smoke manages its own pair of inline servers.
     if args.memo_smoke {
         return match run_memo_smoke(&args.load, args.reactor) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("csqp-load: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // The mem-budget smoke manages its own starved/unbudgeted pair of
+    // inline servers.
+    if let Some(budget) = args.mem_budget_smoke {
+        return match run_mem_budget_smoke(&args.load, budget, args.reactor) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("csqp-load: {msg}");

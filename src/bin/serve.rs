@@ -5,12 +5,20 @@
 //! cargo run --release --bin csqp-serve -- [--addr HOST:PORT] [--servers N]
 //!     [--workers N] [--queue N] [--high-water N] [--placement-seed S]
 //!     [--pipeline-depth N] [--event-threads N] [--reactor poll|epoll]
-//!     [--memo-bytes N] [--no-memo] [--catalog-lag N] [--seconds T]
+//!     [--memo-bytes N] [--no-memo] [--catalog-lag N] [--mem-budget PAGES]
+//!     [--seconds T]
 //! ```
 //!
 //! `--high-water N` sets the admission high-water mark: past N in-flight
 //! queries, HY/DS requests degrade to query shipping instead of queueing
 //! expensive work (defaults to 3/4 of the queue depth).
+//!
+//! `--mem-budget PAGES` arms the guaranteed-bound admission gate
+//! (DESIGN.md §16): a chosen plan whose worst-case client footprint —
+//! derived by `csqp-verify::bounds` from audited key constraints —
+//! exceeds the budget is degraded to query shipping (`degrade_reason =
+//! mem-bound`); when even the QS plan cannot fit, the query is rejected
+//! with the retryable `mem-bound-exceeded` error. Off by default.
 //!
 //! `--catalog-lag N` sets the replication staleness bound: the most
 //! coordinator epochs a shard's catalog replica may trail while its
@@ -89,6 +97,9 @@ fn parse_args() -> Args {
             "--catalog-lag" => {
                 args.config.catalog_lag = num(&raw("--catalog-lag"), "--catalog-lag")
             }
+            "--mem-budget" => {
+                args.config.mem_budget_pages = Some(num(&raw("--mem-budget"), "--mem-budget"))
+            }
             "--seconds" => {
                 let v = raw("--seconds");
                 args.seconds = Some(
@@ -101,7 +112,8 @@ fn parse_args() -> Args {
                     "usage: csqp-serve [--addr HOST:PORT] [--servers N] [--workers N] \
                      [--queue N] [--high-water N] [--placement-seed S] \
                      [--pipeline-depth N] [--event-threads N] [--reactor poll|epoll] \
-                     [--memo-bytes N] [--no-memo] [--catalog-lag N] [--seconds T]"
+                     [--memo-bytes N] [--no-memo] [--catalog-lag N] \
+                     [--mem-budget PAGES] [--seconds T]"
                 );
                 std::process::exit(0);
             }
@@ -160,7 +172,8 @@ fn main() -> ExitCode {
                 "csqp-serve: {} submitted, served {} queries ({} rejected, {} errors, \
                  {} aborted, {} timed out, {} degraded), \
                  p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms, {} pages / {} bytes shipped, \
-                 memo {} hits / {} misses / {} evictions / {} bytes",
+                 memo {} hits / {} misses / {} evictions / {} bytes, \
+                 mem-bound {} degraded / {} rejected",
                 snap.submitted,
                 snap.queries_served,
                 snap.rejected,
@@ -176,7 +189,9 @@ fn main() -> ExitCode {
                 snap.memo_hits,
                 snap.memo_misses,
                 snap.memo_evictions,
-                snap.memo_bytes
+                snap.memo_bytes,
+                snap.mem_bound_degraded,
+                snap.mem_bound_rejected
             );
         }
         None => loop {
